@@ -1,0 +1,44 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's evaluation figures (or an
+ablation) and prints the resulting series, so running::
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the whole evaluation section in text form.  The Monte-Carlo
+sample sizes are scaled by ``LAD_BENCH_SCALE`` (default 0.25) so a full run
+finishes in a few minutes on a laptop; set it to 1.0 for paper-quality
+statistics.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.harness import LadSimulation
+
+#: Monte-Carlo scale factor applied to every figure benchmark.
+BENCH_SCALE = float(os.environ.get("LAD_BENCH_SCALE", "0.25"))
+
+#: Master seed shared by all benchmarks (overridable via environment).
+BENCH_SEED = int(os.environ.get("LAD_BENCH_SEED", "20050404"))
+
+
+def bench_config(**overrides) -> SimulationConfig:
+    """The paper-parameter configuration scaled for benchmarking."""
+    config = SimulationConfig(seed=BENCH_SEED, **overrides)
+    return config.scaled(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def paper_simulation() -> LadSimulation:
+    """One shared m=300 simulation reused by the ROC and sweep figures.
+
+    Sharing the simulation means the deployment, the benign training pass
+    and the victims' neighbour discovery are paid once across Figures 4–8,
+    exactly like the caching the paper's own evaluation would use.
+    """
+    return LadSimulation(bench_config())

@@ -1,0 +1,59 @@
+"""Ablation benchmark — accuracy and speed of the ``g(z)`` table (Section 3.3).
+
+The paper argues that the exact Eq. (1) is too expensive for sensors and
+that a table of ``ω`` sub-ranges with interpolation suffices.  This
+benchmark quantifies both claims: the maximum interpolation error as a
+function of ``ω`` (it is already negligible for a few hundred entries) and
+the speed of a table lookup versus exact quadrature.
+"""
+
+import numpy as np
+
+from repro.deployment.gz import GzTable, gz_exact, gz_quadrature
+
+R = 100.0
+SIGMA = 50.0
+Z_MAX = 600.0
+
+#: Table resolutions studied by the ablation.
+OMEGAS = (25, 50, 100, 250, 500, 1000)
+
+
+def test_gz_table_accuracy_vs_omega(benchmark):
+    zs = np.linspace(0.0, Z_MAX, 1500)
+    exact = gz_exact(zs, R, SIGMA)
+
+    def build_and_measure():
+        rows = []
+        for omega in OMEGAS:
+            table = GzTable(R, SIGMA, omega=omega, z_max=Z_MAX)
+            err = float(np.max(np.abs(exact - table.table(zs))))
+            rows.append((omega, err))
+        return rows
+
+    rows = benchmark.pedantic(build_and_measure, rounds=1, iterations=1)
+    print()
+    print("-- g(z) table accuracy (Section 3.3 ablation) --")
+    print(f"{'omega':>8} {'max abs error':>15}")
+    for omega, err in rows:
+        print(f"{omega:>8} {err:>15.2e}")
+
+    errors = [err for _, err in rows]
+    # Error decreases with omega and is tiny for the paper-scale table.
+    assert errors[-1] < 1e-4
+    assert errors[-1] <= errors[0]
+
+
+def test_gz_table_lookup_speed(benchmark):
+    table = GzTable(R, SIGMA, omega=1000, z_max=Z_MAX)
+    queries = np.random.default_rng(0).uniform(0.0, Z_MAX, size=100_000)
+
+    result = benchmark(lambda: table(queries))
+    assert result.shape == queries.shape
+
+
+def test_gz_exact_quadrature_speed(benchmark):
+    """Reference cost of evaluating Eq. (1) directly (vectorised Gauss-Legendre)."""
+    queries = np.random.default_rng(1).uniform(0.0, Z_MAX, size=2_000)
+    result = benchmark(lambda: gz_quadrature(queries, R, SIGMA))
+    assert result.shape == queries.shape

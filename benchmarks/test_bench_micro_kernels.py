@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the hot kernels behind the figure reproductions.
+
+These are conventional pytest-benchmark timings (many rounds) of the three
+operations the Monte-Carlo evaluation spends its time in: neighbour
+discovery / observation counting, the vectorised anomaly metrics, and the
+beaconless MLE localization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import AddAllMetric, DiffMetric, ProbabilityMetric
+from repro.deployment.models import paper_deployment_model
+from repro.localization.beaconless import BeaconlessLocalizer
+from repro.network.generator import NetworkGenerator
+from repro.network.neighbors import NeighborIndex
+from repro.network.radio import UnitDiskRadio
+
+
+@pytest.fixture(scope="module")
+def medium_network():
+    generator = NetworkGenerator(
+        paper_deployment_model(), group_size=100, radio=UnitDiskRadio(100.0)
+    )
+    network = generator.generate(rng=1)
+    knowledge = generator.knowledge(omega=500)
+    return generator, network, knowledge
+
+
+def test_neighbor_index_construction(benchmark, medium_network):
+    _, network, _ = medium_network
+    index = benchmark(lambda: NeighborIndex(network))
+    assert index.network.num_nodes == network.num_nodes
+
+
+def test_observation_counting(benchmark, medium_network):
+    _, network, _ = medium_network
+    index = NeighborIndex(network)
+    nodes = np.arange(0, network.num_nodes, network.num_nodes // 50)[:50]
+
+    observations = benchmark(lambda: index.observations_of_nodes(nodes))
+    assert observations.shape == (len(nodes), network.n_groups)
+
+
+def test_metric_batch_computation(benchmark, medium_network):
+    _, network, knowledge = medium_network
+    rng = np.random.default_rng(0)
+    locations = knowledge.region.sample_uniform(rng, 2000)
+    expected = knowledge.expected_observation(locations)
+    observations = rng.poisson(np.clip(expected, 0.01, None)).astype(float)
+    metrics = [DiffMetric(), AddAllMetric(), ProbabilityMetric()]
+
+    def run_all():
+        return [
+            m.compute(observations, expected, group_size=knowledge.group_size)
+            for m in metrics
+        ]
+
+    results = benchmark(run_all)
+    assert all(np.asarray(r).shape == (2000,) for r in results)
+
+
+def test_beaconless_localization(benchmark, medium_network):
+    _, network, knowledge = medium_network
+    index = NeighborIndex(network)
+    nodes = np.arange(0, network.num_nodes, network.num_nodes // 20)[:20]
+    observations = index.observations_of_nodes(nodes)
+    localizer = BeaconlessLocalizer()
+
+    estimates = benchmark(
+        lambda: localizer.localize_observations(knowledge, observations)
+    )
+    errors = np.hypot(*(estimates - network.positions[nodes]).T)
+    assert np.median(errors) < 30.0
+
+
+def test_expected_observation_kernel(benchmark, medium_network):
+    _, _, knowledge = medium_network
+    rng = np.random.default_rng(2)
+    locations = knowledge.region.sample_uniform(rng, 5000)
+
+    expected = benchmark(lambda: knowledge.expected_observation(locations))
+    assert expected.shape == (5000, knowledge.n_groups)

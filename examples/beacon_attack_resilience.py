@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Beacon-based baselines under compromised anchors, and LAD as a second line.
+
+The paper argues (Section 6.3) that existing beacon-based localization
+schemes are easy to mislead — a single compromised anchor declaring a false
+position can introduce an arbitrarily large error — and that LAD remains a
+valuable second line of defence regardless of which localization scheme is
+in use.  This example demonstrates both claims:
+
+1. localise a set of sensors with the Centroid and the MMSE-multilateration
+   schemes, first with honest anchors and then with a lying anchor;
+2. run the LAD consistency check (deployment knowledge + group observation)
+   on the resulting estimates and show that the grossly wrong ones are
+   flagged.
+
+Run with::
+
+    python examples/beacon_attack_resilience.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BeaconInfrastructure,
+    CentroidLocalizer,
+    LADDetector,
+    MmseMultilaterationLocalizer,
+    NeighborIndex,
+    NetworkGenerator,
+    UnitDiskRadio,
+    collect_training_data,
+    localization_errors,
+    paper_deployment_model,
+)
+from repro.attacks.localization_attacks import BeaconLieAttack
+from repro.localization.base import LocalizationContext
+
+NUM_SENSORS = 40
+BEACON_LIE_DISPLACEMENT = 500.0
+
+
+def _localize_all(scheme, beacons, network, nodes, rng):
+    """Run a beacon-based scheme for every node in *nodes*."""
+    estimates = np.empty((nodes.size, 2))
+    for row, node in enumerate(nodes):
+        true_position = network.positions[node]
+        audible = beacons.audible_from(true_position)
+        distances = beacons.measured_distances(true_position, rng=rng, noise_std=3.0)[audible]
+        context = LocalizationContext(
+            beacons=beacons,
+            audible_beacons=audible,
+            measured_distances=distances,
+            true_position=true_position,
+        )
+        estimates[row] = scheme.localize(context, rng=rng).position
+    return estimates
+
+
+def main() -> None:
+    rng = np.random.default_rng(47)
+
+    model = paper_deployment_model()
+    generator = NetworkGenerator(model, group_size=60, radio=UnitDiskRadio(100.0))
+    network = generator.generate(rng)
+    knowledge = generator.knowledge()
+    index = NeighborIndex(network)
+
+    # Beacon infrastructure: a 4 x 4 grid of anchors with long-range radios.
+    xs = np.linspace(125.0, 875.0, 4)
+    gx, gy = np.meshgrid(xs, xs)
+    beacons = BeaconInfrastructure(
+        positions=np.column_stack([gx.ravel(), gy.ravel()]), transmit_range=400.0
+    )
+
+    # Train LAD (scheme-independent: it only needs deployment knowledge).
+    training = collect_training_data(
+        generator, num_samples=200, samples_per_network=100, rng=53
+    )
+    detector = LADDetector.from_training_data(knowledge, training, metric="diff", tau=0.99)
+
+    nodes = rng.choice(network.num_nodes, size=NUM_SENSORS, replace=False)
+    observations = index.observations_of_nodes(nodes)
+    truths = network.positions[nodes]
+
+    # A single compromised anchor lies about its position.
+    lying = BeaconLieAttack(displacement=BEACON_LIE_DISPLACEMENT).apply(
+        beacons, compromised=[5], rng=rng, region=network.region
+    )
+
+    schemes = {
+        "centroid": CentroidLocalizer(),
+        "mmse-multilateration": MmseMultilaterationLocalizer(),
+    }
+
+    print(f"{NUM_SENSORS} sensors, 16 anchors, one lying anchor displaced by "
+          f"{BEACON_LIE_DISPLACEMENT:.0f} m\n")
+    print(f"{'scheme':<22}{'anchors':<12}{'mean err (m)':>13}{'max err (m)':>13}"
+          f"{'LAD alarms':>12}")
+    for name, scheme in schemes.items():
+        for label, infra in (("honest", beacons), ("1 lying", lying)):
+            estimates = _localize_all(scheme, infra, network, nodes, rng)
+            errors = localization_errors(estimates, truths)
+            alarms = detector.detect_batch(estimates, observations)
+            print(
+                f"{name:<22}{label:<12}{errors.mean():>13.1f}{errors.max():>13.1f}"
+                f"{alarms.mean():>12.0%}"
+            )
+
+    print(
+        "\nExpected shape: the lying anchor inflates the localization error of both\n"
+        "beacon-based schemes, and the LAD alarm rate rises with that error —\n"
+        "the detector catches misled estimates without knowing anything about\n"
+        "the localization scheme or the anchors."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+"""Reproduction of *LAD: Localization Anomaly Detection for Wireless Sensor
+Networks* (Du, Fang, Ning, 2005).
+
+The package is organised bottom-up:
+
+* :mod:`repro.deployment` — deployment knowledge (grid deployment model,
+  Gaussian landing distribution, the ``g(z)`` formula and its lookup table);
+* :mod:`repro.network` — sensor-network substrate (generation, radio
+  models, neighbour discovery, group-announcement protocol);
+* :mod:`repro.localization` — the beaconless MLE localization scheme the
+  paper evaluates with, plus beacon-based baselines;
+* :mod:`repro.attacks` — the adversary models (silence / impersonation /
+  multi-impersonation / range-change primitives, the Dec-Bounded and
+  Dec-Only classes, the greedy metric-minimising adversary, D-anomaly
+  displacement);
+* :mod:`repro.core` — the LAD detection scheme itself (expected
+  observations, the Diff / Add-all / Probability metrics, threshold
+  training, the detector, ROC evaluation);
+* :mod:`repro.experiments` — the harness that regenerates every figure of
+  the paper's evaluation section;
+* :mod:`repro.applications` — motivating applications (geographic routing,
+  surveillance, coverage) used by the examples.
+"""
+
+from repro._version import __version__
+
+# Deployment substrate.
+from repro.types import Region, PAPER_REGION
+from repro.deployment import (
+    GaussianResidentDistribution,
+    UniformDiskResidentDistribution,
+    GridDeploymentModel,
+    HexDeploymentModel,
+    RandomDeploymentModel,
+    paper_deployment_model,
+    GzTable,
+    gz_exact,
+    gz_quadrature,
+    DeploymentKnowledge,
+)
+
+# Network substrate.
+from repro.network import (
+    SensorNetwork,
+    NetworkGenerator,
+    generate_network,
+    NeighborIndex,
+    UnitDiskRadio,
+    LogNormalShadowingRadio,
+)
+
+# Localization schemes.
+from repro.localization import (
+    BeaconlessLocalizer,
+    CentroidLocalizer,
+    MmseMultilaterationLocalizer,
+    DvHopLocalizer,
+    ApitLocalizer,
+    BeaconInfrastructure,
+    localization_error,
+    localization_errors,
+)
+
+# Attacks.
+from repro.attacks import (
+    AttackBudget,
+    DecBoundedAttack,
+    DecOnlyAttack,
+    GreedyMetricMinimizer,
+    DisplacementAttack,
+    SilenceAttack,
+    ImpersonationAttack,
+    MultiImpersonationAttack,
+    RangeChangeAttack,
+    WormholeAttack,
+)
+
+# The LAD core.
+from repro.core import (
+    DiffMetric,
+    AddAllMetric,
+    ProbabilityMetric,
+    get_metric,
+    LADDetector,
+    ThresholdTable,
+    collect_training_data,
+    benign_scores,
+    compute_roc,
+    RocCurve,
+    attacked_scores_for_victims,
+    detection_rate_at_false_positive,
+    evaluate_detection,
+)
+
+__all__ = [
+    "__version__",
+    # types
+    "Region",
+    "PAPER_REGION",
+    # deployment
+    "GaussianResidentDistribution",
+    "UniformDiskResidentDistribution",
+    "GridDeploymentModel",
+    "HexDeploymentModel",
+    "RandomDeploymentModel",
+    "paper_deployment_model",
+    "GzTable",
+    "gz_exact",
+    "gz_quadrature",
+    "DeploymentKnowledge",
+    # network
+    "SensorNetwork",
+    "NetworkGenerator",
+    "generate_network",
+    "NeighborIndex",
+    "UnitDiskRadio",
+    "LogNormalShadowingRadio",
+    # localization
+    "BeaconlessLocalizer",
+    "CentroidLocalizer",
+    "MmseMultilaterationLocalizer",
+    "DvHopLocalizer",
+    "ApitLocalizer",
+    "BeaconInfrastructure",
+    "localization_error",
+    "localization_errors",
+    # attacks
+    "AttackBudget",
+    "DecBoundedAttack",
+    "DecOnlyAttack",
+    "GreedyMetricMinimizer",
+    "DisplacementAttack",
+    "SilenceAttack",
+    "ImpersonationAttack",
+    "MultiImpersonationAttack",
+    "RangeChangeAttack",
+    "WormholeAttack",
+    # core
+    "DiffMetric",
+    "AddAllMetric",
+    "ProbabilityMetric",
+    "get_metric",
+    "LADDetector",
+    "ThresholdTable",
+    "collect_training_data",
+    "benign_scores",
+    "compute_roc",
+    "RocCurve",
+    "attacked_scores_for_victims",
+    "detection_rate_at_false_positive",
+    "evaluate_detection",
+]

@@ -1,0 +1,9 @@
+"""Version information for the LAD reproduction package."""
+
+__version__ = "1.0.0"
+
+#: Short identifier of the paper that this package reproduces.
+PAPER = (
+    "Du, Fang, Ning. LAD: Localization Anomaly Detection for "
+    "Wireless Sensor Networks. 2005."
+)

@@ -1,0 +1,57 @@
+"""Adversary models (paper Section 6).
+
+Two layers of attack are modelled:
+
+* **attacks on localization** (:mod:`repro.attacks.localization_attacks`) —
+  the D-anomaly displacement used in the evaluation, plus concrete
+  beacon-compromise attacks against the beacon-based baselines;
+* **attacks on the detection scheme itself**
+  (:mod:`repro.attacks.primitives`, :mod:`repro.attacks.constraints`,
+  :mod:`repro.attacks.greedy`) — the silence / impersonation /
+  multi-impersonation / range-change primitives, the Dec-Bounded and
+  Dec-Only attack classes that generalise them, and the greedy adversary
+  that taints the victim's observation to minimise a chosen detection
+  metric (the evaluation procedure of Section 7.1).
+"""
+
+from repro.attacks.base import ObservationAttack, AttackBudget
+from repro.attacks.constraints import (
+    AttackClass,
+    DecBoundedAttack,
+    DecOnlyAttack,
+    get_attack_class,
+    validate_attack,
+)
+from repro.attacks.primitives import (
+    SilenceAttack,
+    ImpersonationAttack,
+    MultiImpersonationAttack,
+    RangeChangeAttack,
+)
+from repro.attacks.greedy import GreedyMetricMinimizer, taint_observation
+from repro.attacks.localization_attacks import (
+    DisplacementAttack,
+    BeaconLieAttack,
+    replay_beacon_attack,
+)
+from repro.attacks.wormhole import WormholeAttack
+
+__all__ = [
+    "ObservationAttack",
+    "AttackBudget",
+    "AttackClass",
+    "DecBoundedAttack",
+    "DecOnlyAttack",
+    "get_attack_class",
+    "validate_attack",
+    "SilenceAttack",
+    "ImpersonationAttack",
+    "MultiImpersonationAttack",
+    "RangeChangeAttack",
+    "GreedyMetricMinimizer",
+    "taint_observation",
+    "DisplacementAttack",
+    "BeaconLieAttack",
+    "replay_beacon_attack",
+    "WormholeAttack",
+]

@@ -1,0 +1,76 @@
+"""Shared attack abstractions.
+
+An *observation attack* transforms a victim's honest observation vector
+``a`` into a tainted observation ``o`` subject to a budget of compromised
+neighbours.  A *budget* records how many compromised neighbours are
+available in total and how many silence-attack decreases remain (each unit
+of decrease consumes one compromised node from the silenced group, paper
+Section 6).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_int
+
+__all__ = ["AttackBudget", "ObservationAttack"]
+
+
+@dataclass
+class AttackBudget:
+    """Adversary budget for a single victim's neighbourhood.
+
+    Attributes
+    ----------
+    compromised_nodes:
+        Number of compromised nodes inside the victim's neighbourhood
+        (``x`` in the paper's attack definitions, as an absolute count).
+    """
+
+    compromised_nodes: int
+
+    def __post_init__(self) -> None:
+        check_int("compromised_nodes", self.compromised_nodes, minimum=0)
+
+    @classmethod
+    def from_fraction(cls, neighbor_count: int, fraction: float) -> "AttackBudget":
+        """Budget corresponding to compromising *fraction* of the neighbours.
+
+        The paper sweeps "the percentage of compromised nodes" (e.g. 10 %,
+        20 %, 30 % of the victim's neighbourhood); this constructor rounds to
+        the nearest whole node.
+        """
+        check_int("neighbor_count", neighbor_count, minimum=0)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        return cls(compromised_nodes=int(round(neighbor_count * fraction)))
+
+    def __int__(self) -> int:
+        return self.compromised_nodes
+
+
+class ObservationAttack(abc.ABC):
+    """Base class of attacks that tamper with a victim's observation."""
+
+    #: Human-readable attack name used in reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        honest_observation: np.ndarray,
+        budget: AttackBudget,
+        rng=None,
+        **context,
+    ) -> np.ndarray:
+        """Return the tainted observation produced by this attack.
+
+        Implementations must not mutate *honest_observation* in place.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

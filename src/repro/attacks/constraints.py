@@ -1,0 +1,194 @@
+"""The Dec-Bounded and Dec-Only attack classes (paper Definitions 4 and 5).
+
+The four concrete attack primitives (silence, impersonation,
+multi-impersonation, range-change) combine into a space of observation
+manipulations, but the paper shows that every combination obeys one of two
+constraint sets relative to the honest observation ``a``:
+
+* **Dec-Bounded** — every ``o_i`` may be arbitrarily *larger* than ``a_i``
+  (the adversary can always inject claims), but the total *decrease*
+  ``Σ_{i: a_i > o_i} (a_i − o_i)`` is bounded by the number of compromised
+  neighbours ``x`` (only a silence attack can remove a count, one per
+  compromised node);
+* **Dec-Only** — with per-link authentication, wormhole detection and no
+  physical node movement, increases are impossible; only silence attacks
+  remain, so ``o_i ≤ a_i`` for every group and ``Σ_i (a_i − o_i) ≤ x``.
+
+An :class:`AttackClass` answers two questions: *is a given tainted
+observation feasible?* and *what is the feasible range of each entry?*  The
+greedy adversary of :mod:`repro.attacks.greedy` optimises within those
+ranges.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Union
+
+import numpy as np
+
+from repro.attacks.base import AttackBudget
+
+__all__ = [
+    "AttackClass",
+    "DecBoundedAttack",
+    "DecOnlyAttack",
+    "get_attack_class",
+    "validate_attack",
+]
+
+#: Numerical slack used when validating feasibility of real-valued
+#: observations.
+_FEASIBILITY_TOL = 1e-9
+
+
+class AttackClass(abc.ABC):
+    """A constraint set on tainted observations relative to the honest one."""
+
+    #: Canonical short name used in configs and reports.
+    name: str = "abstract"
+
+    #: Name used in the paper's figures.
+    paper_name: str = "abstract"
+
+    #: Whether this class allows observation entries to increase.
+    allows_increase: bool = True
+
+    @abc.abstractmethod
+    def is_feasible(
+        self,
+        honest_observation: np.ndarray,
+        tainted_observation: np.ndarray,
+        budget: Union[AttackBudget, int],
+        *,
+        group_size: float | None = None,
+    ) -> bool:
+        """Whether *tainted_observation* is reachable from the honest one."""
+
+    @abc.abstractmethod
+    def entry_bounds(
+        self,
+        honest_observation: np.ndarray,
+        budget: Union[AttackBudget, int],
+        *,
+        group_size: float | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-entry ``(lower, upper)`` bounds ignoring the shared decrease budget.
+
+        The *total* decrease budget couples the entries and is enforced
+        separately by :meth:`is_feasible`; these bounds describe what each
+        entry could reach if the whole budget were spent on it.
+        """
+
+    @staticmethod
+    def _budget_value(budget: Union[AttackBudget, int]) -> int:
+        return int(budget) if not isinstance(budget, AttackBudget) else budget.compromised_nodes
+
+
+class DecBoundedAttack(AttackClass):
+    """Decrease-Bounded attacks (Definition 4).
+
+    Increases are unbounded (up to the physical group size when known);
+    the summed decreases are bounded by the number of compromised
+    neighbours.
+    """
+
+    name = "dec_bounded"
+    paper_name = "Dec-Bounded Attack"
+    allows_increase = True
+
+    def is_feasible(self, honest_observation, tainted_observation, budget, *, group_size=None):
+        a = np.asarray(honest_observation, dtype=np.float64)
+        o = np.asarray(tainted_observation, dtype=np.float64)
+        if a.shape != o.shape:
+            raise ValueError("observations must have the same shape")
+        if np.any(o < -_FEASIBILITY_TOL):
+            return False
+        if group_size is not None and np.any(o > float(group_size) + _FEASIBILITY_TOL):
+            return False
+        decreases = np.clip(a - o, 0.0, None).sum()
+        return bool(decreases <= self._budget_value(budget) + _FEASIBILITY_TOL)
+
+    def entry_bounds(self, honest_observation, budget, *, group_size=None):
+        a = np.asarray(honest_observation, dtype=np.float64)
+        x = float(self._budget_value(budget))
+        lower = np.clip(a - x, 0.0, None)
+        if group_size is None:
+            upper = np.full_like(a, np.inf)
+        else:
+            upper = np.full_like(a, float(group_size))
+        return lower, upper
+
+
+class DecOnlyAttack(AttackClass):
+    """Decrease-Only attacks (Definition 5).
+
+    Authentication plus wormhole detection removes every channel for
+    *increasing* counts; the adversary can only silence compromised
+    neighbours, so every entry may only go down and the total decrease is
+    bounded by the number of compromised neighbours.
+    """
+
+    name = "dec_only"
+    paper_name = "Dec-Only Attack"
+    allows_increase = False
+
+    def is_feasible(self, honest_observation, tainted_observation, budget, *, group_size=None):
+        a = np.asarray(honest_observation, dtype=np.float64)
+        o = np.asarray(tainted_observation, dtype=np.float64)
+        if a.shape != o.shape:
+            raise ValueError("observations must have the same shape")
+        if np.any(o < -_FEASIBILITY_TOL):
+            return False
+        if np.any(o > a + _FEASIBILITY_TOL):
+            return False
+        decreases = np.clip(a - o, 0.0, None).sum()
+        return bool(decreases <= self._budget_value(budget) + _FEASIBILITY_TOL)
+
+    def entry_bounds(self, honest_observation, budget, *, group_size=None):
+        a = np.asarray(honest_observation, dtype=np.float64)
+        x = float(self._budget_value(budget))
+        lower = np.clip(a - x, 0.0, None)
+        upper = a.copy()
+        return lower, upper
+
+
+_REGISTRY = {
+    DecBoundedAttack.name: DecBoundedAttack,
+    DecOnlyAttack.name: DecOnlyAttack,
+    "dec-bounded": DecBoundedAttack,
+    "decbounded": DecBoundedAttack,
+    "dec-only": DecOnlyAttack,
+    "deconly": DecOnlyAttack,
+}
+
+
+def get_attack_class(attack: Union[str, AttackClass]) -> AttackClass:
+    """Resolve an attack-class name (or pass through an instance)."""
+    if isinstance(attack, AttackClass):
+        return attack
+    key = str(attack).strip().lower().replace(" ", "_")
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown attack class {attack!r}; choose from "
+            f"{sorted(set(cls.name for cls in _REGISTRY.values()))}"
+        )
+    return _REGISTRY[key]()
+
+
+def validate_attack(
+    attack: Union[str, AttackClass],
+    honest_observation: np.ndarray,
+    tainted_observation: np.ndarray,
+    budget: Union[AttackBudget, int],
+    *,
+    group_size: float | None = None,
+) -> None:
+    """Raise ``ValueError`` when a tainted observation violates its attack class."""
+    cls = get_attack_class(attack)
+    if not cls.is_feasible(
+        honest_observation, tainted_observation, budget, group_size=group_size
+    ):
+        raise ValueError(
+            f"tainted observation is not feasible under the {cls.paper_name}"
+        )

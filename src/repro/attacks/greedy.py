@@ -1,0 +1,261 @@
+"""The greedy metric-minimising adversary (paper Section 7.1).
+
+After displacing the victim's estimated location, the adversary taints the
+victim's observation so that the chosen detection metric becomes as small as
+possible, subject to the constraints of the attack class (Dec-Bounded or
+Dec-Only).  The paper sketches the procedure for the Diff metric under
+Dec-Bounded attacks; this module implements the analogous optimal/greedy
+procedure for every (attack class x metric) combination:
+
+* **Diff metric** — entries with ``µ_i > a_i`` are raised to ``µ_i`` for free
+  (Dec-Bounded only); entries with ``a_i > µ_i`` are lowered toward ``µ_i``
+  using the shared decrease budget.  Every unit of decrease reduces the
+  metric by exactly one, so the allocation order does not affect the final
+  metric value; the implementation spends the budget on the largest
+  discrepancies first (deterministic and what a rational adversary would do
+  if interrupted).
+* **Add-all metric** — raising an entry can never lower ``Σ max(o_i, µ_i)``,
+  so both attack classes reduce to the same decrease-allocation problem as
+  the Diff metric's second stage.
+* **Probability metric** — each per-group binomial pmf is unimodal in
+  ``o_i`` with mode ``⌊(m+1)·g_i⌋``; the adversary pushes every entry toward
+  its mode (free increases under Dec-Bounded) and then spends the decrease
+  budget one node at a time on whichever group currently has the smallest
+  probability, stopping when the minimum can no longer be improved.
+
+The tainted observations are real-valued by default (the paper's greedy sets
+``o_i = µ_i`` exactly); ``integer_mode=True`` restricts the adversary to
+whole-node manipulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.attacks.base import AttackBudget
+from repro.attacks.constraints import AttackClass, get_attack_class
+from repro.core.metrics import (
+    AddAllMetric,
+    AnomalyMetric,
+    DiffMetric,
+    ProbabilityMetric,
+    get_metric,
+)
+from repro.utils.stats import binomial_log_pmf, binomial_mode
+
+__all__ = ["GreedyMetricMinimizer", "taint_observation"]
+
+
+def _allocate_decreases(
+    honest: np.ndarray, targets: np.ndarray, budget: float
+) -> np.ndarray:
+    """Lower entries of *honest* toward *targets* spending at most *budget*.
+
+    Entries where ``honest <= target`` are untouched.  The budget is spent on
+    the largest gaps first; the final entry touched may receive a fractional
+    decrease so that the full budget is used exactly when it is binding.
+    """
+    o = honest.astype(np.float64).copy()
+    gaps = np.clip(honest - targets, 0.0, None)
+    total = gaps.sum()
+    if total <= budget:
+        # Enough budget to close every gap completely.
+        return np.where(gaps > 0, targets, o)
+    if budget <= 0:
+        return o
+    order = np.argsort(-gaps)
+    remaining = float(budget)
+    for idx in order:
+        gap = gaps[idx]
+        if gap <= 0 or remaining <= 0:
+            break
+        spend = min(gap, remaining)
+        o[idx] -= spend
+        remaining -= spend
+    return o
+
+
+@dataclass
+class GreedyMetricMinimizer:
+    """Adversary that taints an observation to minimise a detection metric.
+
+    Parameters
+    ----------
+    metric:
+        The detection metric the adversary is trying to evade (name or
+        instance).
+    attack_class:
+        ``"dec_bounded"`` or ``"dec_only"`` (name or instance).
+    integer_mode:
+        Restrict manipulations to whole nodes.  Default ``False`` (the paper
+        lets the adversary hit ``µ_i`` exactly).
+    """
+
+    metric: Union[str, AnomalyMetric] = "diff"
+    attack_class: Union[str, AttackClass] = "dec_bounded"
+    integer_mode: bool = False
+
+    def __post_init__(self) -> None:
+        self.metric = get_metric(self.metric)
+        self.attack_class = get_attack_class(self.attack_class)
+
+    # -- public API ----------------------------------------------------------
+
+    def taint(
+        self,
+        honest_observation: np.ndarray,
+        expected_observation: np.ndarray,
+        budget: Union[AttackBudget, int],
+        *,
+        group_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Return the metric-minimising tainted observation for one victim.
+
+        Parameters
+        ----------
+        honest_observation:
+            The victim's untainted observation ``a``.
+        expected_observation:
+            The expected observation ``µ`` at the (spoofed) estimated
+            location.
+        budget:
+            Number of compromised nodes in the victim's neighbourhood.
+        group_size:
+            Sensors per group ``m``; required by the Probability metric and
+            used as the physical upper bound on any count.
+        """
+        a = np.asarray(honest_observation, dtype=np.float64)
+        mu = np.asarray(expected_observation, dtype=np.float64)
+        if a.shape != mu.shape or a.ndim != 1:
+            raise ValueError("observations must be matching 1-D vectors")
+        x = float(int(budget))
+
+        if isinstance(self.metric, DiffMetric):
+            tainted = self._taint_diff(a, mu, x, group_size)
+        elif isinstance(self.metric, AddAllMetric):
+            tainted = self._taint_add_all(a, mu, x)
+        elif isinstance(self.metric, ProbabilityMetric):
+            if group_size is None:
+                raise ValueError("group_size is required for the Probability metric")
+            tainted = self._taint_probability(a, mu, x, int(group_size))
+        else:  # pragma: no cover - future metrics fall back to "no taint"
+            tainted = a.copy()
+
+        if self.integer_mode:
+            tainted = self._round_feasible(a, tainted, x)
+        return tainted
+
+    def taint_batch(
+        self,
+        honest_observations: np.ndarray,
+        expected_observations: np.ndarray,
+        budgets: Sequence[Union[AttackBudget, int]],
+        *,
+        group_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Vectorised-over-victims convenience wrapper around :meth:`taint`."""
+        honest = np.asarray(honest_observations, dtype=np.float64)
+        expected = np.asarray(expected_observations, dtype=np.float64)
+        if honest.ndim != 2 or honest.shape != expected.shape:
+            raise ValueError("batch inputs must be matching (k, n_groups) arrays")
+        if len(budgets) != honest.shape[0]:
+            raise ValueError("need one budget per victim")
+        out = np.empty_like(honest)
+        for row in range(honest.shape[0]):
+            out[row] = self.taint(
+                honest[row], expected[row], budgets[row], group_size=group_size
+            )
+        return out
+
+    # -- per-metric strategies ------------------------------------------------
+
+    def _taint_diff(
+        self, a: np.ndarray, mu: np.ndarray, x: float, group_size: Optional[int]
+    ) -> np.ndarray:
+        if self.attack_class.allows_increase:
+            # Free increases: match mu wherever the honest count is short.
+            upper = float(group_size) if group_size is not None else np.inf
+            o = np.where(mu > a, np.minimum(mu, upper), a.astype(np.float64))
+        else:
+            o = a.astype(np.float64).copy()
+        return _allocate_decreases(o, np.minimum(mu, o), x)
+
+    def _taint_add_all(self, a: np.ndarray, mu: np.ndarray, x: float) -> np.ndarray:
+        # Increases never help; only decreases toward mu matter.
+        return _allocate_decreases(a.astype(np.float64), np.minimum(mu, a), x)
+
+    def _taint_probability(
+        self, a: np.ndarray, mu: np.ndarray, x: float, group_size: int
+    ) -> np.ndarray:
+        m = float(group_size)
+        probs = np.clip(mu / m, 0.0, 1.0)
+        modes = binomial_mode(m, probs)
+
+        o = a.astype(np.float64).copy()
+        if self.attack_class.allows_increase:
+            o = np.where(modes > o, modes, o)
+
+        remaining = x
+        # Spend the decrease budget one node at a time on the group whose
+        # probability is currently the smallest, as long as decreasing that
+        # group moves it toward its mode.
+        while remaining > 0:
+            log_pmf = binomial_log_pmf(o, m, probs)
+            order = np.argsort(log_pmf)
+            progressed = False
+            for idx in order:
+                if o[idx] > modes[idx] and o[idx] > 0:
+                    step = min(1.0, o[idx] - modes[idx], remaining)
+                    if step <= 0:
+                        continue
+                    o[idx] -= step
+                    remaining -= step
+                    progressed = True
+                    break
+            if not progressed:
+                break
+        return o
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _round_feasible(a: np.ndarray, tainted: np.ndarray, x: float) -> np.ndarray:
+        """Round a real-valued taint to whole nodes without exceeding the budget."""
+        rounded = np.round(tainted)
+        decreases = np.clip(a - rounded, 0.0, None)
+        excess = decreases.sum() - x
+        if excess <= 0:
+            return rounded
+        # Give back whole-node decreases (smallest benefit first) until the
+        # budget constraint holds again.
+        order = np.argsort(decreases)
+        for idx in order[::-1]:
+            while decreases[idx] >= 1.0 and excess > 0:
+                rounded[idx] += 1.0
+                decreases[idx] -= 1.0
+                excess -= 1.0
+            if excess <= 0:
+                break
+        return rounded
+
+
+def taint_observation(
+    honest_observation: np.ndarray,
+    expected_observation: np.ndarray,
+    budget: Union[AttackBudget, int],
+    *,
+    metric: Union[str, AnomalyMetric] = "diff",
+    attack_class: Union[str, AttackClass] = "dec_bounded",
+    group_size: Optional[int] = None,
+    integer_mode: bool = False,
+) -> np.ndarray:
+    """Functional one-shot wrapper around :class:`GreedyMetricMinimizer`."""
+    adversary = GreedyMetricMinimizer(
+        metric=metric, attack_class=attack_class, integer_mode=integer_mode
+    )
+    return adversary.taint(
+        honest_observation, expected_observation, budget, group_size=group_size
+    )

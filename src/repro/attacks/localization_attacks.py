@@ -1,0 +1,155 @@
+"""Attacks on the localization phase itself.
+
+Two kinds are modelled:
+
+* :class:`DisplacementAttack` — the abstract D-anomaly attack used by the
+  paper's evaluation (Section 7.1): the victim's estimated location is
+  forced to a uniformly random point exactly ``D`` metres from its actual
+  location.  This captures the *outcome* of any successful localization
+  attack with degree of damage ``D`` without tying the evaluation to one
+  specific localization vulnerability.
+* :class:`BeaconLieAttack` and :func:`replay_beacon_attack` — concrete
+  attacks against the beacon-based baselines (a compromised anchor declares
+  a false position; an adversary replays beacon messages recorded in another
+  area), used by the ``attack_resilience_study`` example to show how easily
+  the baselines are displaced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.points import random_point_at_distance, random_points_at_distance
+from repro.localization.base import BeaconInfrastructure
+from repro.types import Region, as_point, as_points
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["DisplacementAttack", "BeaconLieAttack", "replay_beacon_attack"]
+
+
+@dataclass
+class DisplacementAttack:
+    """Force an estimated location exactly ``D`` metres from the actual one.
+
+    Parameters
+    ----------
+    degree_of_damage:
+        The targeted localization error ``D`` in metres (Definition 3).
+    keep_inside_region:
+        Resample the displacement direction until the spoofed location lies
+        inside the deployment region (on by default so the spoofed location
+        remains plausible; the paper's deployment area is large relative to
+        ``D`` so this rarely triggers).
+    """
+
+    degree_of_damage: float
+    keep_inside_region: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("degree_of_damage", self.degree_of_damage, strict=False)
+
+    def spoof_location(
+        self, actual_location, rng=None, *, region: Optional[Region] = None
+    ) -> np.ndarray:
+        """Spoofed estimated location for a single victim."""
+        generator = as_generator(rng)
+        constraint = region if self.keep_inside_region else None
+        return random_point_at_distance(
+            generator, as_point(actual_location), self.degree_of_damage, region=constraint
+        )
+
+    def spoof_locations(
+        self, actual_locations, rng=None, *, region: Optional[Region] = None
+    ) -> np.ndarray:
+        """Spoofed estimated locations for a batch of victims."""
+        generator = as_generator(rng)
+        constraint = region if self.keep_inside_region else None
+        return random_points_at_distance(
+            generator,
+            as_points(actual_locations),
+            self.degree_of_damage,
+            region=constraint,
+        )
+
+
+@dataclass
+class BeaconLieAttack:
+    """A compromised beacon declares a position far from its true one.
+
+    Parameters
+    ----------
+    displacement:
+        How far (metres) the declared position is moved from the true one.
+    """
+
+    displacement: float = 400.0
+
+    def __post_init__(self) -> None:
+        check_positive("displacement", self.displacement)
+
+    def apply(
+        self,
+        beacons: BeaconInfrastructure,
+        compromised: Sequence[int],
+        rng=None,
+        *,
+        region: Optional[Region] = None,
+    ) -> BeaconInfrastructure:
+        """Return a copy of *beacons* where *compromised* anchors lie.
+
+        Each compromised beacon's declared position is displaced by
+        ``displacement`` metres in a random direction (kept inside *region*
+        when provided).
+        """
+        generator = as_generator(rng)
+        tampered = BeaconInfrastructure(
+            positions=beacons.positions.copy(),
+            transmit_range=beacons.transmit_range,
+            declared_positions=beacons.declared_positions.copy(),
+            compromised=beacons.compromised.copy(),
+        )
+        for beacon in compromised:
+            beacon = int(beacon)
+            false_position = random_point_at_distance(
+                generator,
+                beacons.positions[beacon],
+                self.displacement,
+                region=region,
+            )
+            tampered.declare_false_position(beacon, false_position)
+        return tampered
+
+
+def replay_beacon_attack(
+    beacons: BeaconInfrastructure,
+    replayed_beacon: int,
+    replay_location,
+) -> BeaconInfrastructure:
+    """Replay a remote beacon's announcement near a victim.
+
+    The adversary records beacon *replayed_beacon*'s (authentic) message in
+    its original area and re-transmits it at *replay_location*.  The message
+    content — the declared position — is unchanged, but it now appears
+    audible from the replay location, which is modelled by adding a phantom
+    beacon whose true position is the replay location and whose declared
+    position is the replayed beacon's.
+
+    No beacon needs to be compromised for this attack; it defeats schemes
+    that trust message authenticity alone.
+    """
+    replay_location = as_point(replay_location)
+    positions = np.vstack([beacons.positions, replay_location[None, :]])
+    declared = np.vstack(
+        [beacons.declared_positions, beacons.declared_positions[int(replayed_beacon)][None, :]]
+    )
+    compromised = np.concatenate([beacons.compromised, [True]])
+    return BeaconInfrastructure(
+        positions=positions,
+        transmit_range=beacons.transmit_range,
+        declared_positions=declared,
+        compromised=compromised,
+    )

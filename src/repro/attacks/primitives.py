@@ -1,0 +1,218 @@
+"""Concrete attack primitives (paper Section 6, Figure 3).
+
+Each primitive manipulates either the victim's received announcements or
+the network itself:
+
+* :class:`SilenceAttack` — a compromised node keeps quiet, removing one
+  count from its own group;
+* :class:`ImpersonationAttack` — a compromised node claims membership of a
+  different group, moving one count between groups;
+* :class:`MultiImpersonationAttack` — without pairwise authentication a
+  compromised node floods many claims, adding arbitrary counts to arbitrary
+  groups;
+* :class:`RangeChangeAttack` — the compromised node's effective range grows
+  (higher transmit power, wormhole tunnelling, or physical relocation), so a
+  victim outside its honest range now counts it.
+
+These primitives operate at observation granularity (and, where it makes
+sense, on the message-level :class:`~repro.network.messages.BroadcastLog`),
+and they compose; the closed-form constraint classes in
+:mod:`repro.attacks.constraints` describe what any composition can achieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackBudget, ObservationAttack
+from repro.network.messages import BroadcastLog, GroupAnnouncement
+from repro.network.network import SensorNetwork
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_int, check_positive
+
+__all__ = [
+    "SilenceAttack",
+    "ImpersonationAttack",
+    "MultiImpersonationAttack",
+    "RangeChangeAttack",
+]
+
+
+@dataclass
+class SilenceAttack(ObservationAttack):
+    """Compromised neighbours stay silent during the announcement round.
+
+    Each silenced node removes one count from *its own* group; up to
+    ``budget.compromised_nodes`` counts can be removed in total.  The groups
+    to silence are chosen uniformly at random among groups the victim
+    actually heard (an adversary cannot silence a node that is not there).
+    """
+
+    name = "silence"
+
+    def apply(self, honest_observation, budget, rng=None, **context):
+        rng = as_generator(rng)
+        o = np.asarray(honest_observation, dtype=np.float64).copy()
+        remaining = int(budget)
+        for _ in range(remaining):
+            candidates = np.flatnonzero(o >= 1.0)
+            if candidates.size == 0:
+                break
+            group = int(rng.choice(candidates))
+            o[group] -= 1.0
+        return o
+
+    @staticmethod
+    def silence_log(log: BroadcastLog, nodes: Iterable[int]) -> BroadcastLog:
+        """Message-level form: drop every announcement sent by *nodes*."""
+        silenced = set(int(n) for n in nodes)
+        return BroadcastLog(
+            receiver=log.receiver,
+            messages=[m for m in log.messages if m.sender not in silenced],
+        )
+
+
+@dataclass
+class ImpersonationAttack(ObservationAttack):
+    """Compromised neighbours lie about their group membership.
+
+    Each compromised node moves one count from its own group to a claimed
+    group.  The claimed groups default to uniformly random choices but can
+    be fixed via ``target_group``.
+    """
+
+    target_group: Optional[int] = None
+    name = "impersonation"
+
+    def apply(self, honest_observation, budget, rng=None, **context):
+        rng = as_generator(rng)
+        o = np.asarray(honest_observation, dtype=np.float64).copy()
+        n_groups = o.size
+        remaining = int(budget)
+        for _ in range(remaining):
+            dst = (
+                int(self.target_group)
+                if self.target_group is not None
+                else int(rng.integers(0, n_groups))
+            )
+            # A rational impersonator lies about a *different* group, so the
+            # destination is excluded from the source candidates when other
+            # sources remain.
+            sources = np.flatnonzero(o >= 1.0)
+            non_dst = sources[sources != dst]
+            if non_dst.size > 0:
+                sources = non_dst
+            if sources.size == 0:
+                break
+            src = int(rng.choice(sources))
+            o[src] -= 1.0
+            o[dst] += 1.0
+        return o
+
+    @staticmethod
+    def impersonate_log(
+        log: BroadcastLog, node: int, claimed_group: int
+    ) -> BroadcastLog:
+        """Message-level form: rewrite the group claimed by *node*."""
+        messages = []
+        for m in log.messages:
+            if m.sender == int(node):
+                messages.append(
+                    GroupAnnouncement(
+                        sender=m.sender,
+                        claimed_group=int(claimed_group),
+                        authenticated=m.authenticated,
+                    )
+                )
+            else:
+                messages.append(m)
+        return BroadcastLog(receiver=log.receiver, messages=messages)
+
+
+@dataclass
+class MultiImpersonationAttack(ObservationAttack):
+    """Flood forged announcements claiming membership of many groups.
+
+    Without pairwise authentication a single compromised node can send an
+    arbitrary number of messages appearing to come from any group, so the
+    per-group counts it adds are unbounded.  ``claims_per_node`` controls
+    the forged volume per compromised node; ``target_groups`` optionally
+    restricts which groups receive forged counts.
+    """
+
+    claims_per_node: int = 10
+    target_groups: Optional[Sequence[int]] = None
+    name = "multi_impersonation"
+
+    def __post_init__(self) -> None:
+        check_int("claims_per_node", self.claims_per_node, minimum=1)
+
+    def apply(self, honest_observation, budget, rng=None, **context):
+        rng = as_generator(rng)
+        o = np.asarray(honest_observation, dtype=np.float64).copy()
+        n_groups = o.size
+        groups = (
+            np.asarray(self.target_groups, dtype=np.int64)
+            if self.target_groups is not None
+            else np.arange(n_groups)
+        )
+        total_claims = int(budget) * self.claims_per_node
+        if total_claims > 0 and groups.size > 0:
+            chosen = rng.choice(groups, size=total_claims, replace=True)
+            o += np.bincount(chosen, minlength=n_groups)
+        return o
+
+    @staticmethod
+    def forge_log(
+        log: BroadcastLog, claims: Sequence[int]
+    ) -> BroadcastLog:
+        """Message-level form: inject unauthenticated forged announcements."""
+        forged = [
+            GroupAnnouncement(sender=-1, claimed_group=int(g), authenticated=False)
+            for g in claims
+        ]
+        return BroadcastLog(receiver=log.receiver, messages=list(log.messages) + forged)
+
+
+@dataclass
+class RangeChangeAttack(ObservationAttack):
+    """Enlarge compromised nodes' effective range so distant victims hear them.
+
+    At observation granularity the effect is additional counts on the
+    compromised nodes' groups (one per compromised node brought into range).
+    The :meth:`apply_to_network` form mutates the network's per-node ranges,
+    which the :class:`~repro.network.neighbors.NeighborIndex` honours; that
+    path also models wormhole tunnelling and physical relocation.
+    """
+
+    range_multiplier: float = 2.0
+    name = "range_change"
+
+    def __post_init__(self) -> None:
+        check_positive("range_multiplier", self.range_multiplier)
+        if self.range_multiplier < 1.0:
+            raise ValueError("range_multiplier must be >= 1")
+
+    def apply(self, honest_observation, budget, rng=None, **context):
+        rng = as_generator(rng)
+        o = np.asarray(honest_observation, dtype=np.float64).copy()
+        n_groups = o.size
+        remaining = int(budget)
+        if remaining > 0:
+            groups = rng.integers(0, n_groups, size=remaining)
+            o += np.bincount(groups, minlength=n_groups)
+        return o
+
+    def apply_to_network(
+        self, network: SensorNetwork, compromised_nodes: Iterable[int]
+    ) -> SensorNetwork:
+        """Return a copy of *network* with the compromised ranges enlarged."""
+        tampered = network.copy()
+        nominal = network.radio.nominal_range
+        for node in compromised_nodes:
+            tampered.set_node_range(int(node), nominal * self.range_multiplier)
+            tampered.mark_compromised([int(node)])
+        return tampered

@@ -1,0 +1,109 @@
+"""Wormhole attacks (Hu, Perrig, Johnson) as a range-change mechanism.
+
+A wormhole records packets at one end, tunnels them out of band, and replays
+them at the other end.  In the context of LAD (paper Section 6) the effect
+is that announcements from nodes around the wormhole's *source* end become
+audible around its *sink* end, inflating the victim's observation of the
+source-side groups — i.e. a range-change attack that does not require
+compromising the tunnelled nodes.
+
+:class:`WormholeAttack` operates on the message-level broadcast simulation:
+it collects the announcements audible at the source end and injects them
+into the logs of receivers near the sink end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.network.messages import BroadcastLog, GroupAnnouncement
+from repro.network.neighbors import NeighborIndex
+from repro.network.network import SensorNetwork
+from repro.types import as_point
+from repro.utils.validation import check_positive
+
+__all__ = ["WormholeAttack"]
+
+
+@dataclass
+class WormholeAttack:
+    """Tunnel announcements from *source_end* to *sink_end*.
+
+    Parameters
+    ----------
+    source_end, sink_end:
+        Coordinates of the two wormhole endpoints.
+    pickup_radius:
+        Radius (metres) around the source end within which announcements are
+        recorded.  Defaults to the network's nominal radio range when
+        ``None``.
+    authenticated_passthrough:
+        Whether the tunnelled messages still verify authentication at the
+        receiver.  Replayed authentic messages do verify (the wormhole does
+        not modify them), which is why wormhole *detection* — not plain
+        authentication — is required to rule this channel out (Section 6.2).
+    """
+
+    source_end: np.ndarray
+    sink_end: np.ndarray
+    pickup_radius: Optional[float] = None
+    authenticated_passthrough: bool = True
+
+    def __post_init__(self) -> None:
+        self.source_end = as_point(self.source_end)
+        self.sink_end = as_point(self.sink_end)
+        if self.pickup_radius is not None:
+            check_positive("pickup_radius", self.pickup_radius)
+
+    def tunneled_announcements(
+        self, network: SensorNetwork, index: Optional[NeighborIndex] = None
+    ) -> list[GroupAnnouncement]:
+        """Announcements recorded at the source end of the wormhole."""
+        idx = index or NeighborIndex(network)
+        radius = self.pickup_radius or network.radio.nominal_range
+        picked_up = idx.neighbors_of_point(self.source_end)
+        positions = network.positions[picked_up]
+        diff = positions - self.source_end
+        within = np.hypot(diff[:, 0], diff[:, 1]) <= radius
+        senders = picked_up[within]
+        return [
+            GroupAnnouncement(
+                sender=int(s),
+                claimed_group=int(network.group_ids[s]),
+                authenticated=self.authenticated_passthrough,
+            )
+            for s in senders
+        ]
+
+    def inject(
+        self,
+        network: SensorNetwork,
+        logs: Dict[int, BroadcastLog],
+        *,
+        index: Optional[NeighborIndex] = None,
+        delivery_radius: Optional[float] = None,
+    ) -> Dict[int, BroadcastLog]:
+        """Deliver the tunnelled announcements to receivers near the sink end.
+
+        Returns a new mapping; the input *logs* are not modified.
+        """
+        idx = index or NeighborIndex(network)
+        radius = delivery_radius or network.radio.nominal_range
+        tunnelled = self.tunneled_announcements(network, idx)
+
+        out: Dict[int, BroadcastLog] = {}
+        for receiver, log in logs.items():
+            new_log = BroadcastLog(receiver=receiver, messages=list(log.messages))
+            pos = network.positions[receiver]
+            if float(np.hypot(*(pos - self.sink_end))) <= radius:
+                # A receiver does not count its own tunnelled announcement.
+                new_log.extend(m for m in tunnelled if m.sender != receiver)
+            out[receiver] = new_log
+        return out
+
+    def tunnel_length(self) -> float:
+        """Distance between the two wormhole endpoints."""
+        return float(np.hypot(*(self.source_end - self.sink_end)))

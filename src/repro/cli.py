@@ -1,0 +1,157 @@
+"""Command-line interface.
+
+``lad-repro`` (or ``python -m repro.cli``) exposes the figure-reproduction
+harness and a small end-to-end demo from the command line::
+
+    lad-repro figure fig7 --scale 0.25 --json results/fig7.json
+    lad-repro demo --degree 120 --metric diff
+    lad-repro gz-table --radio-range 100 --sigma 50
+
+No plotting dependency is required: figures are printed as aligned text
+tables (the same series the paper plots).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro._version import __version__
+from repro.utils.logging import configure_logging
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="lad-repro",
+        description=(
+            "Reproduction of 'LAD: Localization Anomaly Detection for "
+            "Wireless Sensor Networks' (Du, Fang, Ning, 2005)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="enable progress logging to stderr"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="reproduce one of the paper's figures")
+    fig.add_argument("figure_id", choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"])
+    fig.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="Monte-Carlo sample-size scale factor (use <1 for quick runs)",
+    )
+    fig.add_argument("--group-size", type=int, default=300, help="sensors per group m")
+    fig.add_argument("--radio-range", type=float, default=100.0, help="radio range R (m)")
+    fig.add_argument("--seed", type=int, default=20050404, help="master random seed")
+    fig.add_argument("--json", type=Path, default=None, help="write the series as JSON")
+    fig.add_argument("--csv", type=Path, default=None, help="write the series as CSV")
+
+    demo = sub.add_parser("demo", help="run a small end-to-end detection demo")
+    demo.add_argument("--degree", type=float, default=120.0, help="degree of damage D (m)")
+    demo.add_argument("--metric", default="diff", help="detection metric")
+    demo.add_argument("--attack", default="dec_bounded", help="attack class")
+    demo.add_argument("--fraction", type=float, default=0.10, help="compromised fraction x")
+    demo.add_argument("--group-size", type=int, default=300, help="sensors per group m")
+    demo.add_argument("--victims", type=int, default=200, help="number of attacked victims")
+    demo.add_argument("--seed", type=int, default=7, help="random seed")
+
+    gz = sub.add_parser("gz-table", help="print the g(z) lookup table accuracy")
+    gz.add_argument("--radio-range", type=float, default=100.0)
+    gz.add_argument("--sigma", type=float, default=50.0)
+    gz.add_argument("--omega", type=int, default=1000)
+
+    return parser
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.figures import run_figure
+    from repro.experiments.reporting import format_figure
+
+    config = SimulationConfig(
+        group_size=args.group_size, radio_range=args.radio_range, seed=args.seed
+    )
+    result = run_figure(args.figure_id, config=config, scale=args.scale)
+    print(format_figure(result))
+    if args.json is not None:
+        result.to_json(args.json)
+        print(f"\n[written] {args.json}")
+    if args.csv is not None:
+        result.to_csv(args.csv)
+        print(f"[written] {args.csv}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.evaluation import evaluate_detection
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.harness import LadSimulation
+
+    config = SimulationConfig(
+        group_size=args.group_size,
+        num_training_samples=max(100, args.victims),
+        num_victims=args.victims,
+        seed=args.seed,
+    )
+    sim = LadSimulation(config)
+    benign = sim.benign_scores(args.metric)
+    attacked = sim.attacked_scores(
+        args.metric,
+        args.attack,
+        degree_of_damage=args.degree,
+        compromised_fraction=args.fraction,
+    )
+    outcome = evaluate_detection(benign, attacked, false_positive_rate=0.01)
+    print(f"metric={args.metric}  attack={args.attack}  D={args.degree:g}  x={args.fraction:.0%}")
+    print(f"benign localization error (mean): {sim.benign_localization_error():.2f} m")
+    print(f"benign score p50/p99: {np.median(benign):.2f} / {np.quantile(benign, 0.99):.2f}")
+    print(f"attacked score p50:   {np.median(attacked):.2f}")
+    print(f"detection rate @ 1% FP: {outcome.detection_rate:.3f} (threshold {outcome.threshold:.2f})")
+    print(f"ROC AUC: {outcome.roc.auc():.4f}")
+    return 0
+
+
+def _cmd_gz_table(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.deployment.gz import GzTable, gz_exact
+
+    table = GzTable(args.radio_range, args.sigma, omega=args.omega)
+    zs = np.linspace(0.0, args.radio_range + 4 * args.sigma, 9)
+    print(f"g(z) table: R={args.radio_range:g}, sigma={args.sigma:g}, omega={args.omega}")
+    print(f"{'z':>10} {'g(z) exact':>12} {'g(z) table':>12}")
+    for z in zs:
+        print(f"{z:10.1f} {gz_exact(z, args.radio_range, args.sigma):12.6f} {float(table(z)):12.6f}")
+    print(f"max abs table error (sampled): {table.max_abs_error(400):.2e}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.verbose:
+        configure_logging()
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "demo":
+        return _cmd_demo(args)
+    if args.command == "gz-table":
+        return _cmd_gz_table(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

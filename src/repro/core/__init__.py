@@ -1,0 +1,63 @@
+"""The LAD detection scheme — the paper's primary contribution (Section 5).
+
+The pipeline is:
+
+1. compute the expected observation ``µ`` at the estimated location
+   (:mod:`repro.core.expected`);
+2. score the inconsistency between the actual observation ``o`` and ``µ``
+   with one of the three metrics (:mod:`repro.core.metrics`);
+3. compare the score against a threshold trained on benign deployments
+   (:mod:`repro.core.training`, :mod:`repro.core.thresholds`);
+4. raise an alarm when the score exceeds the threshold
+   (:mod:`repro.core.detector`).
+
+:mod:`repro.core.roc` and :mod:`repro.core.evaluation` provide the
+evaluation machinery (ROC curves, detection rate / false-positive rate under
+the attack models of Section 6) used by the figure-reproduction benchmarks.
+"""
+
+from repro.core.expected import expected_observation, membership_probabilities
+from repro.core.metrics import (
+    AnomalyMetric,
+    DiffMetric,
+    AddAllMetric,
+    ProbabilityMetric,
+    get_metric,
+    ALL_METRICS,
+)
+from repro.core.thresholds import derive_threshold, ThresholdTable
+from repro.core.training import TrainingData, collect_training_data, benign_scores
+from repro.core.detector import LADDetector, DetectionReport
+from repro.core.roc import RocCurve, compute_roc
+from repro.core.evaluation import (
+    attacked_scores_from_observations,
+    attacked_scores_for_victims,
+    detection_rate_at_false_positive,
+    evaluate_detection,
+    DetectionOutcome,
+)
+
+__all__ = [
+    "expected_observation",
+    "membership_probabilities",
+    "AnomalyMetric",
+    "DiffMetric",
+    "AddAllMetric",
+    "ProbabilityMetric",
+    "get_metric",
+    "ALL_METRICS",
+    "derive_threshold",
+    "ThresholdTable",
+    "TrainingData",
+    "collect_training_data",
+    "benign_scores",
+    "LADDetector",
+    "DetectionReport",
+    "RocCurve",
+    "compute_roc",
+    "attacked_scores_from_observations",
+    "attacked_scores_for_victims",
+    "detection_rate_at_false_positive",
+    "evaluate_detection",
+    "DetectionOutcome",
+]

@@ -1,0 +1,230 @@
+"""Detection-rate / false-positive evaluation under attack (Section 7.1).
+
+This module implements the paper's evaluation procedure as reusable
+building blocks:
+
+1. pick victim nodes from a deployed network and record their honest
+   observations ``a`` and actual locations ``L_a``;
+2. simulate a localization attack of degree ``D`` by drawing the spoofed
+   estimated location ``L_e`` uniformly at distance ``D`` from ``L_a``;
+3. taint each victim's observation with the greedy adversary (given the
+   attack class, the detection metric under evaluation, and the fraction
+   ``x`` of compromised neighbours);
+4. score the tainted ``(L_e, o)`` pairs with the detection metric.
+
+The resulting attacked scores, combined with benign scores from
+:mod:`repro.core.training`, yield ROC curves and detection rates at a fixed
+false-positive budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.metrics import AnomalyMetric, get_metric
+from repro.core.roc import RocCurve, compute_roc
+from repro.deployment.knowledge import DeploymentKnowledge
+from repro.network.neighbors import NeighborIndex
+from repro.network.network import SensorNetwork
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction, check_int, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - imported for type checkers only
+    from repro.attacks.constraints import AttackClass
+
+__all__ = [
+    "DetectionOutcome",
+    "attacked_scores_from_observations",
+    "attacked_scores_for_victims",
+    "detection_rate_at_false_positive",
+    "evaluate_detection",
+]
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """Summary of one evaluation run.
+
+    Attributes
+    ----------
+    roc:
+        The full ROC curve over the benign and attacked score samples.
+    benign_scores, attacked_scores:
+        The underlying score samples.
+    detection_rate:
+        Detection rate at the requested false-positive budget.
+    false_positive_rate:
+        The false-positive budget the detection rate was read at.
+    threshold:
+        The threshold realising that operating point.
+    """
+
+    roc: RocCurve
+    benign_scores: np.ndarray
+    attacked_scores: np.ndarray
+    detection_rate: float
+    false_positive_rate: float
+    threshold: float
+
+
+def attacked_scores_from_observations(
+    knowledge: DeploymentKnowledge,
+    honest_observations: np.ndarray,
+    actual_locations: np.ndarray,
+    *,
+    metric: Union[str, AnomalyMetric],
+    attack_class: Union[str, "AttackClass"] = "dec_bounded",
+    degree_of_damage: float = 120.0,
+    compromised_fraction: float = 0.10,
+    rng=None,
+) -> np.ndarray:
+    """Attacked anomaly scores from pre-computed honest observations.
+
+    This is the inner loop of the evaluation procedure; it is split out so
+    that parameter sweeps (many degrees of damage, many compromise levels)
+    can reuse the same honest observations instead of re-running neighbour
+    discovery for every parameter combination.
+
+    Parameters
+    ----------
+    knowledge:
+        Deployment knowledge shared by the victims.
+    honest_observations:
+        Honest observation vectors ``a``, shape ``(k, n_groups)``.
+    actual_locations:
+        The victims' actual locations ``L_a``, shape ``(k, 2)``.
+    metric, attack_class, degree_of_damage, compromised_fraction, rng:
+        As in :func:`attacked_scores_for_victims`.
+    """
+    from repro.attacks.base import AttackBudget
+    from repro.attacks.constraints import get_attack_class
+    from repro.attacks.greedy import GreedyMetricMinimizer
+    from repro.attacks.localization_attacks import DisplacementAttack
+
+    metric = get_metric(metric)
+    attack_class = get_attack_class(attack_class)
+    check_positive("degree_of_damage", degree_of_damage, strict=False)
+    check_fraction("compromised_fraction", compromised_fraction)
+    generator = as_generator(rng)
+
+    honest = np.asarray(honest_observations, dtype=np.float64)
+    actual = np.asarray(actual_locations, dtype=np.float64)
+    if honest.ndim != 2 or actual.shape != (honest.shape[0], 2):
+        raise ValueError("honest_observations and actual_locations shapes disagree")
+
+    displacement = DisplacementAttack(degree_of_damage)
+    spoofed = displacement.spoof_locations(
+        actual, generator, region=knowledge.region
+    )
+    expected = knowledge.expected_observation(spoofed)
+    adversary = GreedyMetricMinimizer(metric=metric, attack_class=attack_class)
+    budgets = [
+        AttackBudget.from_fraction(int(round(count)), compromised_fraction)
+        for count in honest.sum(axis=1)
+    ]
+    tainted = adversary.taint_batch(
+        honest, expected, budgets, group_size=knowledge.group_size
+    )
+    scores = metric.compute(tainted, expected, group_size=knowledge.group_size)
+    return np.asarray(scores, dtype=np.float64)
+
+
+def attacked_scores_for_victims(
+    network: SensorNetwork,
+    knowledge: DeploymentKnowledge,
+    victims: Sequence[int],
+    *,
+    metric: Union[str, AnomalyMetric],
+    attack_class: Union[str, AttackClass] = "dec_bounded",
+    degree_of_damage: float = 120.0,
+    compromised_fraction: float = 0.10,
+    index: Optional[NeighborIndex] = None,
+    rng=None,
+) -> np.ndarray:
+    """Anomaly scores of attacked victims (Section 7.1 procedure).
+
+    Parameters
+    ----------
+    network:
+        A deployed sensor network.
+    knowledge:
+        The matching deployment knowledge.
+    victims:
+        Node indices to attack.
+    metric:
+        The detection metric under evaluation (the greedy adversary
+        minimises this same metric — the worst case for the defender).
+    attack_class:
+        ``"dec_bounded"`` (default, the stronger adversary) or
+        ``"dec_only"``.
+    degree_of_damage:
+        The attack's targeted localization error ``D`` in metres.
+    compromised_fraction:
+        Fraction ``x`` of each victim's neighbours under adversary control.
+    index:
+        Optional pre-built neighbour index for *network*.
+    rng:
+        Seed or generator.
+    """
+    idx = index or NeighborIndex(network)
+    victims = np.asarray(victims, dtype=np.int64)
+    honest = idx.observations_of_nodes(victims)
+    actual = network.positions[victims]
+    return attacked_scores_from_observations(
+        knowledge,
+        honest,
+        actual,
+        metric=metric,
+        attack_class=attack_class,
+        degree_of_damage=degree_of_damage,
+        compromised_fraction=compromised_fraction,
+        rng=rng,
+    )
+
+
+def detection_rate_at_false_positive(
+    benign_scores: np.ndarray,
+    attacked_scores: np.ndarray,
+    false_positive_rate: float = 0.01,
+) -> tuple[float, float]:
+    """Detection rate (and the threshold used) at a false-positive budget.
+
+    The threshold is set to the tightest value whose benign false-positive
+    rate does not exceed the budget — exactly the ``τ``-percentile training
+    rule of Section 5.5 applied to the benign sample.
+    """
+    check_fraction("false_positive_rate", false_positive_rate)
+    benign_scores = np.asarray(benign_scores, dtype=np.float64)
+    attacked_scores = np.asarray(attacked_scores, dtype=np.float64)
+    from repro.core.thresholds import derive_threshold
+
+    threshold = derive_threshold(benign_scores, 1.0 - false_positive_rate)
+    detection_rate = float(np.mean(attacked_scores > threshold))
+    return detection_rate, threshold
+
+
+def evaluate_detection(
+    benign_scores: np.ndarray,
+    attacked_scores: np.ndarray,
+    *,
+    false_positive_rate: float = 0.01,
+    num_thresholds: Optional[int] = None,
+) -> DetectionOutcome:
+    """Bundle the ROC curve and a fixed-FP operating point into one outcome."""
+    benign_scores = np.asarray(benign_scores, dtype=np.float64)
+    attacked_scores = np.asarray(attacked_scores, dtype=np.float64)
+    roc = compute_roc(benign_scores, attacked_scores, num_thresholds=num_thresholds)
+    detection_rate, threshold = detection_rate_at_false_positive(
+        benign_scores, attacked_scores, false_positive_rate
+    )
+    return DetectionOutcome(
+        roc=roc,
+        benign_scores=benign_scores,
+        attacked_scores=attacked_scores,
+        detection_rate=detection_rate,
+        false_positive_rate=false_positive_rate,
+        threshold=threshold,
+    )

@@ -1,0 +1,31 @@
+"""Expected observations at a claimed location (paper Eq. (2)).
+
+Thin functional wrappers around
+:class:`~repro.deployment.knowledge.DeploymentKnowledge` so that detection
+code can be written against plain arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deployment.knowledge import DeploymentKnowledge
+
+__all__ = ["membership_probabilities", "expected_observation"]
+
+
+def membership_probabilities(
+    knowledge: DeploymentKnowledge, locations
+) -> np.ndarray:
+    """``g_i(θ)`` for every location and group, shape ``(k, n_groups)``."""
+    return knowledge.membership_probabilities(locations)
+
+
+def expected_observation(knowledge: DeploymentKnowledge, locations) -> np.ndarray:
+    """Expected observation ``µ_i = m · g_i(θ)``, shape ``(k, n_groups)``.
+
+    This is Equation (2) of the paper: if the sensor truly sat at ``θ`` and
+    no adversary interfered, it would expect to see ``µ_i`` neighbours from
+    deployment group ``i``.
+    """
+    return knowledge.expected_observation(locations)

@@ -1,0 +1,96 @@
+"""Receiver Operating Characteristic curves for the detection metrics.
+
+The paper reports ROC curves (detection rate against false-positive rate,
+obtained by sweeping the detection threshold) for different metrics, attack
+classes and degrees of damage (Figures 4–6).  :class:`RocCurve` packages the
+swept curve and provides the two read-outs the figures use: the detection
+rate achievable at a given false-positive budget, and the area under the
+curve as a scalar summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.stats import roc_points
+
+__all__ = ["RocCurve", "compute_roc"]
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """An ROC curve produced by sweeping the detection threshold.
+
+    Attributes
+    ----------
+    thresholds:
+        The swept threshold values.
+    false_positive_rates:
+        False-positive rate (benign samples flagged) per threshold.
+    detection_rates:
+        Detection rate (attacked samples flagged) per threshold.
+    """
+
+    thresholds: np.ndarray
+    false_positive_rates: np.ndarray
+    detection_rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.thresholds)
+            == len(self.false_positive_rates)
+            == len(self.detection_rates)
+        ):
+            raise ValueError("ROC arrays must have equal lengths")
+
+    def detection_rate_at(self, false_positive_rate: float) -> float:
+        """Largest detection rate achievable with FP ≤ *false_positive_rate*.
+
+        This is how the fixed-FP figures (7–9) read a detection rate off the
+        benign/attacked score distributions: the threshold is tightened as
+        far as the false-positive budget allows.
+        """
+        if not 0.0 <= false_positive_rate <= 1.0:
+            raise ValueError("false_positive_rate must lie in [0, 1]")
+        mask = self.false_positive_rates <= false_positive_rate + 1e-12
+        if not np.any(mask):
+            return 0.0
+        return float(np.max(self.detection_rates[mask]))
+
+    def auc(self) -> float:
+        """Area under the ROC curve (trapezoidal rule)."""
+        order = np.argsort(self.false_positive_rates, kind="stable")
+        fp = np.concatenate([[0.0], self.false_positive_rates[order], [1.0]])
+        dr = np.concatenate(
+            [[self.detection_rates[order][0]], self.detection_rates[order], [1.0]]
+        )
+        return float(np.trapezoid(dr, fp))
+
+    def as_series(self) -> dict:
+        """Plain-dict view (lists) for serialisation and reporting."""
+        return {
+            "false_positive_rates": self.false_positive_rates.tolist(),
+            "detection_rates": self.detection_rates.tolist(),
+            "thresholds": self.thresholds.tolist(),
+        }
+
+    def __len__(self) -> int:
+        return int(len(self.thresholds))
+
+
+def compute_roc(
+    benign_scores: np.ndarray,
+    attacked_scores: np.ndarray,
+    *,
+    num_thresholds: Optional[int] = None,
+) -> RocCurve:
+    """Build an :class:`RocCurve` from benign and attacked score samples."""
+    thresholds, fp, dr = roc_points(
+        benign_scores, attacked_scores, num_thresholds=num_thresholds
+    )
+    return RocCurve(
+        thresholds=thresholds, false_positive_rates=fp, detection_rates=dr
+    )

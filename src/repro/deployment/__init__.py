@@ -1,0 +1,53 @@
+"""Deployment-knowledge modelling (paper Section 3).
+
+The deployment substrate provides:
+
+* resident-point distributions (:mod:`repro.deployment.distributions`) —
+  the two-dimensional Gaussian of Section 3.2 plus alternatives;
+* group-based deployment models (:mod:`repro.deployment.models`) — the grid
+  layout of Figure 1 plus hexagonal and random layouts;
+* the ``g(z)`` neighbourhood probability of Theorem 1
+  (:mod:`repro.deployment.gz`), both as exact quadrature and as the
+  constant-time table-lookup approximation of Section 3.3;
+* :class:`repro.deployment.knowledge.DeploymentKnowledge`, the bundle of
+  deployment information each sensor carries and that both the beaconless
+  localization scheme and the LAD detector consume.
+"""
+
+from repro.deployment.distributions import (
+    ResidentPointDistribution,
+    GaussianResidentDistribution,
+    UniformDiskResidentDistribution,
+)
+from repro.deployment.models import (
+    DeploymentModel,
+    GridDeploymentModel,
+    HexDeploymentModel,
+    RandomDeploymentModel,
+    paper_deployment_model,
+)
+from repro.deployment.gz import (
+    gz_exact,
+    gz_quadrature,
+    gz_polar_integration,
+    gz_monte_carlo,
+    GzTable,
+)
+from repro.deployment.knowledge import DeploymentKnowledge
+
+__all__ = [
+    "ResidentPointDistribution",
+    "GaussianResidentDistribution",
+    "UniformDiskResidentDistribution",
+    "DeploymentModel",
+    "GridDeploymentModel",
+    "HexDeploymentModel",
+    "RandomDeploymentModel",
+    "paper_deployment_model",
+    "gz_exact",
+    "gz_quadrature",
+    "gz_polar_integration",
+    "gz_monte_carlo",
+    "GzTable",
+    "DeploymentKnowledge",
+]

@@ -1,0 +1,149 @@
+"""Resident-point distributions (paper Section 3.2).
+
+A *resident-point distribution* describes where a sensor from a deployment
+group finally lands relative to the group's deployment point.  The paper
+models it as an isotropic two-dimensional Gaussian with standard deviation
+``σ`` (50 m in all experiments); the methodology extends to any radially
+symmetric distribution, so a uniform-disk alternative is provided as well
+and every consumer of the distribution goes through the abstract interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.types import as_point, as_points
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "ResidentPointDistribution",
+    "GaussianResidentDistribution",
+    "UniformDiskResidentDistribution",
+]
+
+
+class ResidentPointDistribution(abc.ABC):
+    """Radially symmetric distribution of a sensor's landing offset.
+
+    The distribution is always centred at the origin; callers add the
+    deployment-point coordinates themselves (the paper's
+    ``f_i(x, y) = f(x − x_i, y − y_i)``).
+    """
+
+    @abc.abstractmethod
+    def sample_offsets(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw *size* landing offsets, shape ``(size, 2)``."""
+
+    @abc.abstractmethod
+    def pdf(self, offsets) -> np.ndarray:
+        """Probability density at each offset (shape ``(k, 2)`` -> ``(k,)``)."""
+
+    @abc.abstractmethod
+    def radial_cdf(self, r) -> np.ndarray:
+        """Probability that the landing distance is at most *r* (vectorised)."""
+
+    @abc.abstractmethod
+    def effective_radius(self, coverage: float = 0.999) -> float:
+        """Radius containing *coverage* of the probability mass.
+
+        Used to size lookup tables and search windows.
+        """
+
+    # -- concrete helpers --------------------------------------------------
+
+    def sample(self, rng: np.random.Generator, center, size: int) -> np.ndarray:
+        """Draw *size* resident points around *center*."""
+        c = as_point(center)
+        return c[None, :] + self.sample_offsets(rng, size)
+
+    def pdf_at(self, points, center) -> np.ndarray:
+        """Density of resident points (absolute coordinates) for *center*."""
+        pts = as_points(points)
+        c = as_point(center)
+        return self.pdf(pts - c[None, :])
+
+
+class GaussianResidentDistribution(ResidentPointDistribution):
+    """Isotropic two-dimensional Gaussian landing distribution (Section 3.2).
+
+    The pdf is ``f(x, y) = (1 / 2πσ²) · exp(−(x² + y²) / 2σ²)`` and the
+    landing *distance* therefore follows a Rayleigh distribution with scale
+    ``σ``.
+    """
+
+    def __init__(self, sigma: float = 50.0):
+        self._sigma = check_positive("sigma", sigma)
+
+    @property
+    def sigma(self) -> float:
+        """Standard deviation of each coordinate (metres)."""
+        return self._sigma
+
+    def sample_offsets(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.normal(0.0, self._sigma, size=(int(size), 2))
+
+    def pdf(self, offsets) -> np.ndarray:
+        pts = as_points(offsets)
+        sq = pts[:, 0] ** 2 + pts[:, 1] ** 2
+        norm = 1.0 / (2.0 * np.pi * self._sigma**2)
+        return norm * np.exp(-sq / (2.0 * self._sigma**2))
+
+    def radial_cdf(self, r) -> np.ndarray:
+        r_arr = np.asarray(r, dtype=np.float64)
+        out = 1.0 - np.exp(-np.clip(r_arr, 0.0, None) ** 2 / (2.0 * self._sigma**2))
+        return np.where(r_arr < 0, 0.0, out)
+
+    def effective_radius(self, coverage: float = 0.999) -> float:
+        if not 0.0 < coverage < 1.0:
+            raise ValueError("coverage must be in (0, 1)")
+        # Invert the Rayleigh CDF.
+        return float(self._sigma * np.sqrt(-2.0 * np.log(1.0 - coverage)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GaussianResidentDistribution(sigma={self._sigma:g})"
+
+
+class UniformDiskResidentDistribution(ResidentPointDistribution):
+    """Uniform landing distribution over a disk of a given radius.
+
+    Provided as an alternative deployment model (the paper notes the
+    methodology applies to other distributions); also useful as a simple
+    bounded-support distribution in tests.
+    """
+
+    def __init__(self, radius: float = 100.0):
+        self._radius = check_positive("radius", radius)
+
+    @property
+    def radius(self) -> float:
+        """Radius of the support disk (metres)."""
+        return self._radius
+
+    def sample_offsets(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        size = int(size)
+        # Inverse-CDF sampling of the radius so the area density is uniform.
+        r = self._radius * np.sqrt(rng.uniform(0.0, 1.0, size=size))
+        theta = rng.uniform(0.0, 2.0 * np.pi, size=size)
+        return np.column_stack([r * np.cos(theta), r * np.sin(theta)])
+
+    def pdf(self, offsets) -> np.ndarray:
+        pts = as_points(offsets)
+        sq = pts[:, 0] ** 2 + pts[:, 1] ** 2
+        density = 1.0 / (np.pi * self._radius**2)
+        return np.where(sq <= self._radius**2, density, 0.0)
+
+    def radial_cdf(self, r) -> np.ndarray:
+        r_arr = np.asarray(r, dtype=np.float64)
+        frac = np.clip(r_arr / self._radius, 0.0, 1.0) ** 2
+        return np.where(r_arr < 0, 0.0, frac)
+
+    def effective_radius(self, coverage: float = 0.999) -> float:
+        if not 0.0 < coverage < 1.0:
+            raise ValueError("coverage must be in (0, 1)")
+        return float(self._radius * np.sqrt(coverage))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformDiskResidentDistribution(radius={self._radius:g})"

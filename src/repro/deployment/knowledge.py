@@ -1,0 +1,173 @@
+"""The deployment knowledge carried by every sensor.
+
+:class:`DeploymentKnowledge` bundles exactly the information the paper
+assumes each sensor stores before deployment:
+
+* the coordinates of every deployment point;
+* the number of sensors deployed per group (``m``);
+* the wireless transmission range ``R``;
+* the pre-computed ``g(z)`` table (Section 3.3).
+
+Both the beaconless localization scheme and the LAD detector consume this
+object, so it is the natural seam between the deployment substrate and the
+rest of the system.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.deployment.gz import GzTable
+from repro.deployment.models import DeploymentModel
+from repro.types import Region, as_points
+from repro.utils.validation import check_int, check_positive
+
+__all__ = ["DeploymentKnowledge"]
+
+
+class DeploymentKnowledge:
+    """Per-sensor deployment knowledge (deployment points, ``m``, ``R``, ``g``).
+
+    Parameters
+    ----------
+    model:
+        The deployment model (grid layout + landing distribution).
+    group_size:
+        Number of sensors per deployment group (``m``).
+    radio_range:
+        Wireless transmission range ``R`` in metres.
+    gz_table:
+        Optional pre-built :class:`~repro.deployment.gz.GzTable`.  When
+        omitted one is constructed from ``radio_range`` and the model's
+        Gaussian ``σ``.
+    omega:
+        Table resolution used when ``gz_table`` is not supplied.
+    """
+
+    def __init__(
+        self,
+        model: DeploymentModel,
+        group_size: int,
+        radio_range: float,
+        *,
+        gz_table: Optional[GzTable] = None,
+        omega: int = 1000,
+    ):
+        self._model = model
+        self._group_size = check_int("group_size", group_size, minimum=1)
+        self._radio_range = check_positive("radio_range", radio_range)
+        if gz_table is None:
+            sigma = getattr(model.distribution, "sigma", None)
+            if sigma is None:
+                raise ValueError(
+                    "a GzTable must be supplied explicitly for non-Gaussian "
+                    "resident-point distributions"
+                )
+            z_max = model.region.diagonal + radio_range
+            gz_table = GzTable(radio_range, sigma, omega=omega, z_max=z_max)
+        self._gz = gz_table
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def model(self) -> DeploymentModel:
+        """The deployment model this knowledge was derived from."""
+        return self._model
+
+    @property
+    def region(self) -> Region:
+        """Deployment region."""
+        return self._model.region
+
+    @property
+    def deployment_points(self) -> np.ndarray:
+        """Deployment-point coordinates, shape ``(n_groups, 2)``."""
+        return self._model.deployment_points
+
+    @property
+    def n_groups(self) -> int:
+        """Number of deployment groups ``n``."""
+        return self._model.n_groups
+
+    @property
+    def group_size(self) -> int:
+        """Number of sensors per group ``m``."""
+        return self._group_size
+
+    @property
+    def radio_range(self) -> float:
+        """Wireless transmission range ``R``."""
+        return self._radio_range
+
+    @property
+    def gz_table(self) -> GzTable:
+        """The ``g(z)`` lookup table."""
+        return self._gz
+
+    # -- core computations -------------------------------------------------
+
+    def membership_probabilities(self, locations) -> np.ndarray:
+        """``g_i(θ)`` for each location ``θ`` and each group ``i``.
+
+        Parameters
+        ----------
+        locations:
+            A single point or an array of shape ``(k, 2)``.
+
+        Returns
+        -------
+        Array of shape ``(k, n_groups)`` where entry ``[j, i]`` is the
+        probability that a given sensor from group ``i`` lands within radio
+        range of ``locations[j]``.
+        """
+        distances = self._model.distances_to_groups(as_points(locations))
+        return np.asarray(self._gz(distances), dtype=np.float64)
+
+    def expected_observation(self, locations) -> np.ndarray:
+        """Expected observation ``µ_i = m · g_i(θ)`` (paper Eq. (2)).
+
+        Returns an array of shape ``(k, n_groups)``.
+        """
+        return self._group_size * self.membership_probabilities(locations)
+
+    def expected_neighbor_count(self, locations) -> np.ndarray:
+        """Total expected number of neighbours at each location, ``Σ_i µ_i``."""
+        return self.expected_observation(locations).sum(axis=1)
+
+    def log_likelihood(self, locations, observation) -> np.ndarray:
+        """Log-likelihood of *observation* if the sensor were at *locations*.
+
+        The observation counts of the ``n`` groups are modelled as
+        independent ``Binomial(m, g_i(θ))`` variables, which is the
+        probabilistic model behind both the beaconless localization scheme
+        and the Probability metric.
+
+        Parameters
+        ----------
+        locations:
+            Candidate locations, shape ``(k, 2)``.
+        observation:
+            A single observation vector of shape ``(n_groups,)``.
+
+        Returns
+        -------
+        Array of shape ``(k,)`` with the total log-likelihood per location.
+        """
+        from repro.utils.stats import binomial_log_pmf
+
+        obs = np.asarray(observation, dtype=np.float64)
+        if obs.shape != (self.n_groups,):
+            raise ValueError(
+                f"observation must have shape ({self.n_groups},), got {obs.shape}"
+            )
+        probs = self.membership_probabilities(locations)
+        log_pmf = binomial_log_pmf(obs[None, :], self._group_size, probs)
+        return log_pmf.sum(axis=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeploymentKnowledge(n_groups={self.n_groups}, m={self._group_size}, "
+            f"R={self._radio_range:g})"
+        )

@@ -1,0 +1,27 @@
+"""Experiment harness that regenerates the paper's evaluation figures.
+
+:class:`~repro.experiments.harness.LadSimulation` runs the end-to-end LAD
+pipeline (deploy → train thresholds → attack → score) with aggressive
+caching so parameter sweeps reuse networks, observations and training data.
+The :mod:`repro.experiments.figures` sub-package contains one module per
+figure of the paper (Figures 4–9), each exposing a ``run()`` function and a
+set of default parameters matching the paper's, scaled down by a
+``scale`` factor for quick benchmark runs.
+"""
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.harness import LadSimulation
+from repro.experiments.results import SeriesResult, PanelResult, FigureResult
+from repro.experiments.reporting import format_figure, format_panel
+from repro.experiments import figures
+
+__all__ = [
+    "SimulationConfig",
+    "LadSimulation",
+    "SeriesResult",
+    "PanelResult",
+    "FigureResult",
+    "format_figure",
+    "format_panel",
+    "figures",
+]

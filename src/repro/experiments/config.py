@@ -1,0 +1,119 @@
+"""Configuration of the LAD evaluation simulations.
+
+The defaults follow the paper's experimental setup (Section 7.1): a
+1000 m x 1000 m region with a 10 x 10 deployment grid, Gaussian landing
+distribution with ``σ`` = 50 m, ``m`` = 300 sensors per group and a unit-disk
+radio.  The sample-size parameters (training samples, victims, number of
+deployed networks) control Monte-Carlo accuracy and are the knobs the
+benchmarks scale down to keep the figure reproduction fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.utils.validation import check_fraction, check_int, check_positive
+
+__all__ = ["SimulationConfig"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs of one LAD evaluation simulation.
+
+    Attributes
+    ----------
+    group_size:
+        Sensors per deployment group (``m``).
+    radio_range:
+        Unit-disk transmission range ``R`` in metres.
+    sigma:
+        Standard deviation of the Gaussian landing distribution.
+    grid_rows, grid_cols:
+        Deployment-grid dimensions (10 x 10 in the paper).
+    region_size:
+        Side length of the square deployment region in metres.
+    num_training_samples:
+        Benign samples used to train detection thresholds.
+    training_samples_per_network:
+        Benign samples drawn from each training deployment.
+    num_victims:
+        Attacked samples per parameter combination.
+    victims_per_network:
+        Victims drawn from each evaluation deployment.
+    localization_resolution:
+        Final grid resolution (metres) of the beaconless MLE search.
+    gz_omega:
+        Number of sub-ranges in the ``g(z)`` lookup table.
+    seed:
+        Master seed; every random stream is derived from it.
+    """
+
+    group_size: int = 300
+    radio_range: float = 100.0
+    sigma: float = 50.0
+    grid_rows: int = 10
+    grid_cols: int = 10
+    region_size: float = 1000.0
+    num_training_samples: int = 400
+    training_samples_per_network: int = 100
+    num_victims: int = 400
+    victims_per_network: int = 200
+    localization_resolution: float = 2.0
+    gz_omega: int = 1000
+    seed: int = 20050404
+
+    def __post_init__(self) -> None:
+        check_int("group_size", self.group_size, minimum=1)
+        check_positive("radio_range", self.radio_range)
+        check_positive("sigma", self.sigma)
+        check_int("grid_rows", self.grid_rows, minimum=1)
+        check_int("grid_cols", self.grid_cols, minimum=1)
+        check_positive("region_size", self.region_size)
+        check_int("num_training_samples", self.num_training_samples, minimum=1)
+        check_int(
+            "training_samples_per_network",
+            self.training_samples_per_network,
+            minimum=1,
+        )
+        check_int("num_victims", self.num_victims, minimum=1)
+        check_int("victims_per_network", self.victims_per_network, minimum=1)
+        check_positive("localization_resolution", self.localization_resolution)
+        check_int("gz_omega", self.gz_omega, minimum=10)
+
+    @property
+    def n_groups(self) -> int:
+        """Total number of deployment groups."""
+        return self.grid_rows * self.grid_cols
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of deployed sensors per network."""
+        return self.n_groups * self.group_size
+
+    def with_group_size(self, group_size: int) -> "SimulationConfig":
+        """A copy of the config with a different network density ``m``."""
+        return replace(self, group_size=int(group_size))
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        """A copy of the config with a different master seed."""
+        return replace(self, seed=int(seed))
+
+    def scaled(self, scale: float) -> "SimulationConfig":
+        """Scale the Monte-Carlo sample sizes by *scale* (for quick runs).
+
+        Only the statistical sample sizes are scaled — the physical
+        parameters (density, range, grid) stay untouched so the simulated
+        system remains the paper's.
+        """
+        check_positive("scale", scale)
+        return replace(
+            self,
+            num_training_samples=max(20, int(round(self.num_training_samples * scale))),
+            training_samples_per_network=max(
+                10, int(round(self.training_samples_per_network * scale))
+            ),
+            num_victims=max(20, int(round(self.num_victims * scale))),
+            victims_per_network=max(10, int(round(self.victims_per_network * scale))),
+        )

@@ -1,0 +1,56 @@
+"""Per-figure experiment definitions.
+
+Each module exposes a ``run(simulation=None, config=None, scale=1.0)``
+function that returns a :class:`~repro.experiments.results.FigureResult`
+with the same panels and series as the corresponding figure in the paper.
+``scale`` shrinks the Monte-Carlo sample sizes for quick runs (the
+benchmarks use a small scale; the defaults approximate the paper's
+statistical quality).
+
+Use :func:`get_figure` / :func:`run_figure` to look figures up by id
+(``"fig4"`` … ``"fig9"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.experiments.figures import fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments.results import FigureResult
+
+__all__ = [
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "FIGURES",
+    "get_figure",
+    "run_figure",
+]
+
+#: Registry mapping figure ids to their ``run`` functions.
+FIGURES: Dict[str, Callable[..., FigureResult]] = {
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+}
+
+
+def get_figure(figure_id: str) -> Callable[..., FigureResult]:
+    """Return the ``run`` function of a figure by id (e.g. ``"fig7"``)."""
+    key = figure_id.strip().lower()
+    if key not in FIGURES:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; available: {sorted(FIGURES)}"
+        )
+    return FIGURES[key]
+
+
+def run_figure(figure_id: str, **kwargs) -> FigureResult:
+    """Run the experiment reproducing *figure_id* and return its result."""
+    return get_figure(figure_id)(**kwargs)

@@ -1,0 +1,65 @@
+"""Shared helpers for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.roc import RocCurve
+from repro.experiments.config import SimulationConfig
+from repro.experiments.harness import LadSimulation
+from repro.experiments.results import SeriesResult
+
+__all__ = [
+    "resolve_simulation",
+    "roc_series",
+    "DEFAULT_ROC_FP_GRID",
+]
+
+#: False-positive grid at which ROC curves are sampled when rendered as
+#: series (the paper's ROC plots span 0 .. ~1 with most action below 0.2).
+DEFAULT_ROC_FP_GRID: tuple[float, ...] = (
+    0.0,
+    0.005,
+    0.01,
+    0.02,
+    0.05,
+    0.10,
+    0.15,
+    0.20,
+    0.30,
+    0.40,
+    0.50,
+    0.75,
+    1.0,
+)
+
+
+def resolve_simulation(
+    simulation: Optional[LadSimulation] = None,
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+) -> LadSimulation:
+    """Build (or pass through) the :class:`LadSimulation` a figure should use.
+
+    Precedence: an explicit *simulation* wins; otherwise a new one is built
+    from *config* (or the paper defaults) with its sample sizes scaled by
+    *scale*.
+    """
+    if simulation is not None:
+        return simulation
+    cfg = config or SimulationConfig()
+    if scale != 1.0:
+        cfg = cfg.scaled(scale)
+    return LadSimulation(cfg)
+
+
+def roc_series(
+    label: str,
+    roc: RocCurve,
+    fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
+) -> SeriesResult:
+    """Sample an ROC curve on a fixed false-positive grid as a series."""
+    ys = [roc.detection_rate_at(fp) for fp in fp_grid]
+    return SeriesResult(label=label, x=list(fp_grid), y=ys)

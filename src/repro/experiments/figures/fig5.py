@@ -1,0 +1,80 @@
+"""Figure 5 — ROC curves for the two attack classes at small D (``DR-FP-T-D``).
+
+Setup (paper Section 7.5): x = 10 %, m = 300, Diff metric; panels for
+D ∈ {40, 80}; one curve per attack class (Dec-Bounded vs Dec-Only).
+
+Expected qualitative outcome: the Dec-Bounded attack is markedly harder to
+detect than the Dec-Only attack at these small degrees of damage — at
+D = 40 the Dec-Only curve rises quickly while the Dec-Bounded curve stays
+low until large false-positive rates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.attacks.constraints import DecBoundedAttack, DecOnlyAttack
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures.common import (
+    DEFAULT_ROC_FP_GRID,
+    resolve_simulation,
+    roc_series,
+)
+from repro.experiments.harness import LadSimulation
+from repro.experiments.results import FigureResult, PanelResult
+
+__all__ = ["run", "DEGREES_OF_DAMAGE", "COMPROMISED_FRACTION", "METRIC"]
+
+#: Degrees of damage of the two panels.
+DEGREES_OF_DAMAGE: tuple[float, ...] = (40.0, 80.0)
+
+#: Fraction of compromised neighbours.
+COMPROMISED_FRACTION: float = 0.10
+
+#: Detection metric used throughout the figure.
+METRIC: str = "diff"
+
+#: Attack classes compared by the figure.
+ATTACK_CLASSES: tuple[str, ...] = (DecBoundedAttack.name, DecOnlyAttack.name)
+
+_ATTACK_LABELS = {
+    DecBoundedAttack.name: DecBoundedAttack.paper_name + "s",
+    DecOnlyAttack.name: DecOnlyAttack.paper_name + "s",
+}
+
+
+def run(
+    simulation: Optional[LadSimulation] = None,
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+    fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
+) -> FigureResult:
+    """Reproduce Figure 5 and return its series."""
+    sim = resolve_simulation(simulation, config, scale)
+    figure = FigureResult(
+        figure_id="fig5",
+        title="ROC curves for different attacks (small degrees of damage)",
+        parameters={
+            "compromised_fraction": COMPROMISED_FRACTION,
+            "group_size": sim.config.group_size,
+            "metric": METRIC,
+        },
+    )
+    for degree in degrees:
+        panel = PanelResult(
+            title=f"D={degree:g}",
+            x_label="FP-False Positive Rate",
+            y_label="DR-Detection Rate",
+        )
+        for attack in ATTACK_CLASSES:
+            roc = sim.roc(
+                METRIC,
+                attack,
+                degree_of_damage=degree,
+                compromised_fraction=COMPROMISED_FRACTION,
+            )
+            panel.add_series(roc_series(_ATTACK_LABELS[attack], roc, fp_grid))
+        figure.add_panel(panel)
+    return figure

@@ -1,0 +1,46 @@
+"""Figure 6 — ROC curves for the two attack classes at large D (``DR-FP-T-D``).
+
+Same setup as Figure 5 but with D ∈ {120, 160}.
+
+Expected qualitative outcome: with large degrees of damage the gap between
+the Dec-Bounded and Dec-Only attacks closes — both are detected at ≳99 %
+with small false-positive rates, which is the paper's argument that the
+expensive authentication/wormhole-detection machinery needed to force
+Dec-Only behaviour is unnecessary when only high-impact anomalies matter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures import fig5
+from repro.experiments.figures.common import DEFAULT_ROC_FP_GRID
+from repro.experiments.harness import LadSimulation
+from repro.experiments.results import FigureResult
+
+__all__ = ["run", "DEGREES_OF_DAMAGE"]
+
+#: Degrees of damage of the two panels.
+DEGREES_OF_DAMAGE: tuple[float, ...] = (120.0, 160.0)
+
+
+def run(
+    simulation: Optional[LadSimulation] = None,
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+    fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
+) -> FigureResult:
+    """Reproduce Figure 6 and return its series."""
+    figure = fig5.run(
+        simulation=simulation,
+        config=config,
+        scale=scale,
+        degrees=degrees,
+        fp_grid=fp_grid,
+    )
+    figure.figure_id = "fig6"
+    figure.title = "ROC curves for different attacks (large degrees of damage)"
+    return figure

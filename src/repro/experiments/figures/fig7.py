@@ -1,0 +1,85 @@
+"""Figure 7 — Detection rate vs degree of damage (``DR-D-x``).
+
+Setup (paper Section 7.6): false-positive budget 1 %, m = 300, Diff metric,
+Dec-Bounded attacks; one curve per compromise fraction x ∈ {10, 20, 30} %;
+the degree of damage D sweeps 40 .. 160 m.
+
+Expected qualitative outcome: the detection rate is low for small D (the
+attack hides inside the localization scheme's own error) and approaches
+100 % as D grows, for every compromise level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures.common import resolve_simulation
+from repro.experiments.harness import LadSimulation
+from repro.experiments.results import FigureResult, PanelResult, SeriesResult
+
+__all__ = [
+    "run",
+    "DEGREES_OF_DAMAGE",
+    "COMPROMISED_FRACTIONS",
+    "FALSE_POSITIVE_RATE",
+    "METRIC",
+    "ATTACK_CLASS",
+]
+
+#: Swept degrees of damage (x axis).
+DEGREES_OF_DAMAGE: tuple[float, ...] = (40.0, 60.0, 80.0, 100.0, 120.0, 140.0, 160.0)
+
+#: Compromise fractions (one curve each).
+COMPROMISED_FRACTIONS: tuple[float, ...] = (0.10, 0.20, 0.30)
+
+#: False-positive budget at which the detection rate is read.
+FALSE_POSITIVE_RATE: float = 0.01
+
+#: Detection metric and attack class of the figure.
+METRIC: str = "diff"
+ATTACK_CLASS: str = "dec_bounded"
+
+
+def run(
+    simulation: Optional[LadSimulation] = None,
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+    fractions: Sequence[float] = COMPROMISED_FRACTIONS,
+    false_positive_rate: float = FALSE_POSITIVE_RATE,
+) -> FigureResult:
+    """Reproduce Figure 7 and return its series."""
+    sim = resolve_simulation(simulation, config, scale)
+    figure = FigureResult(
+        figure_id="fig7",
+        title="Detection rate vs degree of damage",
+        parameters={
+            "false_positive_rate": false_positive_rate,
+            "group_size": sim.config.group_size,
+            "metric": METRIC,
+            "attack": ATTACK_CLASS,
+        },
+    )
+    panel = PanelResult(
+        title="DR-D-x",
+        x_label="The Degree of Damage D",
+        y_label="DR-Detection Rate",
+    )
+    for fraction in fractions:
+        rates = []
+        for degree in degrees:
+            rate, _ = sim.detection_rate(
+                METRIC,
+                ATTACK_CLASS,
+                degree_of_damage=degree,
+                compromised_fraction=fraction,
+                false_positive_rate=false_positive_rate,
+            )
+            rates.append(rate)
+        panel.add_series(
+            SeriesResult(label=f"x={int(round(fraction * 100))}%", x=list(degrees), y=rates)
+        )
+    figure.add_panel(panel)
+    return figure

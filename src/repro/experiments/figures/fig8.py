@@ -1,0 +1,85 @@
+"""Figure 8 — Detection rate vs node-compromise percentage (``DR-x-D``).
+
+Setup (paper Section 7.7): false-positive budget 1 %, m = 300, Diff metric,
+Dec-Bounded attacks; one curve per degree of damage D ∈ {80, 120, 160}; the
+compromise fraction x sweeps 0 .. 60 %.
+
+Expected qualitative outcome: the larger the degree of damage, the more
+node compromise the detector tolerates — at D = 160 the detection rate
+stays high up to roughly half of the neighbourhood being compromised, while
+at D = 80 it degrades much earlier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures.common import resolve_simulation
+from repro.experiments.harness import LadSimulation
+from repro.experiments.results import FigureResult, PanelResult, SeriesResult
+
+__all__ = [
+    "run",
+    "COMPROMISED_FRACTIONS",
+    "DEGREES_OF_DAMAGE",
+    "FALSE_POSITIVE_RATE",
+    "METRIC",
+    "ATTACK_CLASS",
+]
+
+#: Swept compromise fractions (x axis, as fractions of the neighbourhood).
+COMPROMISED_FRACTIONS: tuple[float, ...] = (0.0, 0.10, 0.20, 0.30, 0.40, 0.50, 0.60)
+
+#: Degrees of damage (one curve each).
+DEGREES_OF_DAMAGE: tuple[float, ...] = (80.0, 120.0, 160.0)
+
+#: False-positive budget at which the detection rate is read.
+FALSE_POSITIVE_RATE: float = 0.01
+
+#: Detection metric and attack class of the figure.
+METRIC: str = "diff"
+ATTACK_CLASS: str = "dec_bounded"
+
+
+def run(
+    simulation: Optional[LadSimulation] = None,
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    fractions: Sequence[float] = COMPROMISED_FRACTIONS,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+    false_positive_rate: float = FALSE_POSITIVE_RATE,
+) -> FigureResult:
+    """Reproduce Figure 8 and return its series."""
+    sim = resolve_simulation(simulation, config, scale)
+    figure = FigureResult(
+        figure_id="fig8",
+        title="Detection rate vs percentage of compromised nodes",
+        parameters={
+            "false_positive_rate": false_positive_rate,
+            "group_size": sim.config.group_size,
+            "metric": METRIC,
+            "attack": ATTACK_CLASS,
+        },
+    )
+    panel = PanelResult(
+        title="DR-x-D",
+        x_label="The Percentage of Compromised Nodes",
+        y_label="DR-Detection Rate",
+    )
+    percentages = [fraction * 100.0 for fraction in fractions]
+    for degree in degrees:
+        rates = []
+        for fraction in fractions:
+            rate, _ = sim.detection_rate(
+                METRIC,
+                ATTACK_CLASS,
+                degree_of_damage=degree,
+                compromised_fraction=fraction,
+                false_positive_rate=false_positive_rate,
+            )
+            rates.append(rate)
+        panel.add_series(SeriesResult(label=f"D={degree:g}", x=percentages, y=rates))
+    figure.add_panel(panel)
+    return figure

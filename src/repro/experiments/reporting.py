@@ -1,0 +1,68 @@
+"""Text rendering of figure results.
+
+The benchmarks and the CLI print the reproduced series as aligned text
+tables (one block per panel) so the qualitative shape of every figure can be
+compared against the paper without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.experiments.results import FigureResult, PanelResult, SeriesResult
+
+__all__ = ["format_series", "format_panel", "format_figure"]
+
+
+def _format_value(value: float) -> str:
+    if abs(value - round(value)) < 1e-9 and abs(value) >= 1.0:
+        return f"{value:.0f}"
+    return f"{value:.3f}"
+
+
+def format_series(series: SeriesResult, *, indent: str = "  ") -> str:
+    """Render one series as two aligned rows (x values, y values)."""
+    xs = " ".join(f"{_format_value(v):>7}" for v in series.x)
+    ys = " ".join(f"{_format_value(v):>7}" for v in series.y)
+    return f"{indent}{series.label}\n{indent}  x: {xs}\n{indent}  y: {ys}"
+
+
+def format_panel(panel: PanelResult) -> str:
+    """Render a panel as a column-aligned table (one column per series)."""
+    lines: List[str] = [f"-- {panel.title} --"]
+    if not panel.series:
+        lines.append("  (no series)")
+        return "\n".join(lines)
+
+    # When every series shares the same x grid, print a compact table with
+    # one x column and one column per series; otherwise fall back to the
+    # per-series rendering.
+    x_grids = [tuple(np.round(s.x, 9)) for s in panel.series]
+    if len(set(x_grids)) == 1:
+        header = [panel.x_label] + [s.label for s in panel.series]
+        widths = [max(10, len(h) + 2) for h in header]
+        lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+        for i, x in enumerate(panel.series[0].x):
+            row = [_format_value(x)] + [
+                _format_value(s.y[i]) for s in panel.series
+            ]
+            lines.append("".join(v.rjust(w) for v, w in zip(row, widths)))
+    else:
+        lines.append(f"  ({panel.x_label} -> {panel.y_label})")
+        for series in panel.series:
+            lines.append(format_series(series))
+    return "\n".join(lines)
+
+
+def format_figure(figure: FigureResult) -> str:
+    """Render a whole figure (all panels) as text."""
+    lines = [f"== {figure.figure_id}: {figure.title} =="]
+    if figure.parameters:
+        params = ", ".join(f"{k}={v}" for k, v in sorted(figure.parameters.items()))
+        lines.append(f"   parameters: {params}")
+    for panel in figure.panels:
+        lines.append("")
+        lines.append(format_panel(panel))
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Result containers for the figure-reproduction experiments.
+
+A *figure* is a set of *panels* (the paper's sub-plots), each of which holds
+one or more *series* (the curves).  The containers are plain dataclasses
+holding Python lists so they serialise straight to JSON/CSV and can be
+diffed against the values recorded in ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["SeriesResult", "PanelResult", "FigureResult"]
+
+
+def _to_float_list(values: Iterable[float]) -> List[float]:
+    return [float(v) for v in np.asarray(list(values), dtype=np.float64)]
+
+
+@dataclass
+class SeriesResult:
+    """One curve: a label plus matched x/y value lists.
+
+    Attributes
+    ----------
+    label:
+        The legend entry (e.g. ``"Diff Metric"`` or ``"x=10%"``).
+    x:
+        Values along the x axis (false-positive rate, degree of damage, …).
+    y:
+        Values along the y axis (detection rate).
+    """
+
+    label: str
+    x: List[float]
+    y: List[float]
+
+    def __post_init__(self) -> None:
+        self.x = _to_float_list(self.x)
+        self.y = _to_float_list(self.y)
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have the same length")
+
+    def y_at(self, x_value: float) -> float:
+        """Interpolate the series at *x_value* (clamped to the data range)."""
+        if not self.x:
+            raise ValueError("empty series")
+        order = np.argsort(self.x)
+        xs = np.asarray(self.x)[order]
+        ys = np.asarray(self.y)[order]
+        return float(np.interp(x_value, xs, ys))
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view for JSON serialisation."""
+        return {"label": self.label, "x": self.x, "y": self.y}
+
+
+@dataclass
+class PanelResult:
+    """One sub-plot of a figure: a title, axis names and several series."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List[SeriesResult] = field(default_factory=list)
+
+    def add_series(self, series: SeriesResult) -> None:
+        """Append a curve to the panel."""
+        self.series.append(series)
+
+    def get_series(self, label: str) -> SeriesResult:
+        """Look a curve up by its legend label."""
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r} in panel {self.title!r}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view for JSON serialisation."""
+        return {
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": [s.as_dict() for s in self.series],
+        }
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: id, caption, the parameters used, panels."""
+
+    figure_id: str
+    title: str
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    panels: List[PanelResult] = field(default_factory=list)
+
+    def add_panel(self, panel: PanelResult) -> None:
+        """Append a panel to the figure."""
+        self.panels.append(panel)
+
+    def get_panel(self, title: str) -> PanelResult:
+        """Look a panel up by its title."""
+        for p in self.panels:
+            if p.title == title:
+                return p
+        raise KeyError(f"no panel titled {title!r} in figure {self.figure_id!r}")
+
+    # -- serialisation --------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view for JSON serialisation."""
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "parameters": self.parameters,
+            "panels": [p.as_dict() for p in self.panels],
+        }
+
+    def to_json(self, path: Optional[Path] = None, *, indent: int = 2) -> str:
+        """Serialise to JSON, optionally writing to *path*."""
+        text = json.dumps(self.as_dict(), indent=indent)
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text
+
+    def to_csv(self, path: Path) -> None:
+        """Write all series as a long-format CSV (panel, series, x, y)."""
+        path = Path(path)
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["figure", "panel", "series", "x", "y"])
+            for panel in self.panels:
+                for series in panel.series:
+                    for x, y in zip(series.x, series.y):
+                        writer.writerow([self.figure_id, panel.title, series.label, x, y])
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FigureResult":
+        """Rebuild a :class:`FigureResult` from its :meth:`as_dict` form."""
+        figure = cls(
+            figure_id=data["figure_id"],
+            title=data["title"],
+            parameters=dict(data.get("parameters", {})),
+        )
+        for panel_data in data.get("panels", []):
+            panel = PanelResult(
+                title=panel_data["title"],
+                x_label=panel_data["x_label"],
+                y_label=panel_data["y_label"],
+            )
+            for series_data in panel_data.get("series", []):
+                panel.add_series(
+                    SeriesResult(
+                        label=series_data["label"],
+                        x=series_data["x"],
+                        y=series_data["y"],
+                    )
+                )
+            figure.add_panel(panel)
+        return figure

@@ -1,0 +1,29 @@
+"""Plane-geometry kernels used by the deployment, network and attack models."""
+
+from repro.geometry.points import (
+    distance,
+    pairwise_distances,
+    distances_to_point,
+    random_point_at_distance,
+    points_on_circle,
+)
+from repro.geometry.shapes import (
+    circle_circle_intersection_area,
+    disk_area,
+    point_in_triangle,
+    triangle_area,
+)
+from repro.geometry.grid import SpatialHashGrid
+
+__all__ = [
+    "distance",
+    "pairwise_distances",
+    "distances_to_point",
+    "random_point_at_distance",
+    "points_on_circle",
+    "circle_circle_intersection_area",
+    "disk_area",
+    "point_in_triangle",
+    "triangle_area",
+    "SpatialHashGrid",
+]

@@ -1,0 +1,138 @@
+"""Vectorised point/distance kernels.
+
+All functions take and return plain ``float64`` NumPy arrays following the
+conventions of :mod:`repro.types` (points are rows of ``(k, 2)`` arrays).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.types import Region, as_point, as_points
+
+__all__ = [
+    "distance",
+    "pairwise_distances",
+    "distances_to_point",
+    "random_point_at_distance",
+    "random_points_at_distance",
+    "points_on_circle",
+]
+
+
+def distance(a, b) -> float:
+    """Euclidean distance between two single points."""
+    pa = as_point(a)
+    pb = as_point(b)
+    return float(np.hypot(pa[0] - pb[0], pa[1] - pb[1]))
+
+
+def distances_to_point(points, point) -> np.ndarray:
+    """Euclidean distances from each row of *points* to a single *point*."""
+    pts = as_points(points)
+    p = as_point(point)
+    diff = pts - p
+    return np.hypot(diff[:, 0], diff[:, 1])
+
+
+def pairwise_distances(a, b=None) -> np.ndarray:
+    """Dense matrix of Euclidean distances between two point sets.
+
+    ``out[i, j]`` is the distance from ``a[i]`` to ``b[j]``; when *b* is
+    omitted the distances within *a* are returned.  Uses broadcasting rather
+    than ``scipy.spatial.distance.cdist`` to avoid an extra dependency on the
+    hot path, and is only intended for moderate sizes (the network substrate
+    uses a KD-tree for large node counts).
+    """
+    pa = as_points(a)
+    pb = pa if b is None else as_points(b)
+    diff = pa[:, None, :] - pb[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def points_on_circle(center, radius: float, num: int) -> np.ndarray:
+    """Return *num* points evenly spaced on the circle of *radius* around *center*."""
+    if num < 1:
+        raise ValueError("num must be >= 1")
+    if radius < 0:
+        raise ValueError("radius must be >= 0")
+    c = as_point(center)
+    angles = np.linspace(0.0, 2.0 * np.pi, num, endpoint=False)
+    return np.column_stack(
+        [c[0] + radius * np.cos(angles), c[1] + radius * np.sin(angles)]
+    )
+
+
+def random_point_at_distance(
+    rng: np.random.Generator,
+    origin,
+    dist: float,
+    *,
+    region: Optional[Region] = None,
+    max_tries: int = 256,
+) -> np.ndarray:
+    """Sample a point exactly *dist* metres from *origin*, uniform in angle.
+
+    When *region* is given the sample is rejected until it falls inside the
+    region (this is how the D-anomaly attack keeps the spoofed location within
+    the deployment field).  If no direction keeps the point inside the region
+    after *max_tries* attempts, the point is clipped onto the region boundary
+    as a last resort (this can only happen for origins closer than *dist* to
+    every boundary, i.e. very large D).
+    """
+    o = as_point(origin)
+    if dist < 0:
+        raise ValueError("dist must be >= 0")
+    for _ in range(max_tries):
+        theta = rng.uniform(0.0, 2.0 * np.pi)
+        candidate = o + dist * np.array([np.cos(theta), np.sin(theta)])
+        if region is None or region.contains_point(candidate):
+            return candidate
+    # Fall back to the clipped candidate closest to the requested distance.
+    assert region is not None
+    thetas = np.linspace(0.0, 2.0 * np.pi, 64, endpoint=False)
+    candidates = o + dist * np.column_stack([np.cos(thetas), np.sin(thetas)])
+    clipped = region.clip(candidates)
+    dists = distances_to_point(clipped, o)
+    best = int(np.argmin(np.abs(dists - dist)))
+    return clipped[best]
+
+
+def random_points_at_distance(
+    rng: np.random.Generator,
+    origins,
+    dist: float,
+    *,
+    region: Optional[Region] = None,
+    max_tries: int = 256,
+) -> np.ndarray:
+    """Vectorised batch version of :func:`random_point_at_distance`.
+
+    Each row of *origins* receives an independently sampled direction; rows
+    whose candidate falls outside *region* are re-sampled until they all fit
+    (or *max_tries* is exhausted, after which the stragglers fall back to the
+    scalar routine).
+    """
+    pts = as_points(origins)
+    n = pts.shape[0]
+    out = np.empty_like(pts)
+    pending = np.arange(n)
+    for _ in range(max_tries):
+        if pending.size == 0:
+            break
+        theta = rng.uniform(0.0, 2.0 * np.pi, size=pending.size)
+        cand = pts[pending] + dist * np.column_stack([np.cos(theta), np.sin(theta)])
+        if region is None:
+            out[pending] = cand
+            pending = pending[:0]
+            break
+        ok = region.contains(cand)
+        out[pending[ok]] = cand[ok]
+        pending = pending[~ok]
+    for idx in pending:
+        out[idx] = random_point_at_distance(
+            rng, pts[idx], dist, region=region, max_tries=max_tries
+        )
+    return out

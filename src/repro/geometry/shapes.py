@@ -1,0 +1,100 @@
+"""Closed-form area/containment formulas for circles and triangles.
+
+The circle–circle intersection area is the geometric backbone of the
+``g(z)`` derivation (Theorem 1): the probability mass a deployment group
+contributes to a sensor's neighbourhood is the Gaussian measure of the
+intersection between the radio disk and rings around the deployment point.
+The triangle predicates support the APIT localization baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import as_point, as_points
+
+__all__ = [
+    "disk_area",
+    "circle_circle_intersection_area",
+    "triangle_area",
+    "point_in_triangle",
+]
+
+
+def disk_area(radius: float) -> float:
+    """Area of a disk of the given *radius*."""
+    if radius < 0:
+        raise ValueError("radius must be >= 0")
+    return float(np.pi * radius * radius)
+
+
+def circle_circle_intersection_area(d, r1: float, r2: float) -> np.ndarray:
+    """Area of the intersection of two disks whose centres are *d* apart.
+
+    Vectorised over *d*.  Handles the containment (one disk inside the
+    other) and disjoint cases.
+    """
+    if r1 < 0 or r2 < 0:
+        raise ValueError("radii must be >= 0")
+    d_arr = np.asarray(d, dtype=np.float64)
+    scalar = d_arr.ndim == 0
+    d_arr = np.atleast_1d(d_arr)
+    out = np.zeros_like(d_arr)
+
+    if r1 == 0.0 or r2 == 0.0:
+        return float(out[0]) if scalar else out
+
+    small, big = (r1, r2) if r1 <= r2 else (r2, r1)
+
+    contained = d_arr <= big - small
+    disjoint = d_arr >= r1 + r2
+    partial = ~contained & ~disjoint
+
+    out[contained] = np.pi * small * small
+
+    if np.any(partial):
+        dp = d_arr[partial]
+        # Standard lens-area formula.
+        alpha1 = np.clip((dp**2 + r1**2 - r2**2) / (2.0 * dp * r1), -1.0, 1.0)
+        alpha2 = np.clip((dp**2 + r2**2 - r1**2) / (2.0 * dp * r2), -1.0, 1.0)
+        term1 = r1 * r1 * np.arccos(alpha1)
+        term2 = r2 * r2 * np.arccos(alpha2)
+        radicand = (
+            (-dp + r1 + r2) * (dp + r1 - r2) * (dp - r1 + r2) * (dp + r1 + r2)
+        )
+        term3 = 0.5 * np.sqrt(np.clip(radicand, 0.0, None))
+        out[partial] = term1 + term2 - term3
+
+    return float(out[0]) if scalar else out
+
+
+def triangle_area(a, b, c) -> float:
+    """Unsigned area of the triangle with vertices *a*, *b*, *c*."""
+    pa, pb, pc = as_point(a), as_point(b), as_point(c)
+    cross = (pb[0] - pa[0]) * (pc[1] - pa[1]) - (pb[1] - pa[1]) * (pc[0] - pa[0])
+    return float(abs(cross) / 2.0)
+
+
+def point_in_triangle(points, a, b, c, *, eps: float = 1e-12) -> np.ndarray:
+    """Boolean mask of which *points* lie inside (or on) triangle ``abc``.
+
+    Uses the sign-of-cross-product test, vectorised over the query points.
+    Degenerate (zero-area) triangles contain no points.
+    """
+    pts = as_points(points)
+    pa, pb, pc = as_point(a), as_point(b), as_point(c)
+
+    if triangle_area(pa, pb, pc) <= eps:
+        return np.zeros(pts.shape[0], dtype=bool)
+
+    def _sign(p1, p2):
+        return (pts[:, 0] - p2[0]) * (p1[1] - p2[1]) - (p1[0] - p2[0]) * (
+            pts[:, 1] - p2[1]
+        )
+
+    d1 = _sign(pa, pb)
+    d2 = _sign(pb, pc)
+    d3 = _sign(pc, pa)
+    has_neg = (d1 < -eps) | (d2 < -eps) | (d3 < -eps)
+    has_pos = (d1 > eps) | (d2 > eps) | (d3 > eps)
+    return ~(has_neg & has_pos)

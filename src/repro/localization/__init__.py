@@ -1,0 +1,42 @@
+"""Localization schemes.
+
+LAD itself is agnostic to the localization scheme (Section 7.2); the paper
+evaluates it on top of the beaconless scheme of Fang, Du and Ning
+(INFOCOM 2005), which is implemented in
+:class:`repro.localization.beaconless.BeaconlessLocalizer`.  Classic
+beacon-based baselines (Centroid, DV-Hop, MMSE multilateration, APIT) are
+provided as well so the examples can demonstrate LAD running behind other
+schemes and show how beacon compromises translate into localization errors.
+"""
+
+from repro.localization.base import (
+    LocalizationScheme,
+    LocalizationResult,
+    BeaconInfrastructure,
+)
+from repro.localization.beaconless import BeaconlessLocalizer
+from repro.localization.centroid import CentroidLocalizer
+from repro.localization.multilateration import MmseMultilaterationLocalizer
+from repro.localization.dvhop import DvHopLocalizer
+from repro.localization.apit import ApitLocalizer
+from repro.localization.errors import (
+    localization_error,
+    localization_errors,
+    is_anomaly,
+    ErrorStatistics,
+)
+
+__all__ = [
+    "LocalizationScheme",
+    "LocalizationResult",
+    "BeaconInfrastructure",
+    "BeaconlessLocalizer",
+    "CentroidLocalizer",
+    "MmseMultilaterationLocalizer",
+    "DvHopLocalizer",
+    "ApitLocalizer",
+    "localization_error",
+    "localization_errors",
+    "is_anomaly",
+    "ErrorStatistics",
+]

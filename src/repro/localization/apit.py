@@ -1,0 +1,138 @@
+"""APIT localization (He et al., MobiCom 2003) — approximate variant.
+
+APIT narrows a node's position down to the intersection of the beacon
+triangles the node decides it is inside of, and reports the centre of
+gravity of that intersection.  The point-in-triangle decision in the real
+protocol uses neighbour signal-strength comparisons; this reproduction uses
+the geometric predicate directly on the (noisy) audible-beacon information,
+which preserves the scheme's behaviour as a *baseline*: coarse but somewhat
+more robust to a single lying beacon than pure multilateration.
+
+The intersection centre of gravity is estimated on a rasterised grid of the
+deployment region, which keeps the implementation simple and vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.shapes import point_in_triangle
+from repro.localization.base import (
+    LocalizationContext,
+    LocalizationResult,
+    LocalizationScheme,
+)
+from repro.types import Region
+from repro.utils.validation import check_int, check_positive
+
+__all__ = ["ApitLocalizer"]
+
+
+@dataclass
+class ApitLocalizer(LocalizationScheme):
+    """Approximate point-in-triangulation localization.
+
+    Parameters
+    ----------
+    region:
+        Deployment region to rasterise.
+    grid_resolution:
+        Grid cell size in metres for the centre-of-gravity computation.
+    max_triangles:
+        Cap on the number of beacon triangles tested (the closest beacons
+        are preferred); keeps the cost bounded for dense beacon sets.
+    """
+
+    region: Region
+    grid_resolution: float = 10.0
+    max_triangles: int = 120
+    name: str = "apit"
+
+    def __post_init__(self) -> None:
+        check_positive("grid_resolution", self.grid_resolution)
+        check_int("max_triangles", self.max_triangles, minimum=1)
+
+    def _grid(self) -> np.ndarray:
+        xs = np.arange(
+            self.region.x_min + self.grid_resolution / 2,
+            self.region.x_max,
+            self.grid_resolution,
+        )
+        ys = np.arange(
+            self.region.y_min + self.grid_resolution / 2,
+            self.region.y_max,
+            self.grid_resolution,
+        )
+        gx, gy = np.meshgrid(xs, ys)
+        return np.column_stack([gx.ravel(), gy.ravel()])
+
+    def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
+        beacons = context.beacons
+        if beacons is None:
+            raise ValueError("APIT needs a BeaconInfrastructure")
+        audible = context.audible_beacons
+        if audible is None:
+            if context.true_position is None:
+                audible = np.arange(beacons.num_beacons)
+            else:
+                audible = beacons.audible_from(context.true_position)
+        audible = np.asarray(audible, dtype=np.int64)
+        if audible.size < 3:
+            fallback = beacons.declared_positions.mean(axis=0)
+            return LocalizationResult(position=fallback, converged=False)
+
+        # The "am I inside this triangle?" decision is made with the node's
+        # (unknown to the scheme) true position when available — modelling a
+        # perfect APIT test — and falls back to declared-position heuristics
+        # otherwise.  The *estimate* only ever uses declared positions.
+        anchors_true = beacons.positions[audible]
+        anchors_declared = beacons.declared_positions[audible]
+        reference = (
+            np.asarray(context.true_position, dtype=np.float64)
+            if context.true_position is not None
+            else anchors_declared.mean(axis=0)
+        )
+
+        grid = self._grid()
+        score = np.zeros(grid.shape[0], dtype=np.int64)
+        tested = 0
+        triangles = list(combinations(range(audible.size), 3))
+        # Prefer triangles formed by the closest beacons (higher information).
+        order = np.argsort(
+            [
+                np.linalg.norm(anchors_true[list(tri)].mean(axis=0) - reference)
+                for tri in triangles
+            ]
+        )
+        for tri_idx in order:
+            if tested >= self.max_triangles:
+                break
+            tri = triangles[tri_idx]
+            tested += 1
+            inside = point_in_triangle(
+                reference[None, :],
+                anchors_true[tri[0]],
+                anchors_true[tri[1]],
+                anchors_true[tri[2]],
+            )[0]
+            mask = point_in_triangle(
+                grid,
+                anchors_declared[tri[0]],
+                anchors_declared[tri[1]],
+                anchors_declared[tri[2]],
+            )
+            if inside:
+                score += mask.astype(np.int64)
+            else:
+                score -= mask.astype(np.int64)
+
+        best = score.max()
+        cells = grid[score == best]
+        if cells.size == 0:  # pragma: no cover - defensive
+            cells = grid
+        estimate = cells.mean(axis=0)
+        return LocalizationResult(position=estimate, converged=True, iterations=tested)

@@ -1,0 +1,195 @@
+"""Common interfaces for localization schemes.
+
+Every localization scheme implements :class:`LocalizationScheme`.  Two
+different kinds of information feed the schemes:
+
+* the **beaconless** scheme uses the node's observation vector (per-group
+  neighbour counts) plus deployment knowledge;
+* the **beacon-based** baselines use reference messages from beacon/anchor
+  nodes, modelled by :class:`BeaconInfrastructure`.
+
+Both are folded into the single :meth:`LocalizationScheme.localize` entry
+point which receives a :class:`LocalizationContext` describing everything a
+node can see; schemes pick the fields they need.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.deployment.knowledge import DeploymentKnowledge
+from repro.types import as_point, as_points
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "BeaconInfrastructure",
+    "LocalizationContext",
+    "LocalizationResult",
+    "LocalizationScheme",
+]
+
+
+@dataclass
+class BeaconInfrastructure:
+    """A set of beacon (anchor) nodes with known positions.
+
+    Attributes
+    ----------
+    positions:
+        True beacon positions, shape ``(b, 2)``.
+    declared_positions:
+        The positions the beacons *announce*.  Honest beacons announce their
+        true position; compromised beacons may declare arbitrary positions
+        (see :mod:`repro.attacks.localization_attacks`).
+    transmit_range:
+        Beacon transmission range in metres (beacons typically use
+        high-power transmitters, so this can exceed the sensor range).
+    compromised:
+        Boolean mask of compromised beacons.
+    """
+
+    positions: np.ndarray
+    transmit_range: float = 250.0
+    declared_positions: Optional[np.ndarray] = None
+    compromised: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.positions = as_points(self.positions)
+        check_positive("transmit_range", self.transmit_range)
+        if self.declared_positions is None:
+            self.declared_positions = self.positions.copy()
+        else:
+            self.declared_positions = as_points(self.declared_positions)
+            if self.declared_positions.shape != self.positions.shape:
+                raise ValueError("declared_positions must match positions in shape")
+        if self.compromised is None:
+            self.compromised = np.zeros(self.num_beacons, dtype=bool)
+        else:
+            self.compromised = np.asarray(self.compromised, dtype=bool)
+            if self.compromised.shape != (self.num_beacons,):
+                raise ValueError("compromised must have one entry per beacon")
+
+    @property
+    def num_beacons(self) -> int:
+        """Number of beacon nodes."""
+        return int(self.positions.shape[0])
+
+    def audible_from(self, point) -> np.ndarray:
+        """Indices of beacons whose transmissions reach *point*."""
+        p = as_point(point)
+        diff = self.positions - p
+        dist = np.hypot(diff[:, 0], diff[:, 1])
+        return np.flatnonzero(dist <= self.transmit_range)
+
+    def measured_distances(self, point, rng=None, noise_std: float = 0.0) -> np.ndarray:
+        """Distances from *point* to every beacon, optionally with noise.
+
+        Range-based schemes (TOA/TDOA/RSS) estimate these distances; the
+        ``noise_std`` parameter models measurement error as additive
+        Gaussian noise.
+        """
+        p = as_point(point)
+        diff = self.positions - p
+        dist = np.hypot(diff[:, 0], diff[:, 1])
+        if noise_std > 0.0:
+            if rng is None:
+                raise ValueError("rng is required when noise_std > 0")
+            dist = np.clip(dist + rng.normal(0.0, noise_std, size=dist.shape), 0.0, None)
+        return dist
+
+    def declare_false_position(self, beacon: int, position) -> None:
+        """Make beacon *beacon* announce a false *position* (compromise)."""
+        self.declared_positions[int(beacon)] = as_point(position)
+        self.compromised[int(beacon)] = True
+
+
+@dataclass
+class LocalizationContext:
+    """Everything a single node can use to estimate its location.
+
+    Schemes use a subset of the fields; unused fields may stay ``None``.
+
+    Attributes
+    ----------
+    observation:
+        Per-group neighbour counts (beaconless scheme).
+    knowledge:
+        The node's deployment knowledge.
+    beacons:
+        Beacon infrastructure (beacon-based schemes).
+    audible_beacons:
+        Indices of the beacons the node can hear.  When ``None`` it is
+        derived from the true position (if available) or assumed to be all
+        beacons.
+    measured_distances:
+        Estimated distances to the audible beacons (range-based schemes).
+    hop_counts:
+        Hop counts to every beacon (DV-Hop).
+    avg_hop_distance:
+        Estimated average single-hop distance (DV-Hop correction factor).
+    true_position:
+        Ground-truth position, carried only for bookkeeping/evaluation;
+        schemes must not read it.
+    """
+
+    observation: Optional[np.ndarray] = None
+    knowledge: Optional[DeploymentKnowledge] = None
+    beacons: Optional[BeaconInfrastructure] = None
+    audible_beacons: Optional[np.ndarray] = None
+    measured_distances: Optional[np.ndarray] = None
+    hop_counts: Optional[np.ndarray] = None
+    avg_hop_distance: Optional[float] = None
+    true_position: Optional[np.ndarray] = None
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Outcome of a localization attempt.
+
+    Attributes
+    ----------
+    position:
+        The estimated location ``L_e``.
+    converged:
+        Whether the scheme produced a meaningful estimate (e.g. the centroid
+        scheme fails when no beacon is audible).
+    iterations:
+        Number of refinement iterations used (scheme specific; 0 when not
+        applicable).
+    log_likelihood:
+        Log-likelihood of the estimate under the scheme's model, when the
+        scheme is probabilistic (beaconless MLE); ``nan`` otherwise.
+    """
+
+    position: np.ndarray
+    converged: bool = True
+    iterations: int = 0
+    log_likelihood: float = float("nan")
+
+
+class LocalizationScheme(abc.ABC):
+    """Interface implemented by every localization scheme."""
+
+    #: Human-readable scheme name used in reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
+        """Estimate the node's location from the information in *context*."""
+
+    def localize_many(
+        self, contexts: list[LocalizationContext], rng=None
+    ) -> list[LocalizationResult]:
+        """Localize a batch of nodes (default: sequential loop).
+
+        Schemes with a vectorised batch path (the beaconless MLE) override
+        this for performance.
+        """
+        return [self.localize(ctx, rng=rng) for ctx in contexts]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"

@@ -1,0 +1,47 @@
+"""Centroid localization (Bulusu, Heidemann, Estrin).
+
+The simplest range-free beacon-based scheme referenced by the paper's
+related-work section: a node estimates its position as the centroid of the
+*declared* positions of all beacon nodes it can hear.  Low overhead, coarse
+accuracy — and trivially misled once a compromised beacon declares a far-away
+position, which the ``attack_resilience_study`` example demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.localization.base import (
+    LocalizationContext,
+    LocalizationResult,
+    LocalizationScheme,
+)
+
+__all__ = ["CentroidLocalizer"]
+
+
+@dataclass
+class CentroidLocalizer(LocalizationScheme):
+    """Estimate a node's position as the centroid of audible beacon positions."""
+
+    name: str = "centroid"
+
+    def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
+        beacons = context.beacons
+        if beacons is None:
+            raise ValueError("the centroid scheme needs a BeaconInfrastructure")
+        audible = context.audible_beacons
+        if audible is None:
+            if context.true_position is None:
+                audible = np.arange(beacons.num_beacons)
+            else:
+                audible = beacons.audible_from(context.true_position)
+        audible = np.asarray(audible, dtype=np.int64)
+        if audible.size == 0:
+            # No beacon audible: the scheme cannot produce an estimate.
+            fallback = beacons.declared_positions.mean(axis=0)
+            return LocalizationResult(position=fallback, converged=False)
+        estimate = beacons.declared_positions[audible].mean(axis=0)
+        return LocalizationResult(position=estimate, converged=True)

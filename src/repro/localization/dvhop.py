@@ -1,0 +1,129 @@
+"""DV-Hop localization (Niculescu and Nath).
+
+A range-free beacon-based baseline: beacons flood the network, every node
+records its minimum hop count to each beacon, beacons compute an average
+per-hop distance from their mutual hop counts, and nodes multilaterate using
+``hop_count x average_hop_distance`` as distance estimates.
+
+The full flooding phase is simulated by :func:`compute_hop_counts` on the
+connectivity graph of a :class:`~repro.network.network.SensorNetwork`; the
+per-node estimation step reuses the MMSE multilateration solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.csgraph import dijkstra
+from scipy.spatial import cKDTree
+
+from repro.localization.base import (
+    BeaconInfrastructure,
+    LocalizationContext,
+    LocalizationResult,
+    LocalizationScheme,
+)
+from repro.localization.multilateration import MmseMultilaterationLocalizer
+from repro.network.network import SensorNetwork
+
+__all__ = ["DvHopLocalizer", "compute_hop_counts", "average_hop_distance"]
+
+
+def _connectivity_graph(
+    positions: np.ndarray, radio_range: float
+) -> sparse.csr_matrix:
+    """Unit-disk connectivity graph as a sparse adjacency matrix."""
+    tree = cKDTree(positions)
+    pairs = tree.query_pairs(radio_range, output_type="ndarray")
+    n = positions.shape[0]
+    if pairs.size == 0:
+        return sparse.csr_matrix((n, n))
+    data = np.ones(pairs.shape[0], dtype=np.float64)
+    adj = sparse.coo_matrix(
+        (data, (pairs[:, 0], pairs[:, 1])), shape=(n, n)
+    )
+    return (adj + adj.T).tocsr()
+
+
+def compute_hop_counts(
+    network: SensorNetwork, beacons: BeaconInfrastructure
+) -> np.ndarray:
+    """Minimum hop counts from every node to every beacon.
+
+    Beacons are attached to the connectivity graph as extra vertices whose
+    neighbours are the sensor nodes within the *sensor* radio range (the
+    flooding travels over sensor links).  Unreachable pairs get ``inf``.
+
+    Returns an array of shape ``(num_nodes, num_beacons)``.
+    """
+    radio_range = network.radio.nominal_range
+    all_positions = np.vstack([network.positions, beacons.positions])
+    graph = _connectivity_graph(all_positions, radio_range)
+    beacon_vertices = np.arange(
+        network.num_nodes, network.num_nodes + beacons.num_beacons
+    )
+    dist = dijkstra(graph, indices=beacon_vertices, unweighted=True)
+    # dist has shape (num_beacons, num_nodes + num_beacons).
+    return dist[:, : network.num_nodes].T
+
+
+def average_hop_distance(
+    beacons: BeaconInfrastructure, beacon_hop_counts: np.ndarray
+) -> float:
+    """The DV-Hop correction factor: mean true distance per hop among beacons.
+
+    Parameters
+    ----------
+    beacons:
+        The beacon infrastructure (true positions are used — this step runs
+        on the beacons themselves).
+    beacon_hop_counts:
+        Hop counts between beacons, shape ``(b, b)`` (``inf`` when
+        unreachable).
+    """
+    b = beacons.num_beacons
+    if beacon_hop_counts.shape != (b, b):
+        raise ValueError("beacon_hop_counts must be square with one row per beacon")
+    diff = beacons.positions[:, None, :] - beacons.positions[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    mask = np.isfinite(beacon_hop_counts) & (beacon_hop_counts > 0)
+    if not np.any(mask):
+        raise ValueError("no pair of beacons is connected; cannot calibrate DV-Hop")
+    return float(dist[mask].sum() / beacon_hop_counts[mask].sum())
+
+
+@dataclass
+class DvHopLocalizer(LocalizationScheme):
+    """DV-Hop position estimation for a single node.
+
+    The context must provide ``beacons``, ``hop_counts`` (this node's hop
+    count to every beacon) and ``avg_hop_distance``.  Use
+    :func:`compute_hop_counts` / :func:`average_hop_distance` to produce
+    them for a whole network.
+    """
+
+    name: str = "dv-hop"
+
+    def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
+        beacons = context.beacons
+        if beacons is None:
+            raise ValueError("DV-Hop needs a BeaconInfrastructure")
+        if context.hop_counts is None or context.avg_hop_distance is None:
+            raise ValueError("DV-Hop needs hop_counts and avg_hop_distance")
+        hops = np.asarray(context.hop_counts, dtype=np.float64)
+        if hops.shape != (beacons.num_beacons,):
+            raise ValueError("hop_counts must have one entry per beacon")
+        reachable = np.flatnonzero(np.isfinite(hops) & (hops > 0))
+        if reachable.size < 3:
+            fallback = beacons.declared_positions.mean(axis=0)
+            return LocalizationResult(position=fallback, converged=False)
+        distances = hops[reachable] * float(context.avg_hop_distance)
+        sub_context = LocalizationContext(
+            beacons=beacons,
+            audible_beacons=reachable,
+            measured_distances=distances,
+        )
+        return MmseMultilaterationLocalizer().localize(sub_context, rng=rng)

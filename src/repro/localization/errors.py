@@ -1,0 +1,88 @@
+"""Localization-error bookkeeping (paper Definitions 1–3).
+
+* the **localization error** of a node is ``|L_e − L_a|``;
+* an **anomaly** is a localization error exceeding the application's
+  Maximum Tolerable Error (MTE);
+* a **D-anomaly** is an error exceeding a chosen degree of damage ``D``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.types import as_point, as_points
+
+__all__ = [
+    "localization_error",
+    "localization_errors",
+    "is_anomaly",
+    "ErrorStatistics",
+]
+
+
+def localization_error(estimated, actual) -> float:
+    """``|L_e − L_a|`` for a single node (Definition 1)."""
+    est = as_point(estimated)
+    act = as_point(actual)
+    return float(np.hypot(est[0] - act[0], est[1] - act[1]))
+
+
+def localization_errors(estimated, actual) -> np.ndarray:
+    """Vectorised localization errors for matched batches of locations."""
+    est = as_points(estimated)
+    act = as_points(actual)
+    if est.shape != act.shape:
+        raise ValueError("estimated and actual must have the same shape")
+    diff = est - act
+    return np.hypot(diff[:, 0], diff[:, 1])
+
+
+def is_anomaly(estimated, actual, max_tolerable_error: float) -> bool:
+    """Whether the localization error exceeds the MTE (Definition 2).
+
+    With ``max_tolerable_error`` set to a degree of damage ``D`` this is the
+    D-anomaly predicate of Definition 3.
+    """
+    if max_tolerable_error < 0:
+        raise ValueError("max_tolerable_error must be >= 0")
+    return localization_error(estimated, actual) > max_tolerable_error
+
+
+@dataclass(frozen=True)
+class ErrorStatistics:
+    """Summary statistics of a batch of localization errors."""
+
+    mean: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_errors(cls, errors) -> "ErrorStatistics":
+        """Summarise an array of per-node localization errors."""
+        errors = np.asarray(errors, dtype=np.float64)
+        if errors.size == 0:
+            raise ValueError("cannot summarise an empty error array")
+        return cls(
+            mean=float(errors.mean()),
+            median=float(np.median(errors)),
+            p90=float(np.quantile(errors, 0.90)),
+            p99=float(np.quantile(errors, 0.99)),
+            maximum=float(errors.max()),
+            count=int(errors.size),
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for serialisation/reporting."""
+        return {
+            "mean": self.mean,
+            "median": self.median,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.maximum,
+            "count": self.count,
+        }

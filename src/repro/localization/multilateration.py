@@ -1,0 +1,107 @@
+"""Range-based MMSE multilateration.
+
+Almost all range-based localization schemes (TOA, TDOA, RSS, AoA with
+distance conversion) reduce to a minimum-mean-square-error estimation
+problem over the measured beacon distances (paper Section 6.3).  This module
+implements the standard linearised least-squares solution with an optional
+non-linear refinement, and is the baseline the paper's discussion points to
+when it argues that a single compromised anchor can introduce an arbitrarily
+large localization error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import optimize
+
+from repro.localization.base import (
+    LocalizationContext,
+    LocalizationResult,
+    LocalizationScheme,
+)
+
+__all__ = ["MmseMultilaterationLocalizer"]
+
+
+@dataclass
+class MmseMultilaterationLocalizer(LocalizationScheme):
+    """Least-squares multilateration from beacon distance measurements.
+
+    Parameters
+    ----------
+    refine:
+        When ``True`` the linearised solution is refined with a
+        Levenberg–Marquardt minimisation of the squared range residuals.
+    """
+
+    refine: bool = True
+    name: str = "mmse-multilateration"
+
+    def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
+        beacons = context.beacons
+        if beacons is None:
+            raise ValueError("multilateration needs a BeaconInfrastructure")
+        audible = context.audible_beacons
+        if audible is None:
+            if context.true_position is None:
+                audible = np.arange(beacons.num_beacons)
+            else:
+                audible = beacons.audible_from(context.true_position)
+        audible = np.asarray(audible, dtype=np.int64)
+        distances = context.measured_distances
+        if distances is None:
+            raise ValueError("multilateration needs measured_distances")
+        distances = np.asarray(distances, dtype=np.float64)
+        if distances.shape != (audible.size,):
+            raise ValueError(
+                "measured_distances must have one entry per audible beacon"
+            )
+        anchors = beacons.declared_positions[audible]
+
+        if audible.size < 3:
+            # Under-determined: fall back to the centroid of what is audible.
+            if audible.size == 0:
+                fallback = beacons.declared_positions.mean(axis=0)
+            else:
+                fallback = anchors.mean(axis=0)
+            return LocalizationResult(position=fallback, converged=False)
+
+        estimate = self._linear_solution(anchors, distances)
+        iterations = 0
+        if self.refine:
+            estimate, iterations = self._nonlinear_refinement(
+                anchors, distances, estimate
+            )
+        return LocalizationResult(
+            position=estimate, converged=True, iterations=iterations
+        )
+
+    @staticmethod
+    def _linear_solution(anchors: np.ndarray, distances: np.ndarray) -> np.ndarray:
+        """Classic linearisation: subtract the last anchor's circle equation."""
+        ref = anchors[-1]
+        d_ref = distances[-1]
+        a = 2.0 * (anchors[:-1] - ref)
+        b = (
+            distances[:-1] ** 2
+            - d_ref**2
+            - np.sum(anchors[:-1] ** 2, axis=1)
+            + np.sum(ref**2)
+        )
+        solution, *_ = np.linalg.lstsq(a, -b, rcond=None)
+        return solution
+
+    @staticmethod
+    def _nonlinear_refinement(
+        anchors: np.ndarray, distances: np.ndarray, start: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Refine the linear solution by minimising squared range residuals."""
+
+        def residuals(theta: np.ndarray) -> np.ndarray:
+            diff = anchors - theta[None, :]
+            return np.hypot(diff[:, 0], diff[:, 1]) - distances
+
+        result = optimize.least_squares(residuals, start, method="lm", max_nfev=200)
+        return result.x, int(result.nfev)

@@ -1,0 +1,30 @@
+"""Sensor-network substrate: nodes, topology, radio models and observations."""
+
+from repro.network.radio import (
+    RadioModel,
+    UnitDiskRadio,
+    LogNormalShadowingRadio,
+)
+from repro.network.network import SensorNetwork
+from repro.network.generator import NetworkGenerator, generate_network
+from repro.network.neighbors import (
+    NeighborIndex,
+    observation_from_neighbors,
+    observations_for_nodes,
+)
+from repro.network.messages import GroupAnnouncement, BroadcastLog, collect_observation
+
+__all__ = [
+    "RadioModel",
+    "UnitDiskRadio",
+    "LogNormalShadowingRadio",
+    "SensorNetwork",
+    "NetworkGenerator",
+    "generate_network",
+    "NeighborIndex",
+    "observation_from_neighbors",
+    "observations_for_nodes",
+    "GroupAnnouncement",
+    "BroadcastLog",
+    "collect_observation",
+]

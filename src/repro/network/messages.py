@@ -1,0 +1,144 @@
+"""Group-membership broadcast protocol.
+
+Section 5.1 of the paper: after deployment every sensor broadcasts its group
+id to its neighbours, and each sensor builds its observation by counting the
+announcements it receives per group.  This module models that exchange at
+message granularity, which is what the attack primitives manipulate
+(a silent node sends nothing, an impersonating node lies about its group,
+a multi-impersonating node floods many claims when no per-link
+authentication is in place).
+
+For large Monte-Carlo sweeps the vectorised
+:class:`~repro.network.neighbors.NeighborIndex` path is used instead; the
+message-level model exists so that the attack primitives can be validated
+against an explicit protocol simulation in the tests and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.network.neighbors import NeighborIndex
+from repro.network.network import SensorNetwork
+
+__all__ = ["GroupAnnouncement", "BroadcastLog", "collect_observation", "run_announcement_round"]
+
+
+@dataclass(frozen=True)
+class GroupAnnouncement:
+    """A single "I am from group ``claimed_group``" message.
+
+    Attributes
+    ----------
+    sender:
+        Index of the physical node that transmitted the message, or ``-1``
+        when the message was injected through a wormhole/replay and has no
+        in-neighbourhood physical sender.
+    claimed_group:
+        The group id carried in the message (may differ from the sender's
+        true group under impersonation).
+    authenticated:
+        Whether the message carries a valid per-link authentication tag.
+        Detection deployments that enforce authentication drop
+        unauthenticated messages, which is what restricts adversaries to
+        Dec-Only attacks (Section 6.2).
+    """
+
+    sender: int
+    claimed_group: int
+    authenticated: bool = True
+
+
+@dataclass
+class BroadcastLog:
+    """All announcements received by one node during the broadcast round."""
+
+    receiver: int
+    messages: List[GroupAnnouncement] = field(default_factory=list)
+
+    def add(self, message: GroupAnnouncement) -> None:
+        """Record a received announcement."""
+        self.messages.append(message)
+
+    def extend(self, messages: Iterable[GroupAnnouncement]) -> None:
+        """Record several received announcements."""
+        self.messages.extend(messages)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
+def collect_observation(
+    log: BroadcastLog,
+    n_groups: int,
+    *,
+    require_authentication: bool = False,
+    deduplicate_senders: bool = False,
+) -> np.ndarray:
+    """Build an observation vector from a node's broadcast log.
+
+    Parameters
+    ----------
+    log:
+        The announcements the node received.
+    n_groups:
+        Number of deployment groups.
+    require_authentication:
+        Drop unauthenticated messages (models a deployment with pairwise
+        authentication, the pre-condition of the Dec-Only attack class).
+    deduplicate_senders:
+        Count at most one message per physical sender.  Combined with
+        authentication this removes the multi-impersonation channel.
+    """
+    counts = np.zeros(n_groups, dtype=np.float64)
+    seen: set[int] = set()
+    for msg in log.messages:
+        if require_authentication and not msg.authenticated:
+            continue
+        if deduplicate_senders and msg.sender >= 0:
+            if msg.sender in seen:
+                continue
+            seen.add(msg.sender)
+        if 0 <= msg.claimed_group < n_groups:
+            counts[msg.claimed_group] += 1.0
+    return counts
+
+
+def run_announcement_round(
+    network: SensorNetwork,
+    receivers: Optional[Iterable[int]] = None,
+    *,
+    index: Optional[NeighborIndex] = None,
+    rng=None,
+) -> Dict[int, BroadcastLog]:
+    """Simulate one honest group-announcement round.
+
+    Every node broadcasts its true group id once; each receiver in
+    *receivers* (default: every node) logs the announcements of its
+    neighbours.  Compromised nodes also broadcast honestly here — attack
+    behaviour is layered on top by :mod:`repro.attacks.primitives`, which
+    edits the logs.
+
+    Returns a mapping from receiver node index to its :class:`BroadcastLog`.
+    """
+    idx = index or NeighborIndex(network)
+    if receivers is None:
+        receivers = range(network.num_nodes)
+    logs: Dict[int, BroadcastLog] = {}
+    for receiver in receivers:
+        receiver = int(receiver)
+        neighbors = idx.neighbors_of_node(receiver, rng=rng)
+        log = BroadcastLog(receiver=receiver)
+        for sender in neighbors:
+            log.add(
+                GroupAnnouncement(
+                    sender=int(sender),
+                    claimed_group=int(network.group_ids[sender]),
+                    authenticated=True,
+                )
+            )
+        logs[receiver] = log
+    return logs

@@ -1,0 +1,165 @@
+"""Neighbour discovery and observation vectors.
+
+After deployment each sensor broadcasts its group id and counts how many
+neighbours it hears from every group (Section 5.1).  The resulting
+*observation* vector ``o = (o_1, …, o_n)`` is the only runtime input LAD
+needs besides the estimated location.
+
+:class:`NeighborIndex` wraps a KD-tree over all node positions and answers
+fixed-radius neighbour queries for arbitrary query points.  It also accounts
+for per-node range overrides (range-change attacks enlarge the *sender's*
+range, which makes a distant node appear in the victim's neighbourhood).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.network.network import SensorNetwork
+from repro.types import as_point, as_points
+
+__all__ = [
+    "NeighborIndex",
+    "observation_from_neighbors",
+    "observations_for_nodes",
+]
+
+
+def observation_from_neighbors(
+    neighbor_groups: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Histogram the group ids of a node's neighbours into an observation."""
+    neighbor_groups = np.asarray(neighbor_groups, dtype=np.int64)
+    return np.bincount(neighbor_groups, minlength=n_groups).astype(np.float64)
+
+
+class NeighborIndex:
+    """KD-tree backed neighbour queries for a :class:`SensorNetwork`.
+
+    Parameters
+    ----------
+    network:
+        The deployed network to index.  Node positions are copied into the
+        tree at construction time; rebuild the index after moving nodes.
+    """
+
+    def __init__(self, network: SensorNetwork):
+        self._network = network
+        self._tree = cKDTree(network.positions)
+        self._has_custom_ranges = network.ranges is not None and bool(
+            np.any(network.ranges != network.radio.nominal_range)
+        )
+
+    @property
+    def network(self) -> SensorNetwork:
+        """The indexed network."""
+        return self._network
+
+    # -- raw neighbour queries ----------------------------------------------
+
+    def neighbors_of_point(
+        self,
+        point,
+        *,
+        exclude: Optional[int] = None,
+        rng=None,
+    ) -> np.ndarray:
+        """Indices of nodes whose transmissions reach *point*.
+
+        A node ``u`` is a neighbour of the query point when the distance is
+        within ``u``'s effective transmission range (per-node overrides are
+        honoured) and the radio model keeps the link up.
+
+        Parameters
+        ----------
+        point:
+            Query location (typically a sensor's resident point).
+        exclude:
+            Optional node index to drop from the result (the querying node
+            itself).
+        rng:
+            Random generator used by probabilistic radio models.
+        """
+        p = as_point(point)
+        net = self._network
+        nominal = net.radio.max_range
+        if self._has_custom_ranges:
+            search_radius = float(max(nominal, np.max(net.ranges)))
+        else:
+            search_radius = float(nominal)
+        candidates = np.asarray(
+            self._tree.query_ball_point(p, search_radius), dtype=np.int64
+        )
+        if candidates.size == 0:
+            return candidates
+        diff = net.positions[candidates] - p
+        dist = np.hypot(diff[:, 0], diff[:, 1])
+
+        if self._has_custom_ranges:
+            sender_range = net.ranges[candidates]
+            # The radio model handles links within the nominal range; nodes
+            # with enlarged ranges reach further deterministically.
+            up = net.radio.link_up(dist, rng=rng) | (dist <= sender_range)
+            up &= dist <= np.maximum(sender_range, net.radio.max_range)
+        else:
+            up = net.radio.link_up(dist, rng=rng)
+
+        neighbors = candidates[up]
+        if exclude is not None:
+            neighbors = neighbors[neighbors != exclude]
+        return np.sort(neighbors)
+
+    def neighbors_of_node(self, node: int, *, rng=None) -> np.ndarray:
+        """Indices of the neighbours of node *node* (excluding itself)."""
+        node = int(node)
+        return self.neighbors_of_point(
+            self._network.positions[node], exclude=node, rng=rng
+        )
+
+    # -- observations --------------------------------------------------------
+
+    def observation_of_point(
+        self, point, *, exclude: Optional[int] = None, rng=None
+    ) -> np.ndarray:
+        """Observation vector (per-group neighbour counts) at *point*."""
+        neighbors = self.neighbors_of_point(point, exclude=exclude, rng=rng)
+        return observation_from_neighbors(
+            self._network.group_ids[neighbors], self._network.n_groups
+        )
+
+    def observation_of_node(self, node: int, *, rng=None) -> np.ndarray:
+        """Observation vector of node *node*."""
+        node = int(node)
+        return self.observation_of_point(
+            self._network.positions[node], exclude=node, rng=rng
+        )
+
+    def observations_of_nodes(self, nodes: Sequence[int], *, rng=None) -> np.ndarray:
+        """Observation vectors for a batch of nodes, shape ``(k, n_groups)``."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        out = np.empty((nodes.size, self._network.n_groups), dtype=np.float64)
+        for row, node in enumerate(nodes):
+            out[row] = self.observation_of_node(int(node), rng=rng)
+        return out
+
+    def neighbor_counts(self, nodes: Sequence[int], *, rng=None) -> np.ndarray:
+        """Total number of neighbours of each node in *nodes*."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        counts = np.empty(nodes.size, dtype=np.int64)
+        for row, node in enumerate(nodes):
+            counts[row] = self.neighbors_of_node(int(node), rng=rng).size
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NeighborIndex(nodes={self._network.num_nodes})"
+
+
+def observations_for_nodes(
+    network: SensorNetwork, nodes: Iterable[int], *, rng=None
+) -> np.ndarray:
+    """Convenience wrapper: build an index and collect observations for *nodes*."""
+    index = NeighborIndex(network)
+    return index.observations_of_nodes(list(nodes), rng=rng)

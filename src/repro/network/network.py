@@ -1,0 +1,161 @@
+"""The :class:`SensorNetwork` container.
+
+A sensor network is stored column-wise as flat NumPy arrays (positions,
+group ids, per-node radio ranges, compromised flags) rather than as a list
+of node objects, so that neighbour discovery, observation counting and the
+detection metrics can all run as vectorised kernels over tens of thousands
+of nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.network.radio import RadioModel, UnitDiskRadio
+from repro.types import Region, as_points
+from repro.utils.validation import check_positive
+
+__all__ = ["SensorNetwork"]
+
+
+@dataclass
+class SensorNetwork:
+    """A deployed wireless sensor network.
+
+    Attributes
+    ----------
+    positions:
+        Resident points of all nodes, shape ``(N, 2)`` (metres).
+    group_ids:
+        Deployment-group index of each node, shape ``(N,)``.
+    n_groups:
+        Total number of deployment groups ``n`` (some groups may have no
+        surviving members, so this cannot be inferred from ``group_ids``).
+    radio:
+        The radio model used for connectivity (defaults to a 100 m unit
+        disk, the implicit model of the paper).
+    region:
+        The deployment region (used for plotting and for keeping spoofed
+        locations inside the field); optional.
+    ranges:
+        Optional per-node transmission ranges.  ``None`` means every node
+        uses the radio model's nominal range; the range-change attack sets
+        individual entries.
+    compromised:
+        Boolean mask of compromised nodes, shape ``(N,)``.  Starts all
+        ``False``; attack code marks nodes.
+    """
+
+    positions: np.ndarray
+    group_ids: np.ndarray
+    n_groups: int
+    radio: RadioModel = field(default_factory=lambda: UnitDiskRadio(100.0))
+    region: Optional[Region] = None
+    ranges: Optional[np.ndarray] = None
+    compromised: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.positions = as_points(self.positions)
+        self.group_ids = np.asarray(self.group_ids, dtype=np.int64)
+        if self.positions.shape[0] != self.group_ids.shape[0]:
+            raise ValueError("positions and group_ids must have the same length")
+        if self.n_groups < 1:
+            raise ValueError("n_groups must be >= 1")
+        if self.group_ids.size and (
+            self.group_ids.min() < 0 or self.group_ids.max() >= self.n_groups
+        ):
+            raise ValueError("group_ids must lie in [0, n_groups)")
+        if self.ranges is not None:
+            self.ranges = np.asarray(self.ranges, dtype=np.float64)
+            if self.ranges.shape != (self.num_nodes,):
+                raise ValueError("ranges must have one entry per node")
+        if self.compromised is None:
+            self.compromised = np.zeros(self.num_nodes, dtype=bool)
+        else:
+            self.compromised = np.asarray(self.compromised, dtype=bool)
+            if self.compromised.shape != (self.num_nodes,):
+                raise ValueError("compromised must have one entry per node")
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of deployed nodes ``N``."""
+        return int(self.positions.shape[0])
+
+    @property
+    def group_size(self) -> int:
+        """Nominal number of nodes per group (``m``), assuming equal groups."""
+        if self.num_nodes % self.n_groups != 0:
+            raise ValueError(
+                "group_size is only defined for equal-size groups; "
+                "use group_counts() instead"
+            )
+        return self.num_nodes // self.n_groups
+
+    def group_counts(self) -> np.ndarray:
+        """Number of nodes actually present in each group."""
+        return np.bincount(self.group_ids, minlength=self.n_groups)
+
+    def node_range(self, node: int) -> float:
+        """Effective transmission range of a single node."""
+        if self.ranges is not None:
+            return float(self.ranges[node])
+        return float(self.radio.nominal_range)
+
+    def effective_ranges(self) -> np.ndarray:
+        """Per-node effective transmission ranges as a dense array."""
+        if self.ranges is not None:
+            return self.ranges.copy()
+        return np.full(self.num_nodes, self.radio.nominal_range, dtype=np.float64)
+
+    def members_of(self, group: int) -> np.ndarray:
+        """Indices of the nodes belonging to *group*."""
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group must be in [0, {self.n_groups}), got {group}")
+        return np.flatnonzero(self.group_ids == group)
+
+    # -- mutation used by attack code ---------------------------------------
+
+    def mark_compromised(self, nodes) -> None:
+        """Mark the given node indices as compromised."""
+        idx = np.asarray(nodes, dtype=np.int64)
+        self.compromised[idx] = True
+
+    def set_node_range(self, node: int, new_range: float) -> None:
+        """Override a single node's transmission range (range-change attack)."""
+        check_positive("new_range", new_range)
+        if self.ranges is None:
+            self.ranges = np.full(
+                self.num_nodes, self.radio.nominal_range, dtype=np.float64
+            )
+        self.ranges[int(node)] = float(new_range)
+
+    def move_node(self, node: int, new_position) -> None:
+        """Physically relocate a node (used by the node-movement variant of
+        the range-change attack)."""
+        pos = np.asarray(new_position, dtype=np.float64)
+        if pos.shape != (2,):
+            raise ValueError("new_position must be a single 2-D point")
+        self.positions[int(node)] = pos
+
+    def copy(self) -> "SensorNetwork":
+        """Deep copy of the network (positions, flags and ranges)."""
+        return SensorNetwork(
+            positions=self.positions.copy(),
+            group_ids=self.group_ids.copy(),
+            n_groups=self.n_groups,
+            radio=self.radio,
+            region=self.region,
+            ranges=None if self.ranges is None else self.ranges.copy(),
+            compromised=self.compromised.copy(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SensorNetwork(nodes={self.num_nodes}, groups={self.n_groups}, "
+            f"radio={self.radio!r})"
+        )

@@ -1,0 +1,143 @@
+"""Radio propagation models.
+
+The paper assumes a fixed transmission range ``R`` (unit-disk connectivity);
+range changes only appear as an *attack* (Section 6).  A log-normal
+shadowing model is provided as well so the sensitivity of the detection
+pipeline to imperfect unit-disk assumptions can be studied (this feeds the
+"deployment-knowledge accuracy" future-work experiment the paper sketches in
+its conclusion).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["RadioModel", "UnitDiskRadio", "LogNormalShadowingRadio"]
+
+
+class RadioModel(abc.ABC):
+    """Decides which pairs of nodes can hear each other."""
+
+    @property
+    @abc.abstractmethod
+    def nominal_range(self) -> float:
+        """Nominal transmission range in metres (``R`` in the paper)."""
+
+    @abc.abstractmethod
+    def link_up(self, distances: np.ndarray, rng=None) -> np.ndarray:
+        """Boolean mask of which links (given their lengths) are up."""
+
+    @property
+    def max_range(self) -> float:
+        """An upper bound on any link length this model can produce.
+
+        Used by neighbour discovery to bound the candidate search radius.
+        """
+        return self.nominal_range
+
+
+class UnitDiskRadio(RadioModel):
+    """Deterministic unit-disk model: a link is up iff its length is <= R."""
+
+    def __init__(self, radio_range: float = 100.0):
+        self._range = check_positive("radio_range", radio_range)
+
+    @property
+    def nominal_range(self) -> float:
+        return self._range
+
+    def link_up(self, distances: np.ndarray, rng=None) -> np.ndarray:
+        distances = np.asarray(distances, dtype=np.float64)
+        return distances <= self._range
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnitDiskRadio(range={self._range:g})"
+
+
+class LogNormalShadowingRadio(RadioModel):
+    """Probabilistic connectivity with log-normal shadowing.
+
+    The received power at distance ``d`` deviates from the path-loss mean by
+    a zero-mean Gaussian (in dB) with standard deviation ``shadowing_db``.
+    A link is up when the shadowed path loss stays within the link budget
+    implied by the nominal range.  With ``shadowing_db = 0`` this reduces to
+    the unit-disk model.
+    """
+
+    def __init__(
+        self,
+        radio_range: float = 100.0,
+        *,
+        path_loss_exponent: float = 2.5,
+        shadowing_db: float = 4.0,
+        max_range_factor: float = 2.0,
+    ):
+        self._range = check_positive("radio_range", radio_range)
+        self._exponent = check_positive("path_loss_exponent", path_loss_exponent)
+        self._shadowing_db = check_positive("shadowing_db", shadowing_db, strict=False)
+        self._max_range_factor = check_positive("max_range_factor", max_range_factor)
+        if max_range_factor < 1.0:
+            raise ValueError("max_range_factor must be >= 1")
+
+    @property
+    def nominal_range(self) -> float:
+        return self._range
+
+    @property
+    def path_loss_exponent(self) -> float:
+        """Path-loss exponent of the propagation model."""
+        return self._exponent
+
+    @property
+    def shadowing_db(self) -> float:
+        """Standard deviation of the shadowing term, in dB."""
+        return self._shadowing_db
+
+    @property
+    def max_range(self) -> float:
+        return self._range * self._max_range_factor
+
+    def link_up(self, distances: np.ndarray, rng=None) -> np.ndarray:
+        distances = np.asarray(distances, dtype=np.float64)
+        if self._shadowing_db == 0.0:
+            return distances <= self._range
+        generator = as_generator(rng)
+        # Margin (in dB) of the link budget relative to the nominal range.
+        with np.errstate(divide="ignore"):
+            margin_db = (
+                10.0
+                * self._exponent
+                * (np.log10(self._range) - np.log10(np.maximum(distances, 1e-9)))
+            )
+        shadowing = generator.normal(0.0, self._shadowing_db, size=distances.shape)
+        up = margin_db + shadowing >= 0.0
+        # Hard cut-off so the neighbour search radius stays bounded.
+        return up & (distances <= self.max_range)
+
+    def connection_probability(self, distances: np.ndarray) -> np.ndarray:
+        """Analytic probability that a link of the given length is up."""
+        from scipy.special import ndtr
+
+        distances = np.asarray(distances, dtype=np.float64)
+        if self._shadowing_db == 0.0:
+            return (distances <= self._range).astype(np.float64)
+        with np.errstate(divide="ignore"):
+            margin_db = (
+                10.0
+                * self._exponent
+                * (np.log10(self._range) - np.log10(np.maximum(distances, 1e-9)))
+            )
+        prob = ndtr(margin_db / self._shadowing_db)
+        return np.where(distances <= self.max_range, prob, 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogNormalShadowingRadio(range={self._range:g}, "
+            f"exponent={self._exponent:g}, shadowing_db={self._shadowing_db:g})"
+        )

@@ -1,0 +1,148 @@
+"""Common type aliases and small value objects shared across the package.
+
+The simulation deals with three recurring kinds of data:
+
+* **points** — 2-D coordinates in metres, stored as ``float64`` arrays of
+  shape ``(2,)`` for a single point or ``(k, 2)`` for a batch;
+* **observations** — per-group neighbour counts, stored as ``float64``
+  arrays of shape ``(n_groups,)`` for a single sensor or
+  ``(k, n_groups)`` for a batch of sensors (float because the attacked
+  observations produced by the paper's greedy adversary may take the
+  real-valued expected counts);
+* **group ids** — integer indices in ``[0, n_groups)``.
+
+Keeping these conventions uniform lets every module exchange plain NumPy
+arrays without conversion layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: A single 2-D point or an array of 2-D points.
+PointLike = Union[tuple, list, npt.NDArray[np.floating]]
+
+#: Array of per-group neighbour counts.
+ObservationArray = npt.NDArray[np.floating]
+
+#: Array of float64 values (generic numeric result).
+FloatArray = npt.NDArray[np.floating]
+
+#: Array of integer values (group ids, node ids, counts).
+IntArray = npt.NDArray[np.integer]
+
+
+def as_point(value: PointLike) -> np.ndarray:
+    """Coerce *value* into a ``float64`` array of shape ``(2,)``.
+
+    Raises
+    ------
+    ValueError
+        If the value cannot be interpreted as a single 2-D point.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.shape != (2,):
+        raise ValueError(f"expected a single 2-D point, got shape {arr.shape}")
+    return arr
+
+
+def as_points(value: PointLike) -> np.ndarray:
+    """Coerce *value* into a ``float64`` array of shape ``(k, 2)``.
+
+    A single point is promoted to a batch of one.
+    """
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 1:
+        if arr.shape != (2,):
+            raise ValueError(f"expected 2-D points, got shape {arr.shape}")
+        return arr.reshape(1, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(f"expected an array of 2-D points, got shape {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class Region:
+    """An axis-aligned rectangular deployment region, in metres.
+
+    The paper's evaluation uses a 1000 m x 1000 m square
+    (``Region(0, 0, 1000, 1000)``).
+    """
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max <= self.x_min or self.y_max <= self.y_min:
+            raise ValueError(
+                "region must have positive extent: "
+                f"({self.x_min}, {self.y_min}) -> ({self.x_max}, {self.y_max})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Extent along the x axis."""
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        """Extent along the y axis."""
+        return self.y_max - self.y_min
+
+    @property
+    def area(self) -> float:
+        """Area of the region in square metres."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> np.ndarray:
+        """Centre point of the region."""
+        return np.array(
+            [(self.x_min + self.x_max) / 2.0, (self.y_min + self.y_max) / 2.0]
+        )
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the region diagonal (largest possible distance inside)."""
+        return float(np.hypot(self.width, self.height))
+
+    def contains(self, points: PointLike) -> np.ndarray:
+        """Return a boolean mask of which *points* fall inside the region.
+
+        Boundary points are considered inside.
+        """
+        pts = as_points(points)
+        inside = (
+            (pts[:, 0] >= self.x_min)
+            & (pts[:, 0] <= self.x_max)
+            & (pts[:, 1] >= self.y_min)
+            & (pts[:, 1] <= self.y_max)
+        )
+        return inside
+
+    def contains_point(self, point: PointLike) -> bool:
+        """Return ``True`` when the single *point* lies inside the region."""
+        return bool(self.contains(as_point(point))[0])
+
+    def clip(self, points: PointLike) -> np.ndarray:
+        """Clamp *points* onto the region (component-wise)."""
+        pts = as_points(points).copy()
+        pts[:, 0] = np.clip(pts[:, 0], self.x_min, self.x_max)
+        pts[:, 1] = np.clip(pts[:, 1], self.y_min, self.y_max)
+        return pts
+
+    def sample_uniform(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Sample *size* points uniformly at random from the region."""
+        xs = rng.uniform(self.x_min, self.x_max, size=size)
+        ys = rng.uniform(self.y_min, self.y_max, size=size)
+        return np.column_stack([xs, ys])
+
+
+#: The deployment region used throughout the paper's evaluation (Section 7.1).
+PAPER_REGION = Region(0.0, 0.0, 1000.0, 1000.0)

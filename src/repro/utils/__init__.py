@@ -1,0 +1,23 @@
+"""Low-level utilities: seeded RNG handling, validation, lookup tables, stats."""
+
+from repro.utils.rng import RandomState, spawn_rngs, as_generator
+from repro.utils.tables import LookupTable1D
+from repro.utils.stats import (
+    empirical_percentile,
+    rates_from_scores,
+    roc_points,
+    binomial_pmf,
+    binomial_log_pmf,
+)
+
+__all__ = [
+    "RandomState",
+    "spawn_rngs",
+    "as_generator",
+    "LookupTable1D",
+    "empirical_percentile",
+    "rates_from_scores",
+    "roc_points",
+    "binomial_pmf",
+    "binomial_log_pmf",
+]

@@ -1,0 +1,44 @@
+"""Minimal logging configuration for the experiment harness and CLI.
+
+The library itself never configures the root logger (library code should not
+dictate logging policy); only :func:`configure_logging` — called by the CLI
+and the example scripts — installs a handler.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+PACKAGE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a child logger of the package logger."""
+    if name is None or name == PACKAGE_LOGGER_NAME:
+        return logging.getLogger(PACKAGE_LOGGER_NAME)
+    if name.startswith(PACKAGE_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{PACKAGE_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach a formatted stream handler to the package logger.
+
+    Safe to call multiple times; existing handlers installed by this function
+    are replaced rather than duplicated.
+    """
+    logger = logging.getLogger(PACKAGE_LOGGER_NAME)
+    logger.setLevel(level)
+    # Remove handlers we previously installed (tagged by name).
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler._repro_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,163 @@
+"""Statistical helpers: percentiles, binomial pmfs and ROC bookkeeping.
+
+The LAD detection pipeline only needs a small number of statistical
+primitives, but they sit on the hot path (they are evaluated for every
+victim and every candidate threshold), so they are implemented as
+vectorised NumPy kernels rather than per-sample Python code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import special
+
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "empirical_percentile",
+    "rates_from_scores",
+    "roc_points",
+    "binomial_pmf",
+    "binomial_log_pmf",
+    "binomial_mode",
+]
+
+
+def empirical_percentile(samples: np.ndarray, tau: float) -> float:
+    """Return the ``tau``-quantile of *samples* (``tau`` in [0, 1]).
+
+    This is the paper's threshold-selection rule (Section 5.5): during
+    training, the detection threshold is the value below which ``τ`` percent
+    of the benign metric results fall; ``1 − τ`` is the nominal
+    false-positive rate.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.size == 0:
+        raise ValueError("cannot take a percentile of an empty sample")
+    check_probability("tau", tau)
+    return float(np.quantile(samples, tau, method="linear"))
+
+
+def rates_from_scores(
+    benign_scores: np.ndarray,
+    attacked_scores: np.ndarray,
+    threshold: float,
+) -> Tuple[float, float]:
+    """Return ``(false_positive_rate, detection_rate)`` at a given threshold.
+
+    A sample raises an alarm when its score is *strictly greater* than the
+    threshold (scores follow the convention "larger = more anomalous").
+    """
+    benign_scores = np.asarray(benign_scores, dtype=np.float64)
+    attacked_scores = np.asarray(attacked_scores, dtype=np.float64)
+    fp = float(np.mean(benign_scores > threshold)) if benign_scores.size else 0.0
+    dr = float(np.mean(attacked_scores > threshold)) if attacked_scores.size else 0.0
+    return fp, dr
+
+
+def roc_points(
+    benign_scores: np.ndarray,
+    attacked_scores: np.ndarray,
+    num_thresholds: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute an ROC curve by sweeping the detection threshold.
+
+    Parameters
+    ----------
+    benign_scores, attacked_scores:
+        Anomaly scores of benign and attacked samples (larger = more
+        anomalous).
+    num_thresholds:
+        When given, the thresholds are ``num_thresholds`` evenly spaced
+        quantiles of the pooled scores; otherwise every distinct pooled score
+        is used (exact ROC).
+
+    Returns
+    -------
+    thresholds, fp_rates, detection_rates:
+        Arrays sorted by increasing false-positive rate.
+    """
+    benign_scores = np.asarray(benign_scores, dtype=np.float64).ravel()
+    attacked_scores = np.asarray(attacked_scores, dtype=np.float64).ravel()
+    pooled = np.concatenate([benign_scores, attacked_scores])
+    if pooled.size == 0:
+        raise ValueError("need at least one score to build an ROC curve")
+
+    if num_thresholds is None:
+        candidates = np.unique(pooled)
+    else:
+        qs = np.linspace(0.0, 1.0, int(num_thresholds))
+        candidates = np.unique(np.quantile(pooled, qs))
+    # Add sentinels so the curve spans (0, 0) .. (1, 1).
+    lo = candidates[0] - 1.0
+    hi = candidates[-1] + 1.0
+    thresholds = np.concatenate([[lo], candidates, [hi]])
+
+    # Vectorised alarm counting: for each threshold, the number of samples
+    # whose score exceeds it.  ``searchsorted`` on the sorted scores gives
+    # the count of scores <= threshold in O(log n) per threshold.
+    benign_sorted = np.sort(benign_scores)
+    attacked_sorted = np.sort(attacked_scores)
+    n_b = max(benign_sorted.size, 1)
+    n_a = max(attacked_sorted.size, 1)
+    fp = 1.0 - np.searchsorted(benign_sorted, thresholds, side="right") / n_b
+    dr = 1.0 - np.searchsorted(attacked_sorted, thresholds, side="right") / n_a
+
+    # Sort by (false-positive rate, detection rate) so ties in FP caused by
+    # distinct thresholds still yield a non-decreasing detection-rate curve.
+    order = np.lexsort((dr, fp))
+    return thresholds[order], fp[order], dr[order]
+
+
+def binomial_log_pmf(k: np.ndarray, n: float, p: np.ndarray) -> np.ndarray:
+    """Log of the binomial pmf ``P(X = k)`` with ``X ~ Binomial(n, p)``.
+
+    Vectorised and numerically safe: ``p`` values of exactly 0 or 1 are
+    handled without producing NaNs, and non-integer ``k`` (the attacked
+    observations can be real-valued) uses the natural Gamma-function
+    generalisation of the binomial coefficient.
+    """
+    k = np.asarray(k, dtype=np.float64)
+    p = np.asarray(p, dtype=np.float64)
+    n = float(n)
+    k, p = np.broadcast_arrays(k, p)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_coeff = (
+            special.gammaln(n + 1.0)
+            - special.gammaln(k + 1.0)
+            - special.gammaln(n - k + 1.0)
+        )
+        log_p = np.where(k > 0, k * np.log(np.where(p > 0, p, 1.0)), 0.0)
+        log_q = np.where(
+            n - k > 0, (n - k) * np.log(np.where(p < 1, 1.0 - p, 1.0)), 0.0
+        )
+        out = log_coeff + log_p + log_q
+
+    # Outside the support the probability is zero.
+    invalid = (k < 0) | (k > n)
+    out = np.where(invalid, -np.inf, out)
+    # p == 0 forces X == 0, p == 1 forces X == n.
+    out = np.where((p <= 0) & (k > 0), -np.inf, out)
+    out = np.where((p >= 1) & (k < n), -np.inf, out)
+    return out
+
+
+def binomial_pmf(k: np.ndarray, n: float, p: np.ndarray) -> np.ndarray:
+    """Binomial pmf ``P(X = k)`` with ``X ~ Binomial(n, p)`` (vectorised)."""
+    return np.exp(binomial_log_pmf(k, n, p))
+
+
+def binomial_mode(n: float, p: np.ndarray) -> np.ndarray:
+    """Most probable value of a ``Binomial(n, p)`` variable.
+
+    The mode is ``floor((n + 1) p)`` (with the convention that ties are
+    resolved downwards), clipped to the support ``[0, n]``.  The greedy
+    adversary against the Probability metric drives each observation toward
+    this value.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    mode = np.floor((float(n) + 1.0) * p)
+    return np.clip(mode, 0.0, float(n))

@@ -1,0 +1,150 @@
+"""One-dimensional lookup tables with linear interpolation.
+
+Section 3.3 of the paper notes that the exact ``g(z)`` formula is too
+expensive to evaluate on a sensor node and prescribes a table-lookup
+approximation: the range of ``z`` is divided into ``ω`` equal sub-ranges,
+``g`` is pre-computed at the ``ω + 1`` dividing points, and queries are
+answered by linear interpolation in constant time.  :class:`LookupTable1D`
+implements exactly that access pattern (vectorised over query batches).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_int, check_positive
+
+__all__ = ["LookupTable1D"]
+
+
+class LookupTable1D:
+    """Piecewise-linear approximation of a scalar function on ``[lo, hi]``.
+
+    Parameters
+    ----------
+    xs:
+        Monotonically increasing knot positions (``ω + 1`` points).
+    ys:
+        Function values at the knots.
+    clamp:
+        When ``True`` (default) queries outside ``[lo, hi]`` are clamped to
+        the boundary values; when ``False`` they are linearly extrapolated.
+    """
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, *, clamp: bool = True):
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.ndim != 1 or ys.ndim != 1:
+            raise ValueError("xs and ys must be one-dimensional")
+        if xs.size != ys.size:
+            raise ValueError("xs and ys must have the same length")
+        if xs.size < 2:
+            raise ValueError("a lookup table needs at least two knots")
+        if np.any(np.diff(xs) <= 0):
+            raise ValueError("xs must be strictly increasing")
+        self._xs = xs
+        self._ys = ys
+        self._clamp = bool(clamp)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_function(
+        cls,
+        func: Callable[[np.ndarray], np.ndarray],
+        lo: float,
+        hi: float,
+        num_intervals: int,
+        *,
+        clamp: bool = True,
+    ) -> "LookupTable1D":
+        """Tabulate *func* on ``num_intervals`` equal sub-ranges of [lo, hi].
+
+        This mirrors the paper's ``ω`` parameter: the table stores
+        ``num_intervals + 1`` values.
+        """
+        check_int("num_intervals", num_intervals, minimum=1)
+        lo = float(lo)
+        hi = float(hi)
+        if hi <= lo:
+            raise ValueError("hi must be greater than lo")
+        xs = np.linspace(lo, hi, num_intervals + 1)
+        ys = np.asarray(func(xs), dtype=np.float64)
+        if ys.shape != xs.shape:
+            raise ValueError("func must return one value per knot")
+        return cls(xs, ys, clamp=clamp)
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def knots(self) -> np.ndarray:
+        """Knot positions (read-only view)."""
+        view = self._xs.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def values(self) -> np.ndarray:
+        """Knot values (read-only view)."""
+        view = self._ys.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of sub-ranges (``ω`` in the paper)."""
+        return self._xs.size - 1
+
+    @property
+    def domain(self) -> tuple[float, float]:
+        """The tabulated interval ``(lo, hi)``."""
+        return float(self._xs[0]), float(self._xs[-1])
+
+    # -- evaluation --------------------------------------------------------
+
+    def __call__(self, z: np.ndarray) -> np.ndarray:
+        """Interpolate the table at *z* (scalar or array, any shape)."""
+        z_arr = np.asarray(z, dtype=np.float64)
+        if self._clamp:
+            z_eval = np.clip(z_arr, self._xs[0], self._xs[-1])
+            out = np.interp(z_eval, self._xs, self._ys)
+        else:
+            out = self._interp_extrapolate(z_arr)
+        if np.isscalar(z) or z_arr.ndim == 0:
+            return float(out)
+        return out
+
+    def _interp_extrapolate(self, z: np.ndarray) -> np.ndarray:
+        """Linear interpolation with linear extrapolation outside the domain."""
+        out = np.interp(z, self._xs, self._ys)
+        below = z < self._xs[0]
+        above = z > self._xs[-1]
+        if np.any(below):
+            slope = (self._ys[1] - self._ys[0]) / (self._xs[1] - self._xs[0])
+            out = np.where(below, self._ys[0] + slope * (z - self._xs[0]), out)
+        if np.any(above):
+            slope = (self._ys[-1] - self._ys[-2]) / (self._xs[-1] - self._xs[-2])
+            out = np.where(above, self._ys[-1] + slope * (z - self._xs[-1]), out)
+        return out
+
+    def max_abs_error(self, func: Callable[[np.ndarray], np.ndarray], samples: int = 1000) -> float:
+        """Estimate the maximum absolute interpolation error against *func*.
+
+        Used by the ``g(z)`` ablation benchmark to show how small ``ω`` can be
+        while keeping the approximation error negligible (Section 3.3).
+        """
+        check_positive("samples", samples)
+        lo, hi = self.domain
+        zs = np.linspace(lo, hi, int(samples))
+        exact = np.asarray(func(zs), dtype=np.float64)
+        approx = self(zs)
+        return float(np.max(np.abs(exact - approx)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo, hi = self.domain
+        return (
+            f"LookupTable1D(domain=[{lo:g}, {hi:g}], "
+            f"intervals={self.num_intervals})"
+        )

@@ -1,0 +1,78 @@
+"""Argument-validation helpers used throughout the public API.
+
+These helpers raise ``ValueError``/``TypeError`` with consistent messages so
+that user errors surface at the API boundary rather than deep inside a
+vectorised kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that *value* is a positive (or non-negative) finite number."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    if strict and value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Alias of :func:`check_probability` for fraction-style parameters."""
+    return check_probability(name, value)
+
+
+def check_int(
+    name: str,
+    value: int,
+    *,
+    minimum: Optional[int] = None,
+    maximum: Optional[int] = None,
+) -> int:
+    """Validate that *value* is an integer within the given bounds."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ValueError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def check_array_shape(
+    name: str, array: np.ndarray, *, ndim: Optional[int] = None, last_dim: Optional[int] = None
+) -> np.ndarray:
+    """Validate dimensionality constraints of a NumPy array argument."""
+    array = np.asarray(array)
+    if ndim is not None and array.ndim != ndim:
+        raise ValueError(f"{name} must have ndim={ndim}, got ndim={array.ndim}")
+    if last_dim is not None and (array.ndim == 0 or array.shape[-1] != last_dim):
+        raise ValueError(
+            f"{name} must have last dimension {last_dim}, got shape {array.shape}"
+        )
+    return array
+
+
+def check_same_length(name_a: str, a: np.ndarray, name_b: str, b: np.ndarray) -> None:
+    """Validate that two array arguments have the same leading length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} and {name_b} must have the same length, got "
+            f"{len(a)} and {len(b)}"
+        )

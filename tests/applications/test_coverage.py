@@ -1,0 +1,58 @@
+"""Tests for :mod:`repro.applications.coverage`."""
+
+import numpy as np
+import pytest
+
+from repro.applications.coverage import coverage_fraction, coverage_map
+from repro.types import Region
+
+
+class TestCoverage:
+    def test_single_sensor_coverage_fraction(self):
+        region = Region(0, 0, 100, 100)
+        frac = coverage_fraction(
+            [[50.0, 50.0]], region, sensing_range=20.0, resolution=2.0
+        )
+        # One disk of radius 20 in a 100x100 region ~ pi*400/10000 = 12.6%.
+        assert frac == pytest.approx(np.pi * 400 / 10_000, abs=0.02)
+
+    def test_full_coverage(self):
+        region = Region(0, 0, 100, 100)
+        xs = np.arange(10, 100, 20.0)
+        gx, gy = np.meshgrid(xs, xs)
+        sensors = np.column_stack([gx.ravel(), gy.ravel()])
+        frac = coverage_fraction(sensors, region, sensing_range=30.0, resolution=5.0)
+        assert frac == 1.0
+
+    def test_k_coverage_is_smaller(self):
+        region = Region(0, 0, 100, 100)
+        rng = np.random.default_rng(0)
+        sensors = rng.uniform(0, 100, size=(40, 2))
+        single = coverage_fraction(sensors, region, 25.0, resolution=5.0, min_sensors=1)
+        double = coverage_fraction(sensors, region, 25.0, resolution=5.0, min_sensors=2)
+        assert double <= single
+
+    def test_coverage_map_shapes(self):
+        region = Region(0, 0, 100, 50)
+        xs, ys, covered = coverage_map([[10.0, 10.0]], region, 10.0, resolution=10.0)
+        assert covered.shape == (len(ys), len(xs))
+        assert covered.dtype == bool
+
+    def test_misreported_positions_overestimate_coverage(self):
+        """Believed locations spread out wider than reality inflate the
+        operator's coverage estimate — the management consequence of
+        localization attacks."""
+        region = Region(0, 0, 200, 200)
+        rng = np.random.default_rng(1)
+        true_positions = rng.uniform(80, 120, size=(30, 2))  # clustered
+        believed = rng.uniform(0, 200, size=(30, 2))  # spread out (spoofed)
+        true_cov = coverage_fraction(true_positions, region, 30.0, resolution=5.0)
+        believed_cov = coverage_fraction(believed, region, 30.0, resolution=5.0)
+        assert believed_cov > true_cov
+
+    def test_invalid_arguments(self):
+        region = Region(0, 0, 10, 10)
+        with pytest.raises(ValueError):
+            coverage_fraction([[1.0, 1.0]], region, sensing_range=0.0)
+        with pytest.raises(ValueError):
+            coverage_fraction([[1.0, 1.0]], region, 5.0, min_sensors=0)

@@ -1,0 +1,83 @@
+"""Tests for :mod:`repro.applications.routing`."""
+
+import numpy as np
+import pytest
+
+from repro.applications.routing import (
+    GreedyGeographicRouter,
+    RoutingStats,
+    evaluate_routing,
+)
+from repro.network.network import SensorNetwork
+from repro.network.radio import UnitDiskRadio
+
+
+@pytest.fixture(scope="module")
+def dense_grid_network():
+    """A regular 11 x 11 lattice (spacing 40 m, range 60 m) where greedy
+    forwarding with honest locations always succeeds."""
+    xs = np.arange(0.0, 401.0, 40.0)
+    gx, gy = np.meshgrid(xs, xs)
+    positions = np.column_stack([gx.ravel(), gy.ravel()])
+    return SensorNetwork(
+        positions=positions,
+        group_ids=np.zeros(positions.shape[0], dtype=int),
+        n_groups=1,
+        radio=UnitDiskRadio(60.0),
+    )
+
+
+class TestGreedyRouting:
+    def test_delivery_with_honest_locations(self, dense_grid_network):
+        router = GreedyGeographicRouter(dense_grid_network)
+        result = router.route(0, (400.0, 400.0))
+        assert result.delivered
+        assert result.hop_count >= 5
+        assert result.path_length > 0
+
+    def test_route_to_own_neighborhood_is_immediate(self, dense_grid_network):
+        router = GreedyGeographicRouter(dense_grid_network)
+        result = router.route(0, (10.0, 10.0))
+        assert result.delivered
+        assert result.hop_count == 0
+
+    def test_corrupted_locations_hurt_delivery(self, dense_grid_network):
+        rng = np.random.default_rng(0)
+        honest = evaluate_routing(
+            dense_grid_network,
+            dense_grid_network.positions,
+            [(0, np.array([400.0, 400.0])), (10, np.array([0.0, 400.0]))],
+        )
+        # Corrupt half of the nodes' believed positions by large offsets.
+        believed = dense_grid_network.positions.copy()
+        corrupt = rng.choice(believed.shape[0], size=60, replace=False)
+        believed[corrupt] += rng.normal(0, 300.0, size=(60, 2))
+        corrupted = evaluate_routing(
+            dense_grid_network,
+            believed,
+            [(0, np.array([400.0, 400.0])), (10, np.array([0.0, 400.0]))],
+        )
+        assert corrupted.delivery_rate <= honest.delivery_rate
+        assert honest.delivery_rate == 1.0
+
+    def test_stats_aggregation(self):
+        stats = RoutingStats()
+        assert stats.delivery_rate == 0.0
+        from repro.applications.routing import RouteResult
+
+        stats.record(RouteResult(delivered=True, hops=[0, 1, 2], path_length=80.0))
+        stats.record(RouteResult(delivered=False, hops=[0], path_length=0.0))
+        assert stats.attempted == 2
+        assert stats.delivery_rate == 0.5
+        assert stats.mean_hops == 2.0
+        assert stats.mean_path_length == 80.0
+
+    def test_believed_positions_shape_checked(self, dense_grid_network):
+        with pytest.raises(ValueError):
+            GreedyGeographicRouter(dense_grid_network, np.zeros((3, 2)))
+
+    def test_max_hops_abort(self, dense_grid_network):
+        router = GreedyGeographicRouter(dense_grid_network, max_hops=2)
+        result = router.route(0, (400.0, 400.0))
+        assert not result.delivered
+        assert result.hop_count <= 2

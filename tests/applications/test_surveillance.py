@@ -1,0 +1,64 @@
+"""Tests for :mod:`repro.applications.surveillance`."""
+
+import numpy as np
+import pytest
+
+from repro.applications.surveillance import SurveillanceField
+from repro.network.network import SensorNetwork
+from repro.network.radio import UnitDiskRadio
+
+
+@pytest.fixture()
+def field_network():
+    rng = np.random.default_rng(0)
+    positions = rng.uniform(0, 400, size=(120, 2))
+    return SensorNetwork(
+        positions=positions,
+        group_ids=np.zeros(120, dtype=int),
+        n_groups=1,
+        radio=UnitDiskRadio(80.0),
+    )
+
+
+class TestSurveillanceField:
+    def test_detection_with_honest_locations(self, field_network):
+        field = SurveillanceField(field_network, sensing_range=60.0)
+        events = np.array([[100.0, 100.0], [300.0, 250.0]])
+        stats = field.report_events(events)
+        assert stats.total_events == 2
+        assert stats.detected_events == 2
+        assert stats.mean_report_error <= 60.0
+
+    def test_detecting_sensors_radius(self, field_network):
+        field = SurveillanceField(field_network, sensing_range=50.0)
+        detectors = field.detecting_sensors((200.0, 200.0))
+        dists = np.hypot(*(field_network.positions[detectors] - [200.0, 200.0]).T)
+        assert np.all(dists <= 50.0)
+
+    def test_corrupted_locations_increase_report_error(self, field_network):
+        events = np.array([[200.0, 200.0]])
+        honest = SurveillanceField(field_network, sensing_range=60.0).report_events(events)
+        corrupted_positions = field_network.positions + np.array([250.0, 0.0])
+        corrupted = SurveillanceField(
+            field_network, corrupted_positions, sensing_range=60.0
+        ).report_events(events)
+        assert corrupted.mean_report_error > honest.mean_report_error + 100.0
+
+    def test_suppression_removes_reports(self, field_network):
+        field = SurveillanceField(field_network, sensing_range=60.0)
+        events = np.array([[200.0, 200.0]])
+        detectors = field.detecting_sensors(events[0])
+        field.suppress_sensors(detectors[: len(detectors) // 2])
+        stats = field.report_events(events)
+        assert 0.0 < stats.suppressed_fraction < 1.0
+        assert len(stats.usable_reports()) < len(stats.reports)
+
+    def test_undetected_event(self, field_network):
+        field = SurveillanceField(field_network, sensing_range=5.0)
+        stats = field.report_events(np.array([[-500.0, -500.0]]))
+        assert stats.detected_events == 0
+        assert np.isnan(stats.mean_report_error)
+
+    def test_believed_positions_shape_checked(self, field_network):
+        with pytest.raises(ValueError):
+            SurveillanceField(field_network, np.zeros((2, 2)))

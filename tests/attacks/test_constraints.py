@@ -1,0 +1,126 @@
+"""Tests for :mod:`repro.attacks.constraints` (Definitions 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackBudget
+from repro.attacks.constraints import (
+    DecBoundedAttack,
+    DecOnlyAttack,
+    get_attack_class,
+    validate_attack,
+)
+
+
+@pytest.fixture()
+def honest():
+    return np.array([5.0, 0.0, 3.0, 10.0])
+
+
+class TestAttackBudget:
+    def test_from_fraction_rounds(self):
+        assert AttackBudget.from_fraction(100, 0.10).compromised_nodes == 10
+        assert AttackBudget.from_fraction(95, 0.10).compromised_nodes == 10
+        assert AttackBudget.from_fraction(94, 0.10).compromised_nodes == 9
+        assert AttackBudget.from_fraction(0, 0.5).compromised_nodes == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            AttackBudget(-1)
+        with pytest.raises(ValueError):
+            AttackBudget.from_fraction(10, 1.5)
+
+    def test_int_conversion(self):
+        assert int(AttackBudget(7)) == 7
+
+
+class TestDecBounded:
+    def test_increases_always_feasible(self, honest):
+        attack = DecBoundedAttack()
+        tainted = honest + np.array([100.0, 50.0, 0.0, 0.0])
+        assert attack.is_feasible(honest, tainted, 0)
+
+    def test_decrease_within_budget(self, honest):
+        attack = DecBoundedAttack()
+        tainted = honest - np.array([2.0, 0.0, 1.0, 0.0])
+        assert attack.is_feasible(honest, tainted, 3)
+        assert not attack.is_feasible(honest, tainted, 2)
+
+    def test_mixed_increase_and_decrease(self, honest):
+        attack = DecBoundedAttack()
+        tainted = np.array([0.0, 20.0, 3.0, 10.0])  # decrease of 5 on group 0
+        assert attack.is_feasible(honest, tainted, 5)
+        assert not attack.is_feasible(honest, tainted, 4)
+
+    def test_negative_counts_infeasible(self, honest):
+        attack = DecBoundedAttack()
+        tainted = honest.copy()
+        tainted[0] = -1.0
+        assert not attack.is_feasible(honest, tainted, 100)
+
+    def test_group_size_ceiling(self, honest):
+        attack = DecBoundedAttack()
+        tainted = honest.copy()
+        tainted[1] = 31.0
+        assert not attack.is_feasible(honest, tainted, 0, group_size=30)
+        assert attack.is_feasible(honest, tainted, 0, group_size=40)
+
+    def test_entry_bounds(self, honest):
+        attack = DecBoundedAttack()
+        lower, upper = attack.entry_bounds(honest, 4, group_size=30)
+        np.testing.assert_allclose(lower, [1.0, 0.0, 0.0, 6.0])
+        np.testing.assert_allclose(upper, 30.0)
+        _, upper_inf = attack.entry_bounds(honest, 4)
+        assert np.all(np.isinf(upper_inf))
+
+
+class TestDecOnly:
+    def test_no_increase_allowed(self, honest):
+        attack = DecOnlyAttack()
+        tainted = honest.copy()
+        tainted[1] += 1.0
+        assert not attack.is_feasible(honest, tainted, 100)
+
+    def test_decrease_within_budget(self, honest):
+        attack = DecOnlyAttack()
+        tainted = honest - np.array([1.0, 0.0, 1.0, 2.0])
+        assert attack.is_feasible(honest, tainted, 4)
+        assert not attack.is_feasible(honest, tainted, 3)
+
+    def test_identity_always_feasible(self, honest):
+        attack = DecOnlyAttack()
+        assert attack.is_feasible(honest, honest.copy(), 0)
+
+    def test_entry_bounds(self, honest):
+        attack = DecOnlyAttack()
+        lower, upper = attack.entry_bounds(honest, 2)
+        np.testing.assert_allclose(lower, [3.0, 0.0, 1.0, 8.0])
+        np.testing.assert_allclose(upper, honest)
+
+    def test_flags(self):
+        assert DecBoundedAttack().allows_increase
+        assert not DecOnlyAttack().allows_increase
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_attack_class("dec_bounded"), DecBoundedAttack)
+        assert isinstance(get_attack_class("Dec-Only"), DecOnlyAttack)
+        assert isinstance(get_attack_class("decbounded"), DecBoundedAttack)
+
+    def test_instance_passthrough(self):
+        inst = DecOnlyAttack()
+        assert get_attack_class(inst) is inst
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_attack_class("quantum")
+
+    def test_validate_attack_helper(self, honest):
+        validate_attack("dec_only", honest, honest - np.array([1.0, 0, 0, 0]), 1)
+        with pytest.raises(ValueError):
+            validate_attack("dec_only", honest, honest + 1.0, 100)
+
+    def test_shape_mismatch_rejected(self, honest):
+        with pytest.raises(ValueError):
+            DecBoundedAttack().is_feasible(honest, honest[:2], 1)

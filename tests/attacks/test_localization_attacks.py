@@ -1,0 +1,106 @@
+"""Tests for :mod:`repro.attacks.localization_attacks`."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.localization_attacks import (
+    BeaconLieAttack,
+    DisplacementAttack,
+    replay_beacon_attack,
+)
+from repro.localization.base import BeaconInfrastructure
+from repro.types import Region
+
+
+class TestDisplacementAttack:
+    def test_exact_displacement_distance(self):
+        attack = DisplacementAttack(degree_of_damage=120.0)
+        actual = np.array([500.0, 500.0])
+        for seed in range(10):
+            spoofed = attack.spoof_location(actual, rng=seed, region=Region(0, 0, 1000, 1000))
+            assert np.hypot(*(spoofed - actual)) == pytest.approx(120.0)
+
+    def test_batch_displacement(self):
+        attack = DisplacementAttack(degree_of_damage=80.0)
+        region = Region(0, 0, 1000, 1000)
+        actual = np.array([[100.0, 100.0], [500.0, 900.0], [950.0, 40.0]])
+        spoofed = attack.spoof_locations(actual, rng=1, region=region)
+        np.testing.assert_allclose(np.hypot(*(spoofed - actual).T), 80.0, atol=1e-9)
+        assert region.contains(spoofed).all()
+
+    def test_directions_vary(self):
+        attack = DisplacementAttack(degree_of_damage=50.0)
+        actual = np.tile([500.0, 500.0], (50, 1))
+        spoofed = attack.spoof_locations(actual, rng=2)
+        # Angles should spread over the circle, not collapse to one value.
+        angles = np.arctan2(spoofed[:, 1] - 500.0, spoofed[:, 0] - 500.0)
+        assert angles.std() > 0.5
+
+    def test_outside_region_allowed_when_disabled(self):
+        attack = DisplacementAttack(degree_of_damage=300.0, keep_inside_region=False)
+        region = Region(0, 0, 1000, 1000)
+        spoofed = attack.spoof_locations(
+            np.tile([10.0, 10.0], (100, 1)), rng=3, region=region
+        )
+        assert not region.contains(spoofed).all()
+
+    def test_zero_damage_is_identity(self):
+        attack = DisplacementAttack(degree_of_damage=0.0)
+        actual = np.array([123.0, 456.0])
+        np.testing.assert_allclose(attack.spoof_location(actual, rng=0), actual)
+
+    def test_negative_damage_rejected(self):
+        with pytest.raises(ValueError):
+            DisplacementAttack(degree_of_damage=-1.0)
+
+
+class TestBeaconLieAttack:
+    @pytest.fixture()
+    def beacons(self):
+        return BeaconInfrastructure(
+            positions=np.array([[100.0, 100.0], [300.0, 300.0], [500.0, 100.0]]),
+            transmit_range=300.0,
+        )
+
+    def test_compromised_beacons_lie_by_displacement(self, beacons):
+        attack = BeaconLieAttack(displacement=200.0)
+        tampered = attack.apply(beacons, [0, 2], rng=0)
+        for idx in (0, 2):
+            shift = np.hypot(
+                *(tampered.declared_positions[idx] - tampered.positions[idx])
+            )
+            assert shift == pytest.approx(200.0)
+            assert tampered.compromised[idx]
+        # Honest beacon untouched.
+        np.testing.assert_allclose(
+            tampered.declared_positions[1], beacons.positions[1]
+        )
+        # The original infrastructure is not modified.
+        assert not beacons.compromised.any()
+
+    def test_region_constraint(self, beacons):
+        region = Region(0, 0, 600, 400)
+        tampered = BeaconLieAttack(displacement=250.0).apply(
+            beacons, [1], rng=1, region=region
+        )
+        assert region.contains(tampered.declared_positions).all()
+
+    def test_invalid_displacement(self):
+        with pytest.raises(ValueError):
+            BeaconLieAttack(displacement=0.0)
+
+
+class TestReplayBeaconAttack:
+    def test_adds_phantom_beacon(self):
+        beacons = BeaconInfrastructure(
+            positions=np.array([[0.0, 0.0], [800.0, 800.0]]), transmit_range=200.0
+        )
+        replayed = replay_beacon_attack(beacons, replayed_beacon=1, replay_location=(50.0, 50.0))
+        assert replayed.num_beacons == 3
+        # Phantom is audible near the replay location ...
+        assert 2 in replayed.audible_from((60.0, 60.0))
+        # ... but declares the remote beacon's position.
+        np.testing.assert_allclose(replayed.declared_positions[2], [800.0, 800.0])
+        assert replayed.compromised[2]
+        # No original beacon needed to be compromised.
+        assert not replayed.compromised[:2].any()

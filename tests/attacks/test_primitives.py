@@ -1,0 +1,138 @@
+"""Tests for :mod:`repro.attacks.primitives` (Figure 3 attack scenarios)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackBudget
+from repro.attacks.constraints import DecBoundedAttack, DecOnlyAttack
+from repro.attacks.primitives import (
+    ImpersonationAttack,
+    MultiImpersonationAttack,
+    RangeChangeAttack,
+    SilenceAttack,
+)
+from repro.network.messages import BroadcastLog, GroupAnnouncement, collect_observation
+from repro.network.neighbors import NeighborIndex
+from repro.network.network import SensorNetwork
+from repro.network.radio import UnitDiskRadio
+
+
+@pytest.fixture()
+def honest():
+    return np.array([4.0, 0.0, 7.0, 2.0, 1.0])
+
+
+class TestSilenceAttack:
+    def test_total_decrease_equals_budget(self, honest):
+        out = SilenceAttack().apply(honest, AttackBudget(5), rng=0)
+        assert honest.sum() - out.sum() == pytest.approx(5.0)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= honest)
+
+    def test_never_goes_negative_when_budget_exceeds_nodes(self, honest):
+        out = SilenceAttack().apply(honest, AttackBudget(100), rng=1)
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_is_dec_only_feasible(self, honest):
+        out = SilenceAttack().apply(honest, AttackBudget(6), rng=2)
+        assert DecOnlyAttack().is_feasible(honest, out, 6)
+
+    def test_does_not_mutate_input(self, honest):
+        snapshot = honest.copy()
+        SilenceAttack().apply(honest, AttackBudget(3), rng=3)
+        np.testing.assert_allclose(honest, snapshot)
+
+    def test_message_level_form(self):
+        log = BroadcastLog(receiver=0)
+        log.extend(
+            [
+                GroupAnnouncement(sender=1, claimed_group=0),
+                GroupAnnouncement(sender=2, claimed_group=1),
+            ]
+        )
+        silenced = SilenceAttack.silence_log(log, [1])
+        obs = collect_observation(silenced, 2)
+        np.testing.assert_allclose(obs, [0.0, 1.0])
+
+
+class TestImpersonationAttack:
+    def test_preserves_total_count(self, honest):
+        out = ImpersonationAttack().apply(honest, AttackBudget(4), rng=0)
+        assert out.sum() == pytest.approx(honest.sum())
+        assert np.all(out >= 0.0)
+
+    def test_is_dec_bounded_feasible(self, honest):
+        out = ImpersonationAttack().apply(honest, AttackBudget(4), rng=1)
+        assert DecBoundedAttack().is_feasible(honest, out, 4)
+
+    def test_targeted_group_receives_counts(self, honest):
+        out = ImpersonationAttack(target_group=1).apply(honest, AttackBudget(3), rng=2)
+        assert out[1] == honest[1] + 3.0
+
+    def test_message_level_form(self):
+        log = BroadcastLog(receiver=0)
+        log.add(GroupAnnouncement(sender=5, claimed_group=0))
+        rewritten = ImpersonationAttack.impersonate_log(log, node=5, claimed_group=3)
+        assert rewritten.messages[0].claimed_group == 3
+        assert rewritten.messages[0].sender == 5
+
+
+class TestMultiImpersonationAttack:
+    def test_adds_claims_per_node(self, honest):
+        attack = MultiImpersonationAttack(claims_per_node=5)
+        out = attack.apply(honest, AttackBudget(3), rng=0)
+        assert out.sum() == pytest.approx(honest.sum() + 15.0)
+        assert np.all(out >= honest)
+
+    def test_target_groups_restriction(self, honest):
+        attack = MultiImpersonationAttack(claims_per_node=4, target_groups=[2])
+        out = attack.apply(honest, AttackBudget(2), rng=1)
+        assert out[2] == honest[2] + 8.0
+        np.testing.assert_allclose(np.delete(out, 2), np.delete(honest, 2))
+
+    def test_zero_budget_noop(self, honest):
+        out = MultiImpersonationAttack().apply(honest, AttackBudget(0), rng=2)
+        np.testing.assert_allclose(out, honest)
+
+    def test_forged_messages_unauthenticated(self):
+        log = BroadcastLog(receiver=0)
+        forged = MultiImpersonationAttack.forge_log(log, claims=[1, 1, 0])
+        assert len(forged) == 3
+        assert all(not m.authenticated for m in forged.messages)
+        # Authentication filtering removes all of them.
+        np.testing.assert_allclose(
+            collect_observation(forged, 2, require_authentication=True), 0.0
+        )
+
+    def test_invalid_claims_per_node(self):
+        with pytest.raises(ValueError):
+            MultiImpersonationAttack(claims_per_node=0)
+
+
+class TestRangeChangeAttack:
+    def test_observation_level_adds_counts(self, honest):
+        out = RangeChangeAttack().apply(honest, AttackBudget(4), rng=0)
+        assert out.sum() == pytest.approx(honest.sum() + 4.0)
+        assert np.all(out >= honest)
+
+    def test_network_level_brings_distant_node_into_range(self):
+        positions = np.array([[0.0, 0.0], [150.0, 0.0], [10.0, 10.0]])
+        network = SensorNetwork(
+            positions=positions,
+            group_ids=np.array([0, 1, 0]),
+            n_groups=2,
+            radio=UnitDiskRadio(100.0),
+        )
+        before = NeighborIndex(network).observation_of_node(0)
+        np.testing.assert_allclose(before, [1.0, 0.0])
+
+        tampered = RangeChangeAttack(range_multiplier=2.0).apply_to_network(network, [1])
+        after = NeighborIndex(tampered).observation_of_node(0)
+        np.testing.assert_allclose(after, [1.0, 1.0])
+        assert tampered.compromised[1]
+        # Original network untouched.
+        assert not network.compromised[1]
+
+    def test_invalid_multiplier(self):
+        with pytest.raises(ValueError):
+            RangeChangeAttack(range_multiplier=0.5)

@@ -1,0 +1,91 @@
+"""Tests for :mod:`repro.attacks.wormhole`."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.wormhole import WormholeAttack
+from repro.network.messages import collect_observation, run_announcement_round
+from repro.network.neighbors import NeighborIndex
+from repro.network.network import SensorNetwork
+from repro.network.radio import UnitDiskRadio
+
+
+@pytest.fixture()
+def clustered_network():
+    """Two clusters 600 m apart, groups 0 (west) and 1 (east)."""
+    rng = np.random.default_rng(0)
+    west = rng.normal([100.0, 100.0], 20.0, size=(15, 2))
+    east = rng.normal([700.0, 100.0], 20.0, size=(15, 2))
+    positions = np.vstack([west, east])
+    group_ids = np.array([0] * 15 + [1] * 15)
+    return SensorNetwork(
+        positions=positions,
+        group_ids=group_ids,
+        n_groups=2,
+        radio=UnitDiskRadio(100.0),
+    )
+
+
+class TestWormholeAttack:
+    def test_tunnel_inflates_remote_group_counts(self, clustered_network):
+        index = NeighborIndex(clustered_network)
+        victim = 20  # an east-cluster node
+        logs = run_announcement_round(clustered_network, [victim], index=index)
+        before = collect_observation(logs[victim], 2)
+        assert before[0] == 0.0  # no west-cluster neighbours without the wormhole
+
+        wormhole = WormholeAttack(
+            source_end=np.array([100.0, 100.0]), sink_end=np.array([700.0, 100.0])
+        )
+        tampered = wormhole.inject(clustered_network, logs, index=index)
+        after = collect_observation(tampered[victim], 2)
+        assert after[0] > 0.0
+        assert after[1] == before[1]
+
+    def test_far_receiver_unaffected(self, clustered_network):
+        index = NeighborIndex(clustered_network)
+        victim = 20
+        logs = run_announcement_round(clustered_network, [victim], index=index)
+        wormhole = WormholeAttack(
+            source_end=np.array([100.0, 100.0]), sink_end=np.array([400.0, 400.0])
+        )
+        tampered = wormhole.inject(clustered_network, logs, index=index)
+        np.testing.assert_allclose(
+            collect_observation(tampered[victim], 2), collect_observation(logs[victim], 2)
+        )
+
+    def test_tunneled_messages_pass_authentication(self, clustered_network):
+        wormhole = WormholeAttack(
+            source_end=np.array([100.0, 100.0]),
+            sink_end=np.array([700.0, 100.0]),
+        )
+        announcements = wormhole.tunneled_announcements(clustered_network)
+        assert len(announcements) > 0
+        assert all(m.authenticated for m in announcements)
+
+    def test_receiver_does_not_count_itself(self, clustered_network):
+        index = NeighborIndex(clustered_network)
+        victim = 0  # west-cluster node, also picked up by the source end
+        logs = run_announcement_round(clustered_network, [victim], index=index)
+        wormhole = WormholeAttack(
+            source_end=np.array([100.0, 100.0]), sink_end=np.array([100.0, 100.0])
+        )
+        tampered = wormhole.inject(clustered_network, logs, index=index)
+        senders = [m.sender for m in tampered[victim].messages]
+        assert victim not in senders
+
+    def test_tunnel_length(self):
+        wormhole = WormholeAttack(
+            source_end=np.array([0.0, 0.0]), sink_end=np.array([300.0, 400.0])
+        )
+        assert wormhole.tunnel_length() == pytest.approx(500.0)
+
+    def test_original_logs_not_modified(self, clustered_network):
+        index = NeighborIndex(clustered_network)
+        logs = run_announcement_round(clustered_network, [20], index=index)
+        count_before = len(logs[20])
+        wormhole = WormholeAttack(
+            source_end=np.array([100.0, 100.0]), sink_end=np.array([700.0, 100.0])
+        )
+        wormhole.inject(clustered_network, logs, index=index)
+        assert len(logs[20]) == count_before

@@ -1,0 +1,86 @@
+"""Tests for :mod:`repro.core.detector`."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import LADDetector
+from repro.core.thresholds import ThresholdTable
+
+
+class TestLADDetectorBasics:
+    def test_untrained_detector_refuses_to_detect(self, small_knowledge):
+        detector = LADDetector(small_knowledge, metric="diff")
+        assert not detector.is_trained
+        with pytest.raises(RuntimeError):
+            detector.detect([250.0, 250.0], np.zeros(small_knowledge.n_groups))
+
+    def test_manual_threshold(self, small_knowledge):
+        detector = LADDetector(small_knowledge, metric="diff", threshold=10.0)
+        assert detector.is_trained
+        assert detector.threshold == 10.0
+        detector.threshold = 20.0
+        assert detector.threshold == 20.0
+
+    def test_train_sets_percentile_threshold(self, small_knowledge):
+        detector = LADDetector(small_knowledge, metric="diff")
+        thr = detector.train(np.arange(100, dtype=float), tau=0.9)
+        assert thr == pytest.approx(89.1, abs=0.5)
+
+    def test_from_threshold_table(self, small_knowledge):
+        table = ThresholdTable()
+        table.add_metric("diff", np.arange(50, dtype=float))
+        detector = LADDetector.from_threshold_table(small_knowledge, table, metric="diff", tau=1.0)
+        assert detector.threshold == 49.0
+
+
+class TestDetectionDecisions:
+    def test_consistent_location_not_flagged(self, small_knowledge):
+        detector = LADDetector(small_knowledge, metric="diff", threshold=30.0)
+        location = np.array([250.0, 250.0])
+        observation = small_knowledge.expected_observation(location[None, :])[0]
+        report = detector.detect(location, observation)
+        assert not report.anomalous
+        assert report.score == pytest.approx(0.0, abs=1e-6)
+        assert report.metric == "diff"
+
+    def test_displaced_location_flagged(self, small_knowledge):
+        detector = LADDetector(small_knowledge, metric="diff", threshold=30.0)
+        true_location = np.array([250.0, 250.0])
+        observation = small_knowledge.expected_observation(true_location[None, :])[0]
+        spoofed = true_location + np.array([150.0, 0.0])
+        report = detector.detect(spoofed, observation)
+        assert report.anomalous
+        assert report.score > report.threshold
+
+    def test_detect_batch(self, small_knowledge):
+        detector = LADDetector(small_knowledge, metric="diff", threshold=30.0)
+        true_location = np.array([250.0, 250.0])
+        observation = small_knowledge.expected_observation(true_location[None, :])[0]
+        locations = np.array([[250.0, 250.0], [420.0, 250.0]])
+        alarms = detector.detect_batch(locations, np.vstack([observation, observation]))
+        assert alarms.tolist() == [False, True]
+
+    def test_probability_metric_detector(self, small_knowledge):
+        detector = LADDetector(small_knowledge, metric="probability", threshold=50.0)
+        location = np.array([250.0, 250.0])
+        observation = small_knowledge.expected_observation(location[None, :])[0]
+        assert not detector.detect(location, observation).anomalous
+        far = location + np.array([200.0, 0.0])
+        assert detector.detect(far, observation).anomalous
+
+    def test_from_training_data_end_to_end(self, small_generator, small_knowledge):
+        from repro.core.training import collect_training_data
+
+        training = collect_training_data(
+            small_generator, num_samples=30, samples_per_network=15, rng=5
+        )
+        detector = LADDetector.from_training_data(
+            small_knowledge, training, metric="diff", tau=0.95
+        )
+        assert detector.is_trained
+        # Roughly 5% of the training samples themselves exceed the threshold.
+        scores = detector.score(
+            training.estimated_locations, training.observations
+        )
+        fp = float(np.mean(np.asarray(scores) > detector.threshold))
+        assert fp <= 0.15

@@ -1,0 +1,35 @@
+"""Tests for :mod:`repro.core.expected`."""
+
+import numpy as np
+
+from repro.core.expected import expected_observation, membership_probabilities
+
+
+class TestExpectedObservation:
+    def test_matches_knowledge_methods(self, small_knowledge):
+        locs = np.array([[100.0, 200.0], [333.0, 111.0]])
+        np.testing.assert_allclose(
+            expected_observation(small_knowledge, locs),
+            small_knowledge.expected_observation(locs),
+        )
+        np.testing.assert_allclose(
+            membership_probabilities(small_knowledge, locs),
+            small_knowledge.membership_probabilities(locs),
+        )
+
+    def test_equation_2_relationship(self, small_knowledge):
+        locs = np.array([[250.0, 250.0]])
+        mu = expected_observation(small_knowledge, locs)
+        g = membership_probabilities(small_knowledge, locs)
+        np.testing.assert_allclose(mu, small_knowledge.group_size * g)
+
+    def test_probabilities_decay_with_distance(self, small_knowledge):
+        """g_i(θ) decreases as θ moves away from deployment point i."""
+        target_group = 0
+        dp = small_knowledge.deployment_points[target_group]
+        offsets = [0.0, 50.0, 150.0, 300.0]
+        values = [
+            membership_probabilities(small_knowledge, (dp + [off, 0.0])[None, :])[0, target_group]
+            for off in offsets
+        ]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))

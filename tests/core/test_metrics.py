@@ -1,0 +1,156 @@
+"""Tests for :mod:`repro.core.metrics` (the Diff, Add-all and Probability metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    ALL_METRICS,
+    AddAllMetric,
+    DiffMetric,
+    ProbabilityMetric,
+    get_metric,
+)
+
+M = 30  # group size used in the tests
+
+
+@pytest.fixture()
+def vectors():
+    obs = np.array([3.0, 0.0, 7.0, 12.0])
+    exp = np.array([5.0, 1.0, 7.0, 9.0])
+    return obs, exp
+
+
+class TestDiffMetric:
+    def test_formula(self, vectors):
+        obs, exp = vectors
+        assert DiffMetric().compute(obs, exp) == pytest.approx(2 + 1 + 0 + 3)
+
+    def test_zero_when_identical(self, vectors):
+        obs, _ = vectors
+        assert DiffMetric().compute(obs, obs) == 0.0
+
+    def test_symmetric_in_arguments(self, vectors):
+        obs, exp = vectors
+        assert DiffMetric().compute(obs, exp) == DiffMetric().compute(exp, obs)
+
+    def test_batch_and_broadcast(self, vectors):
+        obs, exp = vectors
+        batch = DiffMetric().compute(np.vstack([obs, exp]), exp)
+        assert batch.shape == (2,)
+        assert batch[0] == pytest.approx(6.0)
+        assert batch[1] == pytest.approx(0.0)
+
+    def test_grows_with_displacement(self, small_knowledge):
+        """The farther the claimed location from the true one, the larger the
+        expected Diff metric — the paper's key intuition (Section 5)."""
+        true_loc = np.array([250.0, 250.0])
+        obs = small_knowledge.expected_observation(true_loc[None, :])[0]
+        scores = []
+        for offset in (0.0, 40.0, 80.0, 160.0):
+            claimed = true_loc + np.array([offset, 0.0])
+            scores.append(float(DiffMetric().score(small_knowledge, claimed[None, :], obs)))
+        assert all(a <= b + 1e-9 for a, b in zip(scores, scores[1:]))
+        assert scores[0] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestAddAllMetric:
+    def test_formula(self, vectors):
+        obs, exp = vectors
+        assert AddAllMetric().compute(obs, exp) == pytest.approx(5 + 1 + 7 + 12)
+
+    def test_equals_total_when_identical(self, vectors):
+        obs, _ = vectors
+        assert AddAllMetric().compute(obs, obs) == pytest.approx(obs.sum())
+
+    def test_at_least_max_of_totals(self, vectors):
+        obs, exp = vectors
+        value = AddAllMetric().compute(obs, exp)
+        assert value >= max(obs.sum(), exp.sum())
+
+    def test_grows_with_displacement(self, small_knowledge):
+        true_loc = np.array([250.0, 250.0])
+        obs = small_knowledge.expected_observation(true_loc[None, :])[0]
+        near = AddAllMetric().score(small_knowledge, [[255.0, 250.0]], obs)
+        far = AddAllMetric().score(small_knowledge, [[420.0, 250.0]], obs)
+        assert far > near
+
+
+class TestProbabilityMetric:
+    def test_requires_group_size(self, vectors):
+        obs, exp = vectors
+        with pytest.raises(ValueError):
+            ProbabilityMetric().compute(obs, exp)
+
+    def test_score_is_neg_log_of_min_probability(self, vectors):
+        obs, exp = vectors
+        metric = ProbabilityMetric()
+        score = metric.compute(obs, exp, group_size=M)
+        min_prob = metric.min_probability(obs, exp, group_size=M)
+        assert score == pytest.approx(-np.log(min_prob))
+
+    def test_most_likely_observation_has_low_score(self):
+        metric = ProbabilityMetric()
+        exp = np.array([6.0, 3.0, 15.0])
+        score_at_mode = metric.compute(exp, exp, group_size=M)
+        score_far = metric.compute(exp + np.array([0.0, 0.0, 14.0]), exp, group_size=M)
+        assert score_at_mode < score_far
+
+    def test_impossible_observation_clipped(self):
+        metric = ProbabilityMetric()
+        # Claimed location implies probability ~0 for a group the node heard.
+        obs = np.array([5.0])
+        exp = np.array([0.0])
+        score = metric.compute(obs, exp, group_size=M)
+        assert score == pytest.approx(metric.max_score)
+
+    def test_batch_shape(self, vectors):
+        obs, exp = vectors
+        out = ProbabilityMetric().compute(np.vstack([obs, obs]), exp, group_size=M)
+        assert out.shape == (2,)
+
+    def test_monotone_transform_preserves_ordering(self, vectors):
+        """Thresholding -log(min p) is equivalent to thresholding min p, so
+        orderings must be exactly reversed."""
+        rng = np.random.default_rng(0)
+        metric = ProbabilityMetric()
+        obs, exp = vectors
+        samples = [np.clip(obs + rng.integers(-3, 4, size=obs.size), 0, M) for _ in range(20)]
+        scores = np.array([metric.compute(s, exp, group_size=M) for s in samples])
+        probs = np.array([metric.min_probability(s, exp, group_size=M) for s in samples])
+        # Pairwise consistency (allowing ties): a strictly larger score must
+        # correspond to a smaller-or-equal minimum probability.
+        for i in range(len(samples)):
+            for j in range(len(samples)):
+                if scores[i] > scores[j] + 1e-12:
+                    assert probs[i] <= probs[j] + 1e-15
+
+
+class TestMetricRegistry:
+    def test_all_metrics_listed(self):
+        names = {m.name for m in ALL_METRICS}
+        assert names == {"diff", "add_all", "probability"}
+
+    def test_lookup_by_name_and_alias(self):
+        assert isinstance(get_metric("diff"), DiffMetric)
+        assert isinstance(get_metric("Add-All"), AddAllMetric)
+        assert isinstance(get_metric("PM"), ProbabilityMetric)
+        assert isinstance(get_metric("difference"), DiffMetric)
+
+    def test_instance_passthrough(self):
+        metric = DiffMetric()
+        assert get_metric(metric) is metric
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_metric("entropy")
+
+    def test_shape_mismatch_rejected(self, vectors):
+        obs, exp = vectors
+        with pytest.raises(ValueError):
+            DiffMetric().compute(obs, exp[:2])
+
+    def test_paper_names(self):
+        assert get_metric("diff").paper_name == "Diff Metric"
+        assert get_metric("add_all").paper_name == "Add All Metric"
+        assert get_metric("probability").paper_name == "Probability Metric"

@@ -1,0 +1,74 @@
+"""Tests for :mod:`repro.core.roc`."""
+
+import numpy as np
+import pytest
+
+from repro.core.roc import RocCurve, compute_roc
+
+
+@pytest.fixture()
+def separable_scores():
+    rng = np.random.default_rng(0)
+    benign = rng.normal(0.0, 1.0, 500)
+    attacked = rng.normal(4.0, 1.0, 500)
+    return benign, attacked
+
+
+class TestComputeRoc:
+    def test_curve_shapes(self, separable_scores):
+        roc = compute_roc(*separable_scores)
+        assert len(roc) == len(roc.false_positive_rates) == len(roc.detection_rates)
+        assert np.all((roc.false_positive_rates >= 0) & (roc.false_positive_rates <= 1))
+        assert np.all((roc.detection_rates >= 0) & (roc.detection_rates <= 1))
+
+    def test_monotone(self, separable_scores):
+        roc = compute_roc(*separable_scores)
+        assert np.all(np.diff(roc.false_positive_rates) >= -1e-12)
+        assert np.all(np.diff(roc.detection_rates) >= -1e-12)
+
+    def test_num_thresholds_limits_size(self, separable_scores):
+        roc = compute_roc(*separable_scores, num_thresholds=25)
+        assert len(roc) <= 27
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RocCurve(
+                thresholds=np.zeros(3),
+                false_positive_rates=np.zeros(2),
+                detection_rates=np.zeros(3),
+            )
+
+
+class TestRocReadouts:
+    def test_detection_rate_at_fp_budget(self, separable_scores):
+        roc = compute_roc(*separable_scores)
+        dr_tight = roc.detection_rate_at(0.0)
+        dr_loose = roc.detection_rate_at(0.20)
+        assert 0.0 <= dr_tight <= dr_loose <= 1.0
+        # Well separated distributions: nearly perfect detection at 20% FP.
+        assert dr_loose > 0.95
+
+    def test_detection_rate_at_full_budget_is_one(self, separable_scores):
+        roc = compute_roc(*separable_scores)
+        assert roc.detection_rate_at(1.0) == 1.0
+
+    def test_invalid_budget_rejected(self, separable_scores):
+        roc = compute_roc(*separable_scores)
+        with pytest.raises(ValueError):
+            roc.detection_rate_at(1.5)
+
+    def test_auc_near_one_for_separable(self, separable_scores):
+        roc = compute_roc(*separable_scores)
+        assert roc.auc() > 0.98
+
+    def test_auc_near_half_for_identical_distributions(self):
+        rng = np.random.default_rng(1)
+        scores = rng.normal(size=2000)
+        roc = compute_roc(scores, rng.normal(size=2000))
+        assert roc.auc() == pytest.approx(0.5, abs=0.05)
+
+    def test_as_series_round_trip(self, separable_scores):
+        roc = compute_roc(*separable_scores, num_thresholds=10)
+        data = roc.as_series()
+        assert set(data) == {"false_positive_rates", "detection_rates", "thresholds"}
+        assert len(data["false_positive_rates"]) == len(roc)

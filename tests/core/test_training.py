@@ -1,0 +1,140 @@
+"""Tests for :mod:`repro.core.training`."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import TrainingData, benign_scores, collect_training_data
+from repro.localization.centroid import CentroidLocalizer
+
+
+class TestTrainingData:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            TrainingData(
+                observations=np.zeros((5, 10)),
+                actual_locations=np.zeros((4, 2)),
+                estimated_locations=np.zeros((5, 2)),
+                neighbor_counts=np.zeros(5, dtype=int),
+            )
+
+    def test_localization_errors(self):
+        data = TrainingData(
+            observations=np.zeros((2, 3)),
+            actual_locations=np.array([[0.0, 0.0], [10.0, 10.0]]),
+            estimated_locations=np.array([[3.0, 4.0], [10.0, 10.0]]),
+            neighbor_counts=np.array([5, 7]),
+        )
+        np.testing.assert_allclose(data.localization_errors(), [5.0, 0.0])
+        assert data.num_samples == 2
+
+
+@pytest.fixture(scope="module")
+def training(small_generator_module):
+    return collect_training_data(
+        small_generator_module,
+        num_samples=60,
+        samples_per_network=30,
+        rng=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_generator_module():
+    # Module-local copy of the session generator fixture (fixtures of
+    # different scopes cannot be mixed freely), kept identical in shape.
+    from repro.deployment.distributions import GaussianResidentDistribution
+    from repro.deployment.models import GridDeploymentModel
+    from repro.network.generator import NetworkGenerator
+    from repro.network.radio import UnitDiskRadio
+    from repro.types import Region
+    from tests.conftest import TEST_GROUP_SIZE, TEST_RADIO_RANGE, TEST_SIGMA
+
+    model = GridDeploymentModel(
+        region=Region(0, 0, 500, 500),
+        rows=5,
+        cols=5,
+        distribution=GaussianResidentDistribution(TEST_SIGMA),
+    )
+    return NetworkGenerator(
+        model=model, group_size=TEST_GROUP_SIZE, radio=UnitDiskRadio(TEST_RADIO_RANGE)
+    )
+
+
+class TestCollectTrainingData:
+    def test_sample_count_and_shapes(self, training, small_generator_module):
+        assert training.num_samples == 60
+        assert training.observations.shape == (60, small_generator_module.model.n_groups)
+        assert training.actual_locations.shape == (60, 2)
+        assert training.estimated_locations.shape == (60, 2)
+
+    def test_observation_totals_match_neighbor_counts(self, training):
+        np.testing.assert_allclose(
+            training.observations.sum(axis=1), training.neighbor_counts
+        )
+
+    def test_benign_localization_error_is_moderate(self, training):
+        """The beaconless scheme localises benign nodes within a fraction of
+        the radio range on average."""
+        errors = training.localization_errors()
+        assert np.median(errors) < 40.0
+
+    def test_reproducible_with_same_seed(self, small_generator_module):
+        a = collect_training_data(
+            small_generator_module, num_samples=10, samples_per_network=10, rng=3
+        )
+        b = collect_training_data(
+            small_generator_module, num_samples=10, samples_per_network=10, rng=3
+        )
+        np.testing.assert_allclose(a.observations, b.observations)
+        np.testing.assert_allclose(a.estimated_locations, b.estimated_locations)
+
+    def test_spans_multiple_networks(self, small_generator_module):
+        data = collect_training_data(
+            small_generator_module, num_samples=20, samples_per_network=5, rng=1
+        )
+        assert data.num_samples == 20
+
+    def test_custom_localizer_is_used(self, small_generator_module):
+        """A non-beaconless localizer goes through the generic code path."""
+
+        class FixedLocalizer(CentroidLocalizer):
+            def localize(self, context, rng=None):  # noqa: D102 - test stub
+                from repro.localization.base import LocalizationResult
+
+                return LocalizationResult(position=np.array([123.0, 321.0]))
+
+        data = collect_training_data(
+            small_generator_module,
+            num_samples=5,
+            samples_per_network=5,
+            localizer=FixedLocalizer(),
+            rng=2,
+        )
+        np.testing.assert_allclose(data.estimated_locations, [[123.0, 321.0]] * 5)
+
+    def test_invalid_arguments(self, small_generator_module):
+        with pytest.raises(ValueError):
+            collect_training_data(small_generator_module, num_samples=0)
+
+
+class TestBenignScores:
+    def test_scores_per_metric(self, training, small_generator_module):
+        knowledge = small_generator_module.knowledge(omega=300)
+        for metric in ("diff", "add_all", "probability"):
+            scores = benign_scores(training, knowledge, metric)
+            assert scores.shape == (training.num_samples,)
+            assert np.all(np.isfinite(scores))
+
+    def test_benign_diff_scores_are_small_relative_to_attack(self, training, small_generator_module):
+        """Benign Diff scores should be far below the score of a grossly
+        displaced location claim."""
+        knowledge = small_generator_module.knowledge(omega=300)
+        scores = benign_scores(training, knowledge, "diff")
+        # Score a blatantly wrong claim for the first sample.
+        from repro.core.metrics import DiffMetric
+
+        wrong_claim = np.array([[20.0, 20.0]])
+        wrong_score = DiffMetric().score(
+            knowledge, wrong_claim, training.observations[0]
+        )
+        assert np.quantile(scores, 0.95) < wrong_score

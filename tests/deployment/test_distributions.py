@@ -1,0 +1,109 @@
+"""Tests for :mod:`repro.deployment.distributions`."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.distributions import (
+    GaussianResidentDistribution,
+    UniformDiskResidentDistribution,
+)
+
+
+class TestGaussianResidentDistribution:
+    def test_sample_statistics(self):
+        dist = GaussianResidentDistribution(sigma=50.0)
+        rng = np.random.default_rng(0)
+        offsets = dist.sample_offsets(rng, 20_000)
+        assert offsets.shape == (20_000, 2)
+        np.testing.assert_allclose(offsets.mean(axis=0), [0.0, 0.0], atol=1.5)
+        np.testing.assert_allclose(offsets.std(axis=0), [50.0, 50.0], rtol=0.05)
+
+    def test_pdf_matches_paper_formula(self):
+        sigma = 50.0
+        dist = GaussianResidentDistribution(sigma)
+        pts = np.array([[0.0, 0.0], [30.0, 40.0], [100.0, 0.0]])
+        expected = (1.0 / (2 * np.pi * sigma**2)) * np.exp(
+            -(pts[:, 0] ** 2 + pts[:, 1] ** 2) / (2 * sigma**2)
+        )
+        np.testing.assert_allclose(dist.pdf(pts), expected, rtol=1e-12)
+
+    def test_pdf_integrates_to_one(self):
+        dist = GaussianResidentDistribution(sigma=20.0)
+        # Riemann sum over a wide square.
+        step = 2.0
+        xs = np.arange(-150, 150, step)
+        gx, gy = np.meshgrid(xs, xs)
+        pts = np.column_stack([gx.ravel(), gy.ravel()])
+        total = dist.pdf(pts).sum() * step * step
+        assert total == pytest.approx(1.0, abs=1e-3)
+
+    def test_radial_cdf_is_rayleigh(self):
+        sigma = 50.0
+        dist = GaussianResidentDistribution(sigma)
+        rs = np.array([0.0, 25.0, 50.0, 100.0, 250.0])
+        expected = 1.0 - np.exp(-(rs**2) / (2 * sigma**2))
+        np.testing.assert_allclose(dist.radial_cdf(rs), expected)
+        assert dist.radial_cdf(-5.0) == 0.0
+
+    def test_radial_cdf_matches_empirical(self):
+        dist = GaussianResidentDistribution(sigma=30.0)
+        rng = np.random.default_rng(1)
+        offsets = dist.sample_offsets(rng, 50_000)
+        r = np.hypot(offsets[:, 0], offsets[:, 1])
+        for q in (20.0, 40.0, 70.0):
+            assert float(np.mean(r <= q)) == pytest.approx(dist.radial_cdf(q), abs=0.01)
+
+    def test_effective_radius(self):
+        dist = GaussianResidentDistribution(sigma=50.0)
+        r = dist.effective_radius(0.99)
+        assert dist.radial_cdf(r) == pytest.approx(0.99, abs=1e-9)
+        with pytest.raises(ValueError):
+            dist.effective_radius(1.0)
+
+    def test_sample_around_center(self):
+        dist = GaussianResidentDistribution(sigma=10.0)
+        rng = np.random.default_rng(2)
+        pts = dist.sample(rng, (200.0, 300.0), 5000)
+        np.testing.assert_allclose(pts.mean(axis=0), [200.0, 300.0], atol=1.0)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianResidentDistribution(0.0)
+
+
+class TestUniformDiskResidentDistribution:
+    def test_support(self):
+        dist = UniformDiskResidentDistribution(radius=80.0)
+        rng = np.random.default_rng(3)
+        offsets = dist.sample_offsets(rng, 10_000)
+        r = np.hypot(offsets[:, 0], offsets[:, 1])
+        assert r.max() <= 80.0 + 1e-9
+
+    def test_uniform_area_density(self):
+        # Half the points should land within radius R/sqrt(2).
+        dist = UniformDiskResidentDistribution(radius=100.0)
+        rng = np.random.default_rng(4)
+        offsets = dist.sample_offsets(rng, 50_000)
+        r = np.hypot(offsets[:, 0], offsets[:, 1])
+        assert float(np.mean(r <= 100.0 / np.sqrt(2))) == pytest.approx(0.5, abs=0.01)
+
+    def test_pdf_inside_outside(self):
+        dist = UniformDiskResidentDistribution(radius=10.0)
+        vals = dist.pdf([[0.0, 0.0], [20.0, 0.0]])
+        assert vals[0] == pytest.approx(1.0 / (np.pi * 100.0))
+        assert vals[1] == 0.0
+
+    def test_radial_cdf(self):
+        dist = UniformDiskResidentDistribution(radius=10.0)
+        assert dist.radial_cdf(5.0) == pytest.approx(0.25)
+        assert dist.radial_cdf(10.0) == pytest.approx(1.0)
+        assert dist.radial_cdf(20.0) == pytest.approx(1.0)
+
+    def test_effective_radius(self):
+        dist = UniformDiskResidentDistribution(radius=10.0)
+        assert dist.effective_radius(0.81) == pytest.approx(9.0)
+
+    def test_pdf_at_helper(self):
+        dist = UniformDiskResidentDistribution(radius=10.0)
+        vals = dist.pdf_at([[105.0, 100.0]], (100.0, 100.0))
+        assert vals[0] > 0.0

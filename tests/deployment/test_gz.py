@@ -1,0 +1,137 @@
+"""Tests for :mod:`repro.deployment.gz` (Theorem 1 and the lookup table)."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.gz import (
+    GzTable,
+    gz_exact,
+    gz_monte_carlo,
+    gz_polar_integration,
+    gz_quadrature,
+)
+
+R = 100.0
+SIGMA = 50.0
+
+
+class TestTheorem1Consistency:
+    """Validate Eq. (1) against two independent computations.
+
+    The paper omits the proof of Theorem 1; these cross-checks substitute
+    for it: the closed-form quadrature of Eq. (1), the direct polar
+    integration of the Gaussian over the neighbourhood disk, and a
+    Monte-Carlo estimate must all agree.
+    """
+
+    zs = np.array([0.0, 5.0, 25.0, 50.0, 99.0, 100.0, 101.0, 150.0, 200.0, 400.0])
+
+    def test_exact_vs_polar_integration(self):
+        exact = gz_exact(self.zs, R, SIGMA)
+        polar = gz_polar_integration(self.zs, R, SIGMA)
+        np.testing.assert_allclose(exact, polar, atol=5e-7)
+
+    def test_exact_vs_fixed_quadrature(self):
+        exact = gz_exact(self.zs, R, SIGMA)
+        quad = gz_quadrature(self.zs, R, SIGMA)
+        np.testing.assert_allclose(exact, quad, atol=1e-6)
+
+    def test_exact_vs_monte_carlo(self):
+        exact = gz_exact(self.zs[:6], R, SIGMA)
+        mc = gz_monte_carlo(self.zs[:6], R, SIGMA, samples=400_000, rng=0)
+        np.testing.assert_allclose(exact, mc, atol=5e-3)
+
+    def test_other_parameters(self):
+        for radio_range, sigma in [(40.0, 50.0), (150.0, 20.0), (60.0, 120.0)]:
+            zs = np.linspace(0.0, radio_range + 4 * sigma, 15)
+            exact = gz_exact(zs, radio_range, sigma)
+            polar = gz_polar_integration(zs, radio_range, sigma)
+            np.testing.assert_allclose(exact, polar, atol=1e-6)
+
+
+class TestGzProperties:
+    def test_value_at_zero_is_rayleigh_cdf(self):
+        expected = 1.0 - np.exp(-(R**2) / (2 * SIGMA**2))
+        assert gz_exact(0.0, R, SIGMA) == pytest.approx(expected, abs=1e-9)
+        assert gz_quadrature(0.0, R, SIGMA) == pytest.approx(expected, abs=1e-9)
+
+    def test_monotonically_decreasing_in_z(self):
+        zs = np.linspace(0.0, 500.0, 200)
+        vals = gz_quadrature(zs, R, SIGMA)
+        assert np.all(np.diff(vals) <= 1e-9)
+
+    def test_bounded_in_unit_interval(self):
+        zs = np.linspace(0.0, 1000.0, 300)
+        vals = gz_quadrature(zs, R, SIGMA)
+        assert np.all(vals >= 0.0) and np.all(vals <= 1.0)
+
+    def test_vanishes_far_away(self):
+        assert gz_exact(R + 8 * SIGMA, R, SIGMA) < 1e-6
+
+    def test_larger_range_gives_larger_probability(self):
+        z = 80.0
+        assert gz_exact(z, 150.0, SIGMA) > gz_exact(z, 80.0, SIGMA)
+
+    def test_scalar_and_array_forms(self):
+        scalar = gz_quadrature(42.0, R, SIGMA)
+        array = gz_quadrature(np.array([42.0]), R, SIGMA)
+        assert isinstance(scalar, float)
+        assert scalar == pytest.approx(array[0])
+
+    def test_rejects_negative_z(self):
+        with pytest.raises(ValueError):
+            gz_exact(-1.0, R, SIGMA)
+        with pytest.raises(ValueError):
+            gz_quadrature(np.array([-1.0]), R, SIGMA)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            gz_exact(1.0, 0.0, SIGMA)
+        with pytest.raises(ValueError):
+            gz_quadrature(1.0, R, -1.0)
+
+
+class TestGzTable:
+    def test_accuracy_against_exact(self):
+        table = GzTable(R, SIGMA, omega=800, z_max=600.0)
+        assert table.max_abs_error(samples=400) < 5e-4
+
+    def test_accuracy_improves_with_omega(self):
+        coarse = GzTable(R, SIGMA, omega=20, z_max=600.0)
+        fine = GzTable(R, SIGMA, omega=500, z_max=600.0)
+        assert fine.max_abs_error(200) < coarse.max_abs_error(200)
+
+    def test_clamps_beyond_z_max(self):
+        table = GzTable(R, SIGMA, omega=100, z_max=400.0)
+        assert float(table(1e6)) == pytest.approx(float(table(400.0)), abs=1e-12)
+
+    def test_negative_distance_uses_absolute_value(self):
+        table = GzTable(R, SIGMA, omega=100)
+        assert float(table(-50.0)) == pytest.approx(float(table(50.0)))
+
+    def test_array_queries(self):
+        table = GzTable(R, SIGMA, omega=200)
+        zs = np.array([[0.0, 100.0], [200.0, 300.0]])
+        out = table(zs)
+        assert out.shape == (2, 2)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_properties(self):
+        table = GzTable(R, SIGMA, omega=123, z_max=456.0)
+        assert table.radio_range == R
+        assert table.sigma == SIGMA
+        assert table.omega == 123
+        assert table.z_max == 456.0
+        assert table.table.num_intervals == 123
+
+    def test_default_z_max_covers_support(self):
+        table = GzTable(R, SIGMA)
+        assert table.z_max >= R + 6 * SIGMA
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GzTable(0.0, SIGMA)
+        with pytest.raises(ValueError):
+            GzTable(R, SIGMA, omega=0)
+        with pytest.raises(ValueError):
+            GzTable(R, SIGMA, z_max=-5.0)

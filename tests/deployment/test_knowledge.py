@@ -1,0 +1,97 @@
+"""Tests for :mod:`repro.deployment.knowledge`."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.distributions import UniformDiskResidentDistribution
+from repro.deployment.gz import GzTable
+from repro.deployment.knowledge import DeploymentKnowledge
+from repro.deployment.models import GridDeploymentModel, paper_deployment_model
+from repro.types import Region
+from tests.conftest import TEST_GROUP_SIZE, TEST_RADIO_RANGE
+
+
+class TestConstruction:
+    def test_builds_gz_table_from_gaussian_model(self):
+        knowledge = DeploymentKnowledge(paper_deployment_model(), 10, 100.0, omega=100)
+        assert knowledge.gz_table.radio_range == 100.0
+        assert knowledge.n_groups == 100
+        assert knowledge.group_size == 10
+        assert knowledge.radio_range == 100.0
+
+    def test_requires_table_for_non_gaussian_distribution(self):
+        model = GridDeploymentModel(
+            Region(0, 0, 200, 200),
+            rows=2,
+            cols=2,
+            distribution=UniformDiskResidentDistribution(50.0),
+        )
+        with pytest.raises(ValueError):
+            DeploymentKnowledge(model, 10, 60.0)
+        # Supplying the table explicitly works.
+        table = GzTable(60.0, 25.0, omega=50)
+        knowledge = DeploymentKnowledge(model, 10, 60.0, gz_table=table)
+        assert knowledge.gz_table is table
+
+    def test_invalid_arguments(self):
+        model = paper_deployment_model()
+        with pytest.raises(ValueError):
+            DeploymentKnowledge(model, 0, 100.0)
+        with pytest.raises(ValueError):
+            DeploymentKnowledge(model, 10, 0.0)
+
+
+class TestComputations:
+    def test_membership_probability_shapes(self, small_knowledge):
+        probs = small_knowledge.membership_probabilities([[100.0, 100.0], [250.0, 250.0]])
+        assert probs.shape == (2, small_knowledge.n_groups)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_nearest_group_has_highest_probability(self, small_knowledge):
+        # Standing exactly on a deployment point, that group must dominate.
+        point = small_knowledge.deployment_points[7]
+        probs = small_knowledge.membership_probabilities(point[None, :])[0]
+        assert int(np.argmax(probs)) == 7
+
+    def test_expected_observation_is_m_times_probability(self, small_knowledge):
+        locs = np.array([[120.0, 340.0]])
+        probs = small_knowledge.membership_probabilities(locs)
+        mu = small_knowledge.expected_observation(locs)
+        np.testing.assert_allclose(mu, TEST_GROUP_SIZE * probs)
+
+    def test_expected_observation_matches_empirical(self, small_generator, small_knowledge):
+        """Equation (2): the expected observation matches the average honest
+        observation over many deployments."""
+        from repro.network.neighbors import NeighborIndex
+
+        location = np.array([250.0, 250.0])
+        rng = np.random.default_rng(11)
+        totals = np.zeros(small_knowledge.n_groups)
+        reps = 40
+        for _ in range(reps):
+            network = small_generator.generate(rng)
+            index = NeighborIndex(network)
+            totals += index.observation_of_point(location)
+        empirical = totals / reps
+        mu = small_knowledge.expected_observation(location[None, :])[0]
+        # Aggregate comparison (per-group counts are small and noisy).
+        assert mu.sum() == pytest.approx(empirical.sum(), rel=0.05)
+        np.testing.assert_allclose(mu, empirical, atol=3.0)
+
+    def test_expected_neighbor_count(self, small_knowledge):
+        counts = small_knowledge.expected_neighbor_count([[250.0, 250.0]])
+        assert counts.shape == (1,)
+        assert counts[0] > 0
+
+    def test_log_likelihood_peaks_near_true_location(self, small_knowledge):
+        true_loc = np.array([260.0, 240.0])
+        mu = small_knowledge.expected_observation(true_loc[None, :])[0]
+        candidates = np.array(
+            [[260.0, 240.0], [100.0, 100.0], [400.0, 420.0], [260.0, 300.0]]
+        )
+        lls = small_knowledge.log_likelihood(candidates, mu)
+        assert int(np.argmax(lls)) == 0
+
+    def test_log_likelihood_validates_shape(self, small_knowledge):
+        with pytest.raises(ValueError):
+            small_knowledge.log_likelihood([[0.0, 0.0]], np.zeros(3))

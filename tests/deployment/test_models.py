@@ -1,0 +1,127 @@
+"""Tests for :mod:`repro.deployment.models`."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.distributions import GaussianResidentDistribution
+from repro.deployment.models import (
+    GridDeploymentModel,
+    HexDeploymentModel,
+    RandomDeploymentModel,
+    paper_deployment_model,
+)
+from repro.types import PAPER_REGION, Region
+
+
+class TestGridDeploymentModel:
+    def test_paper_layout(self):
+        model = paper_deployment_model()
+        assert model.n_groups == 100
+        pts = model.deployment_points
+        # Figure 1: deployment points at 50, 150, ..., 950 in both axes.
+        xs = np.unique(pts[:, 0])
+        np.testing.assert_allclose(xs, np.arange(50.0, 1000.0, 100.0))
+        ys = np.unique(pts[:, 1])
+        np.testing.assert_allclose(ys, np.arange(50.0, 1000.0, 100.0))
+
+    def test_custom_grid(self):
+        model = GridDeploymentModel(Region(0, 0, 300, 200), rows=2, cols=3)
+        assert model.rows == 2 and model.cols == 3
+        assert model.n_groups == 6
+        np.testing.assert_allclose(
+            sorted(np.unique(model.deployment_points[:, 0])), [50.0, 150.0, 250.0]
+        )
+        np.testing.assert_allclose(
+            sorted(np.unique(model.deployment_points[:, 1])), [50.0, 150.0]
+        )
+
+    def test_deployment_points_read_only(self):
+        model = paper_deployment_model()
+        with pytest.raises(ValueError):
+            model.deployment_points[0, 0] = -1.0
+
+    def test_sample_group_centered(self):
+        model = paper_deployment_model(sigma=30.0)
+        rng = np.random.default_rng(0)
+        pts = model.sample_group(rng, 0, 4000)
+        np.testing.assert_allclose(pts.mean(axis=0), model.deployment_points[0], atol=2.5)
+
+    def test_sample_group_invalid_index(self):
+        model = paper_deployment_model()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            model.sample_group(rng, 100, 10)
+
+    def test_sample_network_positions_shapes(self):
+        model = paper_deployment_model()
+        positions, group_ids = model.sample_network_positions(1, group_size=5)
+        assert positions.shape == (500, 2)
+        assert group_ids.shape == (500,)
+        np.testing.assert_array_equal(np.bincount(group_ids), np.full(100, 5))
+
+    def test_sample_network_positions_clip(self):
+        model = paper_deployment_model(sigma=200.0)
+        positions, _ = model.sample_network_positions(2, group_size=3, clip_to_region=True)
+        assert model.region.contains(positions).all()
+
+    def test_distances_to_groups(self):
+        model = GridDeploymentModel(Region(0, 0, 200, 200), rows=2, cols=2)
+        d = model.distances_to_groups([[50.0, 50.0]])
+        assert d.shape == (1, 4)
+        assert d.min() == pytest.approx(0.0)
+
+    def test_approximately_even_density(self):
+        """With spacing 2*sigma, the overall node density is roughly even
+        (Section 3.2's design goal)."""
+        model = paper_deployment_model(sigma=50.0)
+        positions, _ = model.sample_network_positions(3, group_size=200)
+        # Count nodes in interior 200 m x 200 m super-cells (avoid edges).
+        inner = positions[
+            (positions[:, 0] > 200)
+            & (positions[:, 0] < 800)
+            & (positions[:, 1] > 200)
+            & (positions[:, 1] < 800)
+        ]
+        counts, _, _ = np.histogram2d(
+            inner[:, 0], inner[:, 1], bins=[3, 3], range=[[200, 800], [200, 800]]
+        )
+        assert counts.std() / counts.mean() < 0.1
+
+
+class TestHexDeploymentModel:
+    def test_points_inside_region(self):
+        model = HexDeploymentModel(Region(0, 0, 500, 500), spacing=100.0)
+        assert model.n_groups > 0
+        assert model.region.contains(model.deployment_points).all()
+
+    def test_alternate_rows_offset(self):
+        model = HexDeploymentModel(Region(0, 0, 500, 500), spacing=100.0)
+        ys = np.unique(np.round(model.deployment_points[:, 1], 6))
+        assert len(ys) >= 2
+        row0 = model.deployment_points[np.isclose(model.deployment_points[:, 1], ys[0])]
+        row1 = model.deployment_points[np.isclose(model.deployment_points[:, 1], ys[1])]
+        assert not np.isclose(row0[0, 0], row1[0, 0])
+
+    def test_too_large_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            HexDeploymentModel(Region(0, 0, 50, 50), spacing=1000.0)
+
+    def test_invalid_spacing(self):
+        with pytest.raises(ValueError):
+            HexDeploymentModel(Region(0, 0, 500, 500), spacing=0.0)
+
+
+class TestRandomDeploymentModel:
+    def test_reproducible_with_seed(self):
+        a = RandomDeploymentModel(n_groups=20, rng=5)
+        b = RandomDeploymentModel(n_groups=20, rng=5)
+        np.testing.assert_allclose(a.deployment_points, b.deployment_points)
+
+    def test_points_inside_region(self):
+        model = RandomDeploymentModel(Region(0, 0, 100, 100), n_groups=30, rng=1)
+        assert model.n_groups == 30
+        assert model.region.contains(model.deployment_points).all()
+
+    def test_distribution_default_is_gaussian(self):
+        model = RandomDeploymentModel(n_groups=5, rng=2)
+        assert isinstance(model.distribution, GaussianResidentDistribution)

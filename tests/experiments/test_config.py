@@ -1,0 +1,49 @@
+"""Tests for :mod:`repro.experiments.config`."""
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+
+
+class TestSimulationConfig:
+    def test_paper_defaults(self):
+        config = SimulationConfig()
+        assert config.group_size == 300
+        assert config.radio_range == 100.0
+        assert config.sigma == 50.0
+        assert config.n_groups == 100
+        assert config.num_nodes == 30_000
+        assert config.region_size == 1000.0
+
+    def test_with_group_size(self):
+        config = SimulationConfig().with_group_size(500)
+        assert config.group_size == 500
+        assert config.num_nodes == 50_000
+        # The original is unchanged (frozen dataclass).
+        assert SimulationConfig().group_size == 300
+
+    def test_with_seed(self):
+        assert SimulationConfig().with_seed(7).seed == 7
+
+    def test_scaled_reduces_sample_sizes_only(self):
+        config = SimulationConfig()
+        scaled = config.scaled(0.25)
+        assert scaled.num_training_samples == 100
+        assert scaled.num_victims == 100
+        assert scaled.group_size == config.group_size
+        assert scaled.radio_range == config.radio_range
+
+    def test_scaled_has_floor(self):
+        scaled = SimulationConfig().scaled(0.0001)
+        assert scaled.num_training_samples >= 20
+        assert scaled.num_victims >= 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(group_size=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(radio_range=-1.0)
+        with pytest.raises(ValueError):
+            SimulationConfig(gz_omega=5)
+        with pytest.raises(ValueError):
+            SimulationConfig().scaled(0.0)

@@ -1,0 +1,130 @@
+"""Tests for the per-figure experiment definitions.
+
+Each figure is run at a very small Monte-Carlo scale on a sparse network so
+the suite stays fast; the tests check structure (panels/series/labels match
+the paper's figure layout) plus the coarse qualitative trends that survive
+small sample sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.figures import FIGURES, get_figure, run_figure
+from repro.experiments.figures import fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments.harness import LadSimulation
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SimulationConfig(
+        group_size=60,
+        num_training_samples=50,
+        training_samples_per_network=25,
+        num_victims=50,
+        victims_per_network=25,
+        gz_omega=300,
+        seed=4242,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_simulation(tiny_config):
+    return LadSimulation(tiny_config)
+
+
+class TestRegistry:
+    def test_all_six_figures_registered(self):
+        assert set(FIGURES) == {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+
+    def test_get_figure_lookup(self):
+        assert get_figure("FIG7") is fig7.run
+        with pytest.raises(KeyError):
+            get_figure("fig99")
+
+
+class TestFig4(object):
+    def test_structure_and_trends(self, tiny_simulation):
+        result = fig4.run(simulation=tiny_simulation, degrees=(80.0, 160.0))
+        assert result.figure_id == "fig4"
+        assert [p.title for p in result.panels] == ["D=80", "D=160"]
+        for panel in result.panels:
+            labels = [s.label for s in panel.series]
+            assert labels == ["Diff Metric", "Add All Metric", "Probability Metric"]
+            for series in panel.series:
+                # ROC curves: detection rate non-decreasing in FP, ending at 1.
+                assert series.y[-1] == pytest.approx(1.0)
+                assert all(b >= a - 1e-9 for a, b in zip(series.y, series.y[1:]))
+        # Larger D should not hurt the Diff metric's detection at 5% FP.
+        d80 = result.get_panel("D=80").get_series("Diff Metric").y_at(0.05)
+        d160 = result.get_panel("D=160").get_series("Diff Metric").y_at(0.05)
+        assert d160 >= d80 - 0.1
+
+
+class TestFig5AndFig6:
+    def test_fig5_structure(self, tiny_simulation):
+        result = fig5.run(simulation=tiny_simulation, degrees=(40.0,))
+        assert result.figure_id == "fig5"
+        panel = result.get_panel("D=40")
+        labels = [s.label for s in panel.series]
+        assert labels == ["Dec-Bounded Attacks", "Dec-Only Attacks"]
+        # Dec-Only is easier to detect (or equal) at every sampled FP.
+        bounded = panel.get_series("Dec-Bounded Attacks")
+        only = panel.get_series("Dec-Only Attacks")
+        assert np.mean(np.array(only.y) - np.array(bounded.y)) >= -0.05
+
+    def test_fig6_reuses_fig5_with_large_degrees(self, tiny_simulation):
+        result = fig6.run(simulation=tiny_simulation, degrees=(160.0,))
+        assert result.figure_id == "fig6"
+        assert [p.title for p in result.panels] == ["D=160"]
+
+
+class TestFig7:
+    def test_structure_and_trend(self, tiny_simulation):
+        result = fig7.run(
+            simulation=tiny_simulation, degrees=(40.0, 160.0), fractions=(0.1,)
+        )
+        panel = result.get_panel("DR-D-x")
+        series = panel.get_series("x=10%")
+        assert series.x == [40.0, 160.0]
+        assert series.y[1] >= series.y[0]
+        assert all(0.0 <= y <= 1.0 for y in series.y)
+
+
+class TestFig8:
+    def test_structure_and_trend(self, tiny_simulation):
+        result = fig8.run(
+            simulation=tiny_simulation, fractions=(0.0, 0.5), degrees=(160.0,)
+        )
+        panel = result.get_panel("DR-x-D")
+        series = panel.get_series("D=160")
+        assert series.x == [0.0, 50.0]
+        # More compromise cannot make detection easier.
+        assert series.y[1] <= series.y[0] + 0.1
+
+
+class TestFig9:
+    def test_structure(self, tiny_config):
+        result = fig9.run(
+            config=tiny_config,
+            group_sizes=(40, 80),
+            degrees=(160.0,),
+            fractions=(0.1,),
+        )
+        assert result.figure_id == "fig9"
+        panel = result.get_panel("D=160")
+        series = panel.get_series("x=10")
+        assert series.x == [40.0, 80.0]
+        assert all(0.0 <= y <= 1.0 for y in series.y)
+
+
+class TestRunFigureDispatch:
+    def test_run_figure_with_scale(self, tiny_config):
+        result = run_figure(
+            "fig7",
+            config=tiny_config,
+            scale=1.0,
+            degrees=(160.0,),
+            fractions=(0.1,),
+        )
+        assert result.figure_id == "fig7"

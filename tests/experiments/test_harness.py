@@ -1,0 +1,101 @@
+"""Tests for :mod:`repro.experiments.harness`."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.harness import LadSimulation
+
+
+@pytest.fixture(scope="module")
+def tiny_simulation():
+    """A fast simulation: paper physics but few Monte-Carlo samples and a
+    sparser network (m=60) so the module's tests run in seconds."""
+    config = SimulationConfig(
+        group_size=60,
+        num_training_samples=60,
+        training_samples_per_network=30,
+        num_victims=60,
+        victims_per_network=30,
+        gz_omega=400,
+        seed=99,
+    )
+    return LadSimulation(config)
+
+
+class TestCaching:
+    def test_knowledge_cached(self, tiny_simulation):
+        assert tiny_simulation.knowledge is tiny_simulation.knowledge
+
+    def test_training_data_cached(self, tiny_simulation):
+        assert tiny_simulation.training_data is tiny_simulation.training_data
+        assert tiny_simulation.training_data.num_samples == 60
+
+    def test_benign_scores_cached_per_metric(self, tiny_simulation):
+        a = tiny_simulation.benign_scores("diff")
+        b = tiny_simulation.benign_scores("diff")
+        assert a is b
+        c = tiny_simulation.benign_scores("add_all")
+        assert c is not a
+
+    def test_victims_cached(self, tiny_simulation):
+        sample = tiny_simulation.victims()
+        assert sample is tiny_simulation.victims()
+        assert sample.observations.shape[0] == 60
+        assert sample.actual_locations.shape == (60, 2)
+
+
+class TestEvaluationEntryPoints:
+    def test_attacked_scores_shape(self, tiny_simulation):
+        scores = tiny_simulation.attacked_scores(
+            "diff", "dec_bounded", degree_of_damage=120.0, compromised_fraction=0.1
+        )
+        assert scores.shape == (60,)
+
+    def test_attack_scores_deterministic_per_parameters(self, tiny_simulation):
+        a = tiny_simulation.attacked_scores(
+            "diff", "dec_bounded", degree_of_damage=120.0, compromised_fraction=0.1
+        )
+        b = tiny_simulation.attacked_scores(
+            "diff", "dec_bounded", degree_of_damage=120.0, compromised_fraction=0.1
+        )
+        np.testing.assert_allclose(a, b)
+
+    def test_roc_and_detection_rate(self, tiny_simulation):
+        roc = tiny_simulation.roc(
+            "diff", "dec_bounded", degree_of_damage=160.0, compromised_fraction=0.1
+        )
+        assert roc.detection_rate_at(1.0) == 1.0
+        dr, thr = tiny_simulation.detection_rate(
+            "diff",
+            "dec_bounded",
+            degree_of_damage=160.0,
+            compromised_fraction=0.1,
+            false_positive_rate=0.05,
+        )
+        assert 0.0 <= dr <= 1.0
+        assert np.isfinite(thr)
+
+    def test_detection_rate_increases_with_damage(self, tiny_simulation):
+        low, _ = tiny_simulation.detection_rate(
+            "diff", "dec_bounded", degree_of_damage=30.0, compromised_fraction=0.1
+        )
+        high, _ = tiny_simulation.detection_rate(
+            "diff", "dec_bounded", degree_of_damage=160.0, compromised_fraction=0.1
+        )
+        assert high >= low
+
+    def test_outcome_bundle(self, tiny_simulation):
+        outcome = tiny_simulation.outcome(
+            "diff", "dec_bounded", degree_of_damage=120.0, compromised_fraction=0.1
+        )
+        assert outcome.attacked_scores.shape == (60,)
+        assert 0.0 <= outcome.detection_rate <= 1.0
+
+    def test_benign_localization_error_reported(self, tiny_simulation):
+        error = tiny_simulation.benign_localization_error()
+        assert 0.0 < error < 100.0
+
+    def test_default_config_used_when_omitted(self):
+        sim = LadSimulation()
+        assert sim.config.group_size == 300

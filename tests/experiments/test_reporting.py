@@ -1,0 +1,46 @@
+"""Tests for :mod:`repro.experiments.reporting`."""
+
+from repro.experiments.reporting import format_figure, format_panel, format_series
+from repro.experiments.results import FigureResult, PanelResult, SeriesResult
+
+
+def _panel_shared_grid():
+    panel = PanelResult(title="D=80", x_label="FP", y_label="DR")
+    panel.add_series(SeriesResult(label="diff", x=[0.0, 0.5, 1.0], y=[0.2, 0.9, 1.0]))
+    panel.add_series(SeriesResult(label="prob", x=[0.0, 0.5, 1.0], y=[0.1, 0.7, 1.0]))
+    return panel
+
+
+class TestFormatting:
+    def test_series_contains_label_and_values(self):
+        text = format_series(SeriesResult(label="x=10%", x=[40.0], y=[0.5]))
+        assert "x=10%" in text
+        assert "0.500" in text
+        assert "40" in text
+
+    def test_panel_tabular_when_grids_match(self):
+        text = format_panel(_panel_shared_grid())
+        lines = text.splitlines()
+        assert lines[0].startswith("-- D=80")
+        assert "diff" in lines[1] and "prob" in lines[1]
+        # Three data rows follow the header.
+        assert len(lines) == 5
+
+    def test_panel_fallback_when_grids_differ(self):
+        panel = PanelResult(title="mixed", x_label="x", y_label="y")
+        panel.add_series(SeriesResult(label="a", x=[0.0, 1.0], y=[1.0, 2.0]))
+        panel.add_series(SeriesResult(label="b", x=[0.0, 2.0], y=[1.0, 2.0]))
+        text = format_panel(panel)
+        assert "a" in text and "b" in text
+
+    def test_empty_panel(self):
+        text = format_panel(PanelResult(title="empty", x_label="x", y_label="y"))
+        assert "(no series)" in text
+
+    def test_figure_includes_parameters_and_panels(self):
+        figure = FigureResult(figure_id="fig7", title="demo", parameters={"m": 300})
+        figure.add_panel(_panel_shared_grid())
+        text = format_figure(figure)
+        assert "fig7" in text
+        assert "m=300" in text
+        assert "D=80" in text

@@ -1,0 +1,69 @@
+"""Tests for :mod:`repro.experiments.results`."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.results import FigureResult, PanelResult, SeriesResult
+
+
+@pytest.fixture()
+def figure():
+    fig = FigureResult(figure_id="figX", title="demo", parameters={"m": 300})
+    panel = PanelResult(title="D=80", x_label="FP", y_label="DR")
+    panel.add_series(SeriesResult(label="diff", x=[0.0, 0.1, 1.0], y=[0.1, 0.5, 1.0]))
+    panel.add_series(SeriesResult(label="add_all", x=[0.0, 0.1, 1.0], y=[0.05, 0.3, 1.0]))
+    fig.add_panel(panel)
+    return fig
+
+
+class TestSeriesResult:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            SeriesResult(label="bad", x=[1.0, 2.0], y=[1.0])
+
+    def test_y_at_interpolates(self):
+        series = SeriesResult(label="s", x=[0.0, 1.0], y=[0.0, 10.0])
+        assert series.y_at(0.5) == pytest.approx(5.0)
+        assert series.y_at(2.0) == 10.0  # clamped
+
+    def test_y_at_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesResult(label="s", x=[], y=[]).y_at(0.5)
+
+    def test_numpy_inputs_coerced(self):
+        series = SeriesResult(label="s", x=np.arange(3), y=np.arange(3) * 2.0)
+        assert isinstance(series.x[0], float)
+
+
+class TestPanelAndFigure:
+    def test_get_series_and_panel(self, figure):
+        panel = figure.get_panel("D=80")
+        assert panel.get_series("diff").label == "diff"
+        with pytest.raises(KeyError):
+            panel.get_series("nope")
+        with pytest.raises(KeyError):
+            figure.get_panel("nope")
+
+    def test_json_round_trip(self, figure, tmp_path):
+        path = tmp_path / "fig.json"
+        text = figure.to_json(path)
+        loaded = FigureResult.from_dict(json.loads(text))
+        assert loaded.figure_id == figure.figure_id
+        assert loaded.parameters == figure.parameters
+        assert loaded.get_panel("D=80").get_series("diff").y == [0.1, 0.5, 1.0]
+        assert path.exists()
+
+    def test_csv_export(self, figure, tmp_path):
+        path = tmp_path / "fig.csv"
+        figure.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "figure,panel,series,x,y"
+        # 2 series x 3 points = 6 data rows.
+        assert len(lines) == 7
+
+    def test_as_dict_structure(self, figure):
+        data = figure.as_dict()
+        assert data["figure_id"] == "figX"
+        assert len(data["panels"][0]["series"]) == 2

@@ -1,0 +1,60 @@
+"""Tests for :mod:`repro.geometry.grid`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid import SpatialHashGrid
+
+
+@pytest.fixture()
+def random_points():
+    rng = np.random.default_rng(7)
+    return rng.uniform(0, 1000, size=(500, 2))
+
+
+class TestSpatialHashGrid:
+    def test_query_matches_brute_force(self, random_points):
+        grid = SpatialHashGrid(random_points, cell_size=100.0)
+        rng = np.random.default_rng(8)
+        for _ in range(20):
+            q = rng.uniform(0, 1000, size=2)
+            got = grid.query_radius(q, 100.0)
+            dists = np.hypot(*(random_points - q).T)
+            expected = np.sort(np.flatnonzero(dists <= 100.0))
+            np.testing.assert_array_equal(got, expected)
+
+    def test_radius_larger_than_cell(self, random_points):
+        grid = SpatialHashGrid(random_points, cell_size=50.0)
+        q = np.array([500.0, 500.0])
+        got = grid.query_radius(q, 180.0)
+        dists = np.hypot(*(random_points - q).T)
+        expected = np.sort(np.flatnonzero(dists <= 180.0))
+        np.testing.assert_array_equal(got, expected)
+
+    def test_empty_result(self):
+        grid = SpatialHashGrid(np.array([[0.0, 0.0]]), cell_size=10.0)
+        assert grid.query_radius((1000.0, 1000.0), 5.0).size == 0
+
+    def test_batch_query(self, random_points):
+        grid = SpatialHashGrid(random_points, cell_size=100.0)
+        queries = random_points[:5]
+        results = grid.query_radius_batch(queries, 60.0)
+        assert len(results) == 5
+        # Every point is within radius 0 of itself, so each result contains
+        # the query point's own index.
+        for i, res in enumerate(results):
+            assert i in res
+
+    def test_properties(self, random_points):
+        grid = SpatialHashGrid(random_points, cell_size=25.0)
+        assert grid.num_points == 500
+        assert grid.cell_size == 25.0
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            SpatialHashGrid(np.zeros((3, 2)), cell_size=0.0)
+
+    def test_negative_radius_rejected(self, random_points):
+        grid = SpatialHashGrid(random_points, cell_size=10.0)
+        with pytest.raises(ValueError):
+            grid.query_radius((0, 0), -1.0)

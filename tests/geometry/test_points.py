@@ -1,0 +1,115 @@
+"""Tests for :mod:`repro.geometry.points`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import (
+    distance,
+    distances_to_point,
+    pairwise_distances,
+    points_on_circle,
+    random_point_at_distance,
+    random_points_at_distance,
+)
+from repro.types import Region
+
+
+class TestDistance:
+    def test_basic(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_symmetric(self):
+        assert distance((1, 2), (7, -3)) == pytest.approx(distance((7, -3), (1, 2)))
+
+    def test_zero(self):
+        assert distance((2.5, 2.5), (2.5, 2.5)) == 0.0
+
+
+class TestDistancesToPoint:
+    def test_batch(self):
+        pts = [[0, 0], [3, 4], [0, 5]]
+        out = distances_to_point(pts, (0, 0))
+        np.testing.assert_allclose(out, [0.0, 5.0, 5.0])
+
+
+class TestPairwiseDistances:
+    def test_square_matrix_self(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 2.0]])
+        d = pairwise_distances(pts)
+        assert d.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(d), 0.0)
+        assert d[0, 1] == pytest.approx(1.0)
+        assert d[0, 2] == pytest.approx(2.0)
+
+    def test_rectangular(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0], [6.0, 8.0]])
+        d = pairwise_distances(a, b)
+        np.testing.assert_allclose(d, [[5.0, 10.0]])
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 100, size=(20, 2))
+        d = pairwise_distances(pts)
+        np.testing.assert_allclose(d, d.T, atol=1e-9)
+
+
+class TestPointsOnCircle:
+    def test_radius_respected(self):
+        pts = points_on_circle((5.0, 5.0), 3.0, 16)
+        dists = distances_to_point(pts, (5.0, 5.0))
+        np.testing.assert_allclose(dists, 3.0)
+
+    def test_count(self):
+        assert points_on_circle((0, 0), 1.0, 7).shape == (7, 2)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            points_on_circle((0, 0), 1.0, 0)
+        with pytest.raises(ValueError):
+            points_on_circle((0, 0), -1.0, 4)
+
+
+class TestRandomPointAtDistance:
+    def test_exact_distance(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = random_point_at_distance(rng, (500.0, 500.0), 120.0)
+            assert distance(p, (500.0, 500.0)) == pytest.approx(120.0)
+
+    def test_respects_region(self):
+        rng = np.random.default_rng(1)
+        region = Region(0, 0, 1000, 1000)
+        for _ in range(50):
+            p = random_point_at_distance(rng, (50.0, 50.0), 200.0, region=region)
+            assert region.contains_point(p)
+
+    def test_negative_distance_rejected(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            random_point_at_distance(rng, (0, 0), -1.0)
+
+    def test_impossible_region_falls_back_to_clipping(self):
+        # Origin at the centre of a tiny region with a huge displacement:
+        # no direction stays inside, so the fallback clips to the boundary.
+        rng = np.random.default_rng(3)
+        region = Region(0, 0, 10, 10)
+        p = random_point_at_distance(rng, (5.0, 5.0), 1000.0, region=region, max_tries=8)
+        assert region.contains_point(p)
+
+
+class TestRandomPointsAtDistance:
+    def test_batch_distances(self):
+        rng = np.random.default_rng(4)
+        origins = np.array([[100.0, 100.0], [300.0, 400.0], [900.0, 900.0]])
+        region = Region(0, 0, 1000, 1000)
+        out = random_points_at_distance(rng, origins, 80.0, region=region)
+        dists = np.hypot(*(out - origins).T)
+        np.testing.assert_allclose(dists, 80.0, atol=1e-9)
+        assert region.contains(out).all()
+
+    def test_no_region(self):
+        rng = np.random.default_rng(5)
+        origins = np.zeros((10, 2))
+        out = random_points_at_distance(rng, origins, 5.0)
+        np.testing.assert_allclose(np.hypot(out[:, 0], out[:, 1]), 5.0)

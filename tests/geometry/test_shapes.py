@@ -1,0 +1,92 @@
+"""Tests for :mod:`repro.geometry.shapes`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.shapes import (
+    circle_circle_intersection_area,
+    disk_area,
+    point_in_triangle,
+    triangle_area,
+)
+
+
+class TestDiskArea:
+    def test_value(self):
+        assert disk_area(2.0) == pytest.approx(4 * np.pi)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            disk_area(-1.0)
+
+
+class TestCircleCircleIntersection:
+    def test_identical_circles(self):
+        assert circle_circle_intersection_area(0.0, 5.0, 5.0) == pytest.approx(
+            np.pi * 25.0
+        )
+
+    def test_contained_circle(self):
+        assert circle_circle_intersection_area(1.0, 2.0, 10.0) == pytest.approx(
+            np.pi * 4.0
+        )
+
+    def test_disjoint_circles(self):
+        assert circle_circle_intersection_area(20.0, 5.0, 5.0) == 0.0
+
+    def test_half_overlap_monotone_in_distance(self):
+        ds = np.linspace(0.0, 10.0, 21)
+        areas = circle_circle_intersection_area(ds, 5.0, 5.0)
+        assert np.all(np.diff(areas) <= 1e-9)
+
+    def test_against_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        r1, r2, d = 3.0, 4.0, 2.5
+        # Sample in the bounding box of the first circle.
+        pts = rng.uniform(-r1, r1, size=(200_000, 2))
+        inside1 = np.hypot(pts[:, 0], pts[:, 1]) <= r1
+        inside2 = np.hypot(pts[:, 0] - d, pts[:, 1]) <= r2
+        mc = np.mean(inside1 & inside2) * (2 * r1) ** 2
+        exact = circle_circle_intersection_area(d, r1, r2)
+        assert exact == pytest.approx(mc, rel=0.02)
+
+    def test_zero_radius(self):
+        assert circle_circle_intersection_area(1.0, 0.0, 5.0) == 0.0
+
+    def test_vector_input(self):
+        out = circle_circle_intersection_area(np.array([0.0, 100.0]), 5.0, 5.0)
+        assert out.shape == (2,)
+        assert out[0] > 0 and out[1] == 0.0
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            circle_circle_intersection_area(1.0, -1.0, 2.0)
+
+
+class TestTriangle:
+    def test_area(self):
+        assert triangle_area((0, 0), (4, 0), (0, 3)) == pytest.approx(6.0)
+
+    def test_degenerate_area(self):
+        assert triangle_area((0, 0), (1, 1), (2, 2)) == pytest.approx(0.0)
+
+    def test_point_in_triangle_inside_outside(self):
+        a, b, c = (0, 0), (10, 0), (0, 10)
+        pts = [[1, 1], [5, 4], [9, 9], [-1, 0]]
+        mask = point_in_triangle(pts, a, b, c)
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_point_on_edge_counts_as_inside(self):
+        a, b, c = (0, 0), (10, 0), (0, 10)
+        mask = point_in_triangle([[5, 0], [0, 5]], a, b, c)
+        assert mask.all()
+
+    def test_vertex_order_irrelevant(self):
+        pts = np.random.default_rng(1).uniform(-5, 15, size=(200, 2))
+        m1 = point_in_triangle(pts, (0, 0), (10, 0), (0, 10))
+        m2 = point_in_triangle(pts, (0, 10), (10, 0), (0, 0))
+        np.testing.assert_array_equal(m1, m2)
+
+    def test_degenerate_triangle_contains_nothing(self):
+        mask = point_in_triangle([[1, 1]], (0, 0), (1, 1), (2, 2))
+        assert not mask.any()

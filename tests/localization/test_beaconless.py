@@ -1,0 +1,103 @@
+"""Tests for :mod:`repro.localization.beaconless`."""
+
+import numpy as np
+import pytest
+
+from repro.localization.base import LocalizationContext
+from repro.localization.beaconless import BeaconlessLocalizer
+
+
+@pytest.fixture(scope="module")
+def localizer():
+    return BeaconlessLocalizer(resolution=2.0)
+
+
+class TestInitialGuess:
+    def test_weighted_centroid(self, small_knowledge):
+        obs = np.zeros(small_knowledge.n_groups)
+        obs[3] = 10.0
+        obs[4] = 10.0
+        guess = BeaconlessLocalizer.initial_guess(small_knowledge, obs)
+        expected = small_knowledge.deployment_points[[3, 4]].mean(axis=0)
+        np.testing.assert_allclose(guess, expected)
+
+    def test_empty_observation_falls_back_to_center(self, small_knowledge):
+        guess = BeaconlessLocalizer.initial_guess(
+            small_knowledge, np.zeros(small_knowledge.n_groups)
+        )
+        np.testing.assert_allclose(guess, small_knowledge.region.center)
+
+
+class TestLocalization:
+    def test_recovers_location_from_expected_observation(self, small_knowledge, localizer):
+        """Feeding the noiseless expected observation at a point must recover
+        that point to within the search resolution."""
+        for target in ([150.0, 250.0], [330.0, 120.0], [250.0, 250.0]):
+            target = np.asarray(target)
+            mu = small_knowledge.expected_observation(target[None, :])[0]
+            est = localizer.localize_observations(small_knowledge, mu)[0]
+            assert np.hypot(*(est - target)) <= 3.0 * localizer.resolution
+
+    def test_accuracy_on_real_network(self, small_network, small_index, small_knowledge, localizer):
+        rng = np.random.default_rng(3)
+        nodes = rng.choice(small_network.num_nodes, size=15, replace=False)
+        obs = small_index.observations_of_nodes(nodes)
+        est = localizer.localize_observations(small_knowledge, obs)
+        errors = np.hypot(*(est - small_network.positions[nodes]).T)
+        # The beaconless scheme should localise within a fraction of the
+        # radio range for interior nodes.
+        assert np.median(errors) < 30.0
+        assert errors.mean() < 50.0
+
+    def test_localize_context_api(self, small_network, small_index, small_knowledge, localizer):
+        node = 42
+        obs = small_index.observation_of_node(node)
+        context = LocalizationContext(observation=obs, knowledge=small_knowledge)
+        result = localizer.localize(context)
+        assert result.converged
+        assert np.isfinite(result.log_likelihood)
+        assert result.iterations >= 1
+        error = np.hypot(*(result.position - small_network.positions[node]))
+        assert error < 100.0
+
+    def test_missing_inputs_rejected(self, small_knowledge, localizer):
+        with pytest.raises(ValueError):
+            localizer.localize(LocalizationContext(observation=np.zeros(25)))
+        with pytest.raises(ValueError):
+            localizer.localize(LocalizationContext(knowledge=small_knowledge))
+
+    def test_batch_shape(self, small_knowledge, localizer):
+        obs = small_knowledge.expected_observation(
+            np.array([[100.0, 100.0], [300.0, 200.0]])
+        )
+        est = localizer.localize_observations(small_knowledge, obs)
+        assert est.shape == (2, 2)
+
+    def test_single_observation_promoted(self, small_knowledge, localizer):
+        mu = small_knowledge.expected_observation(np.array([[200.0, 200.0]]))[0]
+        est = localizer.localize_observations(small_knowledge, mu)
+        assert est.shape == (1, 2)
+
+    def test_estimate_stays_inside_region(self, small_knowledge, localizer):
+        # Even for a boundary location the estimate must stay in the region.
+        target = np.array([5.0, 5.0])
+        mu = small_knowledge.expected_observation(target[None, :])[0]
+        est = localizer.localize_observations(small_knowledge, mu)[0]
+        assert small_knowledge.region.contains_point(est)
+
+    def test_finer_resolution_is_more_accurate(self, small_knowledge):
+        target = np.array([237.0, 181.0])
+        mu = small_knowledge.expected_observation(target[None, :])[0]
+        coarse = BeaconlessLocalizer(resolution=20.0, coarse_step=40.0)
+        fine = BeaconlessLocalizer(resolution=1.0)
+        err_coarse = np.hypot(*(coarse.localize_observations(small_knowledge, mu)[0] - target))
+        err_fine = np.hypot(*(fine.localize_observations(small_knowledge, mu)[0] - target))
+        assert err_fine <= err_coarse + 1e-9
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            BeaconlessLocalizer(resolution=0.0)
+        with pytest.raises(ValueError):
+            BeaconlessLocalizer(refine_factor=1.0)
+        with pytest.raises(ValueError):
+            BeaconlessLocalizer(coarse_step=1000.0, search_margin=100.0)

@@ -1,0 +1,59 @@
+"""Tests for :mod:`repro.localization.errors`."""
+
+import numpy as np
+import pytest
+
+from repro.localization.errors import (
+    ErrorStatistics,
+    is_anomaly,
+    localization_error,
+    localization_errors,
+)
+
+
+class TestLocalizationError:
+    def test_single(self):
+        assert localization_error((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_batch(self):
+        est = np.array([[0.0, 0.0], [1.0, 1.0]])
+        act = np.array([[3.0, 4.0], [1.0, 1.0]])
+        np.testing.assert_allclose(localization_errors(est, act), [5.0, 0.0])
+
+    def test_batch_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            localization_errors(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestIsAnomaly:
+    def test_definition_2_and_3(self):
+        # Error of 100 m: anomaly for MTE 80, not for MTE 120.
+        est, act = (0.0, 0.0), (100.0, 0.0)
+        assert is_anomaly(est, act, 80.0)
+        assert not is_anomaly(est, act, 120.0)
+        # The boundary is strict ("greater than").
+        assert not is_anomaly(est, act, 100.0)
+
+    def test_negative_mte_rejected(self):
+        with pytest.raises(ValueError):
+            is_anomaly((0, 0), (1, 1), -1.0)
+
+
+class TestErrorStatistics:
+    def test_summary_values(self):
+        errors = np.arange(1.0, 101.0)
+        stats = ErrorStatistics.from_errors(errors)
+        assert stats.count == 100
+        assert stats.mean == pytest.approx(50.5)
+        assert stats.median == pytest.approx(50.5)
+        assert stats.maximum == 100.0
+        assert stats.p90 >= stats.median
+        assert stats.p99 >= stats.p90
+
+    def test_as_dict_keys(self):
+        stats = ErrorStatistics.from_errors([1.0, 2.0, 3.0])
+        assert set(stats.as_dict()) == {"mean", "median", "p90", "p99", "max", "count"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorStatistics.from_errors([])

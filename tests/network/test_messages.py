@@ -1,0 +1,80 @@
+"""Tests for :mod:`repro.network.messages`."""
+
+import numpy as np
+import pytest
+
+from repro.network.messages import (
+    BroadcastLog,
+    GroupAnnouncement,
+    collect_observation,
+    run_announcement_round,
+)
+from repro.network.neighbors import NeighborIndex
+
+
+class TestCollectObservation:
+    def test_counts_claimed_groups(self):
+        log = BroadcastLog(receiver=0)
+        log.extend(
+            [
+                GroupAnnouncement(sender=1, claimed_group=0),
+                GroupAnnouncement(sender=2, claimed_group=0),
+                GroupAnnouncement(sender=3, claimed_group=2),
+            ]
+        )
+        obs = collect_observation(log, 3)
+        np.testing.assert_allclose(obs, [2.0, 0.0, 1.0])
+
+    def test_authentication_filter(self):
+        log = BroadcastLog(receiver=0)
+        log.add(GroupAnnouncement(sender=1, claimed_group=1, authenticated=False))
+        log.add(GroupAnnouncement(sender=2, claimed_group=1, authenticated=True))
+        assert collect_observation(log, 2, require_authentication=True)[1] == 1.0
+        assert collect_observation(log, 2, require_authentication=False)[1] == 2.0
+
+    def test_deduplicate_senders(self):
+        log = BroadcastLog(receiver=0)
+        log.extend(
+            [
+                GroupAnnouncement(sender=1, claimed_group=0),
+                GroupAnnouncement(sender=1, claimed_group=1),
+                GroupAnnouncement(sender=-1, claimed_group=1),
+                GroupAnnouncement(sender=-1, claimed_group=1),
+            ]
+        )
+        obs = collect_observation(log, 2, deduplicate_senders=True)
+        # Only the first message from node 1 counts; wormhole-injected
+        # messages (sender -1) are never deduplicated.
+        np.testing.assert_allclose(obs, [1.0, 2.0])
+
+    def test_ignores_invalid_group_ids(self):
+        log = BroadcastLog(receiver=0)
+        log.add(GroupAnnouncement(sender=1, claimed_group=99))
+        np.testing.assert_allclose(collect_observation(log, 3), 0.0)
+
+    def test_len(self):
+        log = BroadcastLog(receiver=0)
+        log.add(GroupAnnouncement(sender=1, claimed_group=0))
+        assert len(log) == 1
+
+
+class TestAnnouncementRound:
+    def test_matches_vectorised_observations(self, small_network, small_index):
+        receivers = [3, 14, 100]
+        logs = run_announcement_round(small_network, receivers, index=small_index)
+        assert set(logs) == set(receivers)
+        for receiver in receivers:
+            obs_from_log = collect_observation(logs[receiver], small_network.n_groups)
+            obs_direct = small_index.observation_of_node(receiver)
+            np.testing.assert_allclose(obs_from_log, obs_direct)
+
+    def test_senders_are_true_neighbors(self, small_network, small_index):
+        logs = run_announcement_round(small_network, [7], index=small_index)
+        senders = {m.sender for m in logs[7].messages}
+        assert senders == set(small_index.neighbors_of_node(7).tolist())
+
+    def test_messages_report_true_groups(self, small_network, small_index):
+        logs = run_announcement_round(small_network, [50], index=small_index)
+        for msg in logs[50].messages:
+            assert msg.claimed_group == small_network.group_ids[msg.sender]
+            assert msg.authenticated

@@ -1,0 +1,94 @@
+"""Tests for :mod:`repro.network.neighbors`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.grid import SpatialHashGrid
+from repro.network.neighbors import (
+    NeighborIndex,
+    observation_from_neighbors,
+    observations_for_nodes,
+)
+from repro.network.network import SensorNetwork
+from repro.network.radio import UnitDiskRadio
+from tests.conftest import TEST_RADIO_RANGE
+
+
+class TestObservationFromNeighbors:
+    def test_histogram(self):
+        obs = observation_from_neighbors(np.array([0, 0, 2, 1, 2, 2]), 4)
+        np.testing.assert_allclose(obs, [2.0, 1.0, 3.0, 0.0])
+
+    def test_empty(self):
+        np.testing.assert_allclose(observation_from_neighbors(np.array([]), 3), 0.0)
+
+
+class TestNeighborIndex:
+    def test_matches_brute_force(self, small_network, small_index):
+        rng = np.random.default_rng(0)
+        nodes = rng.choice(small_network.num_nodes, size=10, replace=False)
+        for node in nodes:
+            got = small_index.neighbors_of_node(int(node))
+            diff = small_network.positions - small_network.positions[node]
+            dist = np.hypot(diff[:, 0], diff[:, 1])
+            expected = np.flatnonzero(dist <= TEST_RADIO_RANGE)
+            expected = expected[expected != node]
+            np.testing.assert_array_equal(got, np.sort(expected))
+
+    def test_matches_spatial_hash_grid(self, small_network, small_index):
+        grid = SpatialHashGrid(small_network.positions, cell_size=TEST_RADIO_RANGE)
+        point = np.array([222.0, 333.0])
+        got = small_index.neighbors_of_point(point)
+        expected = grid.query_radius(point, TEST_RADIO_RANGE)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_excludes_self(self, small_network, small_index):
+        neighbors = small_index.neighbors_of_node(5)
+        assert 5 not in neighbors
+
+    def test_observation_counts_sum_to_neighbor_count(self, small_index):
+        obs = small_index.observation_of_node(17)
+        assert obs.sum() == small_index.neighbors_of_node(17).size
+
+    def test_observation_shape(self, small_network, small_index):
+        obs = small_index.observation_of_node(0)
+        assert obs.shape == (small_network.n_groups,)
+
+    def test_batch_observations(self, small_network, small_index):
+        nodes = [0, 1, 2, 3]
+        obs = small_index.observations_of_nodes(nodes)
+        assert obs.shape == (4, small_network.n_groups)
+        for row, node in enumerate(nodes):
+            np.testing.assert_allclose(obs[row], small_index.observation_of_node(node))
+
+    def test_neighbor_counts(self, small_index):
+        nodes = [0, 5, 10]
+        counts = small_index.neighbor_counts(nodes)
+        expected = [small_index.neighbors_of_node(n).size for n in nodes]
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_helper_function(self, small_network):
+        obs = observations_for_nodes(small_network, [0, 1])
+        assert obs.shape == (2, small_network.n_groups)
+
+    def test_range_change_extends_reach(self):
+        """A node with an enlarged range becomes a neighbour of a distant point."""
+        positions = np.array([[0.0, 0.0], [150.0, 0.0]])
+        network = SensorNetwork(
+            positions=positions,
+            group_ids=np.array([0, 1]),
+            n_groups=2,
+            radio=UnitDiskRadio(100.0),
+        )
+        index = NeighborIndex(network)
+        # Initially node 1 (at 150 m) is not heard from the origin area.
+        assert index.neighbors_of_point((0.0, 0.0)).tolist() == [0]
+        network.set_node_range(1, 200.0)
+        index2 = NeighborIndex(network)
+        assert index2.neighbors_of_point((0.0, 0.0)).tolist() == [0, 1]
+
+    def test_observation_of_point_near_group_center(self, small_network, small_index, small_model):
+        # Standing at a deployment point, most neighbours come from that group.
+        center = small_model.deployment_points[12]
+        obs = small_index.observation_of_point(center)
+        assert int(np.argmax(obs)) == 12

@@ -1,0 +1,116 @@
+"""Tests for :mod:`repro.network.network`."""
+
+import numpy as np
+import pytest
+
+from repro.network.network import SensorNetwork
+from repro.network.radio import UnitDiskRadio
+
+
+def _tiny_network() -> SensorNetwork:
+    positions = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [50.0, 50.0]])
+    group_ids = np.array([0, 0, 1, 2])
+    return SensorNetwork(
+        positions=positions, group_ids=group_ids, n_groups=3, radio=UnitDiskRadio(20.0)
+    )
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        net = _tiny_network()
+        assert net.num_nodes == 4
+        assert net.n_groups == 3
+        np.testing.assert_array_equal(net.group_counts(), [2, 1, 1])
+        assert not net.compromised.any()
+
+    def test_group_size_requires_equal_groups(self):
+        net = _tiny_network()
+        with pytest.raises(ValueError):
+            _ = net.group_size
+        equal = SensorNetwork(
+            positions=np.zeros((6, 2)), group_ids=np.repeat([0, 1, 2], 2), n_groups=3
+        )
+        assert equal.group_size == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            SensorNetwork(
+                positions=np.zeros((3, 2)), group_ids=np.zeros(2, dtype=int), n_groups=1
+            )
+
+    def test_group_ids_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            SensorNetwork(
+                positions=np.zeros((2, 2)), group_ids=np.array([0, 5]), n_groups=3
+            )
+
+    def test_bad_ranges_shape_rejected(self):
+        with pytest.raises(ValueError):
+            SensorNetwork(
+                positions=np.zeros((2, 2)),
+                group_ids=np.array([0, 0]),
+                n_groups=1,
+                ranges=np.array([1.0]),
+            )
+
+
+class TestQueriesAndMutation:
+    def test_members_of(self):
+        net = _tiny_network()
+        np.testing.assert_array_equal(net.members_of(0), [0, 1])
+        with pytest.raises(ValueError):
+            net.members_of(3)
+
+    def test_node_range_defaults_to_radio(self):
+        net = _tiny_network()
+        assert net.node_range(0) == 20.0
+        np.testing.assert_allclose(net.effective_ranges(), 20.0)
+
+    def test_set_node_range(self):
+        net = _tiny_network()
+        net.set_node_range(1, 80.0)
+        assert net.node_range(1) == 80.0
+        assert net.node_range(0) == 20.0
+        with pytest.raises(ValueError):
+            net.set_node_range(0, -1.0)
+
+    def test_mark_compromised(self):
+        net = _tiny_network()
+        net.mark_compromised([1, 3])
+        assert net.compromised.tolist() == [False, True, False, True]
+
+    def test_move_node(self):
+        net = _tiny_network()
+        net.move_node(0, (99.0, 99.0))
+        np.testing.assert_allclose(net.positions[0], [99.0, 99.0])
+        with pytest.raises(ValueError):
+            net.move_node(0, (1.0, 2.0, 3.0))
+
+    def test_copy_is_deep(self):
+        net = _tiny_network()
+        net.set_node_range(0, 70.0)
+        clone = net.copy()
+        clone.positions[0] = [-1.0, -1.0]
+        clone.mark_compromised([2])
+        clone.set_node_range(0, 5.0)
+        np.testing.assert_allclose(net.positions[0], [0.0, 0.0])
+        assert not net.compromised[2]
+        assert net.node_range(0) == 70.0
+
+
+class TestGeneratedNetwork:
+    def test_fixture_network_consistency(self, small_network, small_generator):
+        assert small_network.num_nodes == small_generator.num_nodes
+        assert small_network.n_groups == small_generator.model.n_groups
+        assert small_network.group_size == small_generator.group_size
+        np.testing.assert_array_equal(
+            small_network.group_counts(), small_generator.group_size
+        )
+
+    def test_nodes_cluster_around_deployment_points(self, small_network, small_model):
+        # Average distance from a node to its group's deployment point should
+        # be close to the Rayleigh mean sigma * sqrt(pi/2).
+        sigma = small_model.distribution.sigma
+        centers = small_model.deployment_points[small_network.group_ids]
+        dist = np.hypot(*(small_network.positions - centers).T)
+        assert dist.mean() == pytest.approx(sigma * np.sqrt(np.pi / 2), rel=0.1)

@@ -1,0 +1,72 @@
+"""Tests for :mod:`repro.network.radio`."""
+
+import numpy as np
+import pytest
+
+from repro.network.radio import LogNormalShadowingRadio, UnitDiskRadio
+
+
+class TestUnitDiskRadio:
+    def test_link_up_within_range(self):
+        radio = UnitDiskRadio(100.0)
+        distances = np.array([0.0, 50.0, 100.0, 100.0001, 500.0])
+        np.testing.assert_array_equal(
+            radio.link_up(distances), [True, True, True, False, False]
+        )
+
+    def test_properties(self):
+        radio = UnitDiskRadio(75.0)
+        assert radio.nominal_range == 75.0
+        assert radio.max_range == 75.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            UnitDiskRadio(0.0)
+
+
+class TestLogNormalShadowingRadio:
+    def test_zero_shadowing_reduces_to_unit_disk(self):
+        radio = LogNormalShadowingRadio(100.0, shadowing_db=0.0)
+        distances = np.array([50.0, 99.0, 101.0, 200.0])
+        np.testing.assert_array_equal(
+            radio.link_up(distances), [True, True, False, False]
+        )
+
+    def test_connection_probability_monotone(self):
+        radio = LogNormalShadowingRadio(100.0, shadowing_db=4.0)
+        distances = np.linspace(10.0, 190.0, 50)
+        probs = radio.connection_probability(distances)
+        assert np.all(np.diff(probs) <= 1e-12)
+        assert probs[0] > 0.95
+        assert probs[-1] < 0.5
+
+    def test_probability_half_at_nominal_range(self):
+        radio = LogNormalShadowingRadio(100.0, shadowing_db=6.0)
+        assert radio.connection_probability(np.array([100.0]))[0] == pytest.approx(
+            0.5, abs=1e-9
+        )
+
+    def test_empirical_matches_analytic(self):
+        radio = LogNormalShadowingRadio(100.0, shadowing_db=4.0)
+        rng = np.random.default_rng(0)
+        distances = np.full(20_000, 110.0)
+        up = radio.link_up(distances, rng=rng)
+        analytic = radio.connection_probability(np.array([110.0]))[0]
+        assert float(up.mean()) == pytest.approx(analytic, abs=0.02)
+
+    def test_hard_cutoff_at_max_range(self):
+        radio = LogNormalShadowingRadio(100.0, shadowing_db=10.0, max_range_factor=1.5)
+        rng = np.random.default_rng(1)
+        distances = np.full(1000, 200.0)
+        assert not radio.link_up(distances, rng=rng).any()
+        assert radio.connection_probability(np.array([200.0]))[0] == 0.0
+
+    def test_max_range_property(self):
+        radio = LogNormalShadowingRadio(100.0, max_range_factor=2.0)
+        assert radio.max_range == 200.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LogNormalShadowingRadio(100.0, max_range_factor=0.5)
+        with pytest.raises(ValueError):
+            LogNormalShadowingRadio(100.0, path_loss_exponent=0.0)

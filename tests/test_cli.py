@@ -1,0 +1,84 @@
+"""Tests for :mod:`repro.cli`."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_arguments(self):
+        args = build_parser().parse_args(
+            ["figure", "fig7", "--scale", "0.1", "--group-size", "50"]
+        )
+        assert args.figure_id == "fig7"
+        assert args.scale == 0.1
+        assert args.group_size == 50
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_gz_table_command(self, capsys):
+        code = main(["gz-table", "--radio-range", "80", "--sigma", "40", "--omega", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "g(z) table" in out
+        assert "max abs table error" in out
+
+    def test_demo_command_small(self, capsys):
+        code = main(
+            [
+                "demo",
+                "--group-size",
+                "40",
+                "--victims",
+                "30",
+                "--degree",
+                "160",
+                "--seed",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detection rate @ 1% FP" in out
+
+    def test_figure_command_writes_outputs(self, capsys, tmp_path):
+        json_path = tmp_path / "fig7.json"
+        csv_path = tmp_path / "fig7.csv"
+        code = main(
+            [
+                "--verbose",
+                "figure",
+                "fig7",
+                "--scale",
+                "0.05",
+                "--group-size",
+                "40",
+                "--seed",
+                "11",
+                "--json",
+                str(json_path),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert json_path.exists() and csv_path.exists()
+        data = json.loads(json_path.read_text())
+        assert data["figure_id"] == "fig7"
+        out = capsys.readouterr().out
+        assert "Detection rate vs degree of damage" in out

@@ -1,0 +1,82 @@
+"""Tests for :mod:`repro.types`."""
+
+import numpy as np
+import pytest
+
+from repro.types import PAPER_REGION, Region, as_point, as_points
+
+
+class TestAsPoint:
+    def test_accepts_tuple(self):
+        p = as_point((1.0, 2.0))
+        assert p.shape == (2,)
+        assert p.dtype == np.float64
+        np.testing.assert_allclose(p, [1.0, 2.0])
+
+    def test_accepts_list_and_array(self):
+        np.testing.assert_allclose(as_point([3, 4]), [3.0, 4.0])
+        np.testing.assert_allclose(as_point(np.array([5.0, 6.0])), [5.0, 6.0])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            as_point([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            as_point([[1.0, 2.0]])
+
+
+class TestAsPoints:
+    def test_promotes_single_point(self):
+        pts = as_points((1.0, 2.0))
+        assert pts.shape == (1, 2)
+
+    def test_accepts_batches(self):
+        pts = as_points([[1, 2], [3, 4], [5, 6]])
+        assert pts.shape == (3, 2)
+
+    def test_rejects_bad_last_dim(self):
+        with pytest.raises(ValueError):
+            as_points(np.zeros((4, 3)))
+
+
+class TestRegion:
+    def test_basic_properties(self):
+        region = Region(0.0, 0.0, 100.0, 50.0)
+        assert region.width == 100.0
+        assert region.height == 50.0
+        assert region.area == 5000.0
+        np.testing.assert_allclose(region.center, [50.0, 25.0])
+        assert region.diagonal == pytest.approx(np.hypot(100.0, 50.0))
+
+    def test_rejects_degenerate_region(self):
+        with pytest.raises(ValueError):
+            Region(0.0, 0.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            Region(5.0, 0.0, 1.0, 10.0)
+
+    def test_contains_masks_and_boundary(self):
+        region = Region(0.0, 0.0, 10.0, 10.0)
+        pts = [[5.0, 5.0], [0.0, 0.0], [10.0, 10.0], [-0.1, 5.0], [5.0, 10.1]]
+        mask = region.contains(pts)
+        assert mask.tolist() == [True, True, True, False, False]
+
+    def test_contains_point_scalar(self):
+        region = Region(0.0, 0.0, 10.0, 10.0)
+        assert region.contains_point((1.0, 1.0))
+        assert not region.contains_point((11.0, 1.0))
+
+    def test_clip(self):
+        region = Region(0.0, 0.0, 10.0, 10.0)
+        clipped = region.clip([[-5.0, 5.0], [5.0, 20.0], [3.0, 3.0]])
+        np.testing.assert_allclose(clipped, [[0.0, 5.0], [5.0, 10.0], [3.0, 3.0]])
+
+    def test_sample_uniform_inside(self):
+        region = Region(10.0, 20.0, 30.0, 60.0)
+        rng = np.random.default_rng(0)
+        pts = region.sample_uniform(rng, 500)
+        assert pts.shape == (500, 2)
+        assert region.contains(pts).all()
+
+    def test_paper_region_is_one_km_square(self):
+        assert PAPER_REGION.width == 1000.0
+        assert PAPER_REGION.height == 1000.0
+        assert PAPER_REGION.area == 1_000_000.0

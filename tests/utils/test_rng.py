@@ -1,0 +1,101 @@
+"""Tests for :mod:`repro.utils.rng`."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RandomState,
+    as_generator,
+    permutation_without_replacement,
+    spawn_rngs,
+)
+
+
+class TestAsGenerator:
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(1 << 30)
+        b = as_generator(42).integers(1 << 30)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        rngs = spawn_rngs(3, 4)
+        assert len(rngs) == 4
+        values = [r.integers(1 << 30) for r in rngs]
+        assert len(set(values)) == 4  # overwhelmingly likely to differ
+
+    def test_reproducible_from_int_seed(self):
+        a = [r.integers(1 << 30) for r in spawn_rngs(99, 3)]
+        b = [r.integers(1 << 30) for r in spawn_rngs(99, 3)]
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(5)
+        children = spawn_rngs(parent, 2)
+        assert len(children) == 2
+
+
+class TestRandomState:
+    def test_named_streams_are_reproducible(self):
+        a = RandomState(10).stream("network").integers(1 << 30)
+        b = RandomState(10).stream("network").integers(1 << 30)
+        assert a == b
+
+    def test_different_names_differ(self):
+        rs = RandomState(10)
+        a = rs.stream("alpha").integers(1 << 30)
+        b = rs.stream("beta").integers(1 << 30)
+        assert a != b
+
+    def test_stream_independent_of_call_order(self):
+        rs1 = RandomState(3)
+        _ = rs1.stream("first").integers(10)
+        value1 = rs1.stream("second").integers(1 << 30)
+
+        rs2 = RandomState(3)
+        value2 = rs2.stream("second").integers(1 << 30)
+        assert value1 == value2
+
+    def test_streams_helper(self):
+        rs = RandomState(1)
+        streams = rs.streams(["a", "b"])
+        assert set(streams) == {"a", "b"}
+
+    def test_spawn_children_reproducible(self):
+        kids1 = RandomState(8).spawn(3)
+        kids2 = RandomState(8).spawn(3)
+        assert [k.seed for k in kids1] == [k.seed for k in kids2]
+        assert len({k.seed for k in kids1}) == 3
+
+    def test_seed_property(self):
+        assert RandomState(77).seed == 77
+        assert RandomState().seed is None
+
+
+class TestPermutationWithoutReplacement:
+    def test_distinct_sample(self):
+        rng = np.random.default_rng(0)
+        out = permutation_without_replacement(rng, np.arange(10), 5)
+        assert len(set(out.tolist())) == 5
+
+    def test_too_large_request_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            permutation_without_replacement(rng, np.arange(3), 5)

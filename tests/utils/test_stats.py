@@ -1,0 +1,142 @@
+"""Tests for :mod:`repro.utils.stats`."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.utils.stats import (
+    binomial_log_pmf,
+    binomial_mode,
+    binomial_pmf,
+    empirical_percentile,
+    rates_from_scores,
+    roc_points,
+)
+
+
+class TestEmpiricalPercentile:
+    def test_median(self):
+        assert empirical_percentile(np.array([1.0, 2.0, 3.0]), 0.5) == pytest.approx(2.0)
+
+    def test_extremes(self):
+        data = np.arange(100, dtype=float)
+        assert empirical_percentile(data, 0.0) == 0.0
+        assert empirical_percentile(data, 1.0) == 99.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_percentile(np.array([]), 0.5)
+
+    def test_bad_tau_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_percentile(np.array([1.0]), 1.5)
+
+
+class TestRatesFromScores:
+    def test_simple_threshold(self):
+        benign = np.array([1.0, 2.0, 3.0, 4.0])
+        attacked = np.array([5.0, 6.0, 1.0])
+        fp, dr = rates_from_scores(benign, attacked, threshold=4.0)
+        assert fp == 0.0
+        assert dr == pytest.approx(2.0 / 3.0)
+
+    def test_alarm_is_strictly_greater(self):
+        benign = np.array([2.0, 2.0])
+        fp, _ = rates_from_scores(benign, np.array([3.0]), threshold=2.0)
+        assert fp == 0.0
+
+    def test_empty_inputs(self):
+        fp, dr = rates_from_scores(np.array([]), np.array([]), 0.0)
+        assert fp == 0.0 and dr == 0.0
+
+
+class TestRocPoints:
+    def test_perfect_separation_reaches_corner(self):
+        benign = np.random.default_rng(0).normal(0, 1, 200)
+        attacked = benign + 100.0
+        _, fp, dr = roc_points(benign, attacked)
+        # Some threshold should achieve DR=1 with FP=0.
+        assert np.any((dr == 1.0) & (fp == 0.0))
+
+    def test_curve_monotone_in_fp(self):
+        rng = np.random.default_rng(1)
+        benign = rng.normal(0, 1, 300)
+        attacked = rng.normal(1, 1, 300)
+        _, fp, dr = roc_points(benign, attacked)
+        # roc_points returns the curve sorted by (FP, DR); the detection
+        # rate must never decrease along that ordering.
+        assert np.all(np.diff(fp) >= -1e-12)
+        assert np.all(np.diff(dr) >= -1e-12)
+
+    def test_spans_zero_to_one(self):
+        benign = np.array([0.0, 1.0, 2.0])
+        attacked = np.array([1.5, 2.5])
+        _, fp, dr = roc_points(benign, attacked)
+        assert fp.min() == 0.0 and fp.max() == 1.0
+        assert dr.min() == 0.0 and dr.max() == 1.0
+
+    def test_limited_thresholds(self):
+        rng = np.random.default_rng(2)
+        benign = rng.normal(size=1000)
+        attacked = rng.normal(size=1000)
+        thresholds, _, _ = roc_points(benign, attacked, num_thresholds=20)
+        assert len(thresholds) <= 22  # 20 quantiles + 2 sentinels
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            roc_points(np.array([]), np.array([]))
+
+
+class TestBinomialPmf:
+    def test_matches_scipy_on_integers(self):
+        n, p = 30, 0.37
+        ks = np.arange(0, n + 1)
+        ours = binomial_pmf(ks, n, np.full(ks.shape, p))
+        ref = scipy_stats.binom.pmf(ks, n, p)
+        np.testing.assert_allclose(ours, ref, rtol=1e-10, atol=1e-12)
+
+    def test_sums_to_one(self):
+        n, p = 25, 0.2
+        ks = np.arange(0, n + 1)
+        assert binomial_pmf(ks, n, np.full(ks.shape, p)).sum() == pytest.approx(1.0)
+
+    def test_outside_support_is_zero(self):
+        assert binomial_pmf(np.array([-1.0]), 10, np.array([0.5]))[0] == 0.0
+        assert binomial_pmf(np.array([11.0]), 10, np.array([0.5]))[0] == 0.0
+
+    def test_degenerate_probabilities(self):
+        assert binomial_pmf(np.array([0.0]), 10, np.array([0.0]))[0] == pytest.approx(1.0)
+        assert binomial_pmf(np.array([3.0]), 10, np.array([0.0]))[0] == 0.0
+        assert binomial_pmf(np.array([10.0]), 10, np.array([1.0]))[0] == pytest.approx(1.0)
+        assert binomial_pmf(np.array([9.0]), 10, np.array([1.0]))[0] == 0.0
+
+    def test_log_pmf_no_nans(self):
+        ks = np.array([0.0, 5.0, 10.0])
+        ps = np.array([0.0, 0.5, 1.0])
+        out = binomial_log_pmf(ks, 10, ps)
+        assert not np.any(np.isnan(out))
+
+    def test_non_integer_k_between_neighbors(self):
+        # The Gamma generalisation should interpolate smoothly.
+        n, p = 20, 0.4
+        val = binomial_pmf(np.array([7.5]), n, np.array([p]))[0]
+        lo = scipy_stats.binom.pmf(7, n, p)
+        hi = scipy_stats.binom.pmf(8, n, p)
+        assert min(lo, hi) * 0.5 < val < max(lo, hi) * 1.5
+
+
+class TestBinomialMode:
+    def test_matches_argmax_of_pmf(self):
+        for n, p in [(20, 0.3), (50, 0.71), (7, 0.5), (10, 0.05)]:
+            ks = np.arange(0, n + 1)
+            pmf = scipy_stats.binom.pmf(ks, n, p)
+            expected_mode = ks[np.argmax(pmf)]
+            ours = binomial_mode(n, np.array([p]))[0]
+            # Mode ties can differ by one; the pmf values must match.
+            assert scipy_stats.binom.pmf(ours, n, p) == pytest.approx(
+                scipy_stats.binom.pmf(expected_mode, n, p), rel=1e-9
+            )
+
+    def test_clipped_to_support(self):
+        assert binomial_mode(10, np.array([1.0]))[0] == 10.0
+        assert binomial_mode(10, np.array([0.0]))[0] == 0.0

@@ -1,0 +1,70 @@
+"""Tests for :mod:`repro.utils.tables`."""
+
+import numpy as np
+import pytest
+
+from repro.utils.tables import LookupTable1D
+
+
+class TestConstruction:
+    def test_from_function_knot_count(self):
+        table = LookupTable1D.from_function(np.sin, 0.0, np.pi, 10)
+        assert table.num_intervals == 10
+        assert table.knots.shape == (11,)
+        assert table.domain == (0.0, pytest.approx(np.pi))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            LookupTable1D(np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0]))
+
+    def test_rejects_non_monotone_knots(self):
+        with pytest.raises(ValueError):
+            LookupTable1D(np.array([0.0, 2.0, 1.0]), np.array([0.0, 1.0, 2.0]))
+
+    def test_rejects_single_knot(self):
+        with pytest.raises(ValueError):
+            LookupTable1D(np.array([0.0]), np.array([1.0]))
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ValueError):
+            LookupTable1D.from_function(np.sin, 1.0, 1.0, 5)
+
+    def test_knots_are_read_only(self):
+        table = LookupTable1D.from_function(np.cos, 0.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            table.knots[0] = 99.0
+
+
+class TestEvaluation:
+    def test_exact_at_knots(self):
+        table = LookupTable1D.from_function(np.square, 0.0, 4.0, 8)
+        np.testing.assert_allclose(table(table.knots), np.square(table.knots))
+
+    def test_interpolates_linear_function_exactly(self):
+        table = LookupTable1D.from_function(lambda x: 3 * x + 1, 0.0, 10.0, 5)
+        zs = np.linspace(0.0, 10.0, 37)
+        np.testing.assert_allclose(table(zs), 3 * zs + 1, atol=1e-12)
+
+    def test_scalar_query_returns_float(self):
+        table = LookupTable1D.from_function(np.square, 0.0, 2.0, 4)
+        out = table(1.3)
+        assert isinstance(out, float)
+
+    def test_clamping_outside_domain(self):
+        table = LookupTable1D.from_function(np.square, 1.0, 3.0, 4)
+        assert table(0.0) == pytest.approx(1.0)
+        assert table(10.0) == pytest.approx(9.0)
+
+    def test_extrapolation_mode(self):
+        table = LookupTable1D.from_function(lambda x: 2 * x, 0.0, 1.0, 2, clamp=False)
+        assert table(2.0) == pytest.approx(4.0)
+        assert table(-1.0) == pytest.approx(-2.0)
+
+    def test_accuracy_improves_with_resolution(self):
+        coarse = LookupTable1D.from_function(np.sin, 0.0, np.pi, 8)
+        fine = LookupTable1D.from_function(np.sin, 0.0, np.pi, 256)
+        assert fine.max_abs_error(np.sin) < coarse.max_abs_error(np.sin)
+
+    def test_max_abs_error_small_for_smooth_function(self):
+        table = LookupTable1D.from_function(np.sin, 0.0, np.pi, 500)
+        assert table.max_abs_error(np.sin, samples=2000) < 1e-4

@@ -1,0 +1,79 @@
+"""Tests for :mod:`repro.utils.validation`."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_array_shape,
+    check_fraction,
+    check_int,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative_and_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+        with pytest.raises(ValueError):
+            check_positive("x", float("inf"))
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        assert check_fraction("p", 0.5) == 0.5
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_probability("p", -0.01)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+
+class TestCheckInt:
+    def test_accepts_int_and_numpy_int(self):
+        assert check_int("n", 5) == 5
+        assert check_int("n", np.int64(7)) == 7
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(TypeError):
+            check_int("n", True)
+        with pytest.raises(TypeError):
+            check_int("n", 3.0)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            check_int("n", 2, minimum=3)
+        with pytest.raises(ValueError):
+            check_int("n", 9, maximum=5)
+
+
+class TestArrayChecks:
+    def test_check_array_shape(self):
+        arr = np.zeros((4, 2))
+        assert check_array_shape("a", arr, ndim=2, last_dim=2) is not None
+        with pytest.raises(ValueError):
+            check_array_shape("a", arr, ndim=1)
+        with pytest.raises(ValueError):
+            check_array_shape("a", arr, last_dim=3)
+
+    def test_check_same_length(self):
+        check_same_length("a", np.zeros(3), "b", np.zeros(3))
+        with pytest.raises(ValueError):
+            check_same_length("a", np.zeros(3), "b", np.zeros(4))
