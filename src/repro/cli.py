@@ -52,6 +52,12 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--group-size", type=int, default=300, help="sensors per group m")
     fig.add_argument("--radio-range", type=float, default=100.0, help="radio range R (m)")
     fig.add_argument("--seed", type=int, default=20050404, help="master random seed")
+    fig.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the parameter sweep (0 = serial)",
+    )
     fig.add_argument("--json", type=Path, default=None, help="write the series as JSON")
     fig.add_argument("--csv", type=Path, default=None, help="write the series as CSV")
 
@@ -80,7 +86,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     config = SimulationConfig(
         group_size=args.group_size, radio_range=args.radio_range, seed=args.seed
     )
-    result = run_figure(args.figure_id, config=config, scale=args.scale)
+    result = run_figure(
+        args.figure_id, config=config, scale=args.scale, workers=args.workers
+    )
     print(format_figure(result))
     if args.json is not None:
         result.to_json(args.json)

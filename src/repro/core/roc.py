@@ -61,12 +61,20 @@ class RocCurve:
         return float(np.max(self.detection_rates[mask]))
 
     def auc(self) -> float:
-        """Area under the ROC curve (trapezoidal rule)."""
+        """Area under the ROC curve (trapezoidal rule).
+
+        A curve that never reaches FP = 0 is anchored at ``(0, 0)`` — the
+        detection rate at an unobserved operating point must not be
+        extrapolated from the leftmost measured point, which would
+        over-credit the area.  When an FP = 0 point exists it anchors the
+        curve itself.
+        """
         order = np.argsort(self.false_positive_rates, kind="stable")
-        fp = np.concatenate([[0.0], self.false_positive_rates[order], [1.0]])
-        dr = np.concatenate(
-            [[self.detection_rates[order][0]], self.detection_rates[order], [1.0]]
-        )
+        fp_sorted = self.false_positive_rates[order]
+        dr_sorted = self.detection_rates[order]
+        left_dr = dr_sorted[0] if fp_sorted.size and fp_sorted[0] == 0.0 else 0.0
+        fp = np.concatenate([[0.0], fp_sorted, [1.0]])
+        dr = np.concatenate([[left_dr], dr_sorted, [1.0]])
         return float(np.trapezoid(dr, fp))
 
     def as_series(self) -> dict:

@@ -295,6 +295,15 @@ class GzTable:
             min(max(values, 0.0), 1.0)
         )
 
+    def fast_lookup(self, z: np.ndarray) -> np.ndarray:
+        """Vectorised ``g(z)`` via the table's uniform-grid fast path.
+
+        Used by the batched likelihood kernels on large distance arrays
+        (``z`` must be non-negative, which every distance matrix satisfies).
+        Agrees with :meth:`__call__` up to floating-point rounding.
+        """
+        return np.clip(self._table.fast_lookup(z), 0.0, 1.0)
+
     def max_abs_error(self, samples: int = 2000) -> float:
         """Maximum absolute error of the table against adaptive quadrature."""
         zs = np.linspace(0.0, self._z_max, int(samples))

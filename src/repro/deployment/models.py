@@ -112,11 +112,17 @@ class DeploymentModel(abc.ABC):
         """Distances from each location to every deployment point.
 
         Returns an array of shape ``(k, n_groups)`` — the ``z`` values fed
-        into ``g(z)`` when computing expected observations.
+        into ``g(z)`` when computing expected observations.  Evaluated with
+        :func:`scipy.spatial.distance.cdist`, whose C loop is an order of
+        magnitude faster than broadcasting the difference array while
+        producing bit-identical distances.
         """
+        from scipy.spatial.distance import cdist
+
         locs = as_points(locations)
-        diff = locs[:, None, :] - self.deployment_points[None, :, :]
-        return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+        if locs.shape[0] == 0:
+            return np.empty((0, self.n_groups), dtype=np.float64)
+        return cdist(locs, self.deployment_points)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -13,6 +13,7 @@ from repro.experiments.config import SimulationConfig
 from repro.experiments.harness import LadSimulation
 from repro.experiments.results import SeriesResult, PanelResult, FigureResult
 from repro.experiments.reporting import format_figure, format_panel
+from repro.experiments.sweep import SweepPoint, SweepRunner
 from repro.experiments import figures
 
 __all__ = [
@@ -21,6 +22,8 @@ __all__ = [
     "SeriesResult",
     "PanelResult",
     "FigureResult",
+    "SweepPoint",
+    "SweepRunner",
     "format_figure",
     "format_panel",
     "figures",

@@ -22,6 +22,7 @@ from repro.experiments.figures.common import (
 )
 from repro.experiments.harness import LadSimulation
 from repro.experiments.results import FigureResult, PanelResult
+from repro.experiments.sweep import SweepPoint, SweepRunner
 
 __all__ = ["run", "DEGREES_OF_DAMAGE", "COMPROMISED_FRACTION", "ATTACK_CLASS"]
 
@@ -42,9 +43,16 @@ def run(
     *,
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
+    workers: int = 0,
 ) -> FigureResult:
     """Reproduce Figure 4 and return its series."""
     sim = resolve_simulation(simulation, config, scale)
+    runner = sim.sweep(workers=workers)
+    points = SweepRunner.grid(
+        ALL_METRICS, [ATTACK_CLASS], degrees, [COMPROMISED_FRACTION]
+    )
+    rocs = runner.rocs(points)
+
     figure = FigureResult(
         figure_id="fig4",
         title="ROC curves for different detection metrics and degrees of damage",
@@ -61,12 +69,9 @@ def run(
             y_label="DR-Detection Rate",
         )
         for metric in ALL_METRICS:
-            roc = sim.roc(
-                metric,
-                ATTACK_CLASS,
-                degree_of_damage=degree,
-                compromised_fraction=COMPROMISED_FRACTION,
+            point = SweepPoint(
+                metric.name, ATTACK_CLASS, float(degree), COMPROMISED_FRACTION
             )
-            panel.add_series(roc_series(metric.paper_name, roc, fp_grid))
+            panel.add_series(roc_series(metric.paper_name, rocs[point], fp_grid))
         figure.add_panel(panel)
     return figure

@@ -22,6 +22,7 @@ from repro.experiments.figures.common import (
 )
 from repro.experiments.harness import LadSimulation
 from repro.experiments.results import FigureResult, PanelResult
+from repro.experiments.sweep import SweepPoint, SweepRunner
 
 __all__ = ["run", "DEGREES_OF_DAMAGE", "COMPROMISED_FRACTION", "METRIC"]
 
@@ -50,9 +51,16 @@ def run(
     *,
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
+    workers: int = 0,
 ) -> FigureResult:
     """Reproduce Figure 5 and return its series."""
     sim = resolve_simulation(simulation, config, scale)
+    runner = sim.sweep(workers=workers)
+    points = SweepRunner.grid(
+        [METRIC], ATTACK_CLASSES, degrees, [COMPROMISED_FRACTION]
+    )
+    rocs = runner.rocs(points)
+
     figure = FigureResult(
         figure_id="fig5",
         title="ROC curves for different attacks (small degrees of damage)",
@@ -69,12 +77,7 @@ def run(
             y_label="DR-Detection Rate",
         )
         for attack in ATTACK_CLASSES:
-            roc = sim.roc(
-                METRIC,
-                attack,
-                degree_of_damage=degree,
-                compromised_fraction=COMPROMISED_FRACTION,
-            )
-            panel.add_series(roc_series(_ATTACK_LABELS[attack], roc, fp_grid))
+            point = SweepPoint(METRIC, attack, float(degree), COMPROMISED_FRACTION)
+            panel.add_series(roc_series(_ATTACK_LABELS[attack], rocs[point], fp_grid))
         figure.add_panel(panel)
     return figure

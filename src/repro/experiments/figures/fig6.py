@@ -32,6 +32,7 @@ def run(
     *,
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
+    workers: int = 0,
 ) -> FigureResult:
     """Reproduce Figure 6 and return its series."""
     figure = fig5.run(
@@ -40,6 +41,7 @@ def run(
         scale=scale,
         degrees=degrees,
         fp_grid=fp_grid,
+        workers=workers,
     )
     figure.figure_id = "fig6"
     figure.title = "ROC curves for different attacks (large degrees of damage)"

@@ -17,6 +17,7 @@ from repro.experiments.config import SimulationConfig
 from repro.experiments.figures.common import resolve_simulation
 from repro.experiments.harness import LadSimulation
 from repro.experiments.results import FigureResult, PanelResult, SeriesResult
+from repro.experiments.sweep import SweepPoint, SweepRunner
 
 __all__ = [
     "run",
@@ -49,9 +50,14 @@ def run(
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     fractions: Sequence[float] = COMPROMISED_FRACTIONS,
     false_positive_rate: float = FALSE_POSITIVE_RATE,
+    workers: int = 0,
 ) -> FigureResult:
     """Reproduce Figure 7 and return its series."""
     sim = resolve_simulation(simulation, config, scale)
+    runner = sim.sweep(workers=workers)
+    points = SweepRunner.grid([METRIC], [ATTACK_CLASS], degrees, fractions)
+    rates_at = runner.detection_rates(points, false_positive_rate=false_positive_rate)
+
     figure = FigureResult(
         figure_id="fig7",
         title="Detection rate vs degree of damage",
@@ -68,16 +74,10 @@ def run(
         y_label="DR-Detection Rate",
     )
     for fraction in fractions:
-        rates = []
-        for degree in degrees:
-            rate, _ = sim.detection_rate(
-                METRIC,
-                ATTACK_CLASS,
-                degree_of_damage=degree,
-                compromised_fraction=fraction,
-                false_positive_rate=false_positive_rate,
-            )
-            rates.append(rate)
+        rates = [
+            rates_at[SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))][0]
+            for degree in degrees
+        ]
         panel.add_series(
             SeriesResult(label=f"x={int(round(fraction * 100))}%", x=list(degrees), y=rates)
         )

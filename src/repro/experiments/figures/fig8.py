@@ -18,6 +18,7 @@ from repro.experiments.config import SimulationConfig
 from repro.experiments.figures.common import resolve_simulation
 from repro.experiments.harness import LadSimulation
 from repro.experiments.results import FigureResult, PanelResult, SeriesResult
+from repro.experiments.sweep import SweepPoint, SweepRunner
 
 __all__ = [
     "run",
@@ -50,9 +51,14 @@ def run(
     fractions: Sequence[float] = COMPROMISED_FRACTIONS,
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     false_positive_rate: float = FALSE_POSITIVE_RATE,
+    workers: int = 0,
 ) -> FigureResult:
     """Reproduce Figure 8 and return its series."""
     sim = resolve_simulation(simulation, config, scale)
+    runner = sim.sweep(workers=workers)
+    points = SweepRunner.grid([METRIC], [ATTACK_CLASS], degrees, fractions)
+    rates_at = runner.detection_rates(points, false_positive_rate=false_positive_rate)
+
     figure = FigureResult(
         figure_id="fig8",
         title="Detection rate vs percentage of compromised nodes",
@@ -70,16 +76,10 @@ def run(
     )
     percentages = [fraction * 100.0 for fraction in fractions]
     for degree in degrees:
-        rates = []
-        for fraction in fractions:
-            rate, _ = sim.detection_rate(
-                METRIC,
-                ATTACK_CLASS,
-                degree_of_damage=degree,
-                compromised_fraction=fraction,
-                false_positive_rate=false_positive_rate,
-            )
-            rates.append(rate)
+        rates = [
+            rates_at[SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))][0]
+            for fraction in fractions
+        ]
         panel.add_series(SeriesResult(label=f"D={degree:g}", x=percentages, y=rates))
     figure.add_panel(panel)
     return figure

@@ -23,6 +23,7 @@ from typing import Dict, Optional, Sequence
 from repro.experiments.config import SimulationConfig
 from repro.experiments.harness import LadSimulation
 from repro.experiments.results import FigureResult, PanelResult, SeriesResult
+from repro.experiments.sweep import SweepPoint, SweepRunner
 
 __all__ = [
     "run",
@@ -60,6 +61,7 @@ def run(
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     fractions: Sequence[float] = COMPROMISED_FRACTIONS,
     false_positive_rate: float = FALSE_POSITIVE_RATE,
+    workers: int = 0,
 ) -> FigureResult:
     """Reproduce Figure 9 and return its series.
 
@@ -81,10 +83,15 @@ def run(
         },
     )
 
-    # One simulation (with its own training) per density value.
-    simulations: Dict[int, LadSimulation] = {
-        int(m): LadSimulation(base_config.with_group_size(int(m))) for m in group_sizes
-    }
+    # One simulation (with its own training) per density value; the
+    # per-density (D, x) grid runs through its sweep runner.
+    points = SweepRunner.grid([METRIC], [ATTACK_CLASS], degrees, fractions)
+    rates_at: Dict[int, Dict[SweepPoint, tuple]] = {}
+    for m in group_sizes:
+        simulation = LadSimulation(base_config.with_group_size(int(m)))
+        rates_at[int(m)] = simulation.sweep(workers=workers).detection_rates(
+            points, false_positive_rate=false_positive_rate
+        )
 
     for degree in degrees:
         panel = PanelResult(
@@ -93,16 +100,12 @@ def run(
             y_label="DR-Detection Rate",
         )
         for fraction in fractions:
-            rates = []
-            for m in group_sizes:
-                rate, _ = simulations[int(m)].detection_rate(
-                    METRIC,
-                    ATTACK_CLASS,
-                    degree_of_damage=degree,
-                    compromised_fraction=fraction,
-                    false_positive_rate=false_positive_rate,
-                )
-                rates.append(rate)
+            rates = [
+                rates_at[int(m)][
+                    SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))
+                ][0]
+                for m in group_sizes
+            ]
             panel.add_series(
                 SeriesResult(
                     label=f"x={int(round(fraction * 100))}",

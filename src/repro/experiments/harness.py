@@ -9,18 +9,27 @@ evaluation (Section 7):
   observation-tainting adversary (Sections 6, 7.1);
 * report ROC curves and detection rates at a fixed false-positive budget.
 
-Everything expensive is cached per simulation instance: the ``g(z)`` table,
-the evaluation networks, the victims' honest observations, the benign
-training scores per metric.  Parameter sweeps (over ``D``, ``x``, metric or
-attack class) therefore pay the deployment and neighbour-discovery cost only
-once, which is what makes regenerating every figure of the paper feasible on
-a laptop.
+The pipeline is batched end to end.  Victim observations are collected by
+the one-pass :meth:`NeighborIndex.observations_of_nodes` kernel and benign
+training locations come from the vectorised
+:meth:`BeaconlessLocalizer.localize_observations` engine, so neither pays a
+Python-level loop per sample.  Everything expensive is cached per
+simulation instance: the ``g(z)`` table, the evaluation networks, the
+victims' honest observations, the benign training scores per metric.
+
+Parameter sweeps (over ``D``, ``x``, metric or attack class) therefore pay
+the deployment and neighbour-discovery cost only once.  :meth:`LadSimulation.sweep`
+hands the cached state to a :class:`~repro.experiments.sweep.SweepRunner`,
+which fans the per-combination scoring across worker processes while every
+combination keeps its name-derived random stream — a parallel sweep
+reproduces the serial one exactly.  The figure drivers (Figures 4–9) are
+all built on that runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -43,6 +52,9 @@ from repro.network.radio import UnitDiskRadio
 from repro.types import Region
 from repro.utils.logging import get_logger
 from repro.utils.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover - imported for type checkers only
+    from repro.experiments.sweep import SweepRunner
 
 __all__ = ["LadSimulation"]
 
@@ -174,10 +186,13 @@ class LadSimulation:
         compromised_fraction: float,
     ) -> np.ndarray:
         """Attacked anomaly scores for one parameter combination."""
+        from repro.experiments.sweep import attack_stream_name
+
         sample = self.victims()
         rng = self._random.stream(
-            f"attack/{get_metric(metric).name}/{attack_class}/"
-            f"{degree_of_damage:g}/{compromised_fraction:g}"
+            attack_stream_name(
+                metric, attack_class, degree_of_damage, compromised_fraction
+            )
         )
         return attacked_scores_from_observations(
             self.knowledge,
@@ -248,6 +263,19 @@ class LadSimulation:
         return evaluate_detection(
             benign, attacked, false_positive_rate=false_positive_rate
         )
+
+    def sweep(self, *, workers: int = 0) -> "SweepRunner":
+        """A :class:`~repro.experiments.sweep.SweepRunner` over this simulation.
+
+        Parameters
+        ----------
+        workers:
+            Worker processes for the per-combination scoring; ``0``/``1``
+            runs serially with identical results.
+        """
+        from repro.experiments.sweep import SweepRunner
+
+        return SweepRunner(self, workers=workers)
 
     def benign_localization_error(self) -> float:
         """Mean benign localization error of the training samples (metres)."""

@@ -1,0 +1,220 @@
+"""Parameter sweeps over the cached LAD evaluation state.
+
+Every figure of the paper's evaluation section is a sweep of the same inner
+computation — score the victims' tainted observations for one
+``(metric, attack class, degree of damage D, compromise fraction x)``
+combination — against state that is *shared* by all combinations: the
+``g(z)`` table inside the deployment knowledge, the victims' honest
+observations, and the benign training scores per metric.
+
+:class:`SweepRunner` makes that structure explicit.  It fans a grid of
+:class:`SweepPoint` combinations over worker processes (or runs them
+serially for ``workers <= 1``) while materialising the shared state exactly
+once:
+
+* the expensive per-combination work — the greedy adversary plus metric
+  scoring — is what gets distributed;
+* each worker receives the shared payload once (via the pool initializer),
+  not once per task;
+* the per-combination random streams are derived from the simulation seed
+  and the combination *name* (:func:`attack_stream_name`), so a parallel
+  sweep reproduces the serial one — and therefore
+  :meth:`LadSimulation.attacked_scores` — bit for bit, regardless of
+  scheduling order.
+
+The figure drivers (:mod:`repro.experiments.figures`) all route their
+parameter grids through this runner.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.evaluation import (
+    attacked_scores_from_observations,
+    detection_rate_at_false_positive,
+)
+from repro.core.metrics import AnomalyMetric, get_metric
+from repro.core.roc import RocCurve, compute_roc
+from repro.utils.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover - imported for type checkers only
+    from repro.experiments.harness import LadSimulation
+
+__all__ = ["SweepPoint", "SweepRunner", "attack_stream_name"]
+
+
+def attack_stream_name(
+    metric: Union[str, AnomalyMetric],
+    attack_class: str,
+    degree_of_damage: float,
+    compromised_fraction: float,
+) -> str:
+    """Name of the random stream for one attack parameter combination.
+
+    Shared by :meth:`LadSimulation.attacked_scores` and the sweep workers:
+    because :meth:`~repro.utils.rng.RandomState.stream` derives its
+    generator from ``(seed, name)`` alone, any evaluation path that uses the
+    same name reproduces the same attack randomness.
+    """
+    return (
+        f"attack/{get_metric(metric).name}/{attack_class}/"
+        f"{degree_of_damage:g}/{compromised_fraction:g}"
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One combination of the evaluation parameter grid."""
+
+    metric: str
+    attack: str
+    degree_of_damage: float
+    compromised_fraction: float
+
+    def stream_name(self) -> str:
+        """Random-stream name of this combination."""
+        return attack_stream_name(
+            self.metric, self.attack, self.degree_of_damage, self.compromised_fraction
+        )
+
+
+#: Shared per-worker state, installed once by the pool initializer.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(payload: dict) -> None:
+    _WORKER_STATE.update(payload)
+
+
+def _score_point(point: SweepPoint) -> np.ndarray:
+    """Attacked scores for one combination, from the worker's shared state."""
+    state = _WORKER_STATE
+    rng = RandomState(state["seed"]).stream(point.stream_name())
+    return attacked_scores_from_observations(
+        state["knowledge"],
+        state["observations"],
+        state["locations"],
+        metric=point.metric,
+        attack_class=point.attack,
+        degree_of_damage=point.degree_of_damage,
+        compromised_fraction=point.compromised_fraction,
+        rng=rng,
+    )
+
+
+class SweepRunner:
+    """Fan a parameter grid over workers that share the cached state.
+
+    Parameters
+    ----------
+    simulation:
+        The :class:`~repro.experiments.harness.LadSimulation` whose cached
+        knowledge, victims and benign scores the sweep reuses.
+    workers:
+        Number of worker processes.  ``0`` or ``1`` (default) runs the sweep
+        serially in-process; either way the results are identical.
+
+    Examples
+    --------
+    >>> runner = LadSimulation(config).sweep(workers=4)
+    >>> points = SweepRunner.grid(["diff"], ["dec_bounded"],
+    ...                           degrees=[80, 160], fractions=[0.1, 0.3])
+    >>> rates = runner.detection_rates(points)
+    """
+
+    def __init__(self, simulation: "LadSimulation", *, workers: int = 0):
+        self._simulation = simulation
+        self._workers = int(workers)
+
+    @property
+    def simulation(self) -> "LadSimulation":
+        """The simulation whose cached state this runner shares."""
+        return self._simulation
+
+    @staticmethod
+    def grid(
+        metrics: Iterable[Union[str, AnomalyMetric]],
+        attacks: Iterable[str],
+        degrees: Iterable[float],
+        fractions: Iterable[float],
+    ) -> List[SweepPoint]:
+        """The cartesian product of the given parameter axes."""
+        return [
+            SweepPoint(get_metric(metric).name, attack, float(degree), float(fraction))
+            for metric, attack, degree, fraction in itertools.product(
+                metrics, attacks, degrees, fractions
+            )
+        ]
+
+    def attacked_scores(
+        self, points: Sequence[SweepPoint]
+    ) -> Dict[SweepPoint, np.ndarray]:
+        """Attacked score samples for every sweep point."""
+        points = list(points)
+        if self._workers <= 1:
+            return {
+                point: self._simulation.attacked_scores(
+                    point.metric,
+                    point.attack,
+                    degree_of_damage=point.degree_of_damage,
+                    compromised_fraction=point.compromised_fraction,
+                )
+                for point in points
+            }
+        sample = self._simulation.victims()
+        payload = {
+            "knowledge": self._simulation.knowledge,
+            "observations": sample.observations,
+            "locations": sample.actual_locations,
+            "seed": self._simulation.config.seed,
+        }
+        with ProcessPoolExecutor(
+            max_workers=self._workers,
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            scored = list(pool.map(_score_point, points))
+        return dict(zip(points, scored))
+
+    def rocs(
+        self,
+        points: Sequence[SweepPoint],
+        *,
+        num_thresholds: Optional[int] = None,
+    ) -> Dict[SweepPoint, RocCurve]:
+        """ROC curves for every sweep point (Figures 4–6)."""
+        attacked = self.attacked_scores(points)
+        return {
+            point: compute_roc(
+                self._simulation.benign_scores(point.metric),
+                scores,
+                num_thresholds=num_thresholds,
+            )
+            for point, scores in attacked.items()
+        }
+
+    def detection_rates(
+        self,
+        points: Sequence[SweepPoint],
+        *,
+        false_positive_rate: float = 0.01,
+    ) -> Dict[SweepPoint, Tuple[float, float]]:
+        """``(detection rate, threshold)`` per point at a FP budget (Figures 7–9)."""
+        attacked = self.attacked_scores(points)
+        return {
+            point: detection_rate_at_false_positive(
+                self._simulation.benign_scores(point.metric),
+                scores,
+                false_positive_rate,
+            )
+            for point, scores in attacked.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SweepRunner(workers={self._workers}, simulation={self._simulation!r})"

@@ -15,15 +15,48 @@ The implementation runs a coarse-to-fine grid search:
 
 1. an initial guess is the observation-weighted centroid of the deployment
    points (cheap and already close for benign observations);
-2. a coarse grid around the initial guess (and, optionally, around the most
-   observed deployment points) is scored in a single vectorised
-   log-likelihood evaluation;
+2. the coarse level scores the lattice points of a *shared* region-wide grid
+   (spacing ``coarse_step``, anchored at the region origin) that fall inside
+   a ``search_margin`` window around the initial guess;
 3. the grid is repeatedly refined around the best candidate until the cell
    size drops below ``resolution``.
 
 Because the likelihood surface is smooth at the scale of the deployment-grid
 spacing, this converges to the global optimum for all practical observation
 vectors while costing only a few thousand ``g(z)`` table lookups.
+
+Batched pipeline
+----------------
+
+The paper's entire evaluation reduces to localizing thousands of
+observations against one shared :class:`DeploymentKnowledge`, so
+:meth:`BeaconlessLocalizer.localize_observations` runs all rows through a
+vectorised engine instead of a Python-level loop:
+
+* because the coarse lattice is anchored at the region origin, every row
+  draws its coarse candidates from the *same* global lattice.  One
+  ``(k, candidates, n_groups)`` kernel —
+  :meth:`DeploymentKnowledge.log_likelihood_batch` — therefore evaluates the
+  lattice once and scores all ``k`` rows against it as two matrix products;
+  each row then picks its best candidate inside its own search window;
+* the refinement levels run in lock-step (the step schedule is
+  row-independent): per-row sub-grids are concatenated and scored by one
+  flat :meth:`DeploymentKnowledge.log_likelihood_segmented` call, followed
+  by per-row best-candidate gathers;
+* duplicate observation rows are localized once (all-zero rows — whose
+  likelihood surface is symmetric and therefore full of exact ties — are
+  routed through the per-row reference search so tie-breaking cannot be
+  perturbed by kernel rounding).
+
+The per-row :meth:`_search` is kept as the reference implementation.  The
+batched kernels agree with it up to floating-point rounding (matrix
+products and the fast table lookup accumulate differently), which leaves
+the per-row argmax — and therefore the estimates — unchanged whenever
+candidate likelihoods are separated by more than accumulated rounding;
+distinct grid candidates of real observation vectors are separated by many
+orders of magnitude more.  The equivalence tests and the
+``benchmarks/test_bench_batch_pipeline.py`` speedup benchmark pin down
+exact estimate equality on seeded networks.
 """
 
 from __future__ import annotations
@@ -52,12 +85,14 @@ class BeaconlessLocalizer(LocalizationScheme):
     Parameters
     ----------
     search_margin:
-        Half-width (metres) of the initial search window centred on the
+        Half-width (metres) of the coarse search window centred on the
         observation-weighted centroid of the deployment points.  The default
         of 250 m comfortably covers the deployment-grid spacing (100 m) plus
         the landing spread (σ = 50 m).
     coarse_step:
-        Grid spacing of the first search level, metres.
+        Grid spacing of the first search level, metres.  Coarse candidates
+        lie on a region-wide lattice with this spacing so that batched
+        localization can share their likelihood evaluation across rows.
     resolution:
         Target grid spacing of the final refinement level, metres.  The
         reported estimate is accurate to about this value.
@@ -100,7 +135,11 @@ class BeaconlessLocalizer(LocalizationScheme):
         )
 
     def localize_observations(
-        self, knowledge: DeploymentKnowledge, observations: np.ndarray
+        self,
+        knowledge: DeploymentKnowledge,
+        observations: np.ndarray,
+        *,
+        batched: bool = True,
     ) -> np.ndarray:
         """Batch entry point: estimate one location per observation row.
 
@@ -110,6 +149,11 @@ class BeaconlessLocalizer(LocalizationScheme):
             Shared deployment knowledge.
         observations:
             Array of shape ``(k, n_groups)``.
+        batched:
+            When ``True`` (default) all rows are localized by the vectorised
+            engine (shared coarse lattice + lock-step refinement); when
+            ``False`` each row runs the per-row reference :meth:`_search`.
+            Both paths produce the same estimates.
 
         Returns
         -------
@@ -118,12 +162,14 @@ class BeaconlessLocalizer(LocalizationScheme):
         observations = np.asarray(observations, dtype=np.float64)
         if observations.ndim == 1:
             observations = observations[None, :]
-        out = np.empty((observations.shape[0], 2), dtype=np.float64)
-        for row, obs in enumerate(observations):
-            out[row], _, _ = self._search(knowledge, obs)
-        return out
+        if not batched:
+            out = np.empty((observations.shape[0], 2), dtype=np.float64)
+            for row, obs in enumerate(observations):
+                out[row], _, _ = self._search(knowledge, obs)
+            return out
+        return self._search_batch(knowledge, observations)
 
-    # -- internals -----------------------------------------------------------
+    # -- candidate grids -----------------------------------------------------
 
     @staticmethod
     def initial_guess(knowledge: DeploymentKnowledge, observation: np.ndarray) -> np.ndarray:
@@ -137,25 +183,98 @@ class BeaconlessLocalizer(LocalizationScheme):
             return knowledge.region.center
         return (weights[:, None] * knowledge.deployment_points).sum(axis=0) / total
 
+    def _coarse_lattice(self, region: Region) -> tuple[np.ndarray, np.ndarray]:
+        """Axes of the region-wide coarse lattice shared by all searches."""
+        step = self.coarse_step
+
+        def axis(lo: float, hi: float) -> np.ndarray:
+            values = np.arange(lo, hi + step / 2, step)
+            values = values[values <= hi]
+            if values.size == 0 or values[-1] < hi:
+                values = np.append(values, hi)
+            return values
+
+        return axis(region.x_min, region.x_max), axis(region.y_min, region.y_max)
+
+    def _axis_window(self, axis: np.ndarray, center: float) -> np.ndarray:
+        """Lattice values within ``search_margin`` of *center* (never empty)."""
+        window = axis[
+            (axis >= center - self.search_margin)
+            & (axis <= center + self.search_margin)
+        ]
+        if window.size == 0:  # pragma: no cover - needs margin < step / 2
+            window = axis[[int(np.argmin(np.abs(axis - center)))]]
+        return window
+
+    @staticmethod
+    def _grid_from_axes(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Candidate points of an axis-aligned grid, y-major / x-minor order."""
+        gx, gy = np.meshgrid(xs, ys)
+        return np.column_stack([gx.ravel(), gy.ravel()])
+
     def _candidate_grid(
         self, center: np.ndarray, half_width: float, step: float, region: Region
     ) -> np.ndarray:
         """Axis-aligned candidate grid clipped to the deployment region."""
         xs = np.arange(center[0] - half_width, center[0] + half_width + step / 2, step)
         ys = np.arange(center[1] - half_width, center[1] + half_width + step / 2, step)
-        xs = np.clip(xs, region.x_min, region.x_max)
-        ys = np.clip(ys, region.y_min, region.y_max)
-        xs = np.unique(xs)
-        ys = np.unique(ys)
-        gx, gy = np.meshgrid(xs, ys)
-        return np.column_stack([gx.ravel(), gy.ravel()])
+        xs = np.unique(np.clip(xs, region.x_min, region.x_max))
+        ys = np.unique(np.clip(ys, region.y_min, region.y_max))
+        return self._grid_from_axes(xs, ys)
+
+    def _candidate_grids_batch(
+        self, centers: np.ndarray, half_width: float, step: float, region: Region
+    ) -> list[np.ndarray]:
+        """Per-row refinement grids, built without a per-row numpy cascade.
+
+        Interior rows all share the same grid shape and offset arithmetic
+        (``np.arange`` fills ``start + i · step`` element by element, which
+        broadcasting reproduces exactly), so their grids come from one
+        vectorised construction.  Rows whose window crosses the region
+        boundary — where clipping merges candidates — fall back to
+        :meth:`_candidate_grid`; both constructions enumerate candidates in
+        the same y-major order.
+        """
+        k = centers.shape[0]
+        offsets = np.arange(
+            np.ceil((2 * half_width + step / 2) / step).astype(np.int64)
+        ) * step
+        xs = centers[:, 0][:, None] - half_width + offsets[None, :]
+        ys = centers[:, 1][:, None] - half_width + offsets[None, :]
+        np.clip(xs, region.x_min, region.x_max, out=xs)
+        np.clip(ys, region.y_min, region.y_max, out=ys)
+        clean = (
+            np.all(np.diff(xs, axis=1) > 0, axis=1)
+            & np.all(np.diff(ys, axis=1) > 0, axis=1)
+        )
+        n = offsets.size
+        grid_x = np.broadcast_to(xs[:, None, :], (k, n, n))
+        grid_y = np.broadcast_to(ys[:, :, None], (k, n, n))
+        stacked = np.stack([grid_x, grid_y], axis=-1).reshape(k, n * n, 2)
+        return [
+            stacked[row]
+            if clean[row]
+            else self._candidate_grid(centers[row], half_width, step, region)
+            for row in range(k)
+        ]
+
+    # -- per-row reference search --------------------------------------------
 
     def _search(
         self, knowledge: DeploymentKnowledge, observation: np.ndarray
     ) -> tuple[np.ndarray, float, int]:
+        """Coarse-to-fine grid search for a single observation.
+
+        This is the reference implementation the batched engine must agree
+        with; both evaluate the same candidate sets in the same order.
+        """
         region = knowledge.region
         center = self.initial_guess(knowledge, observation)
-        half_width = self.search_margin
+        xs_full, ys_full = self._coarse_lattice(region)
+        candidates = self._grid_from_axes(
+            self._axis_window(xs_full, center[0]),
+            self._axis_window(ys_full, center[1]),
+        )
         step = self.coarse_step
         best = center
         best_ll = -np.inf
@@ -163,7 +282,6 @@ class BeaconlessLocalizer(LocalizationScheme):
 
         while True:
             iterations += 1
-            candidates = self._candidate_grid(best, half_width, step, region)
             lls = knowledge.log_likelihood(candidates, observation)
             idx = int(np.argmax(lls))
             if lls[idx] > best_ll:
@@ -171,7 +289,88 @@ class BeaconlessLocalizer(LocalizationScheme):
                 best = candidates[idx]
             if step <= self.resolution:
                 break
-            half_width = step  # next level only needs to cover one coarse cell
+            half_width = step  # next level only needs to cover one cell
             step = max(step / self.refine_factor, self.resolution)
+            candidates = self._candidate_grid(best, half_width, step, region)
 
         return np.asarray(best, dtype=np.float64), best_ll, iterations
+
+    # -- batched engine ------------------------------------------------------
+
+    def _search_batch(
+        self, knowledge: DeploymentKnowledge, observations: np.ndarray
+    ) -> np.ndarray:
+        """Localize every observation row through the vectorised engine.
+
+        Duplicate rows are localized once; all-zero (and non-positive) rows
+        are delegated to the per-row reference because their symmetric
+        likelihood surface is decided by exact floating-point ties that only
+        the reference's evaluation order reproduces.
+        """
+        unique, inverse = np.unique(observations, axis=0, return_inverse=True)
+        estimates = np.empty((unique.shape[0], 2), dtype=np.float64)
+
+        degenerate = unique.sum(axis=1) <= 0
+        for row in np.flatnonzero(degenerate):
+            estimates[row], _, _ = self._search(knowledge, unique[row])
+        regular = np.flatnonzero(~degenerate)
+        if regular.size:
+            estimates[regular] = self._batch_core(knowledge, unique[regular])
+        return estimates[np.asarray(inverse).ravel()]
+
+    def _batch_core(
+        self, knowledge: DeploymentKnowledge, observations: np.ndarray
+    ) -> np.ndarray:
+        """Shared-lattice coarse scoring + lock-step refinement for all rows."""
+        region = knowledge.region
+        k = observations.shape[0]
+
+        # Vectorised initial guesses: the observation-weighted centroids of
+        # the deployment points (every row has a positive weight total here;
+        # non-positive rows were routed to the reference search).
+        weights = np.clip(observations, 0.0, None)
+        centers = weights @ knowledge.deployment_points
+        centers /= weights.sum(axis=1)[:, None]
+
+        # Coarse level: one (k, candidates) kernel over the shared lattice,
+        # then per-row argmax restricted to each row's search window.
+        xs_full, ys_full = self._coarse_lattice(region)
+        lattice = self._grid_from_axes(xs_full, ys_full)
+        lls = knowledge.log_likelihood_batch(lattice, observations)
+        margin = self.search_margin
+        in_window = (
+            (lattice[None, :, 0] >= centers[:, 0, None] - margin)
+            & (lattice[None, :, 0] <= centers[:, 0, None] + margin)
+            & (lattice[None, :, 1] >= centers[:, 1, None] - margin)
+            & (lattice[None, :, 1] <= centers[:, 1, None] + margin)
+        )
+        lls = np.where(in_window, lls, -np.inf)
+        idx = np.argmax(lls, axis=1)
+        values = lls[np.arange(k), idx]
+
+        best = centers.copy()
+        best_ll = np.full(k, -np.inf)
+        update = values > best_ll
+        best[update] = lattice[idx[update]]
+        best_ll[update] = values[update]
+
+        # Refinement levels in lock-step: the step schedule is shared, the
+        # per-row sub-grids are concatenated into one segmented kernel call.
+        step = self.coarse_step
+        while step > self.resolution:
+            half_width = step
+            step = max(step / self.refine_factor, self.resolution)
+            grids = self._candidate_grids_batch(best, half_width, step, region)
+            counts = np.array([grid.shape[0] for grid in grids], dtype=np.int64)
+            flat = knowledge.log_likelihood_segmented(
+                np.vstack(grids), observations, counts
+            )
+            offsets = np.concatenate([[0], np.cumsum(counts)])
+            for row in range(k):
+                segment = flat[offsets[row] : offsets[row + 1]]
+                idx = int(np.argmax(segment))
+                if segment[idx] > best_ll[row]:
+                    best_ll[row] = float(segment[idx])
+                    best[row] = grids[row][idx]
+
+        return best

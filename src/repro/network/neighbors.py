@@ -7,8 +7,23 @@ needs besides the estimated location.
 
 :class:`NeighborIndex` wraps a KD-tree over all node positions and answers
 fixed-radius neighbour queries for arbitrary query points.  It also accounts
-for per-node range overrides (range-change attacks enlarge the *sender's*
-range, which makes a distant node appear in the victim's neighbourhood).
+for per-node range overrides: range-change attacks enlarge the *sender's*
+range (which makes a distant node appear in the victim's neighbourhood),
+and a reduced override caps how far the sender is heard.
+
+Observation collection for a batch of nodes has two implementations:
+
+* a per-node reference loop (:meth:`NeighborIndex.observation_of_node`
+  repeated), which is also the only correct path for probabilistic radio
+  models driven by a random generator;
+* a one-pass vectorised path used by :meth:`NeighborIndex.observations_of_nodes`
+  for deterministic radios — all KD-tree ball queries are issued at once,
+  the link filter runs over one flat candidate array, and the per-group
+  counts are accumulated with a single grouped histogram.
+
+Both paths produce identical observation vectors; the batched one turns the
+evaluation harness' neighbour-discovery cost from ``k`` Python-level queries
+into a handful of vectorised kernels.
 """
 
 from __future__ import annotations
@@ -60,6 +75,37 @@ class NeighborIndex:
 
     # -- raw neighbour queries ----------------------------------------------
 
+    def _search_radius(self) -> float:
+        """Candidate search radius covering every possible link length."""
+        nominal = self._network.radio.max_range
+        if self._has_custom_ranges:
+            return float(max(nominal, np.max(self._network.ranges)))
+        return float(nominal)
+
+    def _link_mask(self, dist: np.ndarray, candidates: np.ndarray, rng=None) -> np.ndarray:
+        """Which candidate links are up, honouring per-node range overrides.
+
+        A node at its nominal range is governed by the radio model.  An
+        enlarged range additionally extends the link deterministically up to
+        the effective range (keeping whatever probabilistic reach the radio
+        model allows beyond it); a reduced range is a hard cap — the sender
+        is never heard beyond it, whatever the radio model says.
+        """
+        net = self._network
+        if not self._has_custom_ranges:
+            return net.radio.link_up(dist, rng=rng)
+        sender_range = net.ranges[candidates]
+        nominal = net.radio.nominal_range
+        cap = np.where(
+            sender_range < nominal,
+            sender_range,
+            np.maximum(sender_range, net.radio.max_range),
+        )
+        up = net.radio.link_up(dist, rng=rng)
+        up |= (sender_range > nominal) & (dist <= sender_range)
+        up &= dist <= cap
+        return up
+
     def neighbors_of_point(
         self,
         point,
@@ -84,30 +130,14 @@ class NeighborIndex:
             Random generator used by probabilistic radio models.
         """
         p = as_point(point)
-        net = self._network
-        nominal = net.radio.max_range
-        if self._has_custom_ranges:
-            search_radius = float(max(nominal, np.max(net.ranges)))
-        else:
-            search_radius = float(nominal)
         candidates = np.asarray(
-            self._tree.query_ball_point(p, search_radius), dtype=np.int64
+            self._tree.query_ball_point(p, self._search_radius()), dtype=np.int64
         )
         if candidates.size == 0:
             return candidates
-        diff = net.positions[candidates] - p
+        diff = self._network.positions[candidates] - p
         dist = np.hypot(diff[:, 0], diff[:, 1])
-
-        if self._has_custom_ranges:
-            sender_range = net.ranges[candidates]
-            # The radio model handles links within the nominal range; nodes
-            # with enlarged ranges reach further deterministically.
-            up = net.radio.link_up(dist, rng=rng) | (dist <= sender_range)
-            up &= dist <= np.maximum(sender_range, net.radio.max_range)
-        else:
-            up = net.radio.link_up(dist, rng=rng)
-
-        neighbors = candidates[up]
+        neighbors = candidates[self._link_mask(dist, candidates, rng=rng)]
         if exclude is not None:
             neighbors = neighbors[neighbors != exclude]
         return np.sort(neighbors)
@@ -137,17 +167,63 @@ class NeighborIndex:
             self._network.positions[node], exclude=node, rng=rng
         )
 
-    def observations_of_nodes(self, nodes: Sequence[int], *, rng=None) -> np.ndarray:
-        """Observation vectors for a batch of nodes, shape ``(k, n_groups)``."""
+    def observations_of_nodes(
+        self, nodes: Sequence[int], *, rng=None, batched: bool = True
+    ) -> np.ndarray:
+        """Observation vectors for a batch of nodes, shape ``(k, n_groups)``.
+
+        For deterministic radio models all ``k`` queries run as one
+        vectorised pass (see :meth:`_observations_one_pass`); probabilistic
+        radios fall back to the per-node loop so the stream of random draws
+        matches repeated :meth:`observation_of_node` calls exactly.
+
+        Parameters
+        ----------
+        nodes:
+            Node indices to collect observations for.
+        rng:
+            Random generator used by probabilistic radio models.
+        batched:
+            Set to ``False`` to force the per-node reference loop (used by
+            the equivalence tests and benchmarks).
+        """
         nodes = np.asarray(nodes, dtype=np.int64)
+        if batched and self._network.radio.is_deterministic:
+            return self._observations_one_pass(nodes)
         out = np.empty((nodes.size, self._network.n_groups), dtype=np.float64)
         for row, node in enumerate(nodes):
             out[row] = self.observation_of_node(int(node), rng=rng)
         return out
 
+    def _observations_one_pass(self, nodes: np.ndarray) -> np.ndarray:
+        """Build all observation vectors with one query / filter / histogram.
+
+        A KD-tree over the query points answers every ball query in one
+        tree-against-tree sparse-distance pass (closed ball, like
+        ``query_ball_point``), already paired with the link distances; the
+        link filter and the per-group histogram then run as flat vectorised
+        kernels.  Avoiding the per-node Python queries — and the per-node
+        ragged list handling — is what makes large victim batches cheap.
+        """
+        net = self._network
+        if nodes.size == 0:
+            return np.zeros((0, net.n_groups), dtype=np.float64)
+        query_tree = cKDTree(net.positions[nodes])
+        pairs = query_tree.sparse_distance_matrix(
+            self._tree, self._search_radius(), output_type="ndarray"
+        )
+        rows = pairs["i"]
+        candidates = pairs["j"]
+        keep = self._link_mask(pairs["v"], candidates) & (candidates != nodes[rows])
+        flat_bins = rows[keep] * net.n_groups + net.group_ids[candidates[keep]]
+        histogram = np.bincount(flat_bins, minlength=nodes.size * net.n_groups)
+        return histogram.reshape(nodes.size, net.n_groups).astype(np.float64)
+
     def neighbor_counts(self, nodes: Sequence[int], *, rng=None) -> np.ndarray:
         """Total number of neighbours of each node in *nodes*."""
         nodes = np.asarray(nodes, dtype=np.int64)
+        if self._network.radio.is_deterministic:
+            return self._observations_one_pass(nodes).sum(axis=1).astype(np.int64)
         counts = np.empty(nodes.size, dtype=np.int64)
         for row, node in enumerate(nodes):
             counts[row] = self.neighbors_of_node(int(node), rng=rng).size

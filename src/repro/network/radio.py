@@ -41,6 +41,16 @@ class RadioModel(abc.ABC):
         """
         return self.nominal_range
 
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether :meth:`link_up` ignores its random generator.
+
+        Deterministic radios let neighbour discovery batch many queries into
+        a single vectorised pass without changing the stream of random draws
+        a per-node loop would have consumed.
+        """
+        return False
+
 
 class UnitDiskRadio(RadioModel):
     """Deterministic unit-disk model: a link is up iff its length is <= R."""
@@ -51,6 +61,10 @@ class UnitDiskRadio(RadioModel):
     @property
     def nominal_range(self) -> float:
         return self._range
+
+    @property
+    def is_deterministic(self) -> bool:
+        return True
 
     def link_up(self, distances: np.ndarray, rng=None) -> np.ndarray:
         distances = np.asarray(distances, dtype=np.float64)
@@ -102,6 +116,10 @@ class LogNormalShadowingRadio(RadioModel):
     @property
     def max_range(self) -> float:
         return self._range * self._max_range_factor
+
+    @property
+    def is_deterministic(self) -> bool:
+        return self._shadowing_db == 0.0
 
     def link_up(self, distances: np.ndarray, rng=None) -> np.ndarray:
         distances = np.asarray(distances, dtype=np.float64)

@@ -21,6 +21,7 @@ __all__ = [
     "roc_points",
     "binomial_pmf",
     "binomial_log_pmf",
+    "binomial_log_coefficient",
     "binomial_mode",
 ]
 
@@ -81,9 +82,11 @@ def roc_points(
     """
     benign_scores = np.asarray(benign_scores, dtype=np.float64).ravel()
     attacked_scores = np.asarray(attacked_scores, dtype=np.float64).ravel()
+    if benign_scores.size == 0:
+        raise ValueError("need at least one benign score to build an ROC curve")
+    if attacked_scores.size == 0:
+        raise ValueError("need at least one attacked score to build an ROC curve")
     pooled = np.concatenate([benign_scores, attacked_scores])
-    if pooled.size == 0:
-        raise ValueError("need at least one score to build an ROC curve")
 
     if num_thresholds is None:
         candidates = np.unique(pooled)
@@ -100,15 +103,32 @@ def roc_points(
     # the count of scores <= threshold in O(log n) per threshold.
     benign_sorted = np.sort(benign_scores)
     attacked_sorted = np.sort(attacked_scores)
-    n_b = max(benign_sorted.size, 1)
-    n_a = max(attacked_sorted.size, 1)
-    fp = 1.0 - np.searchsorted(benign_sorted, thresholds, side="right") / n_b
-    dr = 1.0 - np.searchsorted(attacked_sorted, thresholds, side="right") / n_a
+    fp = 1.0 - np.searchsorted(benign_sorted, thresholds, side="right") / benign_sorted.size
+    dr = 1.0 - np.searchsorted(attacked_sorted, thresholds, side="right") / attacked_sorted.size
 
     # Sort by (false-positive rate, detection rate) so ties in FP caused by
     # distinct thresholds still yield a non-decreasing detection-rate curve.
     order = np.lexsort((dr, fp))
     return thresholds[order], fp[order], dr[order]
+
+
+def binomial_log_coefficient(k: np.ndarray, n: float) -> np.ndarray:
+    """Log of the (Gamma-generalised) binomial coefficient ``log C(n, k)``.
+
+    This is the observation-only part of :func:`binomial_log_pmf`: it does
+    not depend on the success probability, so batched likelihood kernels
+    evaluate it once per observation instead of once per
+    ``(observation, candidate)`` pair — ``gammaln`` is by far the most
+    expensive term of the pmf.
+    """
+    k = np.asarray(k, dtype=np.float64)
+    n = float(n)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return (
+            special.gammaln(n + 1.0)
+            - special.gammaln(k + 1.0)
+            - special.gammaln(n - k + 1.0)
+        )
 
 
 def binomial_log_pmf(k: np.ndarray, n: float, p: np.ndarray) -> np.ndarray:
@@ -125,11 +145,7 @@ def binomial_log_pmf(k: np.ndarray, n: float, p: np.ndarray) -> np.ndarray:
     k, p = np.broadcast_arrays(k, p)
 
     with np.errstate(divide="ignore", invalid="ignore"):
-        log_coeff = (
-            special.gammaln(n + 1.0)
-            - special.gammaln(k + 1.0)
-            - special.gammaln(n - k + 1.0)
-        )
+        log_coeff = binomial_log_coefficient(k, n)
         log_p = np.where(k > 0, k * np.log(np.where(p > 0, p, 1.0)), 0.0)
         log_q = np.where(
             n - k > 0, (n - k) * np.log(np.where(p < 1, 1.0 - p, 1.0)), 0.0

@@ -47,6 +47,12 @@ class LookupTable1D:
         self._xs = xs
         self._ys = ys
         self._clamp = bool(clamp)
+        spacing = np.diff(xs)
+        self._uniform_spacing: Optional[float] = (
+            float(spacing[0])
+            if np.allclose(spacing, spacing[0], rtol=1e-9, atol=0.0)
+            else None
+        )
 
     # -- constructors ------------------------------------------------------
 
@@ -115,6 +121,35 @@ class LookupTable1D:
         if np.isscalar(z) or z_arr.ndim == 0:
             return float(out)
         return out
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether the knots are evenly spaced (enables :meth:`fast_lookup`)."""
+        return self._uniform_spacing is not None
+
+    def fast_lookup(self, z: np.ndarray) -> np.ndarray:
+        """Linear interpolation via direct index arithmetic.
+
+        For uniformly spaced knots (every table built by
+        :meth:`from_function`) the bracketing interval is
+        ``floor((z - lo) / Δx)`` — no binary search — which makes this
+        several times faster than ``np.interp`` on large query batches.  The
+        result matches :meth:`__call__` up to floating-point rounding
+        (``np.interp`` factors the interpolation weight differently); the
+        batched likelihood kernels use this path, the per-row reference path
+        keeps ``np.interp``.  Non-uniform and extrapolating (``clamp=False``)
+        tables fall back to the exact path.
+        """
+        if self._uniform_spacing is None or not self._clamp:
+            return np.asarray(self(np.asarray(z, dtype=np.float64)), dtype=np.float64)
+        lo = self._xs[0]
+        position = np.clip(np.asarray(z, dtype=np.float64), lo, self._xs[-1])
+        position -= lo
+        position *= 1.0 / self._uniform_spacing
+        index = np.minimum(position.astype(np.int64), self._xs.size - 2)
+        weight = position - index
+        lower = np.take(self._ys, index)
+        return lower + weight * (np.take(self._ys, index + 1) - lower)
 
     def _interp_extrapolate(self, z: np.ndarray) -> np.ndarray:
         """Linear interpolation with linear extrapolation outside the domain."""

@@ -67,6 +67,26 @@ class TestRocReadouts:
         roc = compute_roc(scores, rng.normal(size=2000))
         assert roc.auc() == pytest.approx(0.5, abs=0.05)
 
+    def test_auc_anchors_at_origin_without_fp_zero_point(self):
+        """Regression: a curve that never reaches FP = 0 must be anchored at
+        (0, 0), not at (0, dr[0]) which over-credits the area."""
+        roc = RocCurve(
+            thresholds=np.array([1.0, 2.0]),
+            false_positive_rates=np.array([0.2, 0.1]),
+            detection_rates=np.array([0.9, 0.8]),
+        )
+        # (0,0) -> (0.1,0.8) -> (0.2,0.9) -> (1,1): 0.04 + 0.085 + 0.76
+        assert roc.auc() == pytest.approx(0.885)
+
+    def test_auc_keeps_measured_fp_zero_anchor(self):
+        roc = RocCurve(
+            thresholds=np.array([1.0, 2.0]),
+            false_positive_rates=np.array([0.0, 0.5]),
+            detection_rates=np.array([0.6, 1.0]),
+        )
+        # (0,0.6) -> (0.5,1.0) -> (1,1): 0.4 + 0.5
+        assert roc.auc() == pytest.approx(0.9)
+
     def test_as_series_round_trip(self, separable_scores):
         roc = compute_roc(*separable_scores, num_thresholds=10)
         data = roc.as_series()

@@ -1,0 +1,109 @@
+"""Tests for :mod:`repro.experiments.sweep`."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.harness import LadSimulation
+from repro.experiments.sweep import SweepPoint, SweepRunner, attack_stream_name
+
+
+@pytest.fixture(scope="module")
+def tiny_simulation():
+    return LadSimulation(
+        SimulationConfig(
+            group_size=40,
+            num_training_samples=30,
+            training_samples_per_network=15,
+            num_victims=30,
+            victims_per_network=15,
+            gz_omega=300,
+            seed=777,
+        )
+    )
+
+
+class TestGrid:
+    def test_cartesian_product_and_normalisation(self):
+        points = SweepRunner.grid(
+            ["diff", "add_all"], ["dec_bounded"], [80, 160], [0.1]
+        )
+        assert len(points) == 4
+        assert points[0] == SweepPoint("diff", "dec_bounded", 80.0, 0.1)
+        metrics = {p.metric for p in points}
+        assert "diff" in metrics and len(metrics) == 2
+
+    def test_stream_name_matches_harness_convention(self):
+        point = SweepPoint("diff", "dec_only", 120.0, 0.25)
+        assert point.stream_name() == attack_stream_name("diff", "dec_only", 120.0, 0.25)
+        assert point.stream_name() == "attack/diff/dec_only/120/0.25"
+
+
+class TestSerialSweep:
+    def test_matches_simulation_entry_points(self, tiny_simulation):
+        runner = tiny_simulation.sweep()
+        points = SweepRunner.grid(["diff"], ["dec_bounded"], [80.0, 160.0], [0.1])
+        scores = runner.attacked_scores(points)
+        for point in points:
+            expected = tiny_simulation.attacked_scores(
+                point.metric,
+                point.attack,
+                degree_of_damage=point.degree_of_damage,
+                compromised_fraction=point.compromised_fraction,
+            )
+            np.testing.assert_array_equal(scores[point], expected)
+
+    def test_detection_rates_match_simulation(self, tiny_simulation):
+        runner = tiny_simulation.sweep()
+        points = SweepRunner.grid(["diff"], ["dec_bounded"], [160.0], [0.1, 0.3])
+        rates = runner.detection_rates(points, false_positive_rate=0.05)
+        for point in points:
+            expected = tiny_simulation.detection_rate(
+                point.metric,
+                point.attack,
+                degree_of_damage=point.degree_of_damage,
+                compromised_fraction=point.compromised_fraction,
+                false_positive_rate=0.05,
+            )
+            assert rates[point] == pytest.approx(expected)
+
+    def test_rocs_match_simulation(self, tiny_simulation):
+        runner = tiny_simulation.sweep()
+        (point,) = SweepRunner.grid(["diff"], ["dec_only"], [120.0], [0.2])
+        roc = runner.rocs([point])[point]
+        expected = tiny_simulation.roc(
+            "diff",
+            "dec_only",
+            degree_of_damage=120.0,
+            compromised_fraction=0.2,
+        )
+        np.testing.assert_array_equal(roc.false_positive_rates, expected.false_positive_rates)
+        np.testing.assert_array_equal(roc.detection_rates, expected.detection_rates)
+
+
+class TestParallelSweep:
+    def test_workers_reproduce_serial_results(self, tiny_simulation):
+        points = SweepRunner.grid(
+            ["diff"], ["dec_bounded", "dec_only"], [80.0, 160.0], [0.1]
+        )
+        serial = tiny_simulation.sweep().attacked_scores(points)
+        parallel = tiny_simulation.sweep(workers=2).attacked_scores(points)
+        assert set(serial) == set(parallel)
+        for point in points:
+            np.testing.assert_array_equal(serial[point], parallel[point])
+
+
+class TestFigureIntegration:
+    def test_fig7_accepts_workers(self, tiny_simulation):
+        from repro.experiments.figures import fig7
+
+        serial = fig7.run(simulation=tiny_simulation, degrees=(160.0,), fractions=(0.1,))
+        parallel = fig7.run(
+            simulation=tiny_simulation,
+            degrees=(160.0,),
+            fractions=(0.1,),
+            workers=2,
+        )
+        assert serial.get_panel("DR-D-x").get_series("x=10%").y == (
+            parallel.get_panel("DR-D-x").get_series("x=10%").y
+        )

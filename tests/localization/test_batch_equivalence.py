@@ -1,0 +1,161 @@
+"""Batch-vs-loop equivalence of the vectorised evaluation engine.
+
+The batched localization engine and the one-pass observation collection must
+reproduce their per-row reference implementations exactly — same estimates,
+same argmax tie-breaking — on seeded networks, including custom-range and
+empty-observation rows.  These tests lock that contract in.
+"""
+
+import numpy as np
+import pytest
+
+from repro.localization.beaconless import BeaconlessLocalizer
+from repro.network.neighbors import NeighborIndex
+from repro.utils.stats import binomial_log_pmf
+
+
+@pytest.fixture(scope="module")
+def localizer():
+    return BeaconlessLocalizer(resolution=2.0)
+
+
+@pytest.fixture(scope="module")
+def seeded_observations(small_network, small_index):
+    rng = np.random.default_rng(99)
+    nodes = rng.choice(small_network.num_nodes, size=60, replace=False)
+    return small_index.observations_of_nodes(nodes, batched=False)
+
+
+class TestLocalizationEquivalence:
+    def test_batch_matches_reference_exactly(
+        self, small_knowledge, localizer, seeded_observations
+    ):
+        batched = localizer.localize_observations(small_knowledge, seeded_observations)
+        looped = localizer.localize_observations(
+            small_knowledge, seeded_observations, batched=False
+        )
+        np.testing.assert_array_equal(batched, looped)
+
+    def test_empty_and_duplicate_rows(self, small_knowledge, localizer, seeded_observations):
+        obs = np.vstack(
+            [
+                seeded_observations[:10],
+                np.zeros(small_knowledge.n_groups),
+                seeded_observations[3],
+                np.zeros(small_knowledge.n_groups),
+            ]
+        )
+        batched = localizer.localize_observations(small_knowledge, obs)
+        looped = localizer.localize_observations(small_knowledge, obs, batched=False)
+        np.testing.assert_array_equal(batched, looped)
+        # Duplicate rows get duplicate estimates.
+        np.testing.assert_array_equal(batched[10], batched[12])
+        np.testing.assert_array_equal(batched[11], batched[3])
+
+    def test_boundary_rows(self, small_network, small_index, small_knowledge, localizer):
+        """Rows whose refinement windows cross the region edge (the clipped
+        grid construction) must also match the reference."""
+        pos = small_network.positions
+        edge = np.flatnonzero(
+            (pos[:, 0] < 50)
+            | (pos[:, 0] > 450)
+            | (pos[:, 1] < 50)
+            | (pos[:, 1] > 450)
+        )[:40]
+        obs = small_index.observations_of_nodes(edge, batched=False)
+        np.testing.assert_array_equal(
+            localizer.localize_observations(small_knowledge, obs),
+            localizer.localize_observations(small_knowledge, obs, batched=False),
+        )
+
+    def test_custom_range_network(self, small_generator, small_knowledge, localizer):
+        network = small_generator.generate(rng=31)
+        rng = np.random.default_rng(31)
+        for node in rng.choice(network.num_nodes, size=8, replace=False):
+            network.set_node_range(int(node), 150.0)
+        index = NeighborIndex(network)
+        nodes = rng.choice(network.num_nodes, size=30, replace=False)
+        obs = index.observations_of_nodes(nodes)
+        np.testing.assert_array_equal(
+            index.observations_of_nodes(nodes, batched=False), obs
+        )
+        np.testing.assert_array_equal(
+            localizer.localize_observations(small_knowledge, obs),
+            localizer.localize_observations(small_knowledge, obs, batched=False),
+        )
+
+    def test_single_row_promoted(self, small_knowledge, localizer, seeded_observations):
+        single = localizer.localize_observations(
+            small_knowledge, seeded_observations[0]
+        )
+        assert single.shape == (1, 2)
+        np.testing.assert_array_equal(
+            single[0], localizer.localize_observations(small_knowledge, seeded_observations)[0]
+        )
+
+
+class TestLikelihoodKernels:
+    def test_batch_kernel_matches_broadcast_pmf(self, small_knowledge, seeded_observations):
+        rng = np.random.default_rng(5)
+        candidates = small_knowledge.region.sample_uniform(rng, 40)
+        obs = seeded_observations[:12]
+        got = small_knowledge.log_likelihood_batch(candidates, obs)
+        probs = small_knowledge.membership_probabilities(candidates)
+        expected = binomial_log_pmf(
+            obs[:, None, :], small_knowledge.group_size, probs[None, :, :]
+        ).sum(axis=-1)
+        assert got.shape == (12, 40)
+        np.testing.assert_allclose(got, expected, rtol=1e-9, atol=1e-9)
+
+    def test_batch_kernel_matches_per_row_log_likelihood(
+        self, small_knowledge, seeded_observations
+    ):
+        rng = np.random.default_rng(6)
+        candidates = small_knowledge.region.sample_uniform(rng, 25)
+        got = small_knowledge.log_likelihood_batch(candidates, seeded_observations[:8])
+        for row in range(8):
+            np.testing.assert_allclose(
+                got[row],
+                small_knowledge.log_likelihood(candidates, seeded_observations[row]),
+                rtol=1e-9,
+                atol=1e-9,
+            )
+
+    def test_segmented_kernel_matches_per_row_log_likelihood(
+        self, small_knowledge, seeded_observations
+    ):
+        rng = np.random.default_rng(7)
+        counts = np.array([5, 1, 17, 3])
+        obs = seeded_observations[:4]
+        blocks = [small_knowledge.region.sample_uniform(rng, int(c)) for c in counts]
+        flat = small_knowledge.log_likelihood_segmented(
+            np.vstack(blocks), obs, counts
+        )
+        offset = 0
+        for row, block in enumerate(blocks):
+            np.testing.assert_allclose(
+                flat[offset : offset + counts[row]],
+                small_knowledge.log_likelihood(block, obs[row]),
+                rtol=1e-9,
+                atol=1e-9,
+            )
+            offset += counts[row]
+
+    def test_kernels_handle_out_of_support_observations(self, small_knowledge):
+        rng = np.random.default_rng(8)
+        candidates = small_knowledge.region.sample_uniform(rng, 6)
+        bad = np.full((1, small_knowledge.n_groups), 0.0)
+        bad[0, 0] = small_knowledge.group_size + 5  # k > m: impossible
+        assert np.all(np.isneginf(small_knowledge.log_likelihood_batch(candidates, bad)))
+        flat = small_knowledge.log_likelihood_segmented(
+            candidates, bad, np.array([candidates.shape[0]])
+        )
+        assert np.all(np.isneginf(flat))
+
+    def test_segmented_rejects_mismatched_counts(self, small_knowledge):
+        candidates = np.zeros((4, 2))
+        obs = np.zeros((2, small_knowledge.n_groups))
+        with pytest.raises(ValueError):
+            small_knowledge.log_likelihood_segmented(candidates, obs, np.array([3, 3]))
+        with pytest.raises(ValueError):
+            small_knowledge.log_likelihood_segmented(candidates, obs, np.array([4]))

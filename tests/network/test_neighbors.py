@@ -92,3 +92,135 @@ class TestNeighborIndex:
         center = small_model.deployment_points[12]
         obs = small_index.observation_of_point(center)
         assert int(np.argmax(obs)) == 12
+
+    def test_reduced_range_shrinks_reach(self):
+        """Regression: a sender whose range was reduced below nominal must not
+        be reported as a neighbour beyond its effective range."""
+        positions = np.array([[0.0, 0.0], [40.0, 0.0], [8.0, 0.0]])
+        network = SensorNetwork(
+            positions=positions,
+            group_ids=np.array([0, 1, 1]),
+            n_groups=2,
+            radio=UnitDiskRadio(50.0),
+            ranges=np.array([50.0, 10.0, 10.0]),
+        )
+        index = NeighborIndex(network)
+        # Node 1 sits 40 m away but its range was shrunk to 10 m: not heard.
+        # Node 2 sits 8 m away, inside its reduced 10 m range: heard.
+        assert index.neighbors_of_point((0.0, 0.0)).tolist() == [0, 2]
+
+    def test_enlarged_range_keeps_probabilistic_tail(self):
+        """An enlarged override must not silence the radio model's own
+        probabilistic reach beyond the effective range."""
+        from repro.network.radio import LogNormalShadowingRadio
+
+        radio = LogNormalShadowingRadio(80.0, shadowing_db=6.0)  # max_range 160
+        positions = np.array([[0.0, 0.0], [140.0, 0.0]])
+        network = SensorNetwork(
+            positions=positions,
+            group_ids=np.array([0, 1]),
+            n_groups=2,
+            radio=radio,
+            ranges=np.array([80.0, 100.0]),  # node 1 enlarged to 100 m
+        )
+        index = NeighborIndex(network)
+        rng = np.random.default_rng(0)
+        heard = sum(
+            1 in index.neighbors_of_point((0.0, 0.0), rng=rng) for _ in range(400)
+        )
+        # At 140 m the link is beyond the enlarged 100 m range but within the
+        # radio's 160 m shadowing reach: it must connect sometimes.
+        assert 0 < heard < 400
+
+    def test_nominal_senders_stay_probabilistic_despite_overrides(self):
+        """One node's range override must not turn every other sender's
+        shadowed link into a deterministic one."""
+        from repro.network.radio import LogNormalShadowingRadio
+
+        radio = LogNormalShadowingRadio(80.0, shadowing_db=8.0)
+        positions = np.array([[0.0, 0.0], [75.0, 0.0], [500.0, 500.0]])
+        network = SensorNetwork(
+            positions=positions,
+            group_ids=np.array([0, 1, 1]),
+            n_groups=2,
+            radio=radio,
+        )
+        network.set_node_range(2, 120.0)  # unrelated override far away
+        index = NeighborIndex(network)
+        rng = np.random.default_rng(3)
+        heard = sum(
+            1 in index.neighbors_of_point((0.0, 0.0), rng=rng) for _ in range(400)
+        )
+        # Node 1 keeps its nominal range: at 75 m under 8 dB shadowing the
+        # link must fail a nontrivial fraction of the time.
+        assert 0 < heard < 400
+
+    def test_reduced_range_affects_observations(self):
+        """The reduced-range rule must flow through to observation vectors."""
+        positions = np.array([[0.0, 0.0], [40.0, 0.0]])
+        network = SensorNetwork(
+            positions=positions,
+            group_ids=np.array([0, 1]),
+            n_groups=2,
+            radio=UnitDiskRadio(50.0),
+        )
+        network.set_node_range(1, 10.0)
+        index = NeighborIndex(network)
+        np.testing.assert_allclose(index.observation_of_node(0), [0.0, 0.0])
+        np.testing.assert_allclose(
+            index.observations_of_nodes([0, 1]),
+            index.observations_of_nodes([0, 1], batched=False),
+        )
+
+
+class TestOnePassObservations:
+    def test_matches_loop_on_seeded_network(self, small_network, small_index):
+        rng = np.random.default_rng(7)
+        nodes = rng.choice(small_network.num_nodes, size=40, replace=False)
+        batched = small_index.observations_of_nodes(nodes)
+        looped = small_index.observations_of_nodes(nodes, batched=False)
+        np.testing.assert_array_equal(batched, looped)
+
+    def test_matches_loop_with_custom_ranges(self, small_generator):
+        network = small_generator.generate(rng=77)
+        rng = np.random.default_rng(8)
+        enlarged = rng.choice(network.num_nodes, size=10, replace=False)
+        for node in enlarged[:5]:
+            network.set_node_range(int(node), 180.0)
+        for node in enlarged[5:]:
+            network.set_node_range(int(node), 15.0)
+        index = NeighborIndex(network)
+        nodes = rng.choice(network.num_nodes, size=50, replace=False)
+        np.testing.assert_array_equal(
+            index.observations_of_nodes(nodes),
+            index.observations_of_nodes(nodes, batched=False),
+        )
+
+    def test_empty_batch(self, small_index, small_network):
+        obs = small_index.observations_of_nodes([])
+        assert obs.shape == (0, small_network.n_groups)
+
+    def test_neighbor_counts_match_observation_sums(self, small_index):
+        nodes = [3, 14, 15, 92]
+        counts = small_index.neighbor_counts(nodes)
+        obs = small_index.observations_of_nodes(nodes)
+        np.testing.assert_array_equal(counts, obs.sum(axis=1).astype(np.int64))
+
+    def test_probabilistic_radio_uses_loop(self, small_network):
+        from repro.network.radio import LogNormalShadowingRadio
+
+        network = SensorNetwork(
+            positions=small_network.positions.copy(),
+            group_ids=small_network.group_ids.copy(),
+            n_groups=small_network.n_groups,
+            radio=LogNormalShadowingRadio(80.0, shadowing_db=4.0),
+        )
+        index = NeighborIndex(network)
+        # The one-pass path must not be taken: the per-node loop consumes the
+        # generator node by node, so a fresh generator with the same seed
+        # reproduces the loop result.
+        obs_a = index.observations_of_nodes([0, 1, 2], rng=np.random.default_rng(5))
+        obs_b = index.observations_of_nodes(
+            [0, 1, 2], rng=np.random.default_rng(5), batched=False
+        )
+        np.testing.assert_array_equal(obs_a, obs_b)

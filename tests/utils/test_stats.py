@@ -86,6 +86,25 @@ class TestRocPoints:
         with pytest.raises(ValueError):
             roc_points(np.array([]), np.array([]))
 
+    def test_empty_side_rejected(self):
+        """Regression: an empty benign (or attacked) sample used to yield
+        FPR = 1.0 (or DR = 1.0) at every threshold instead of failing."""
+        scores = np.array([0.1, 0.7, 0.3])
+        with pytest.raises(ValueError):
+            roc_points(np.array([]), scores)
+        with pytest.raises(ValueError):
+            roc_points(scores, np.array([]))
+
+    def test_agrees_with_rates_from_scores(self):
+        """Each swept (FP, DR) point must match the single-threshold helper."""
+        rng = np.random.default_rng(3)
+        benign = rng.normal(0, 1, 150)
+        attacked = rng.normal(1.5, 1, 120)
+        thresholds, fp, dr = roc_points(benign, attacked)
+        for threshold, f, d in zip(thresholds, fp, dr):
+            expected = rates_from_scores(benign, attacked, threshold)
+            assert (f, d) == pytest.approx(expected)
+
 
 class TestBinomialPmf:
     def test_matches_scipy_on_integers(self):

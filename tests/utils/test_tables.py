@@ -35,6 +35,39 @@ class TestConstruction:
             table.knots[0] = 99.0
 
 
+class TestFastLookup:
+    def test_uniform_tables_detected(self):
+        table = LookupTable1D.from_function(np.square, 0.0, 4.0, 8)
+        assert table.is_uniform
+        ragged = LookupTable1D(np.array([0.0, 1.0, 3.0]), np.array([0.0, 1.0, 9.0]))
+        assert not ragged.is_uniform
+
+    def test_matches_interp_on_uniform_table(self):
+        table = LookupTable1D.from_function(np.exp, -1.0, 2.0, 64)
+        z = np.random.default_rng(0).uniform(-2.0, 3.0, 5000)
+        np.testing.assert_allclose(table.fast_lookup(z), table(z), rtol=1e-12, atol=1e-12)
+
+    def test_matches_interp_on_nonuniform_table(self):
+        xs = np.array([0.0, 0.5, 2.0, 3.0])
+        ys = np.array([1.0, 0.5, 0.25, 0.0])
+        table = LookupTable1D(xs, ys)
+        z = np.linspace(-1.0, 4.0, 101)
+        np.testing.assert_allclose(table.fast_lookup(z), table(z), rtol=1e-12, atol=1e-12)
+
+    def test_exact_at_domain_edges(self):
+        table = LookupTable1D.from_function(np.square, 0.0, 4.0, 8)
+        np.testing.assert_allclose(
+            table.fast_lookup(np.array([-1.0, 0.0, 4.0, 5.0])),
+            [0.0, 0.0, 16.0, 16.0],
+        )
+
+    def test_extrapolating_table_falls_back_to_exact_path(self):
+        table = LookupTable1D.from_function(lambda x: 2.0 * x, 0.0, 1.0, 2, clamp=False)
+        z = np.array([-0.5, 0.25, 2.0])
+        np.testing.assert_allclose(table.fast_lookup(z), table(z))
+        assert table.fast_lookup(np.array([2.0]))[0] == pytest.approx(4.0)
+
+
 class TestEvaluation:
     def test_exact_at_knots(self):
         table = LookupTable1D.from_function(np.square, 0.0, 4.0, 8)
