@@ -1,0 +1,41 @@
+"""Session-wide store for benchmark measurements (``BENCH_pr.json``).
+
+Lives in its own module (rather than ``conftest.py``) because pytest loads
+root conftests under a different module name than a plain ``import``
+would — a shared store must have exactly one instance.  Benchmarks call
+:func:`record_benchmark`; the session-finish hook in ``conftest.py`` calls
+:func:`write_report` when ``LAD_BENCH_JSON`` is set.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+#: Records collected by :func:`record_benchmark` during this session.
+_BENCH_RECORDS: dict = {}
+
+
+def record_benchmark(name: str, **fields) -> None:
+    """Register one benchmark measurement for the ``LAD_BENCH_JSON`` report.
+
+    *fields* should carry at least ``speedup`` (the tracked ratio) plus the
+    wall times in seconds; everything JSON-serialisable is kept verbatim.
+    """
+    _BENCH_RECORDS[name] = fields
+
+
+def write_report(path: str) -> None:
+    """Write the collected records (if any) as a JSON report to *path*."""
+    if not _BENCH_RECORDS:
+        return
+    payload = {
+        "generated_unix": time.time(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "records": _BENCH_RECORDS,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -9,6 +9,13 @@ reproduces the whole evaluation section in text form.  The Monte-Carlo
 sample sizes are scaled by ``LAD_BENCH_SCALE`` (default 0.25) so a full run
 finishes in a few minutes on a laptop; set it to 1.0 for paper-quality
 statistics.
+
+Speedup benchmarks (``test_bench_batch_pipeline.py``) additionally report
+their measurements through :func:`benchmarks.bench_records.record_benchmark`;
+when the ``LAD_BENCH_JSON`` environment variable names a file, the collected
+records are written there at the end of the session.  CI publishes that file as the
+``BENCH_pr.json`` artifact and gates regressions against the committed
+``benchmarks/BENCH_baseline.json`` via ``scripts/check_bench_regression.py``.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ import os
 
 import pytest
 
+from benchmarks.bench_records import write_report
 from repro.experiments.config import SimulationConfig
 from repro.experiments.harness import LadSimulation
 
@@ -31,6 +39,12 @@ def bench_config(**overrides) -> SimulationConfig:
     """The paper-parameter configuration scaled for benchmarking."""
     config = SimulationConfig(seed=BENCH_SEED, **overrides)
     return config.scaled(BENCH_SCALE)
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    path = os.environ.get("LAD_BENCH_JSON")
+    if path:
+        write_report(path)
 
 
 @pytest.fixture(scope="session")

@@ -76,7 +76,11 @@ def _detection_rates(simulation: LadSimulation) -> dict:
 
 def test_adversary_strength_ablation(benchmark):
     simulation = LadSimulation(bench_config())
-    rates = benchmark.pedantic(lambda: _detection_rates(simulation), rounds=1, iterations=1)
+    rates = benchmark.pedantic(
+        lambda: _detection_rates(simulation),
+        rounds=1,
+        iterations=1,
+    )
 
     print()
     print("-- Adversary-strength ablation (D=80, x=20%, FP=1%) --")

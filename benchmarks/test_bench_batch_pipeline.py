@@ -1,38 +1,46 @@
-"""Looped vs batched hot paths of the evaluation pipeline.
+"""Looped vs batched vs pruned hot paths of the evaluation pipeline.
 
 The paper's evaluation scores thousands of ``(observation, estimated
-location)`` pairs; this benchmark tracks the two kernels that used to pay a
-Python-level loop per victim:
+location)`` pairs; this benchmark tracks the kernels that used to pay a
+Python-level loop (or a dense group sweep) per victim:
 
 * :meth:`BeaconlessLocalizer.localize_observations` — per-row coarse-to-fine
   grid search vs the shared-lattice batched engine;
 * :meth:`NeighborIndex.observations_of_nodes` — per-node KD-tree queries vs
-  the one-pass vectorised collection.
+  the one-pass vectorised collection;
+* the active-group pruned refinement vs the dense batched engine, measured
+  on a 1024-group deployment where only a small fraction of groups is
+  within reach of any candidate.
 
-Both comparisons assert that the fast path reproduces the reference output
-exactly, so the speedup numbers printed here are for identical results.
+Every comparison asserts that the fast path reproduces the reference output
+exactly, so the speedup numbers are for identical results.  The measured
+speedups and wall times are recorded via
+:func:`benchmarks.bench_records.record_benchmark`; CI writes them to
+``BENCH_pr.json`` and fails when a tracked speedup drops below the floor in
+``benchmarks/BENCH_baseline.json`` (``scripts/check_bench_regression.py``),
+which replaces the old ``LAD_BENCH_MIN_*`` environment gates.
 """
 
-import os
 import time
 
 import numpy as np
 import pytest
 
-from repro.deployment.models import paper_deployment_model
+from benchmarks.bench_records import record_benchmark
+from repro.deployment.distributions import GaussianResidentDistribution
+from repro.deployment.models import GridDeploymentModel, paper_deployment_model
 from repro.localization.beaconless import BeaconlessLocalizer
 from repro.network.generator import NetworkGenerator
 from repro.network.neighbors import NeighborIndex
 from repro.network.radio import UnitDiskRadio
+from repro.types import Region
 
 #: Number of victims localized by the batched-localization comparison.
 NUM_VICTIMS = 200
 
-#: Required speedup factors.  The defaults reflect dedicated hardware; CI
-#: runners with few cores and noisy neighbours can relax them via the
-#: environment without losing the output-equality checks.
-MIN_LOCALIZATION_SPEEDUP = float(os.environ.get("LAD_BENCH_MIN_SPEEDUP", "5.0"))
-MIN_OBSERVATION_SPEEDUP = float(os.environ.get("LAD_BENCH_MIN_OBS_SPEEDUP", "1.5"))
+#: Victims localized by the pruned-vs-dense comparison (the dense engine at
+#: 1024 groups is expensive — keep the reference measurement affordable).
+NUM_PRUNED_VICTIMS = 150
 
 
 @pytest.fixture(scope="module")
@@ -54,6 +62,28 @@ def victim_observations(paper_network):
     return nodes, index.observations_of_nodes(nodes)
 
 
+@pytest.fixture(scope="module")
+def wide_network():
+    """1024 deployment groups at the paper's density (100 m grid spacing).
+
+    The support radius of the paper parameters (R = 100 m, σ = 50 m) is
+    ~515 m, so each candidate interacts with only ~8 % of the groups —
+    the regime the active-group pruning targets.
+    """
+    model = GridDeploymentModel(
+        region=Region(0.0, 0.0, 3200.0, 3200.0),
+        rows=32,
+        cols=32,
+        distribution=GaussianResidentDistribution(50.0),
+    )
+    generator = NetworkGenerator(
+        model=model, group_size=100, radio=UnitDiskRadio(100.0)
+    )
+    network = generator.generate(rng=11)
+    knowledge = generator.knowledge(omega=1000)
+    return network, knowledge
+
+
 def _best_of(callable_, rounds):
     best, result = np.inf, None
     for _ in range(rounds):
@@ -64,7 +94,7 @@ def _best_of(callable_, rounds):
 
 
 def test_batched_localization_speedup(paper_network, victim_observations):
-    """Batched localization of 200 victims: >= 5x faster, identical output."""
+    """Batched localization of 200 victims: identical output, tracked speedup."""
     _, knowledge = paper_network
     _, observations = victim_observations
     localizer = BeaconlessLocalizer()
@@ -86,16 +116,23 @@ def test_batched_localization_speedup(paper_network, victim_observations):
 
     np.testing.assert_array_equal(batch_estimates, loop_estimates)
     speedup = loop_time / batch_time
+    record_benchmark(
+        "batched_localization",
+        speedup=speedup,
+        loop_seconds=loop_time,
+        batch_seconds=batch_time,
+        victims=NUM_VICTIMS,
+    )
     print(
         f"\nbatched localization: loop {loop_time * 1000:.0f} ms, "
         f"batch {batch_time * 1000:.0f} ms, speedup {speedup:.1f}x "
         f"({NUM_VICTIMS} victims)"
     )
-    assert speedup >= MIN_LOCALIZATION_SPEEDUP
+    assert speedup > 1.0
 
 
 def test_one_pass_observation_collection(paper_network):
-    """One-pass observation vectors: identical to the per-node loop, no slower."""
+    """One-pass observation vectors: identical to the per-node loop."""
     network, _ = paper_network
     index = NeighborIndex(network)
     rng = np.random.default_rng(13)
@@ -113,9 +150,67 @@ def test_one_pass_observation_collection(paper_network):
 
     np.testing.assert_array_equal(batched, looped)
     speedup = loop_time / batch_time
+    record_benchmark(
+        "one_pass_observations",
+        speedup=speedup,
+        loop_seconds=loop_time,
+        batch_seconds=batch_time,
+        nodes=1000,
+    )
     print(
         f"\none-pass observations: loop {loop_time * 1000:.1f} ms, "
         f"one-pass {batch_time * 1000:.1f} ms, speedup {speedup:.1f}x "
         f"(1000 nodes)"
     )
-    assert speedup >= MIN_OBSERVATION_SPEEDUP
+    assert speedup > 1.0
+
+
+def test_pruned_localization_speedup(wide_network):
+    """Active-group pruning at 1024 groups: >= 1.5x over the dense engine,
+    bit-identical estimates."""
+    network, knowledge = wide_network
+    index = NeighborIndex(network)
+    rng = np.random.default_rng(11)
+    nodes = rng.choice(network.num_nodes, size=NUM_PRUNED_VICTIMS, replace=False)
+    observations = index.observations_of_nodes(nodes)
+    localizer = BeaconlessLocalizer()
+
+    active = knowledge.active_groups(network.positions[nodes])
+    fraction = np.mean([a.size for a in active]) / knowledge.n_groups
+    assert fraction < 0.15  # the sparse regime this benchmark is about
+
+    localizer.localize_observations(knowledge, observations[:4])
+    localizer.localize_observations(knowledge, observations[:4], prune=False)
+
+    dense_time, dense_estimates = _best_of(
+        lambda: localizer.localize_observations(
+            knowledge, observations, prune=False
+        ),
+        rounds=2,
+    )
+    pruned_time, pruned_estimates = _best_of(
+        lambda: localizer.localize_observations(knowledge, observations),
+        rounds=2,
+    )
+
+    np.testing.assert_array_equal(pruned_estimates, dense_estimates)
+    speedup = dense_time / pruned_time
+    record_benchmark(
+        "pruned_localization",
+        speedup=speedup,
+        dense_seconds=dense_time,
+        pruned_seconds=pruned_time,
+        victims=NUM_PRUNED_VICTIMS,
+        n_groups=knowledge.n_groups,
+        active_fraction=float(fraction),
+    )
+    print(
+        f"\npruned localization: dense {dense_time * 1000:.0f} ms, "
+        f"pruned {pruned_time * 1000:.0f} ms, speedup {speedup:.1f}x "
+        f"({NUM_PRUNED_VICTIMS} victims, {knowledge.n_groups} groups, "
+        f"active fraction {fraction:.1%})"
+    )
+    # Both paths run on the same machine in the same process, so this ratio
+    # is largely core-count independent; the reference measurement is ~2.6x,
+    # leaving the 1.5x acceptance bound plenty of margin on noisy runners.
+    assert speedup >= 1.5

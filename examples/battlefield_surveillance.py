@@ -54,8 +54,13 @@ def main() -> None:
     training = collect_training_data(
         generator, num_samples=200, samples_per_network=100, rng=21
     )
-    detector = LADDetector.from_training_data(knowledge, training, metric="diff", tau=0.99)
-    print(f"network: {network.num_nodes} sensors; Diff threshold {detector.threshold:.1f}")
+    detector = LADDetector.from_training_data(
+        knowledge, training, metric="diff", tau=0.99
+    )
+    print(
+        f"network: {network.num_nodes} sensors; "
+        f"Diff threshold {detector.threshold:.1f}"
+    )
 
     # --- adversary corrupts a subset of the sensors' derived locations -----
     believed = network.positions.copy()
@@ -104,19 +109,23 @@ def main() -> None:
     print(f"{'':<26} {'no defence':>12} {'with LAD':>12}")
     print(
         f"{'events detected':<26} "
-        f"{stats_unprotected.detection_fraction:>12.0%} {stats_protected.detection_fraction:>12.0%}"
+        f"{stats_unprotected.detection_fraction:>12.0%} "
+        f"{stats_protected.detection_fraction:>12.0%}"
     )
     print(
         f"{'mean report error (m)':<26} "
-        f"{stats_unprotected.mean_report_error:>12.1f} {stats_protected.mean_report_error:>12.1f}"
+        f"{stats_unprotected.mean_report_error:>12.1f} "
+        f"{stats_protected.mean_report_error:>12.1f}"
     )
     print(
         f"{'worst report error (m)':<26} "
-        f"{stats_unprotected.max_report_error:>12.1f} {stats_protected.max_report_error:>12.1f}"
+        f"{stats_unprotected.max_report_error:>12.1f} "
+        f"{stats_protected.max_report_error:>12.1f}"
     )
     print(
         f"{'reports suppressed':<26} "
-        f"{stats_unprotected.suppressed_fraction:>12.0%} {stats_protected.suppressed_fraction:>12.0%}"
+        f"{stats_unprotected.suppressed_fraction:>12.0%} "
+        f"{stats_protected.suppressed_fraction:>12.0%}"
     )
 
 

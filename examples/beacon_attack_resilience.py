@@ -47,7 +47,11 @@ def _localize_all(scheme, beacons, network, nodes, rng):
     for row, node in enumerate(nodes):
         true_position = network.positions[node]
         audible = beacons.audible_from(true_position)
-        distances = beacons.measured_distances(true_position, rng=rng, noise_std=3.0)[audible]
+        distances = beacons.measured_distances(
+            true_position,
+            rng=rng,
+            noise_std=3.0,
+        )[audible]
         context = LocalizationContext(
             beacons=beacons,
             audible_beacons=audible,
@@ -78,7 +82,12 @@ def main() -> None:
     training = collect_training_data(
         generator, num_samples=200, samples_per_network=100, rng=53
     )
-    detector = LADDetector.from_training_data(knowledge, training, metric="diff", tau=0.99)
+    detector = LADDetector.from_training_data(
+        knowledge,
+        training,
+        metric="diff",
+        tau=0.99,
+    )
 
     nodes = rng.choice(network.num_nodes, size=NUM_SENSORS, replace=False)
     observations = index.observations_of_nodes(nodes)

@@ -51,7 +51,12 @@ def main() -> None:
     training = collect_training_data(
         generator, num_samples=150, samples_per_network=75, rng=31
     )
-    detector = LADDetector.from_training_data(knowledge, training, metric="diff", tau=0.99)
+    detector = LADDetector.from_training_data(
+        knowledge,
+        training,
+        metric="diff",
+        tau=0.99,
+    )
     localizer = BeaconlessLocalizer()
 
     # Honest believed locations = true positions (idealised localization).
@@ -60,7 +65,9 @@ def main() -> None:
     # Attack a fraction of the nodes' believed locations.
     attacked_positions = honest_positions.copy()
     attacked_nodes = rng.choice(
-        network.num_nodes, size=int(ATTACKED_FRACTION * network.num_nodes), replace=False
+        network.num_nodes,
+        size=int(ATTACKED_FRACTION * network.num_nodes),
+        replace=False,
     )
     attacked_positions[attacked_nodes] = DisplacementAttack(
         DEGREE_OF_DAMAGE

@@ -38,7 +38,9 @@ def main() -> None:
 
     print()
     print("Detection rate at 1% FP, greedy Dec-Bounded adversary (cf. Figure 4):")
-    header = f"{'D (m)':>8}" + "".join(f"{m:>14}" for m in ("diff", "add_all", "probability"))
+    header = f"{'D (m)':>8}" + "".join(
+        f"{m:>14}" for m in ("diff", "add_all", "probability")
+    )
     print(header)
     for degree in DEGREES:
         row = [f"{degree:>8.0f}"]

@@ -94,7 +94,8 @@ def main() -> None:
     )
     print(
         f"attack: spoofed location {np.round(spoofed, 1)} "
-        f"(D={degree_of_damage:.0f} m), {budget.compromised_nodes} compromised neighbours"
+        f"(D={degree_of_damage:.0f} m), "
+        f"{budget.compromised_nodes} compromised neighbours"
     )
 
     # ---------------------------------------------------------- LAD detection

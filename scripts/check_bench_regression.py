@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Gate benchmark regressions against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_pr.json [baseline.json]
+
+``BENCH_pr.json`` is the report written by the benchmark suite when
+``LAD_BENCH_JSON`` is set (see ``benchmarks/conftest.py``); the baseline
+defaults to ``benchmarks/BENCH_baseline.json``.  Every baseline record that
+carries a ``floor`` must be present in the current report with a speedup at
+or above that floor, otherwise the script exits non-zero.  This replaces
+the old per-benchmark ``LAD_BENCH_MIN_*`` environment gates: the floors are
+versioned alongside the code they protect.
+
+The floors are deliberately looser than the speedups measured on dedicated
+hardware — shared CI runners are slow and noisy — but tight enough that
+losing a batched/pruned fast path altogether fails the job.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / (
+    "benchmarks/BENCH_baseline.json"
+)
+
+
+def load_records(path: Path) -> dict:
+    try:
+        with path.open(encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        sys.exit(f"error: benchmark report {path} does not exist")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+    records = payload.get("records")
+    if not isinstance(records, dict):
+        sys.exit(f"error: {path} has no 'records' object")
+    return records
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current = load_records(Path(argv[0]))
+    baseline_path = Path(argv[1]) if len(argv) == 2 else DEFAULT_BASELINE
+    baseline = load_records(baseline_path)
+
+    failures = []
+    print(f"{'benchmark':<28} {'floor':>7} {'baseline':>9} {'current':>9}")
+    for name, reference in sorted(baseline.items()):
+        floor = reference.get("floor")
+        if floor is None:
+            continue
+        reference_speedup = reference.get("speedup", float("nan"))
+        record = current.get(name)
+        if record is None:
+            failures.append(f"{name}: missing from the current report")
+            print(
+                f"{name:<28} {floor:>7.2f} {reference_speedup:>8.2f}x   MISSING"
+            )
+            continue
+        speedup = float(record.get("speedup", 0.0))
+        status = "ok" if speedup >= floor else "REGRESSION"
+        print(
+            f"{name:<28} {floor:>7.2f} {reference_speedup:>8.2f}x "
+            f"{speedup:>8.2f}x  {status}"
+        )
+        if speedup < floor:
+            failures.append(
+                f"{name}: speedup {speedup:.2f}x fell below its floor "
+                f"{floor:.2f}x"
+            )
+
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print(f"untracked benchmarks (no floor yet): {', '.join(extra)}")
+    if failures:
+        print("\nbenchmark regression check FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,7 +9,6 @@ consequence of localization anomalies that the examples quantify.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 from scipy.spatial import cKDTree

@@ -12,7 +12,7 @@ attacked locations filtered by a :class:`~repro.core.detector.LADDetector`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

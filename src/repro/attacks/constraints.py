@@ -82,7 +82,9 @@ class AttackClass(abc.ABC):
 
     @staticmethod
     def _budget_value(budget: Union[AttackBudget, int]) -> int:
-        return int(budget) if not isinstance(budget, AttackBudget) else budget.compromised_nodes
+        if isinstance(budget, AttackBudget):
+            return budget.compromised_nodes
+        return int(budget)
 
 
 class DecBoundedAttack(AttackClass):
@@ -97,7 +99,14 @@ class DecBoundedAttack(AttackClass):
     paper_name = "Dec-Bounded Attack"
     allows_increase = True
 
-    def is_feasible(self, honest_observation, tainted_observation, budget, *, group_size=None):
+    def is_feasible(
+        self,
+        honest_observation,
+        tainted_observation,
+        budget,
+        *,
+        group_size=None,
+    ):
         a = np.asarray(honest_observation, dtype=np.float64)
         o = np.asarray(tainted_observation, dtype=np.float64)
         if a.shape != o.shape:
@@ -133,7 +142,14 @@ class DecOnlyAttack(AttackClass):
     paper_name = "Dec-Only Attack"
     allows_increase = False
 
-    def is_feasible(self, honest_observation, tainted_observation, budget, *, group_size=None):
+    def is_feasible(
+        self,
+        honest_observation,
+        tainted_observation,
+        budget,
+        *,
+        group_size=None,
+    ):
         a = np.asarray(honest_observation, dtype=np.float64)
         o = np.asarray(tainted_observation, dtype=np.float64)
         if a.shape != o.shape:

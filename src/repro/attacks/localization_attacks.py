@@ -59,7 +59,10 @@ class DisplacementAttack:
         generator = as_generator(rng)
         constraint = region if self.keep_inside_region else None
         return random_point_at_distance(
-            generator, as_point(actual_location), self.degree_of_damage, region=constraint
+            generator,
+            as_point(actual_location),
+            self.degree_of_damage,
+            region=constraint,
         )
 
     def spoof_locations(
@@ -144,7 +147,10 @@ def replay_beacon_attack(
     replay_location = as_point(replay_location)
     positions = np.vstack([beacons.positions, replay_location[None, :]])
     declared = np.vstack(
-        [beacons.declared_positions, beacons.declared_positions[int(replayed_beacon)][None, :]]
+        [
+            beacons.declared_positions,
+            beacons.declared_positions[int(replayed_beacon)][None, :],
+        ]
     )
     compromised = np.concatenate([beacons.compromised, [True]])
     return BeaconInfrastructure(

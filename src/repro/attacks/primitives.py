@@ -27,7 +27,7 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
-from repro.attacks.base import AttackBudget, ObservationAttack
+from repro.attacks.base import ObservationAttack
 from repro.network.messages import BroadcastLog, GroupAnnouncement
 from repro.network.network import SensorNetwork
 from repro.utils.rng import as_generator

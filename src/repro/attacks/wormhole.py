@@ -15,7 +15,7 @@ into the logs of receivers near the sink end.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -42,7 +42,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig = sub.add_parser("figure", help="reproduce one of the paper's figures")
-    fig.add_argument("figure_id", choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"])
+    fig.add_argument(
+        "figure_id",
+        choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"],
+    )
     fig.add_argument(
         "--scale",
         type=float,
@@ -50,7 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo sample-size scale factor (use <1 for quick runs)",
     )
     fig.add_argument("--group-size", type=int, default=300, help="sensors per group m")
-    fig.add_argument("--radio-range", type=float, default=100.0, help="radio range R (m)")
+    fig.add_argument(
+        "--radio-range",
+        type=float,
+        default=100.0,
+        help="radio range R (m)",
+    )
     fig.add_argument("--seed", type=int, default=20050404, help="master random seed")
     fig.add_argument(
         "--workers",
@@ -62,12 +70,27 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--csv", type=Path, default=None, help="write the series as CSV")
 
     demo = sub.add_parser("demo", help="run a small end-to-end detection demo")
-    demo.add_argument("--degree", type=float, default=120.0, help="degree of damage D (m)")
+    demo.add_argument(
+        "--degree",
+        type=float,
+        default=120.0,
+        help="degree of damage D (m)",
+    )
     demo.add_argument("--metric", default="diff", help="detection metric")
     demo.add_argument("--attack", default="dec_bounded", help="attack class")
-    demo.add_argument("--fraction", type=float, default=0.10, help="compromised fraction x")
+    demo.add_argument(
+        "--fraction",
+        type=float,
+        default=0.10,
+        help="compromised fraction x",
+    )
     demo.add_argument("--group-size", type=int, default=300, help="sensors per group m")
-    demo.add_argument("--victims", type=int, default=200, help="number of attacked victims")
+    demo.add_argument(
+        "--victims",
+        type=int,
+        default=200,
+        help="number of attacked victims",
+    )
     demo.add_argument("--seed", type=int, default=7, help="random seed")
 
     gz = sub.add_parser("gz-table", help="print the g(z) lookup table accuracy")
@@ -121,11 +144,20 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         compromised_fraction=args.fraction,
     )
     outcome = evaluate_detection(benign, attacked, false_positive_rate=0.01)
-    print(f"metric={args.metric}  attack={args.attack}  D={args.degree:g}  x={args.fraction:.0%}")
+    print(
+        f"metric={args.metric}  attack={args.attack}  "
+        f"D={args.degree:g}  x={args.fraction:.0%}"
+    )
     print(f"benign localization error (mean): {sim.benign_localization_error():.2f} m")
-    print(f"benign score p50/p99: {np.median(benign):.2f} / {np.quantile(benign, 0.99):.2f}")
+    print(
+        f"benign score p50/p99: "
+        f"{np.median(benign):.2f} / {np.quantile(benign, 0.99):.2f}"
+    )
     print(f"attacked score p50:   {np.median(attacked):.2f}")
-    print(f"detection rate @ 1% FP: {outcome.detection_rate:.3f} (threshold {outcome.threshold:.2f})")
+    print(
+        f"detection rate @ 1% FP: {outcome.detection_rate:.3f} "
+        f"(threshold {outcome.threshold:.2f})"
+    )
     print(f"ROC AUC: {outcome.roc.auc():.4f}")
     return 0
 
@@ -137,10 +169,15 @@ def _cmd_gz_table(args: argparse.Namespace) -> int:
 
     table = GzTable(args.radio_range, args.sigma, omega=args.omega)
     zs = np.linspace(0.0, args.radio_range + 4 * args.sigma, 9)
-    print(f"g(z) table: R={args.radio_range:g}, sigma={args.sigma:g}, omega={args.omega}")
+    print(
+        f"g(z) table: R={args.radio_range:g}, sigma={args.sigma:g}, omega={args.omega}",
+    )
     print(f"{'z':>10} {'g(z) exact':>12} {'g(z) table':>12}")
     for z in zs:
-        print(f"{z:10.1f} {gz_exact(z, args.radio_range, args.sigma):12.6f} {float(table(z)):12.6f}")
+        print(
+            f"{z:10.1f} {gz_exact(z, args.radio_range, args.sigma):12.6f} "
+            f"{float(table(z)):12.6f}"
+        )
     print(f"max abs table error (sampled): {table.max_abs_error(400):.2e}")
     return 0
 

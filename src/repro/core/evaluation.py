@@ -30,7 +30,7 @@ from repro.deployment.knowledge import DeploymentKnowledge
 from repro.network.neighbors import NeighborIndex
 from repro.network.network import SensorNetwork
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_fraction, check_int, check_positive
+from repro.utils.validation import check_fraction, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover - imported for type checkers only
     from repro.attacks.constraints import AttackClass

@@ -20,7 +20,7 @@ Every metric exposes a vectorised ``compute`` over batches of
 from __future__ import annotations
 
 import abc
-from typing import Dict, Iterable, List, Optional, Type, Union
+from typing import Dict, List, Optional, Type, Union
 
 import numpy as np
 
@@ -37,7 +37,10 @@ __all__ = [
 ]
 
 
-def _as_batches(observations: np.ndarray, expected: np.ndarray) -> tuple[np.ndarray, np.ndarray, bool]:
+def _as_batches(
+    observations: np.ndarray,
+    expected: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, bool]:
     """Normalise observation/expected inputs to matching 2-D batches."""
     obs = np.asarray(observations, dtype=np.float64)
     exp = np.asarray(expected, dtype=np.float64)

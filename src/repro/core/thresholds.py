@@ -74,4 +74,7 @@ class ThresholdTable:
 
     def as_dict(self, tau: float = 0.99) -> Mapping[str, float]:
         """Thresholds of every recorded metric at percentile *tau*."""
-        return {name: derive_threshold(scores, tau) for name, scores in self.benign_scores.items()}
+        return {
+            name: derive_threshold(scores, tau)
+            for name, scores in self.benign_scores.items()
+        }

@@ -19,7 +19,7 @@ scheme's own error, which is what makes the thresholds scheme-dependent
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -59,7 +59,10 @@ class TrainingData:
     def __post_init__(self) -> None:
         self.observations = np.asarray(self.observations, dtype=np.float64)
         self.actual_locations = np.asarray(self.actual_locations, dtype=np.float64)
-        self.estimated_locations = np.asarray(self.estimated_locations, dtype=np.float64)
+        self.estimated_locations = np.asarray(
+            self.estimated_locations,
+            dtype=np.float64,
+        )
         self.neighbor_counts = np.asarray(self.neighbor_counts, dtype=np.int64)
         k = self.observations.shape[0]
         if (

@@ -11,7 +11,6 @@ and every consumer of the distribution goes through the abstract interface.
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

@@ -63,7 +63,12 @@ def _rayleigh_cdf(r: np.ndarray, sigma: float) -> np.ndarray:
     return 1.0 - np.exp(-np.clip(r, 0.0, None) ** 2 / (2.0 * sigma**2))
 
 
-def _integrand(ell: np.ndarray, z: float, radio_range: float, sigma: float) -> np.ndarray:
+def _integrand(
+    ell: np.ndarray,
+    z: float,
+    radio_range: float,
+    sigma: float,
+) -> np.ndarray:
     """Integrand of Eq. (1) at ring radius ``ell`` for a scalar ``z``."""
     ell = np.asarray(ell, dtype=np.float64)
     with np.errstate(invalid="ignore", divide="ignore"):
@@ -149,7 +154,12 @@ def gz_quadrature(
 
 
 def gz_polar_integration(
-    z, radio_range: float, sigma: float, *, angular_order: int = 256, radial_order: int = 256
+    z,
+    radio_range: float,
+    sigma: float,
+    *,
+    angular_order: int = 256,
+    radial_order: int = 256,
 ) -> np.ndarray:
     """Independent evaluation of ``g(z)`` without using the Theorem 1 algebra.
 

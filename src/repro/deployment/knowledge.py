@@ -15,9 +15,10 @@ rest of the system.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
+from scipy.spatial import cKDTree
 
 from repro.deployment.gz import GzTable
 from repro.deployment.models import DeploymentModel
@@ -25,6 +26,16 @@ from repro.types import Region, as_points
 from repro.utils.validation import check_int, check_positive
 
 __all__ = ["DeploymentKnowledge"]
+
+#: Probabilities at or below this value cannot perturb a log-likelihood term:
+#: ``1.0 - p == 1.0`` in float64 (so the unobserved ``(m - k) log(1 - p)``
+#: term is an exact zero) whenever ``p <= 2**-55``.
+_PRUNE_TINY = 2.0**-55
+
+#: When the pruned active set would cover at least this fraction of the
+#: ``(candidate, group)`` pairs, the sparse kernels fall back to the dense
+#: matmul path — gather/scatter overhead beats the saved work there.
+_DENSE_FALLBACK_FRACTION = 0.5
 
 
 class DeploymentKnowledge:
@@ -68,6 +79,8 @@ class DeploymentKnowledge:
             z_max = model.region.diagonal + radio_range
             gz_table = GzTable(radio_range, sigma, omega=omega, z_max=z_max)
         self._gz = gz_table
+        self._group_tree: Optional[cKDTree] = None
+        self._support_radius: Optional[float] = None
 
     # -- properties --------------------------------------------------------
 
@@ -105,6 +118,81 @@ class DeploymentKnowledge:
     def gz_table(self) -> GzTable:
         """The ``g(z)`` lookup table."""
         return self._gz
+
+    # -- active-group pruning ----------------------------------------------
+
+    @property
+    def support_radius(self) -> float:
+        """Distance beyond which ``g(z)`` cannot perturb a likelihood term.
+
+        Derived from the ``g(z)`` table itself: the first knot after the
+        last one whose value exceeds ``2**-55``.  Linear interpolation stays
+        within the bracketing knot values, so every query beyond this radius
+        yields ``p`` with ``1.0 - p == 1.0`` in float64 — the unobserved
+        ``(m − k) · log(1 − p)`` term of such a group is an *exact* zero and
+        can be skipped without changing the likelihood sum.  ``inf`` when
+        the table still carries non-negligible mass at its upper end (the
+        pruned kernels then fall back to the dense path).
+        """
+        if self._support_radius is None:
+            knots = self._gz.table.knots
+            values = self._gz.table.values
+            above = np.flatnonzero(values > _PRUNE_TINY)
+            if above.size == 0:
+                self._support_radius = 0.0
+            elif above[-1] == values.size - 1:
+                self._support_radius = float("inf")
+            else:
+                self._support_radius = float(knots[above[-1] + 1])
+        return self._support_radius
+
+    def active_groups(
+        self, locations, radius: Optional[float] = None
+    ) -> list[np.ndarray]:
+        """Group indices within *radius* of each location (KD-tree query).
+
+        Parameters
+        ----------
+        locations:
+            Query locations, shape ``(k, 2)`` (or a single point).
+        radius:
+            Search radius in metres; defaults to :attr:`support_radius`.
+
+        Returns
+        -------
+        One sorted ``int64`` index array per location.  An empty array means
+        the location is outside every group's reach.
+        """
+        pts = as_points(locations)
+        r = self.support_radius if radius is None else float(radius)
+        if not np.isfinite(r):
+            everything = np.arange(self.n_groups, dtype=np.int64)
+            return [everything] * pts.shape[0]
+        if self._group_tree is None:
+            self._group_tree = cKDTree(self.deployment_points)
+        hits = self._group_tree.query_ball_point(pts, r, return_sorted=True)
+        return [np.asarray(h, dtype=np.int64) for h in hits]
+
+    def _shared_active_set(
+        self, locations: np.ndarray, observations: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Active set shared by a batch kernel call, or ``None`` for dense.
+
+        The union of (a) every group within :attr:`support_radius` of some
+        candidate and (b) every group any observation row touches.  Groups
+        outside the union contribute exact zeros to every ``(row, candidate)``
+        likelihood (they have ``k == 0`` in all rows and ``1 − p == 1.0`` at
+        all candidates), so restricting the kernel to the union only changes
+        floating-point summation order.
+        """
+        if not np.isfinite(self.support_radius):
+            return None
+        near = self.active_groups(locations)
+        observed = np.flatnonzero(np.any(observations != 0, axis=0))
+        active = np.unique(np.concatenate([*near, observed]))
+        if active.size >= _DENSE_FALLBACK_FRACTION * self.n_groups:
+            return None
+        return active
 
     # -- core computations -------------------------------------------------
 
@@ -187,17 +275,21 @@ class DeploymentKnowledge:
             return binomial_log_coefficient(values, m)[k_values.astype(np.int64)]
         return binomial_log_coefficient(k_values, m)
 
-    def _membership_fast(self, locations) -> np.ndarray:
+    def _membership_fast(self, locations, groups=None) -> np.ndarray:
         """``g_i(θ)`` via the table's uniform-grid fast lookup.
 
         Same values as :meth:`membership_probabilities` up to floating-point
         rounding; used by the batched likelihood kernels where the table
-        lookup dominates the runtime.
+        lookup dominates the runtime.  *groups* restricts the columns to an
+        active subset (bit-identical to the same columns of the full
+        matrix).
         """
-        distances = self._model.distances_to_groups(as_points(locations))
+        distances = self._model.distances_to_groups(as_points(locations), groups)
         return self._gz.fast_lookup(distances)
 
-    def log_likelihood_batch(self, locations, observations) -> np.ndarray:
+    def log_likelihood_batch(
+        self, locations, observations, *, prune: bool = False
+    ) -> np.ndarray:
         """Log-likelihood of every observation at every candidate location.
 
         The batched form of :meth:`log_likelihood` over a *shared* candidate
@@ -218,6 +310,13 @@ class DeploymentKnowledge:
             Candidate locations shared by all observations, shape ``(c, 2)``.
         observations:
             Observation vectors, shape ``(k, n_groups)``.
+        prune:
+            When ``True``, restrict the kernel to the active group set (the
+            union of groups within :attr:`support_radius` of some candidate
+            and groups with a non-zero observation entry).  The dropped
+            terms are exact zeros, so the result matches the dense kernel up
+            to summation order; when the active set covers most groups the
+            dense path is used regardless.
 
         Returns
         -------
@@ -233,7 +332,13 @@ class DeploymentKnowledge:
                 f"got {obs.shape[1]}"
             )
         m = float(self._group_size)
-        probs = self._membership_fast(locations)
+        locs = as_points(locations)
+        active = self._shared_active_set(locs, obs) if prune else None
+        if active is not None:
+            obs = obs[:, active]
+            probs = self._membership_fast(locs, active)
+        else:
+            probs = self._membership_fast(locs)
 
         coeff = binomial_log_coefficient(obs, m)
         coeff = np.where((obs < 0) | (obs > m), -np.inf, coeff)
@@ -259,7 +364,12 @@ class DeploymentKnowledge:
         return ll
 
     def log_likelihood_segmented(
-        self, locations, observations, segment_counts
+        self,
+        locations,
+        observations,
+        segment_counts,
+        *,
+        active: Optional[Sequence[np.ndarray]] = None,
     ) -> np.ndarray:
         """Log-likelihoods for per-row candidate segments in one flat pass.
 
@@ -286,6 +396,21 @@ class DeploymentKnowledge:
             Observation vectors, shape ``(k, n_groups)``.
         segment_counts:
             Number of candidates per observation row, shape ``(k,)``.
+        active:
+            Optional per-row active group sets (one index array per row,
+            e.g. from :meth:`active_groups` on the rows' search centres).
+            The kernel then scores only the ``(candidate, group)`` pairs in
+            each row's active set — unioned with the groups the row actually
+            observed, so every skipped pair has ``k == 0`` and
+            ``1 − p == 1.0``, i.e. contributes an exact zero.  Dropping
+            exact zeros still changes the floating-point *summation order*
+            (the same rounding-level caveat the batched engine already
+            carries against the per-row reference), which leaves the
+            estimates unchanged whenever candidate likelihoods are
+            separated by more than accumulated rounding; the tie-prone
+            all-zero rows never reach this kernel.  When the active sets
+            cover most pairs the dense path runs instead, so callers may
+            pass ``active`` unconditionally.
 
         Returns
         -------
@@ -297,10 +422,15 @@ class DeploymentKnowledge:
         counts = np.asarray(segment_counts, dtype=np.int64)
         if counts.shape != (obs.shape[0],):
             raise ValueError("need one segment count per observation row")
-        m = float(self._group_size)
-        probs = self._membership_fast(locations)
-        if probs.shape[0] != int(counts.sum()):
+        locs = as_points(locations)
+        if locs.shape[0] != int(counts.sum()):
             raise ValueError("segment counts do not add up to len(locations)")
+        m = float(self._group_size)
+        if active is not None:
+            pruned = self._segmented_pruned(locs, obs, counts, active)
+            if pruned is not None:
+                return pruned
+        probs = self._membership_fast(locs)
 
         obs_rep = np.repeat(obs, counts, axis=0)
         reaches_one = bool(np.any(self._gz.table.values >= 1.0))
@@ -332,6 +462,82 @@ class DeploymentKnowledge:
         if reaches_one:
             out = np.where((probs >= 1) & (obs_rep < m), -np.inf, out)
         return out.sum(axis=1)
+
+    def _segmented_pruned(
+        self,
+        locs: np.ndarray,
+        obs: np.ndarray,
+        counts: np.ndarray,
+        active: Sequence[np.ndarray],
+    ) -> Optional[np.ndarray]:
+        """Sparse evaluation of the segmented kernel over per-row active sets.
+
+        Returns ``None`` when the active sets would cover at least half of
+        the ``(candidate, group)`` pairs — the dense matmul path wins there.
+        Every scored pair reuses the exact distance (``cdist`` evaluates
+        pairs independently) and the same per-pair arithmetic as the dense
+        kernel, so the flat result differs from it only by the summation
+        order of terms that are exact zeros in both.
+        """
+        if len(active) != obs.shape[0]:
+            raise ValueError("need one active-group set per observation row")
+        rows_active = [
+            np.union1d(
+                np.asarray(active[row], dtype=np.int64),
+                np.flatnonzero(obs[row] != 0),
+            )
+            for row in range(obs.shape[0])
+        ]
+        sizes = np.array([a.size for a in rows_active], dtype=np.int64)
+        total = int(counts.sum())
+        n_pairs = int((sizes * counts).sum())
+        if n_pairs >= _DENSE_FALLBACK_FRACTION * total * self.n_groups:
+            return None
+
+        m = float(self._group_size)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        dist_parts: list[np.ndarray] = []
+        k_parts: list[np.ndarray] = []
+        cand_parts: list[np.ndarray] = []
+        for row, groups in enumerate(rows_active):
+            c = int(counts[row])
+            if c == 0 or groups.size == 0:
+                continue
+            block = locs[offsets[row] : offsets[row + 1]]
+            dist_parts.append(
+                self._model.distances_to_groups(block, groups).ravel()
+            )
+            k_parts.append(np.tile(obs[row, groups], c))
+            cand_parts.append(
+                np.repeat(np.arange(offsets[row], offsets[row + 1]), groups.size)
+            )
+
+        out = np.zeros(total, dtype=np.float64)
+        reaches_one = bool(np.any(self._gz.table.values >= 1.0))
+        if dist_parts:
+            probs = self._gz.fast_lookup(np.concatenate(dist_parts))
+            k = np.concatenate(k_parts)
+            cand = np.concatenate(cand_parts)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                if reaches_one:
+                    log_q = np.log(np.where(probs < 1, 1.0 - probs, 1.0))
+                else:
+                    log_q = np.log(1.0 - probs)
+                terms = (m - k) * log_q
+                observed = k > 0
+                k_obs = k[observed]
+                p_obs = probs[observed]
+                term = self._log_coefficients(k_obs, m) + k_obs * np.log(p_obs)
+            term = np.where(p_obs <= 0, -np.inf, term)
+            terms[observed] += term
+            if reaches_one:
+                terms = np.where((probs >= 1) & (k < m), -np.inf, terms)
+            out = np.bincount(cand, weights=terms, minlength=total)
+
+        invalid = np.any((obs < 0) | (obs > m), axis=1)
+        if np.any(invalid):
+            out[np.repeat(invalid, counts)] = -np.inf
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

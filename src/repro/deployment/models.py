@@ -108,7 +108,7 @@ class DeploymentModel(abc.ABC):
         group_ids = np.repeat(np.arange(n, dtype=np.int64), group_size)
         return positions, group_ids
 
-    def distances_to_groups(self, locations) -> np.ndarray:
+    def distances_to_groups(self, locations, groups=None) -> np.ndarray:
         """Distances from each location to every deployment point.
 
         Returns an array of shape ``(k, n_groups)`` — the ``z`` values fed
@@ -116,13 +116,26 @@ class DeploymentModel(abc.ABC):
         :func:`scipy.spatial.distance.cdist`, whose C loop is an order of
         magnitude faster than broadcasting the difference array while
         producing bit-identical distances.
+
+        Parameters
+        ----------
+        locations:
+            Query locations, shape ``(k, 2)``.
+        groups:
+            Optional group indices restricting the columns; the pruned
+            likelihood kernels only pay for the distances they will use.
+            ``cdist`` evaluates every pair independently, so the returned
+            sub-matrix is bit-identical to the same columns of the full one.
         """
         from scipy.spatial.distance import cdist
 
+        points = self.deployment_points
+        if groups is not None:
+            points = points[np.asarray(groups, dtype=np.int64)]
         locs = as_points(locations)
-        if locs.shape[0] == 0:
-            return np.empty((0, self.n_groups), dtype=np.float64)
-        return cdist(locs, self.deployment_points)
+        if locs.shape[0] == 0 or points.shape[0] == 0:
+            return np.empty((locs.shape[0], points.shape[0]), dtype=np.float64)
+        return cdist(locs, points)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

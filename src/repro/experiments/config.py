@@ -10,10 +10,9 @@ benchmarks scale down to keep the figure reproduction fast.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional
+from dataclasses import dataclass, replace
 
-from repro.utils.validation import check_fraction, check_int, check_positive
+from repro.utils.validation import check_int, check_positive
 
 __all__ = ["SimulationConfig"]
 

@@ -13,7 +13,7 @@ Use :func:`get_figure` / :func:`run_figure` to look figures up by id
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from repro.experiments.figures import fig4, fig5, fig6, fig7, fig8, fig9
 from repro.experiments.results import FigureResult

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-import numpy as np
 
 from repro.core.roc import RocCurve
 from repro.experiments.config import SimulationConfig

@@ -75,11 +75,17 @@ def run(
     )
     for fraction in fractions:
         rates = [
-            rates_at[SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))][0]
+            rates_at[
+                SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))
+            ][0]
             for degree in degrees
         ]
         panel.add_series(
-            SeriesResult(label=f"x={int(round(fraction * 100))}%", x=list(degrees), y=rates)
+            SeriesResult(
+                label=f"x={int(round(fraction * 100))}%",
+                x=list(degrees),
+                y=rates,
+            )
         )
     figure.add_panel(panel)
     return figure

@@ -77,7 +77,9 @@ def run(
     percentages = [fraction * 100.0 for fraction in fractions]
     for degree in degrees:
         rates = [
-            rates_at[SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))][0]
+            rates_at[
+                SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))
+            ][0]
             for fraction in fractions
         ]
         panel.add_series(SeriesResult(label=f"D={degree:g}", x=percentages, y=rates))

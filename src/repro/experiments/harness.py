@@ -282,4 +282,7 @@ class LadSimulation:
         return float(self.training_data.localization_errors().mean())
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"LadSimulation(m={self.config.group_size}, R={self.config.radio_range:g})"
+        return (
+            f"LadSimulation(m={self.config.group_size}, "
+            f"R={self.config.radio_range:g})"
+        )

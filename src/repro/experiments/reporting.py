@@ -7,7 +7,7 @@ compared against the paper without any plotting dependency.
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import List
 
 import numpy as np
 

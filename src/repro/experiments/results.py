@@ -12,7 +12,7 @@ import csv
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -138,7 +138,9 @@ class FigureResult:
             for panel in self.panels:
                 for series in panel.series:
                     for x, y in zip(series.x, series.y):
-                        writer.writerow([self.figure_id, panel.title, series.label, x, y])
+                        writer.writerow(
+                            [self.figure_id, panel.title, series.label, x, y],
+                        )
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FigureResult":

@@ -14,13 +14,21 @@ once:
 
 * the expensive per-combination work — the greedy adversary plus metric
   scoring — is what gets distributed;
-* each worker receives the shared payload once (via the pool initializer),
-  not once per task;
+* the victim observation payload lives in one
+  :mod:`multiprocessing.shared_memory` segment per array: workers receive
+  only the segment name / shape / dtype through the pool initializer and
+  map the buffers zero-copy, so no worker ever re-pickles the (potentially
+  large) victim sample;
 * the per-combination random streams are derived from the simulation seed
   and the combination *name* (:func:`attack_stream_name`), so a parallel
   sweep reproduces the serial one — and therefore
   :meth:`LadSimulation.attacked_scores` — bit for bit, regardless of
   scheduling order.
+
+Platforms without working process pools or shared memory (some sandboxes
+and embedded interpreters) degrade gracefully: the runner emits a
+``RuntimeWarning`` and runs the identical serial path instead of crashing
+mid-sweep.
 
 The figure drivers (:mod:`repro.experiments.figures`) all route their
 parameter grids through this runner.
@@ -29,9 +37,20 @@ parameter grids through this runner.
 from __future__ import annotations
 
 import itertools
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -87,9 +106,67 @@ class SweepPoint:
 #: Shared per-worker state, installed once by the pool initializer.
 _WORKER_STATE: dict = {}
 
+#: Errors that mean "this platform cannot fan out worker processes" — the
+#: runner falls back to the (bit-identical) serial path when it sees one.
+FAN_OUT_ERRORS = (ImportError, NotImplementedError, OSError, BrokenProcessPool)
+
+
+def _share_array(array: np.ndarray):
+    """Copy *array* into a fresh shared-memory segment.
+
+    Returns the segment (the caller owns it and must ``close``/``unlink``)
+    plus the picklable metadata a worker needs to map the buffer.
+    """
+    from multiprocessing import shared_memory
+
+    array = np.ascontiguousarray(array)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+    view[...] = array
+    meta = {"name": segment.name, "shape": array.shape, "dtype": str(array.dtype)}
+    return segment, meta
+
+
+def _attach_array(meta: dict):
+    """Map a shared-memory segment created by :func:`_share_array`.
+
+    The worker does not own the segment — the parent unlinks it — so the
+    attach must not register it with the resource tracker (on POSIX,
+    attaching registers just like creating; with a fork-shared tracker the
+    duplicate registrations from many workers then produce spurious
+    "leaked shared_memory" noise and double-unlink errors).  Registration
+    is suppressed for the duration of the attach.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None
+    try:
+        segment = shared_memory.SharedMemory(name=meta["name"])
+    finally:
+        resource_tracker.register = original_register
+    array = np.ndarray(
+        tuple(meta["shape"]), dtype=np.dtype(meta["dtype"]), buffer=segment.buf
+    )
+    # Every worker maps the same buffer: an in-place mutation anywhere would
+    # silently corrupt the other workers' inputs, so make it loud instead.
+    array.flags.writeable = False
+    return segment, array
+
 
 def _init_worker(payload: dict) -> None:
-    _WORKER_STATE.update(payload)
+    state = dict(payload)
+    shared = state.pop("shared_arrays", None)
+    if shared:
+        segments = []
+        for key, meta in shared.items():
+            segment, array = _attach_array(meta)
+            segments.append(segment)
+            state[key] = array
+        # Keep the segments referenced for the worker's lifetime: the numpy
+        # views borrow their buffers.
+        state["_shared_segments"] = segments
+    _WORKER_STATE.update(state)
 
 
 def _score_point(point: SweepPoint) -> np.ndarray:
@@ -155,32 +232,68 @@ class SweepRunner:
     def attacked_scores(
         self, points: Sequence[SweepPoint]
     ) -> Dict[SweepPoint, np.ndarray]:
-        """Attacked score samples for every sweep point."""
+        """Attacked score samples for every sweep point.
+
+        With ``workers > 1`` the grid is fanned over a process pool whose
+        workers map the victim payload from shared memory; on platforms
+        where that is impossible the sweep falls back to the serial path
+        (identical results) with a :class:`RuntimeWarning`.
+        """
         points = list(points)
-        if self._workers <= 1:
-            return {
-                point: self._simulation.attacked_scores(
-                    point.metric,
-                    point.attack,
-                    degree_of_damage=point.degree_of_damage,
-                    compromised_fraction=point.compromised_fraction,
+        if self._workers > 1:
+            try:
+                return self._attacked_scores_parallel(points)
+            except FAN_OUT_ERRORS as exc:
+                warnings.warn(
+                    f"parallel sweep unavailable on this platform ({exc!r}); "
+                    "falling back to the serial path",
+                    RuntimeWarning,
+                    stacklevel=2,
                 )
-                for point in points
-            }
-        sample = self._simulation.victims()
-        payload = {
-            "knowledge": self._simulation.knowledge,
-            "observations": sample.observations,
-            "locations": sample.actual_locations,
-            "seed": self._simulation.config.seed,
+        return {
+            point: self._simulation.attacked_scores(
+                point.metric,
+                point.attack,
+                degree_of_damage=point.degree_of_damage,
+                compromised_fraction=point.compromised_fraction,
+            )
+            for point in points
         }
-        with ProcessPoolExecutor(
-            max_workers=self._workers,
-            initializer=_init_worker,
-            initargs=(payload,),
-        ) as pool:
-            scored = list(pool.map(_score_point, points))
-        return dict(zip(points, scored))
+
+    def _attacked_scores_parallel(
+        self, points: List[SweepPoint]
+    ) -> Dict[SweepPoint, np.ndarray]:
+        """Fan the grid over a pool; victim arrays travel via shared memory."""
+        sample = self._simulation.victims()
+        segments = []
+        try:
+            shared_arrays = {}
+            for key, array in (
+                ("observations", sample.observations),
+                ("locations", sample.actual_locations),
+            ):
+                segment, meta = _share_array(array)
+                segments.append(segment)
+                shared_arrays[key] = meta
+            payload = {
+                "knowledge": self._simulation.knowledge,
+                "seed": self._simulation.config.seed,
+                "shared_arrays": shared_arrays,
+            }
+            with ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            ) as pool:
+                scored = list(pool.map(_score_point, points))
+            return dict(zip(points, scored))
+        finally:
+            for segment in segments:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
 
     def rocs(
         self,

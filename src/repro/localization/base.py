@@ -98,7 +98,11 @@ class BeaconInfrastructure:
         if noise_std > 0.0:
             if rng is None:
                 raise ValueError("rng is required when noise_std > 0")
-            dist = np.clip(dist + rng.normal(0.0, noise_std, size=dist.shape), 0.0, None)
+            dist = np.clip(
+                dist + rng.normal(0.0, noise_std, size=dist.shape),
+                0.0,
+                None,
+            )
         return dist
 
     def declare_false_position(self, beacon: int, position) -> None:

@@ -62,7 +62,6 @@ exact estimate equality on seeded networks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -73,7 +72,7 @@ from repro.localization.base import (
     LocalizationScheme,
 )
 from repro.types import Region
-from repro.utils.validation import check_int, check_positive
+from repro.utils.validation import check_positive
 
 __all__ = ["BeaconlessLocalizer"]
 
@@ -140,6 +139,7 @@ class BeaconlessLocalizer(LocalizationScheme):
         observations: np.ndarray,
         *,
         batched: bool = True,
+        prune: bool = True,
     ) -> np.ndarray:
         """Batch entry point: estimate one location per observation row.
 
@@ -154,6 +154,13 @@ class BeaconlessLocalizer(LocalizationScheme):
             engine (shared coarse lattice + lock-step refinement); when
             ``False`` each row runs the per-row reference :meth:`_search`.
             Both paths produce the same estimates.
+        prune:
+            When ``True`` (default) the refinement levels score only each
+            row's active group set (groups within the knowledge's support
+            radius of the row's search window, plus observed groups); the
+            skipped likelihood terms are exact zeros, so the estimates are
+            unchanged.  Dense deployments whose active sets cover most
+            groups fall back to the dense kernels automatically.
 
         Returns
         -------
@@ -167,12 +174,15 @@ class BeaconlessLocalizer(LocalizationScheme):
             for row, obs in enumerate(observations):
                 out[row], _, _ = self._search(knowledge, obs)
             return out
-        return self._search_batch(knowledge, observations)
+        return self._search_batch(knowledge, observations, prune=prune)
 
     # -- candidate grids -----------------------------------------------------
 
     @staticmethod
-    def initial_guess(knowledge: DeploymentKnowledge, observation: np.ndarray) -> np.ndarray:
+    def initial_guess(
+        knowledge: DeploymentKnowledge,
+        observation: np.ndarray,
+    ) -> np.ndarray:
         """Observation-weighted centroid of the deployment points.
 
         When the node heard nobody the centre of the region is returned.
@@ -298,7 +308,11 @@ class BeaconlessLocalizer(LocalizationScheme):
     # -- batched engine ------------------------------------------------------
 
     def _search_batch(
-        self, knowledge: DeploymentKnowledge, observations: np.ndarray
+        self,
+        knowledge: DeploymentKnowledge,
+        observations: np.ndarray,
+        *,
+        prune: bool = True,
     ) -> np.ndarray:
         """Localize every observation row through the vectorised engine.
 
@@ -315,15 +329,30 @@ class BeaconlessLocalizer(LocalizationScheme):
             estimates[row], _, _ = self._search(knowledge, unique[row])
         regular = np.flatnonzero(~degenerate)
         if regular.size:
-            estimates[regular] = self._batch_core(knowledge, unique[regular])
+            estimates[regular] = self._batch_core(
+                knowledge, unique[regular], prune=prune
+            )
         return estimates[np.asarray(inverse).ravel()]
 
     def _batch_core(
-        self, knowledge: DeploymentKnowledge, observations: np.ndarray
+        self,
+        knowledge: DeploymentKnowledge,
+        observations: np.ndarray,
+        *,
+        prune: bool = True,
     ) -> np.ndarray:
-        """Shared-lattice coarse scoring + lock-step refinement for all rows."""
+        """Shared-lattice coarse scoring + lock-step refinement for all rows.
+
+        The coarse level stays dense in the group dimension (its lattice is
+        shared by all rows, so the matmul kernel amortises it); the
+        refinement levels thread each row's active group set — groups within
+        the support radius of the row's search window — through the
+        segmented kernel, which skips the ``(candidate, group)`` pairs whose
+        likelihood terms are exact zeros.
+        """
         region = knowledge.region
         k = observations.shape[0]
+        prune = prune and np.isfinite(knowledge.support_radius)
 
         # Vectorised initial guesses: the observation-weighted centroids of
         # the deployment points (every row has a positive weight total here;
@@ -333,10 +362,14 @@ class BeaconlessLocalizer(LocalizationScheme):
         centers /= weights.sum(axis=1)[:, None]
 
         # Coarse level: one (k, candidates) kernel over the shared lattice,
-        # then per-row argmax restricted to each row's search window.
+        # then per-row argmax restricted to each row's search window.  The
+        # lattice stays dense in the group dimension, but lattice points
+        # inside no row's window are dropped up front: every kernel entry is
+        # an independent dot product, so the surviving columns are bitwise
+        # unchanged and the per-row argmax (which masks out-of-window
+        # candidates to -inf anyway) picks the same winner.
         xs_full, ys_full = self._coarse_lattice(region)
         lattice = self._grid_from_axes(xs_full, ys_full)
-        lls = knowledge.log_likelihood_batch(lattice, observations)
         margin = self.search_margin
         in_window = (
             (lattice[None, :, 0] >= centers[:, 0, None] - margin)
@@ -344,6 +377,11 @@ class BeaconlessLocalizer(LocalizationScheme):
             & (lattice[None, :, 1] >= centers[:, 1, None] - margin)
             & (lattice[None, :, 1] <= centers[:, 1, None] + margin)
         )
+        covered = in_window.any(axis=0)
+        if not covered.all():
+            lattice = lattice[covered]
+            in_window = in_window[:, covered]
+        lls = knowledge.log_likelihood_batch(lattice, observations)
         lls = np.where(in_window, lls, -np.inf)
         idx = np.argmax(lls, axis=1)
         values = lls[np.arange(k), idx]
@@ -362,8 +400,16 @@ class BeaconlessLocalizer(LocalizationScheme):
             step = max(step / self.refine_factor, self.resolution)
             grids = self._candidate_grids_batch(best, half_width, step, region)
             counts = np.array([grid.shape[0] for grid in grids], dtype=np.int64)
+            active = None
+            if prune:
+                # Candidates lie within the (clipped) square of half-width
+                # ``half_width`` around each row's current best, so a ball of
+                # ``support + half_width * sqrt(2)`` around the centre covers
+                # every group any candidate of the row could interact with.
+                reach = knowledge.support_radius + half_width * np.sqrt(2.0)
+                active = knowledge.active_groups(best, radius=reach)
             flat = knowledge.log_likelihood_segmented(
-                np.vstack(grids), observations, counts
+                np.vstack(grids), observations, counts, active=active
             )
             offsets = np.concatenate([[0], np.cumsum(counts)])
             for row in range(k):

@@ -13,7 +13,6 @@ per-node estimation step reuses the MMSE multilateration solver.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 from scipy import sparse

@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.deployment.knowledge import DeploymentKnowledge
 from repro.deployment.models import DeploymentModel, paper_deployment_model

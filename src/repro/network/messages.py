@@ -24,7 +24,12 @@ import numpy as np
 from repro.network.neighbors import NeighborIndex
 from repro.network.network import SensorNetwork
 
-__all__ = ["GroupAnnouncement", "BroadcastLog", "collect_observation", "run_announcement_round"]
+__all__ = [
+    "GroupAnnouncement",
+    "BroadcastLog",
+    "collect_observation",
+    "run_announcement_round",
+]
 
 
 @dataclass(frozen=True)

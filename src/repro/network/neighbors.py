@@ -28,19 +28,30 @@ into a handful of vectorised kernels.
 
 from __future__ import annotations
 
+import itertools
+import os
 from typing import Iterable, Optional, Sequence
 
 import numpy as np
 from scipy.spatial import cKDTree
 
 from repro.network.network import SensorNetwork
-from repro.types import as_point, as_points
+from repro.types import as_point
 
 __all__ = [
     "NeighborIndex",
     "observation_from_neighbors",
     "observations_for_nodes",
 ]
+
+#: Victim batches at least this large route their candidate search through
+#: the threaded ``query_ball_point(..., workers=-1)`` path; below it the
+#: single tree-against-tree sparse-distance pass has less overhead.
+PARALLEL_QUERY_MIN_NODES = 512
+
+#: The threaded ball query only amortises its ragged-result handling when
+#: enough cores share the tree walks; below this the sparse pass wins.
+PARALLEL_QUERY_MIN_CPUS = 4
 
 
 def observation_from_neighbors(
@@ -82,7 +93,12 @@ class NeighborIndex:
             return float(max(nominal, np.max(self._network.ranges)))
         return float(nominal)
 
-    def _link_mask(self, dist: np.ndarray, candidates: np.ndarray, rng=None) -> np.ndarray:
+    def _link_mask(
+        self,
+        dist: np.ndarray,
+        candidates: np.ndarray,
+        rng=None,
+    ) -> np.ndarray:
         """Which candidate links are up, honouring per-node range overrides.
 
         A node at its nominal range is governed by the radio model.  An
@@ -204,17 +220,46 @@ class NeighborIndex:
         link filter and the per-group histogram then run as flat vectorised
         kernels.  Avoiding the per-node Python queries — and the per-node
         ragged list handling — is what makes large victim batches cheap.
+
+        Batches of at least :data:`PARALLEL_QUERY_MIN_NODES` nodes — on
+        machines with at least :data:`PARALLEL_QUERY_MIN_CPUS` cores —
+        issue the ball queries through ``query_ball_point(..., workers=-1)``
+        instead: the sparse-distance pass is single-threaded, while the
+        threaded query spreads the tree walks over every core.  Both
+        branches find the same closed-ball candidate sets, and the threaded
+        branch recomputes the link distances with ``np.hypot`` exactly like
+        the per-node reference path.
         """
         net = self._network
         if nodes.size == 0:
             return np.zeros((0, net.n_groups), dtype=np.float64)
-        query_tree = cKDTree(net.positions[nodes])
-        pairs = query_tree.sparse_distance_matrix(
-            self._tree, self._search_radius(), output_type="ndarray"
-        )
-        rows = pairs["i"]
-        candidates = pairs["j"]
-        keep = self._link_mask(pairs["v"], candidates) & (candidates != nodes[rows])
+        query_points = net.positions[nodes]
+        if (
+            nodes.size >= PARALLEL_QUERY_MIN_NODES
+            and (os.cpu_count() or 1) >= PARALLEL_QUERY_MIN_CPUS
+        ):
+            hits = self._tree.query_ball_point(
+                query_points, self._search_radius(), workers=-1
+            )
+            counts = np.fromiter(
+                (len(h) for h in hits), dtype=np.int64, count=nodes.size
+            )
+            candidates = np.fromiter(
+                itertools.chain.from_iterable(hits),
+                dtype=np.int64,
+                count=int(counts.sum()),
+            )
+            rows = np.repeat(np.arange(nodes.size), counts)
+            diff = net.positions[candidates] - query_points[rows]
+            dist = np.hypot(diff[:, 0], diff[:, 1])
+        else:
+            pairs = cKDTree(query_points).sparse_distance_matrix(
+                self._tree, self._search_radius(), output_type="ndarray"
+            )
+            rows = pairs["i"]
+            candidates = pairs["j"]
+            dist = pairs["v"]
+        keep = self._link_mask(dist, candidates) & (candidates != nodes[rows])
         flat_bins = rows[keep] * net.n_groups + net.group_ids[candidates[keep]]
         histogram = np.bincount(flat_bins, minlength=nodes.size * net.n_groups)
         return histogram.reshape(nodes.size, net.n_groups).astype(np.float64)

@@ -11,7 +11,6 @@ its conclusion).
 from __future__ import annotations
 
 import abc
-from typing import Optional
 
 import numpy as np
 

@@ -103,8 +103,16 @@ def roc_points(
     # the count of scores <= threshold in O(log n) per threshold.
     benign_sorted = np.sort(benign_scores)
     attacked_sorted = np.sort(attacked_scores)
-    fp = 1.0 - np.searchsorted(benign_sorted, thresholds, side="right") / benign_sorted.size
-    dr = 1.0 - np.searchsorted(attacked_sorted, thresholds, side="right") / attacked_sorted.size
+    fp = 1.0 - np.searchsorted(
+        benign_sorted,
+        thresholds,
+        side="right",
+    ) / benign_sorted.size
+    dr = 1.0 - np.searchsorted(
+        attacked_sorted,
+        thresholds,
+        side="right",
+    ) / attacked_sorted.size
 
     # Sort by (false-positive rate, detection rate) so ties in FP caused by
     # distinct thresholds still yield a non-decreasing detection-rate curve.

@@ -164,7 +164,11 @@ class LookupTable1D:
             out = np.where(above, self._ys[-1] + slope * (z - self._xs[-1]), out)
         return out
 
-    def max_abs_error(self, func: Callable[[np.ndarray], np.ndarray], samples: int = 1000) -> float:
+    def max_abs_error(
+        self,
+        func: Callable[[np.ndarray], np.ndarray],
+        samples: int = 1000,
+    ) -> float:
         """Estimate the maximum absolute interpolation error against *func*.
 
         Used by the ``g(z)`` ablation benchmark to show how small ``ω`` can be

@@ -56,7 +56,11 @@ def check_int(
 
 
 def check_array_shape(
-    name: str, array: np.ndarray, *, ndim: Optional[int] = None, last_dim: Optional[int] = None
+    name: str,
+    array: np.ndarray,
+    *,
+    ndim: Optional[int] = None,
+    last_dim: Optional[int] = None,
 ) -> np.ndarray:
     """Validate dimensionality constraints of a NumPy array argument."""
     array = np.asarray(array)

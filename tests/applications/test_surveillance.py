@@ -37,7 +37,10 @@ class TestSurveillanceField:
 
     def test_corrupted_locations_increase_report_error(self, field_network):
         events = np.array([[200.0, 200.0]])
-        honest = SurveillanceField(field_network, sensing_range=60.0).report_events(events)
+        honest = SurveillanceField(
+            field_network,
+            sensing_range=60.0,
+        ).report_events(events)
         corrupted_positions = field_network.positions + np.array([250.0, 0.0])
         corrupted = SurveillanceField(
             field_network, corrupted_positions, sensing_range=60.0

@@ -30,7 +30,9 @@ class TestDiffMetricAdversary:
         np.testing.assert_allclose(tainted[raised], expected[raised])
         # Total decrease respects the budget.
         assert np.clip(honest - tainted, 0, None).sum() <= 10 + 1e-9
-        assert DecBoundedAttack().is_feasible(honest, tainted, 10, group_size=GROUP_SIZE)
+        assert DecBoundedAttack().is_feasible(
+            honest, tainted, 10, group_size=GROUP_SIZE
+        )
 
     def test_unlimited_budget_reaches_zero_metric(self, scenario):
         honest, expected = scenario
@@ -73,7 +75,10 @@ class TestDiffMetricAdversary:
                 honest, expected, budget, group_size=GROUP_SIZE
             )
             metric = DiffMetric()
-            assert metric.compute(bounded, expected) <= metric.compute(only, expected) + 1e-9
+            assert metric.compute(
+                bounded,
+                expected,
+            ) <= metric.compute(only, expected) + 1e-9
 
     def test_optimality_against_random_feasible_attacks(self, scenario):
         """No random feasible Dec-Bounded manipulation should beat the greedy
@@ -88,7 +93,11 @@ class TestDiffMetricAdversary:
         constraint = DecBoundedAttack()
         for _ in range(200):
             # Random feasible taint: random increases, random decreases <= budget.
-            increases = rng.uniform(0, 10, size=honest.size) * rng.integers(0, 2, size=honest.size)
+            increases = rng.uniform(
+                0,
+                10,
+                size=honest.size,
+            ) * rng.integers(0, 2, size=honest.size)
             decrease_total = rng.uniform(0, budget)
             weights = rng.dirichlet(np.ones(honest.size))
             decreases = np.minimum(weights * decrease_total, honest)
@@ -120,7 +129,9 @@ class TestAddAllAdversary:
         tainted = GreedyMetricMinimizer("add_all", "dec_bounded").taint(
             honest, expected, 10_000, group_size=GROUP_SIZE
         )
-        assert AddAllMetric().compute(tainted, expected) == pytest.approx(expected.sum())
+        assert AddAllMetric().compute(tainted, expected) == pytest.approx(
+            expected.sum()
+        )
 
 
 class TestProbabilityAdversary:

@@ -17,7 +17,11 @@ class TestDisplacementAttack:
         attack = DisplacementAttack(degree_of_damage=120.0)
         actual = np.array([500.0, 500.0])
         for seed in range(10):
-            spoofed = attack.spoof_location(actual, rng=seed, region=Region(0, 0, 1000, 1000))
+            spoofed = attack.spoof_location(
+                actual,
+                rng=seed,
+                region=Region(0, 0, 1000, 1000),
+            )
             assert np.hypot(*(spoofed - actual)) == pytest.approx(120.0)
 
     def test_batch_displacement(self):
@@ -95,7 +99,11 @@ class TestReplayBeaconAttack:
         beacons = BeaconInfrastructure(
             positions=np.array([[0.0, 0.0], [800.0, 800.0]]), transmit_range=200.0
         )
-        replayed = replay_beacon_attack(beacons, replayed_beacon=1, replay_location=(50.0, 50.0))
+        replayed = replay_beacon_attack(
+            beacons,
+            replayed_beacon=1,
+            replay_location=(50.0, 50.0),
+        )
         assert replayed.num_beacons == 3
         # Phantom is audible near the replay location ...
         assert 2 in replayed.audible_from((60.0, 60.0))

@@ -126,7 +126,9 @@ class TestRangeChangeAttack:
         before = NeighborIndex(network).observation_of_node(0)
         np.testing.assert_allclose(before, [1.0, 0.0])
 
-        tampered = RangeChangeAttack(range_multiplier=2.0).apply_to_network(network, [1])
+        tampered = RangeChangeAttack(
+            range_multiplier=2.0,
+        ).apply_to_network(network, [1])
         after = NeighborIndex(tampered).observation_of_node(0)
         np.testing.assert_allclose(after, [1.0, 1.0])
         assert tampered.compromised[1]

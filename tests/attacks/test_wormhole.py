@@ -51,7 +51,8 @@ class TestWormholeAttack:
         )
         tampered = wormhole.inject(clustered_network, logs, index=index)
         np.testing.assert_allclose(
-            collect_observation(tampered[victim], 2), collect_observation(logs[victim], 2)
+            collect_observation(tampered[victim], 2),
+            collect_observation(logs[victim], 2),
         )
 
     def test_tunneled_messages_pass_authentication(self, clustered_network):

@@ -29,7 +29,12 @@ class TestLADDetectorBasics:
     def test_from_threshold_table(self, small_knowledge):
         table = ThresholdTable()
         table.add_metric("diff", np.arange(50, dtype=float))
-        detector = LADDetector.from_threshold_table(small_knowledge, table, metric="diff", tau=1.0)
+        detector = LADDetector.from_threshold_table(
+            small_knowledge,
+            table,
+            metric="diff",
+            tau=1.0,
+        )
         assert detector.threshold == 49.0
 
 

@@ -18,7 +18,12 @@ def victim_sample():
 
 
 class TestAttackedScores:
-    def test_scores_shape_and_positivity(self, small_network, small_knowledge, small_index):
+    def test_scores_shape_and_positivity(
+        self,
+        small_network,
+        small_knowledge,
+        small_index,
+    ):
         victims = np.arange(0, 100, 5)
         scores = attacked_scores_for_victims(
             small_network,
@@ -33,7 +38,12 @@ class TestAttackedScores:
         assert scores.shape == (victims.size,)
         assert np.all(scores >= 0.0)
 
-    def test_larger_damage_gives_larger_scores(self, small_network, small_knowledge, small_index):
+    def test_larger_damage_gives_larger_scores(
+        self,
+        small_network,
+        small_knowledge,
+        small_index,
+    ):
         victims = np.arange(0, 300, 5)
         means = []
         for degree in (20.0, 80.0, 160.0):
@@ -50,7 +60,12 @@ class TestAttackedScores:
             means.append(scores.mean())
         assert means[0] < means[1] < means[2]
 
-    def test_more_compromise_gives_smaller_scores(self, small_network, small_knowledge, small_index):
+    def test_more_compromise_gives_smaller_scores(
+        self,
+        small_network,
+        small_knowledge,
+        small_index,
+    ):
         victims = np.arange(0, 300, 5)
         means = []
         for fraction in (0.0, 0.2, 0.5):
@@ -67,7 +82,12 @@ class TestAttackedScores:
             means.append(scores.mean())
         assert means[0] > means[1] > means[2]
 
-    def test_dec_only_scores_at_least_dec_bounded(self, small_network, small_knowledge, small_index):
+    def test_dec_only_scores_at_least_dec_bounded(
+        self,
+        small_network,
+        small_knowledge,
+        small_index,
+    ):
         """The Dec-Bounded adversary is stronger, so it achieves lower
         (harder to detect) scores on average."""
         victims = np.arange(0, 300, 5)
@@ -78,10 +98,20 @@ class TestAttackedScores:
             index=small_index,
         )
         bounded = attacked_scores_for_victims(
-            small_network, small_knowledge, victims, attack_class="dec_bounded", rng=3, **kwargs
+            small_network,
+            small_knowledge,
+            victims,
+            attack_class="dec_bounded",
+            rng=3,
+            **kwargs,
         )
         only = attacked_scores_for_victims(
-            small_network, small_knowledge, victims, attack_class="dec_only", rng=3, **kwargs
+            small_network,
+            small_knowledge,
+            victims,
+            attack_class="dec_only",
+            rng=3,
+            **kwargs,
         )
         assert bounded.mean() < only.mean()
 

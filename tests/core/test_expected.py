@@ -29,7 +29,10 @@ class TestExpectedObservation:
         dp = small_knowledge.deployment_points[target_group]
         offsets = [0.0, 50.0, 150.0, 300.0]
         values = [
-            membership_probabilities(small_knowledge, (dp + [off, 0.0])[None, :])[0, target_group]
+            membership_probabilities(
+                small_knowledge,
+                (dp + [off, 0.0])[None, :],
+            )[0, target_group]
             for off in offsets
         ]
         assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))

@@ -49,7 +49,9 @@ class TestDiffMetric:
         scores = []
         for offset in (0.0, 40.0, 80.0, 160.0):
             claimed = true_loc + np.array([offset, 0.0])
-            scores.append(float(DiffMetric().score(small_knowledge, claimed[None, :], obs)))
+            scores.append(
+                float(DiffMetric().score(small_knowledge, claimed[None, :], obs))
+            )
         assert all(a <= b + 1e-9 for a, b in zip(scores, scores[1:]))
         assert scores[0] == pytest.approx(0.0, abs=1e-6)
 
@@ -115,9 +117,14 @@ class TestProbabilityMetric:
         rng = np.random.default_rng(0)
         metric = ProbabilityMetric()
         obs, exp = vectors
-        samples = [np.clip(obs + rng.integers(-3, 4, size=obs.size), 0, M) for _ in range(20)]
+        samples = [
+            np.clip(obs + rng.integers(-3, 4, size=obs.size), 0, M)
+            for _ in range(20)
+        ]
         scores = np.array([metric.compute(s, exp, group_size=M) for s in samples])
-        probs = np.array([metric.min_probability(s, exp, group_size=M) for s in samples])
+        probs = np.array(
+            [metric.min_probability(s, exp, group_size=M) for s in samples]
+        )
         # Pairwise consistency (allowing ties): a strictly larger score must
         # correspond to a smaller-or-equal minimum probability.
         for i in range(len(samples)):

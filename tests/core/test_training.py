@@ -63,7 +63,10 @@ def small_generator_module():
 class TestCollectTrainingData:
     def test_sample_count_and_shapes(self, training, small_generator_module):
         assert training.num_samples == 60
-        assert training.observations.shape == (60, small_generator_module.model.n_groups)
+        assert training.observations.shape == (
+            60,
+            small_generator_module.model.n_groups,
+        )
         assert training.actual_locations.shape == (60, 2)
         assert training.estimated_locations.shape == (60, 2)
 
@@ -125,7 +128,11 @@ class TestBenignScores:
             assert scores.shape == (training.num_samples,)
             assert np.all(np.isfinite(scores))
 
-    def test_benign_diff_scores_are_small_relative_to_attack(self, training, small_generator_module):
+    def test_benign_diff_scores_are_small_relative_to_attack(
+        self,
+        training,
+        small_generator_module,
+    ):
         """Benign Diff scores should be far below the score of a grossly
         displaced location claim."""
         knowledge = small_generator_module.knowledge(omega=300)

@@ -8,7 +8,7 @@ from repro.deployment.gz import GzTable
 from repro.deployment.knowledge import DeploymentKnowledge
 from repro.deployment.models import GridDeploymentModel, paper_deployment_model
 from repro.types import Region
-from tests.conftest import TEST_GROUP_SIZE, TEST_RADIO_RANGE
+from tests.conftest import TEST_GROUP_SIZE
 
 
 class TestConstruction:
@@ -43,7 +43,9 @@ class TestConstruction:
 
 class TestComputations:
     def test_membership_probability_shapes(self, small_knowledge):
-        probs = small_knowledge.membership_probabilities([[100.0, 100.0], [250.0, 250.0]])
+        probs = small_knowledge.membership_probabilities(
+            [[100.0, 100.0], [250.0, 250.0]],
+        )
         assert probs.shape == (2, small_knowledge.n_groups)
         assert np.all((probs >= 0) & (probs <= 1))
 
@@ -59,7 +61,11 @@ class TestComputations:
         mu = small_knowledge.expected_observation(locs)
         np.testing.assert_allclose(mu, TEST_GROUP_SIZE * probs)
 
-    def test_expected_observation_matches_empirical(self, small_generator, small_knowledge):
+    def test_expected_observation_matches_empirical(
+        self,
+        small_generator,
+        small_knowledge,
+    ):
         """Equation (2): the expected observation matches the average honest
         observation over many deployments."""
         from repro.network.neighbors import NeighborIndex
@@ -95,3 +101,41 @@ class TestComputations:
     def test_log_likelihood_validates_shape(self, small_knowledge):
         with pytest.raises(ValueError):
             small_knowledge.log_likelihood([[0.0, 0.0]], np.zeros(3))
+
+
+class TestActiveGroupPruning:
+    def test_support_radius_is_cached_and_finite(self, small_knowledge):
+        radius = small_knowledge.support_radius
+        assert radius == small_knowledge.support_radius
+        assert np.isfinite(radius)
+        assert radius > small_knowledge.radio_range
+
+    def test_dense_deployment_prune_falls_back(self, small_knowledge):
+        """On the small deployment every group is within support of every
+        candidate, so the pruned batch kernel must return the dense result
+        bit for bit (it falls back rather than restrict)."""
+        rng = np.random.default_rng(17)
+        candidates = small_knowledge.region.sample_uniform(rng, 15)
+        observations = rng.integers(0, 4, size=(6, small_knowledge.n_groups))
+        dense = small_knowledge.log_likelihood_batch(candidates, observations)
+        pruned = small_knowledge.log_likelihood_batch(
+            candidates, observations, prune=True
+        )
+        np.testing.assert_array_equal(pruned, dense)
+
+    def test_active_groups_single_point_promotion(self, small_knowledge):
+        active = small_knowledge.active_groups([250.0, 250.0], radius=120.0)
+        assert len(active) == 1
+        assert active[0].dtype == np.int64
+        distances = np.hypot(
+            *(small_knowledge.deployment_points - [250.0, 250.0]).T
+        )
+        np.testing.assert_array_equal(active[0], np.flatnonzero(distances <= 120.0))
+
+    def test_distances_to_groups_subset_matches_columns(self, small_knowledge):
+        rng = np.random.default_rng(23)
+        locations = small_knowledge.region.sample_uniform(rng, 10)
+        groups = np.array([0, 3, 17, 24])
+        full = small_knowledge.model.distances_to_groups(locations)
+        subset = small_knowledge.model.distances_to_groups(locations, groups)
+        np.testing.assert_array_equal(subset, full[:, groups])

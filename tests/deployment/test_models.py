@@ -10,7 +10,7 @@ from repro.deployment.models import (
     RandomDeploymentModel,
     paper_deployment_model,
 )
-from repro.types import PAPER_REGION, Region
+from repro.types import Region
 
 
 class TestGridDeploymentModel:
@@ -44,7 +44,11 @@ class TestGridDeploymentModel:
         model = paper_deployment_model(sigma=30.0)
         rng = np.random.default_rng(0)
         pts = model.sample_group(rng, 0, 4000)
-        np.testing.assert_allclose(pts.mean(axis=0), model.deployment_points[0], atol=2.5)
+        np.testing.assert_allclose(
+            pts.mean(axis=0),
+            model.deployment_points[0],
+            atol=2.5,
+        )
 
     def test_sample_group_invalid_index(self):
         model = paper_deployment_model()
@@ -61,7 +65,11 @@ class TestGridDeploymentModel:
 
     def test_sample_network_positions_clip(self):
         model = paper_deployment_model(sigma=200.0)
-        positions, _ = model.sample_network_positions(2, group_size=3, clip_to_region=True)
+        positions, _ = model.sample_network_positions(
+            2,
+            group_size=3,
+            clip_to_region=True,
+        )
         assert model.region.contains(positions).all()
 
     def test_distances_to_groups(self):

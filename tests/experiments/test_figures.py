@@ -117,6 +117,39 @@ class TestFig9:
         assert series.x == [40.0, 80.0]
         assert all(0.0 <= y <= 1.0 for y in series.y)
 
+    def test_density_fan_out_matches_serial(self, tiny_config):
+        """Each density trains its own thresholds, so fig9 fans out across
+        densities; the name-derived streams make the result identical."""
+        kwargs = dict(
+            config=tiny_config,
+            group_sizes=(40, 80),
+            degrees=(160.0,),
+            fractions=(0.1, 0.3),
+        )
+        serial = fig9.run(**kwargs)
+        parallel = fig9.run(**kwargs, density_workers=2)
+        for panel_serial, panel_parallel in zip(serial.panels, parallel.panels):
+            for a, b in zip(panel_serial.series, panel_parallel.series):
+                assert a.label == b.label
+                assert a.y == b.y
+
+    def test_density_fan_out_falls_back_serially(self, tiny_config, monkeypatch):
+        from repro.experiments.figures import fig9 as fig9_module
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process support")
+
+        monkeypatch.setattr(fig9_module, "ProcessPoolExecutor", broken_pool)
+        with pytest.warns(RuntimeWarning, match="running the densities serially"):
+            result = fig9_module.run(
+                config=tiny_config,
+                group_sizes=(40,),
+                degrees=(160.0,),
+                fractions=(0.1,),
+                density_workers=2,
+            )
+        assert result.figure_id == "fig9"
+
 
 class TestRunFigureDispatch:
     def test_run_figure_with_scale(self, tiny_config):

@@ -13,7 +13,9 @@ def figure():
     fig = FigureResult(figure_id="figX", title="demo", parameters={"m": 300})
     panel = PanelResult(title="D=80", x_label="FP", y_label="DR")
     panel.add_series(SeriesResult(label="diff", x=[0.0, 0.1, 1.0], y=[0.1, 0.5, 1.0]))
-    panel.add_series(SeriesResult(label="add_all", x=[0.0, 0.1, 1.0], y=[0.05, 0.3, 1.0]))
+    panel.add_series(
+        SeriesResult(label="add_all", x=[0.0, 0.1, 1.0], y=[0.05, 0.3, 1.0]),
+    )
     fig.add_panel(panel)
     return fig
 

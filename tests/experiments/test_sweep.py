@@ -35,7 +35,9 @@ class TestGrid:
 
     def test_stream_name_matches_harness_convention(self):
         point = SweepPoint("diff", "dec_only", 120.0, 0.25)
-        assert point.stream_name() == attack_stream_name("diff", "dec_only", 120.0, 0.25)
+        assert point.stream_name() == attack_stream_name(
+            "diff", "dec_only", 120.0, 0.25
+        )
         assert point.stream_name() == "attack/diff/dec_only/120/0.25"
 
 
@@ -77,7 +79,10 @@ class TestSerialSweep:
             degree_of_damage=120.0,
             compromised_fraction=0.2,
         )
-        np.testing.assert_array_equal(roc.false_positive_rates, expected.false_positive_rates)
+        np.testing.assert_array_equal(
+            roc.false_positive_rates,
+            expected.false_positive_rates,
+        )
         np.testing.assert_array_equal(roc.detection_rates, expected.detection_rates)
 
 
@@ -92,12 +97,55 @@ class TestParallelSweep:
         for point in points:
             np.testing.assert_array_equal(serial[point], parallel[point])
 
+    def test_falls_back_to_serial_without_shared_memory(
+        self, tiny_simulation, monkeypatch
+    ):
+        """Platforms without fork/shared-memory support degrade to the
+        serial path with a warning instead of crashing mid-sweep."""
+        from repro.experiments import sweep as sweep_module
+
+        def broken_share(array):
+            raise OSError("shared memory unavailable on this platform")
+
+        monkeypatch.setattr(sweep_module, "_share_array", broken_share)
+        points = SweepRunner.grid(["diff"], ["dec_bounded"], [80.0], [0.1, 0.3])
+        serial = tiny_simulation.sweep().attacked_scores(points)
+        with pytest.warns(RuntimeWarning, match="falling back to the serial path"):
+            fallback = tiny_simulation.sweep(workers=2).attacked_scores(points)
+        for point in points:
+            np.testing.assert_array_equal(fallback[point], serial[point])
+
+    def test_shared_segments_are_released(self, tiny_simulation, monkeypatch):
+        """The parent unlinks every shared-memory segment it created, even
+        when a worker blows up mid-sweep."""
+        from repro.experiments import sweep as sweep_module
+
+        created = []
+        original = sweep_module._share_array
+
+        def tracking_share(array):
+            segment, meta = original(array)
+            created.append(segment)
+            return segment, meta
+
+        monkeypatch.setattr(sweep_module, "_share_array", tracking_share)
+        points = SweepRunner.grid(["diff"], ["dec_bounded"], [80.0], [0.1])
+        tiny_simulation.sweep(workers=2).attacked_scores(points)
+        assert len(created) == 2  # observations + locations
+        for segment in created:
+            with pytest.raises(FileNotFoundError):
+                type(segment)(name=segment.name)
+
 
 class TestFigureIntegration:
     def test_fig7_accepts_workers(self, tiny_simulation):
         from repro.experiments.figures import fig7
 
-        serial = fig7.run(simulation=tiny_simulation, degrees=(160.0,), fractions=(0.1,))
+        serial = fig7.run(
+            simulation=tiny_simulation,
+            degrees=(160.0,),
+            fractions=(0.1,),
+        )
         parallel = fig7.run(
             simulation=tiny_simulation,
             degrees=(160.0,),

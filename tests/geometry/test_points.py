@@ -94,7 +94,13 @@ class TestRandomPointAtDistance:
         # no direction stays inside, so the fallback clips to the boundary.
         rng = np.random.default_rng(3)
         region = Region(0, 0, 10, 10)
-        p = random_point_at_distance(rng, (5.0, 5.0), 1000.0, region=region, max_tries=8)
+        p = random_point_at_distance(
+            rng,
+            (5.0, 5.0),
+            1000.0,
+            region=region,
+            max_tries=8,
+        )
         assert region.contains_point(p)
 
 

@@ -73,7 +73,10 @@ class TestCentroidLocalizer:
         assert result.converged
 
     def test_no_beacons_audible(self, beacons):
-        context = LocalizationContext(beacons=beacons, audible_beacons=np.array([], dtype=int))
+        context = LocalizationContext(
+            beacons=beacons,
+            audible_beacons=np.array([], dtype=int),
+        )
         result = CentroidLocalizer().localize(context)
         assert not result.converged
 
@@ -250,7 +253,9 @@ class TestApit:
     def test_needs_three_beacons(self, beacons):
         region = Region(0, 0, 500, 500)
         context = LocalizationContext(
-            beacons=beacons, audible_beacons=np.array([0, 1]), true_position=np.array([250.0, 250.0])
+            beacons=beacons,
+            audible_beacons=np.array([0, 1]),
+            true_position=np.array([250.0, 250.0]),
         )
         result = ApitLocalizer(region=region).localize(context)
         assert not result.converged

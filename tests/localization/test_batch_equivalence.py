@@ -36,7 +36,12 @@ class TestLocalizationEquivalence:
         )
         np.testing.assert_array_equal(batched, looped)
 
-    def test_empty_and_duplicate_rows(self, small_knowledge, localizer, seeded_observations):
+    def test_empty_and_duplicate_rows(
+        self,
+        small_knowledge,
+        localizer,
+        seeded_observations,
+    ):
         obs = np.vstack(
             [
                 seeded_observations[:10],
@@ -52,7 +57,13 @@ class TestLocalizationEquivalence:
         np.testing.assert_array_equal(batched[10], batched[12])
         np.testing.assert_array_equal(batched[11], batched[3])
 
-    def test_boundary_rows(self, small_network, small_index, small_knowledge, localizer):
+    def test_boundary_rows(
+        self,
+        small_network,
+        small_index,
+        small_knowledge,
+        localizer,
+    ):
         """Rows whose refinement windows cross the region edge (the clipped
         grid construction) must also match the reference."""
         pos = small_network.positions
@@ -90,12 +101,17 @@ class TestLocalizationEquivalence:
         )
         assert single.shape == (1, 2)
         np.testing.assert_array_equal(
-            single[0], localizer.localize_observations(small_knowledge, seeded_observations)[0]
+            single[0],
+            localizer.localize_observations(small_knowledge, seeded_observations)[0],
         )
 
 
 class TestLikelihoodKernels:
-    def test_batch_kernel_matches_broadcast_pmf(self, small_knowledge, seeded_observations):
+    def test_batch_kernel_matches_broadcast_pmf(
+        self,
+        small_knowledge,
+        seeded_observations,
+    ):
         rng = np.random.default_rng(5)
         candidates = small_knowledge.region.sample_uniform(rng, 40)
         obs = seeded_observations[:12]
@@ -146,7 +162,9 @@ class TestLikelihoodKernels:
         candidates = small_knowledge.region.sample_uniform(rng, 6)
         bad = np.full((1, small_knowledge.n_groups), 0.0)
         bad[0, 0] = small_knowledge.group_size + 5  # k > m: impossible
-        assert np.all(np.isneginf(small_knowledge.log_likelihood_batch(candidates, bad)))
+        assert np.all(
+            np.isneginf(small_knowledge.log_likelihood_batch(candidates, bad)),
+        )
         flat = small_knowledge.log_likelihood_segmented(
             candidates, bad, np.array([candidates.shape[0]])
         )

@@ -29,7 +29,11 @@ class TestInitialGuess:
 
 
 class TestLocalization:
-    def test_recovers_location_from_expected_observation(self, small_knowledge, localizer):
+    def test_recovers_location_from_expected_observation(
+        self,
+        small_knowledge,
+        localizer,
+    ):
         """Feeding the noiseless expected observation at a point must recover
         that point to within the search resolution."""
         for target in ([150.0, 250.0], [330.0, 120.0], [250.0, 250.0]):
@@ -38,7 +42,13 @@ class TestLocalization:
             est = localizer.localize_observations(small_knowledge, mu)[0]
             assert np.hypot(*(est - target)) <= 3.0 * localizer.resolution
 
-    def test_accuracy_on_real_network(self, small_network, small_index, small_knowledge, localizer):
+    def test_accuracy_on_real_network(
+        self,
+        small_network,
+        small_index,
+        small_knowledge,
+        localizer,
+    ):
         rng = np.random.default_rng(3)
         nodes = rng.choice(small_network.num_nodes, size=15, replace=False)
         obs = small_index.observations_of_nodes(nodes)
@@ -49,7 +59,13 @@ class TestLocalization:
         assert np.median(errors) < 30.0
         assert errors.mean() < 50.0
 
-    def test_localize_context_api(self, small_network, small_index, small_knowledge, localizer):
+    def test_localize_context_api(
+        self,
+        small_network,
+        small_index,
+        small_knowledge,
+        localizer,
+    ):
         node = 42
         obs = small_index.observation_of_node(node)
         context = LocalizationContext(observation=obs, knowledge=small_knowledge)
@@ -90,8 +106,12 @@ class TestLocalization:
         mu = small_knowledge.expected_observation(target[None, :])[0]
         coarse = BeaconlessLocalizer(resolution=20.0, coarse_step=40.0)
         fine = BeaconlessLocalizer(resolution=1.0)
-        err_coarse = np.hypot(*(coarse.localize_observations(small_knowledge, mu)[0] - target))
-        err_fine = np.hypot(*(fine.localize_observations(small_knowledge, mu)[0] - target))
+        err_coarse = np.hypot(
+            *(coarse.localize_observations(small_knowledge, mu)[0] - target),
+        )
+        err_fine = np.hypot(
+            *(fine.localize_observations(small_knowledge, mu)[0] - target),
+        )
         assert err_fine <= err_coarse + 1e-9
 
     def test_invalid_configuration(self):

@@ -1,7 +1,6 @@
 """Tests for :mod:`repro.network.messages`."""
 
 import numpy as np
-import pytest
 
 from repro.network.messages import (
     BroadcastLog,
@@ -9,7 +8,6 @@ from repro.network.messages import (
     collect_observation,
     run_announcement_round,
 )
-from repro.network.neighbors import NeighborIndex
 
 
 class TestCollectObservation:

@@ -1,7 +1,6 @@
 """Tests for :mod:`repro.network.neighbors`."""
 
 import numpy as np
-import pytest
 
 from repro.geometry.grid import SpatialHashGrid
 from repro.network.neighbors import (
@@ -87,7 +86,12 @@ class TestNeighborIndex:
         index2 = NeighborIndex(network)
         assert index2.neighbors_of_point((0.0, 0.0)).tolist() == [0, 1]
 
-    def test_observation_of_point_near_group_center(self, small_network, small_index, small_model):
+    def test_observation_of_point_near_group_center(
+        self,
+        small_network,
+        small_index,
+        small_model,
+    ):
         # Standing at a deployment point, most neighbours come from that group.
         center = small_model.deployment_points[12]
         obs = small_index.observation_of_point(center)
@@ -174,6 +178,40 @@ class TestNeighborIndex:
 
 
 class TestOnePassObservations:
+    def test_threaded_query_matches_sparse_pass(
+        self, small_network, small_index, monkeypatch
+    ):
+        """The ``workers=-1`` ball-query branch for large batches finds the
+        same observations as the tree-against-tree sparse pass."""
+        from repro.network import neighbors as neighbors_module
+
+        rng = np.random.default_rng(21)
+        nodes = rng.choice(small_network.num_nodes, size=200, replace=False)
+        reference = small_index.observations_of_nodes(nodes)
+        monkeypatch.setattr(neighbors_module, "PARALLEL_QUERY_MIN_NODES", 1)
+        monkeypatch.setattr(neighbors_module, "PARALLEL_QUERY_MIN_CPUS", 1)
+        threaded = small_index.observations_of_nodes(nodes)
+        np.testing.assert_array_equal(threaded, reference)
+        np.testing.assert_array_equal(
+            threaded, small_index.observations_of_nodes(nodes, batched=False)
+        )
+
+    def test_threaded_query_with_custom_ranges(self, small_generator, monkeypatch):
+        from repro.network import neighbors as neighbors_module
+
+        network = small_generator.generate(rng=55)
+        rng = np.random.default_rng(55)
+        for node in rng.choice(network.num_nodes, size=6, replace=False):
+            network.set_node_range(int(node), 140.0)
+        index = NeighborIndex(network)
+        nodes = rng.choice(network.num_nodes, size=120, replace=False)
+        reference = index.observations_of_nodes(nodes, batched=False)
+        monkeypatch.setattr(neighbors_module, "PARALLEL_QUERY_MIN_NODES", 1)
+        monkeypatch.setattr(neighbors_module, "PARALLEL_QUERY_MIN_CPUS", 1)
+        np.testing.assert_array_equal(
+            index.observations_of_nodes(nodes), reference
+        )
+
     def test_matches_loop_on_seeded_network(self, small_network, small_index):
         rng = np.random.default_rng(7)
         nodes = rng.choice(small_network.num_nodes, size=40, replace=False)

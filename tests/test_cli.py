@@ -32,7 +32,9 @@ class TestParser:
 
 class TestCommands:
     def test_gz_table_command(self, capsys):
-        code = main(["gz-table", "--radio-range", "80", "--sigma", "40", "--omega", "200"])
+        code = main(
+            ["gz-table", "--radio-range", "80", "--sigma", "40", "--omega", "200"],
+        )
         assert code == 0
         out = capsys.readouterr().out
         assert "g(z) table" in out

@@ -40,7 +40,12 @@ def pipeline():
     training = collect_training_data(
         generator, num_samples=80, samples_per_network=40, rng=101
     )
-    detector = LADDetector.from_training_data(knowledge, training, metric="diff", tau=0.99)
+    detector = LADDetector.from_training_data(
+        knowledge,
+        training,
+        metric="diff",
+        tau=0.99,
+    )
     network = generator.generate(rng=202)
     index = NeighborIndex(network)
     return {
@@ -104,7 +109,12 @@ class TestAttackDetection:
         budgets = [
             AttackBudget.from_fraction(int(o.sum()), 0.10) for o in honest
         ]
-        tainted = adversary.taint_batch(honest, expected, budgets, group_size=knowledge.group_size)
+        tainted = adversary.taint_batch(
+            honest,
+            expected,
+            budgets,
+            group_size=knowledge.group_size,
+        )
 
         alarms = detector.detect_batch(spoofed, tainted)
         assert alarms.mean() > 0.7
@@ -122,7 +132,9 @@ class TestAttackDetection:
         victims = rng.choice(network.num_nodes, size=50, replace=False)
         honest = index.observations_of_nodes(victims)
         actual = network.positions[victims]
-        spoofed = DisplacementAttack(15.0).spoof_locations(actual, rng, region=network.region)
+        spoofed = DisplacementAttack(
+            15.0,
+        ).spoof_locations(actual, rng, region=network.region)
         alarms = detector.detect_batch(spoofed, honest)
         assert alarms.mean() < 0.5
 
@@ -167,7 +179,11 @@ class TestApplicationLevelImpact:
         rng = np.random.default_rng(9)
         believed = network.positions.copy()
         # Attack a third of the sensors with a 250 m displacement.
-        attacked_nodes = rng.choice(network.num_nodes, size=network.num_nodes // 3, replace=False)
+        attacked_nodes = rng.choice(
+            network.num_nodes,
+            size=network.num_nodes // 3,
+            replace=False,
+        )
         believed[attacked_nodes] = DisplacementAttack(250.0).spoof_locations(
             network.positions[attacked_nodes], rng, region=network.region
         )
@@ -177,7 +193,11 @@ class TestApplicationLevelImpact:
         alarms = detector.detect_batch(believed, observations)
 
         events = rng.uniform(100, 400, size=(15, 2))
-        unfiltered = SurveillanceField(network, believed, sensing_range=60.0).report_events(events)
+        unfiltered = SurveillanceField(
+            network,
+            believed,
+            sensing_range=60.0,
+        ).report_events(events)
         filtered_field = SurveillanceField(network, believed, sensing_range=60.0)
         filtered_field.suppress_sensors(np.flatnonzero(alarms))
         filtered = filtered_field.report_events(events)

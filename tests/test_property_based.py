@@ -58,7 +58,11 @@ class TestGzProperties:
     )
     def test_value_at_zero_matches_rayleigh(self, radio_range, sigma):
         expected = 1.0 - np.exp(-(radio_range**2) / (2 * sigma**2))
-        assert gz_quadrature(0.0, radio_range, sigma) == pytest.approx(expected, abs=1e-6)
+        assert gz_quadrature(
+            0.0,
+            radio_range,
+            sigma,
+        ) == pytest.approx(expected, abs=1e-6)
 
 
 class TestLookupTableProperties:
@@ -160,7 +164,10 @@ class TestAttackProperties:
         adversary = GreedyMetricMinimizer(metric, "dec_bounded")
         tainted = adversary.taint(obs, expected, budget, group_size=100)
         metric_obj = DiffMetric() if metric == "diff" else AddAllMetric()
-        assert metric_obj.compute(tainted, expected) <= metric_obj.compute(obs, expected) + 1e-9
+        assert metric_obj.compute(
+            tainted,
+            expected,
+        ) <= metric_obj.compute(obs, expected) + 1e-9
 
     @_SETTINGS
     @given(obs=observation_arrays, budget=st.integers(min_value=0, max_value=30))

@@ -16,7 +16,10 @@ from repro.utils.stats import (
 
 class TestEmpiricalPercentile:
     def test_median(self):
-        assert empirical_percentile(np.array([1.0, 2.0, 3.0]), 0.5) == pytest.approx(2.0)
+        assert empirical_percentile(
+            np.array([1.0, 2.0, 3.0]),
+            0.5,
+        ) == pytest.approx(2.0)
 
     def test_extremes(self):
         data = np.arange(100, dtype=float)
@@ -124,9 +127,17 @@ class TestBinomialPmf:
         assert binomial_pmf(np.array([11.0]), 10, np.array([0.5]))[0] == 0.0
 
     def test_degenerate_probabilities(self):
-        assert binomial_pmf(np.array([0.0]), 10, np.array([0.0]))[0] == pytest.approx(1.0)
+        assert binomial_pmf(
+            np.array([0.0]),
+            10,
+            np.array([0.0]),
+        )[0] == pytest.approx(1.0)
         assert binomial_pmf(np.array([3.0]), 10, np.array([0.0]))[0] == 0.0
-        assert binomial_pmf(np.array([10.0]), 10, np.array([1.0]))[0] == pytest.approx(1.0)
+        assert binomial_pmf(
+            np.array([10.0]),
+            10,
+            np.array([1.0]),
+        )[0] == pytest.approx(1.0)
         assert binomial_pmf(np.array([9.0]), 10, np.array([1.0]))[0] == 0.0
 
     def test_log_pmf_no_nans(self):

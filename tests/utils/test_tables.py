@@ -45,14 +45,24 @@ class TestFastLookup:
     def test_matches_interp_on_uniform_table(self):
         table = LookupTable1D.from_function(np.exp, -1.0, 2.0, 64)
         z = np.random.default_rng(0).uniform(-2.0, 3.0, 5000)
-        np.testing.assert_allclose(table.fast_lookup(z), table(z), rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(
+            table.fast_lookup(z),
+            table(z),
+            rtol=1e-12,
+            atol=1e-12,
+        )
 
     def test_matches_interp_on_nonuniform_table(self):
         xs = np.array([0.0, 0.5, 2.0, 3.0])
         ys = np.array([1.0, 0.5, 0.25, 0.0])
         table = LookupTable1D(xs, ys)
         z = np.linspace(-1.0, 4.0, 101)
-        np.testing.assert_allclose(table.fast_lookup(z), table(z), rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(
+            table.fast_lookup(z),
+            table(z),
+            rtol=1e-12,
+            atol=1e-12,
+        )
 
     def test_exact_at_domain_edges(self):
         table = LookupTable1D.from_function(np.square, 0.0, 4.0, 8)
