@@ -26,7 +26,7 @@ import pytest
 
 from benchmarks.bench_records import write_report
 from repro.experiments.config import SimulationConfig
-from repro.experiments.harness import LadSimulation
+from repro.experiments.session import LadSession
 
 #: Monte-Carlo scale factor applied to every figure benchmark.
 BENCH_SCALE = float(os.environ.get("LAD_BENCH_SCALE", "0.25"))
@@ -48,11 +48,11 @@ def pytest_sessionfinish(session, exitstatus) -> None:
 
 
 @pytest.fixture(scope="session")
-def paper_simulation() -> LadSimulation:
+def paper_simulation() -> LadSession:
     """One shared m=300 simulation reused by the ROC and sweep figures.
 
     Sharing the simulation means the deployment, the benign training pass
     and the victims' neighbour discovery are paid once across Figures 4–8,
     exactly like the caching the paper's own evaluation would use.
     """
-    return LadSimulation(bench_config())
+    return LadSession(bench_config())

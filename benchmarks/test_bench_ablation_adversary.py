@@ -18,14 +18,14 @@ from repro.attacks.localization_attacks import DisplacementAttack
 from repro.attacks.primitives import SilenceAttack
 from repro.core.evaluation import detection_rate_at_false_positive
 from repro.core.metrics import DiffMetric
-from repro.experiments.harness import LadSimulation
+from repro.experiments.session import LadSession
 
 DEGREE = 80.0
 FRACTION = 0.20
 FALSE_POSITIVE = 0.01
 
 
-def _detection_rates(simulation: LadSimulation) -> dict:
+def _detection_rates(simulation: LadSession) -> dict:
     knowledge = simulation.knowledge
     benign = simulation.benign_scores("diff")
     sample = simulation.victims()
@@ -75,7 +75,7 @@ def _detection_rates(simulation: LadSimulation) -> dict:
 
 
 def test_adversary_strength_ablation(benchmark):
-    simulation = LadSimulation(bench_config())
+    simulation = LadSession(bench_config())
     rates = benchmark.pedantic(
         lambda: _detection_rates(simulation),
         rounds=1,

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.attacks
+import repro.metrics
 from repro import (
     AttackBudget,
     DisplacementAttack,
@@ -55,7 +57,7 @@ def main() -> None:
         generator, num_samples=200, samples_per_network=100, rng=21
     )
     detector = LADDetector.from_training_data(
-        knowledge, training, metric="diff", tau=0.99
+        knowledge, training, metric=repro.metrics.create("diff"), tau=0.99
     )
     print(
         f"network: {network.num_nodes} sensors; "
@@ -72,7 +74,9 @@ def main() -> None:
     believed[attacked_nodes] = displacement.spoof_locations(
         network.positions[attacked_nodes], rng, region=network.region
     )
-    adversary = GreedyMetricMinimizer("diff", "dec_bounded")
+    adversary = GreedyMetricMinimizer(
+        repro.metrics.create("diff"), repro.attacks.create("dec_bounded")
+    )
     expected = knowledge.expected_observation(believed[attacked_nodes])
     budgets = [
         AttackBudget.from_fraction(int(observations[node].sum()), COMPROMISED_NEIGHBORS)

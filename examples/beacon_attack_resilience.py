@@ -22,11 +22,10 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.localization
 from repro import (
     BeaconInfrastructure,
-    CentroidLocalizer,
     LADDetector,
-    MmseMultilaterationLocalizer,
     NeighborIndex,
     NetworkGenerator,
     UnitDiskRadio,
@@ -99,8 +98,9 @@ def main() -> None:
     )
 
     schemes = {
-        "centroid": CentroidLocalizer(),
-        "mmse-multilateration": MmseMultilaterationLocalizer(),
+        # Baselines are created through the localizer registry by name.
+        "centroid": repro.localization.create("centroid"),
+        "mmse-multilateration": repro.localization.create("mmse"),
     }
 
     print(f"{NUM_SENSORS} sensors, 16 anchors, one lying anchor displaced by "

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.localization
 from repro import (
-    BeaconlessLocalizer,
     DisplacementAttack,
     LADDetector,
     NeighborIndex,
@@ -57,7 +57,7 @@ def main() -> None:
         metric="diff",
         tau=0.99,
     )
-    localizer = BeaconlessLocalizer()
+    localizer = repro.localization.create("beaconless")
 
     # Honest believed locations = true positions (idealised localization).
     honest_positions = network.positions.copy()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""The legacy ``LadSimulation`` / ``get_metric`` API, kept on purpose.
+
+Everything here still works — ``LadSimulation`` is now a thin shim over
+:class:`repro.LadSession` and ``get_metric`` forwards to the metric
+registry — but both emit a :class:`DeprecationWarning` and will be removed
+after one release.  This example exists to exercise that deprecation path
+(CI runs it) and to show that the shim's numbers are identical to the new
+API's, so migrating is purely mechanical:
+
+====================================  ====================================
+legacy                                replacement
+====================================  ====================================
+``LadSimulation(config)``             ``LadSession(config)``
+``get_metric("diff")``                ``repro.metrics.create("diff")``
+bespoke sweep drivers                 ``ScenarioSpec`` + ``lad-repro sweep``
+====================================  ====================================
+
+Run with::
+
+    python examples/legacy_simulation.py
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from repro import LadSession, SimulationConfig, get_metric
+from repro.experiments.harness import LadSimulation
+
+CONFIG = SimulationConfig(
+    group_size=60,
+    num_training_samples=60,
+    training_samples_per_network=30,
+    num_victims=60,
+    victims_per_network=30,
+    seed=17,
+)
+
+
+def main() -> None:
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", DeprecationWarning)
+        legacy = LadSimulation(CONFIG)
+        metric = get_metric("diff")
+    print("deprecation warnings emitted by the legacy API:")
+    for warning in caught:
+        print(f"  - {warning.message}")
+
+    modern = LadSession(CONFIG)
+    legacy_rate, _ = legacy.detection_rate(
+        metric, "dec_bounded", degree_of_damage=160.0, compromised_fraction=0.1
+    )
+    modern_rate, _ = modern.detection_rate(
+        "diff", "dec_bounded", degree_of_damage=160.0, compromised_fraction=0.1
+    )
+    print(f"legacy LadSimulation detection rate @1% FP: {legacy_rate:.3f}")
+    print(f"modern LadSession   detection rate @1% FP: {modern_rate:.3f}")
+    np.testing.assert_array_equal(
+        legacy.benign_scores("diff"), modern.benign_scores("diff")
+    )
+    assert legacy_rate == modern_rate
+    print("shim and session agree bit for bit — migrate at your leisure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.localization
+import repro.metrics
 from repro import (
     AttackBudget,
-    BeaconlessLocalizer,
     DisplacementAttack,
     GreedyMetricMinimizer,
     LADDetector,
@@ -50,7 +51,9 @@ def main() -> None:
     # ---------------------------------------------------------------- localize
     victim = int(rng.integers(network.num_nodes))
     observation = index.observation_of_node(victim)
-    localizer = BeaconlessLocalizer()
+    # Components are plugged in by registered name; see
+    # repro.localization.available() / repro.metrics.available().
+    localizer = repro.localization.create("beaconless")
     estimate = localizer.localize_observations(knowledge, observation)[0]
     true_position = network.positions[victim]
     print(
@@ -64,7 +67,7 @@ def main() -> None:
         generator, num_samples=200, samples_per_network=100, rng=11
     )
     detector = LADDetector.from_training_data(
-        knowledge, training, metric="diff", tau=0.99
+        knowledge, training, metric=repro.metrics.create("diff"), tau=0.99
     )
     print(
         f"trained Diff-metric threshold: {detector.threshold:.1f} "

@@ -16,10 +16,17 @@ The package is organised bottom-up:
 * :mod:`repro.core` — the LAD detection scheme itself (expected
   observations, the Diff / Add-all / Probability metrics, threshold
   training, the detector, ROC evaluation);
-* :mod:`repro.experiments` — the harness that regenerates every figure of
-  the paper's evaluation section;
+* :mod:`repro.experiments` — the scenario API (``LadSession`` cached
+  evaluation state, declarative ``ScenarioSpec`` sweeps, the artifact
+  store) that regenerates every figure of the paper's evaluation section;
 * :mod:`repro.applications` — motivating applications (geographic routing,
   surveillance, coverage) used by the examples.
+
+Pluggable component families (metrics, attack classes, deployment models,
+localizers) are published through :class:`repro.registry.Registry`
+instances — ``repro.metrics.create("diff")``,
+``repro.attacks.available()``, ``repro.localization.create("dvhop")`` —
+so third-party scenarios can add components by name.
 """
 
 from repro._version import __version__
@@ -80,6 +87,7 @@ from repro.core import (
     DiffMetric,
     AddAllMetric,
     ProbabilityMetric,
+    resolve_metric,
     get_metric,
     LADDetector,
     ThresholdTable,
@@ -91,6 +99,44 @@ from repro.core import (
     detection_rate_at_false_positive,
     evaluate_detection,
 )
+
+# Registries.
+from repro.registry import Registry
+
+# The experiments layer (sessions, scenario specs, sweeps, artifact store)
+# is exported lazily: ``repro.LadSession`` etc. resolve on first access, so
+# ``import repro`` stays light and never drags in multiprocessing-heavy
+# paths that user code may not need.
+_LAZY_EXPORTS = {
+    "SimulationConfig": "repro.experiments.config",
+    "LadSession": "repro.experiments.session",
+    "LadSimulation": "repro.experiments.harness",
+    "ScenarioSpec": "repro.experiments.scenario",
+    "ArtifactStore": "repro.experiments.store",
+    "SweepPoint": "repro.experiments.sweep",
+    "SweepRunner": "repro.experiments.sweep",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        value = getattr(importlib.import_module(_LAZY_EXPORTS[name]), name)
+        globals()[name] = value
+        return value
+    if name == "metrics":
+        # ``repro.metrics`` (the registry facade) as a lazy submodule, so
+        # ``import repro; repro.metrics.create("diff")`` just works.
+        import importlib
+
+        return importlib.import_module("repro.metrics")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS) | {"metrics"})
+
 
 __all__ = [
     "__version__",
@@ -139,6 +185,7 @@ __all__ = [
     "DiffMetric",
     "AddAllMetric",
     "ProbabilityMetric",
+    "resolve_metric",
     "get_metric",
     "LADDetector",
     "ThresholdTable",
@@ -149,4 +196,14 @@ __all__ = [
     "attacked_scores_for_victims",
     "detection_rate_at_false_positive",
     "evaluate_detection",
+    # registries
+    "Registry",
+    # experiments (lazy)
+    "SimulationConfig",
+    "LadSession",
+    "LadSimulation",
+    "ScenarioSpec",
+    "ArtifactStore",
+    "SweepPoint",
+    "SweepRunner",
 ]

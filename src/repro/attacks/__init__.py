@@ -16,9 +16,11 @@ Two layers of attack are modelled:
 
 from repro.attacks.base import ObservationAttack, AttackBudget
 from repro.attacks.constraints import (
+    ATTACKS as registry,
     AttackClass,
     DecBoundedAttack,
     DecOnlyAttack,
+    resolve_attack_class,
     get_attack_class,
     validate_attack,
 )
@@ -36,12 +38,29 @@ from repro.attacks.localization_attacks import (
 )
 from repro.attacks.wormhole import WormholeAttack
 
+# Bound registry operations: ``repro.attacks.create("dec_bounded")``,
+# ``repro.attacks.available()``, ``@repro.attacks.register(...)``.
+register = registry.register
+create = registry.create
+get = registry.get
+resolve = registry.resolve
+available = registry.available
+aliases = registry.aliases
+
 __all__ = [
     "ObservationAttack",
     "AttackBudget",
     "AttackClass",
     "DecBoundedAttack",
     "DecOnlyAttack",
+    "registry",
+    "register",
+    "create",
+    "get",
+    "resolve",
+    "available",
+    "aliases",
+    "resolve_attack_class",
     "get_attack_class",
     "validate_attack",
     "SilenceAttack",

@@ -28,14 +28,21 @@ from typing import Union
 import numpy as np
 
 from repro.attacks.base import AttackBudget
+from repro.registry import Registry
 
 __all__ = [
     "AttackClass",
     "DecBoundedAttack",
     "DecOnlyAttack",
+    "ATTACKS",
+    "resolve_attack_class",
     "get_attack_class",
     "validate_attack",
 ]
+
+#: Registry of attack classes; third-party constraint sets plug in with
+#: ``@ATTACKS.register(...)`` (also exposed as :func:`repro.attacks.register`).
+ATTACKS = Registry("attack class")
 
 #: Numerical slack used when validating feasibility of real-valued
 #: observations.
@@ -87,6 +94,7 @@ class AttackClass(abc.ABC):
         return int(budget)
 
 
+@ATTACKS.register("decbounded")
 class DecBoundedAttack(AttackClass):
     """Decrease-Bounded attacks (Definition 4).
 
@@ -129,6 +137,7 @@ class DecBoundedAttack(AttackClass):
         return lower, upper
 
 
+@ATTACKS.register("deconly")
 class DecOnlyAttack(AttackClass):
     """Decrease-Only attacks (Definition 5).
 
@@ -169,27 +178,13 @@ class DecOnlyAttack(AttackClass):
         return lower, upper
 
 
-_REGISTRY = {
-    DecBoundedAttack.name: DecBoundedAttack,
-    DecOnlyAttack.name: DecOnlyAttack,
-    "dec-bounded": DecBoundedAttack,
-    "decbounded": DecBoundedAttack,
-    "dec-only": DecOnlyAttack,
-    "deconly": DecOnlyAttack,
-}
+def resolve_attack_class(attack: Union[str, AttackClass]) -> AttackClass:
+    """Resolve an attack-class name through :data:`ATTACKS` (instances pass)."""
+    return ATTACKS.resolve(attack)
 
 
-def get_attack_class(attack: Union[str, AttackClass]) -> AttackClass:
-    """Resolve an attack-class name (or pass through an instance)."""
-    if isinstance(attack, AttackClass):
-        return attack
-    key = str(attack).strip().lower().replace(" ", "_")
-    if key not in _REGISTRY:
-        raise ValueError(
-            f"unknown attack class {attack!r}; choose from "
-            f"{sorted(set(cls.name for cls in _REGISTRY.values()))}"
-        )
-    return _REGISTRY[key]()
+#: Legacy alias kept for one release; prefer ``repro.attacks.create(name)``.
+get_attack_class = resolve_attack_class
 
 
 def validate_attack(
@@ -201,7 +196,7 @@ def validate_attack(
     group_size: float | None = None,
 ) -> None:
     """Raise ``ValueError`` when a tainted observation violates its attack class."""
-    cls = get_attack_class(attack)
+    cls = resolve_attack_class(attack)
     if not cls.is_feasible(
         honest_observation, tainted_observation, budget, group_size=group_size
     ):

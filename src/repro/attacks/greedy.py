@@ -36,13 +36,13 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.attacks.base import AttackBudget
-from repro.attacks.constraints import AttackClass, get_attack_class
+from repro.attacks.constraints import AttackClass, resolve_attack_class
 from repro.core.metrics import (
     AddAllMetric,
     AnomalyMetric,
     DiffMetric,
     ProbabilityMetric,
-    get_metric,
+    resolve_metric,
 )
 from repro.utils.stats import binomial_log_pmf, binomial_mode
 
@@ -99,8 +99,8 @@ class GreedyMetricMinimizer:
     integer_mode: bool = False
 
     def __post_init__(self) -> None:
-        self.metric = get_metric(self.metric)
-        self.attack_class = get_attack_class(self.attack_class)
+        self.metric = resolve_metric(self.metric)
+        self.attack_class = resolve_attack_class(self.attack_class)
 
     # -- public API ----------------------------------------------------------
 

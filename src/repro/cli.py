@@ -1,11 +1,21 @@
 """Command-line interface.
 
 ``lad-repro`` (or ``python -m repro.cli``) exposes the figure-reproduction
-harness and a small end-to-end demo from the command line::
+harness, declarative scenario sweeps and a small end-to-end demo from the
+command line::
 
     lad-repro figure fig7 --scale 0.25 --json results/fig7.json
+    lad-repro sweep scenario.toml --workers 4 --cache-dir ~/.cache/lad
     lad-repro demo --degree 120 --metric diff
     lad-repro gz-table --radio-range 100 --sigma 50
+
+Subcommands dispatch through a handler table (each sub-parser binds its
+handler via ``set_defaults(func=...)``), so adding a command is one parser
+block plus one function.  ``sweep`` runs any
+:class:`~repro.experiments.scenario.ScenarioSpec` file (TOML or JSON) and
+streams per-point results as they complete; with ``--cache-dir`` the
+trained thresholds and victim samples persist across runs, so a re-run
+skips the training pass entirely.
 
 No plotting dependency is required: figures are printed as aligned text
 tables (the same series the paper plots).
@@ -42,6 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig = sub.add_parser("figure", help="reproduce one of the paper's figures")
+    fig.set_defaults(func=_cmd_figure)
     fig.add_argument(
         "figure_id",
         choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"],
@@ -66,10 +77,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="worker processes for the parameter sweep (0 = serial)",
     )
+    fig.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="artifact store directory persisting trained thresholds",
+    )
     fig.add_argument("--json", type=Path, default=None, help="write the series as JSON")
     fig.add_argument("--csv", type=Path, default=None, help="write the series as CSV")
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative scenario sweep from a spec file (TOML/JSON)",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+    sweep.add_argument(
+        "spec",
+        type=Path,
+        help="ScenarioSpec file (.toml or .json); see repro.ScenarioSpec",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the per-point scoring (0 = serial)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "artifact store directory: trained thresholds and victim "
+            "samples persist here, so repeated sweeps skip training"
+        ),
+    )
+    sweep.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="Monte-Carlo sample-size scale factor (use <1 for quick runs)",
+    )
+    sweep.add_argument(
+        "--json", type=Path, default=None, help="write the results as JSON"
+    )
+    sweep.add_argument(
+        "--csv", type=Path, default=None, help="write the results as CSV"
+    )
+
     demo = sub.add_parser("demo", help="run a small end-to-end detection demo")
+    demo.set_defaults(func=_cmd_demo)
     demo.add_argument(
         "--degree",
         type=float,
@@ -94,6 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=7, help="random seed")
 
     gz = sub.add_parser("gz-table", help="print the g(z) lookup table accuracy")
+    gz.set_defaults(func=_cmd_gz_table)
     gz.add_argument("--radio-range", type=float, default=100.0)
     gz.add_argument("--sigma", type=float, default=50.0)
     gz.add_argument("--omega", type=int, default=1000)
@@ -110,7 +167,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         group_size=args.group_size, radio_range=args.radio_range, seed=args.seed
     )
     result = run_figure(
-        args.figure_id, config=config, scale=args.scale, workers=args.workers
+        args.figure_id,
+        config=config,
+        scale=args.scale,
+        workers=args.workers,
+        store=args.cache_dir,
     )
     print(format_figure(result))
     if args.json is not None:
@@ -122,12 +183,81 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import csv
+    import json
+
+    from repro.experiments.scenario import ScenarioSpec
+    from repro.experiments.store import ArtifactStore
+
+    spec = ScenarioSpec.from_file(args.spec).scaled(args.scale)
+    store = ArtifactStore(args.cache_dir) if args.cache_dir is not None else None
+    points = spec.points()
+    densities = spec.density_values()
+    total = len(points) * len(densities)
+    print(
+        f"scenario {spec.name!r}: {len(points)} point(s) x "
+        f"{len(densities)} density value(s), localizer={spec.localizer}, "
+        f"FP budget {spec.false_positive_rate:.2%}"
+    )
+    header = (
+        f"{'m':>6} {'metric':>12} {'attack':>12} {'D':>8} {'x':>6} "
+        f"{'DR':>8} {'threshold':>10}"
+    )
+    print(header)
+    rows = []
+    done = 0
+    for group_size in densities:
+        session = spec.session(group_size=group_size, store=store)
+        runner = session.sweep(workers=args.workers)
+        for point, (rate, threshold) in runner.iter_detection_rates(
+            points, false_positive_rate=spec.false_positive_rate
+        ):
+            done += 1
+            print(
+                f"{group_size:>6} {point.metric:>12} {point.attack:>12} "
+                f"{point.degree_of_damage:>8g} {point.compromised_fraction:>6g} "
+                f"{rate:>8.3f} {threshold:>10.2f}"
+                f"    [{done}/{total}]",
+                flush=True,
+            )
+            rows.append(
+                {
+                    "group_size": int(group_size),
+                    "metric": point.metric,
+                    "attack": point.attack,
+                    "degree_of_damage": point.degree_of_damage,
+                    "compromised_fraction": point.compromised_fraction,
+                    "detection_rate": rate,
+                    "threshold": threshold,
+                }
+            )
+    if store is not None:
+        print(
+            f"cache: {store.hits} hit(s), {store.misses} miss(es) "
+            f"under {store.root}"
+        )
+    if args.json is not None:
+        payload = {"spec": spec.as_dict(), "results": rows}
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"[written] {args.json}")
+    if args.csv is not None:
+        with Path(args.csv).open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"[written] {args.csv}")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.core.evaluation import evaluate_detection
     from repro.experiments.config import SimulationConfig
-    from repro.experiments.harness import LadSimulation
+    from repro.experiments.session import LadSession
 
     config = SimulationConfig(
         group_size=args.group_size,
@@ -135,9 +265,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         num_victims=args.victims,
         seed=args.seed,
     )
-    sim = LadSimulation(config)
-    benign = sim.benign_scores(args.metric)
-    attacked = sim.attacked_scores(
+    session = LadSession(config)
+    benign = session.benign_scores(args.metric)
+    attacked = session.attacked_scores(
         args.metric,
         args.attack,
         degree_of_damage=args.degree,
@@ -148,7 +278,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"metric={args.metric}  attack={args.attack}  "
         f"D={args.degree:g}  x={args.fraction:.0%}"
     )
-    print(f"benign localization error (mean): {sim.benign_localization_error():.2f} m")
+    print(
+        f"benign localization error (mean): "
+        f"{session.benign_localization_error():.2f} m"
+    )
     print(
         f"benign score p50/p99: "
         f"{np.median(benign):.2f} / {np.quantile(benign, 0.99):.2f}"
@@ -183,19 +316,17 @@ def _cmd_gz_table(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Every sub-parser binds its handler through ``set_defaults(func=...)``,
+    so dispatch is a single call — no per-command ``if`` chain and no
+    unreachable fallthrough.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.verbose:
         configure_logging()
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "demo":
-        return _cmd_demo(args)
-    if args.command == "gz-table":
-        return _cmd_gz_table(args)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    return args.func(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,6 +22,8 @@ from repro.core.metrics import (
     DiffMetric,
     AddAllMetric,
     ProbabilityMetric,
+    METRICS,
+    resolve_metric,
     get_metric,
     ALL_METRICS,
 )
@@ -44,6 +46,8 @@ __all__ = [
     "DiffMetric",
     "AddAllMetric",
     "ProbabilityMetric",
+    "METRICS",
+    "resolve_metric",
     "get_metric",
     "ALL_METRICS",
     "derive_threshold",

@@ -13,7 +13,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.core.metrics import AnomalyMetric, get_metric
+from repro.core.metrics import AnomalyMetric, resolve_metric
 from repro.core.thresholds import ThresholdTable, derive_threshold
 from repro.core.training import TrainingData, benign_scores
 from repro.deployment.knowledge import DeploymentKnowledge
@@ -67,7 +67,7 @@ class LADDetector:
         threshold: Optional[float] = None,
     ):
         self._knowledge = knowledge
-        self._metric = get_metric(metric)
+        self._metric = resolve_metric(metric)
         self._threshold = None if threshold is None else float(threshold)
 
     # -- properties ----------------------------------------------------------

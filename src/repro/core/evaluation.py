@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.metrics import AnomalyMetric, get_metric
+from repro.core.metrics import AnomalyMetric, resolve_metric
 from repro.core.roc import RocCurve, compute_roc
 from repro.deployment.knowledge import DeploymentKnowledge
 from repro.network.neighbors import NeighborIndex
@@ -100,12 +100,12 @@ def attacked_scores_from_observations(
         As in :func:`attacked_scores_for_victims`.
     """
     from repro.attacks.base import AttackBudget
-    from repro.attacks.constraints import get_attack_class
+    from repro.attacks.constraints import resolve_attack_class
     from repro.attacks.greedy import GreedyMetricMinimizer
     from repro.attacks.localization_attacks import DisplacementAttack
 
-    metric = get_metric(metric)
-    attack_class = get_attack_class(attack_class)
+    metric = resolve_metric(metric)
+    attack_class = resolve_attack_class(attack_class)
     check_positive("degree_of_damage", degree_of_damage, strict=False)
     check_fraction("compromised_fraction", compromised_fraction)
     generator = as_generator(rng)

@@ -20,11 +20,13 @@ Every metric exposes a vectorised ``compute`` over batches of
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Type, Union
+import warnings
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.deployment.knowledge import DeploymentKnowledge
+from repro.registry import Registry
 from repro.utils.stats import binomial_log_pmf
 
 __all__ = [
@@ -32,9 +34,15 @@ __all__ = [
     "DiffMetric",
     "AddAllMetric",
     "ProbabilityMetric",
+    "METRICS",
+    "resolve_metric",
     "get_metric",
     "ALL_METRICS",
 ]
+
+#: Registry of anomaly metrics; third-party metrics plug in with
+#: ``@METRICS.register(...)`` (also exposed as :func:`repro.metrics.register`).
+METRICS = Registry("metric")
 
 
 def _as_batches(
@@ -104,6 +112,7 @@ class AnomalyMetric(abc.ABC):
         return f"{type(self).__name__}()"
 
 
+@METRICS.register("difference", "dm")
 class DiffMetric(AnomalyMetric):
     """The Difference metric ``DM = Σ_i |o_i − µ_i|`` (Section 5.2)."""
 
@@ -116,6 +125,7 @@ class DiffMetric(AnomalyMetric):
         return float(scores[0]) if single else scores
 
 
+@METRICS.register("addall", "am")
 class AddAllMetric(AnomalyMetric):
     """The Add-all metric ``AM = Σ_i max(o_i, µ_i)`` (Section 5.3).
 
@@ -134,6 +144,7 @@ class AddAllMetric(AnomalyMetric):
         return float(scores[0]) if single else scores
 
 
+@METRICS.register("prob", "pm")
 class ProbabilityMetric(AnomalyMetric):
     """The Probability metric (Section 5.4).
 
@@ -179,29 +190,24 @@ class ProbabilityMetric(AnomalyMetric):
 #: All metrics studied in the paper, in the order of Figure 4.
 ALL_METRICS: List[AnomalyMetric] = [DiffMetric(), AddAllMetric(), ProbabilityMetric()]
 
-_REGISTRY: Dict[str, Type[AnomalyMetric]] = {
-    DiffMetric.name: DiffMetric,
-    AddAllMetric.name: AddAllMetric,
-    ProbabilityMetric.name: ProbabilityMetric,
-    # Friendly aliases.
-    "difference": DiffMetric,
-    "dm": DiffMetric,
-    "addall": AddAllMetric,
-    "add-all": AddAllMetric,
-    "am": AddAllMetric,
-    "prob": ProbabilityMetric,
-    "pm": ProbabilityMetric,
-}
+
+def resolve_metric(metric: Union[str, AnomalyMetric]) -> AnomalyMetric:
+    """Resolve a metric name through :data:`METRICS` (instances pass through)."""
+    return METRICS.resolve(metric)
 
 
 def get_metric(metric: Union[str, AnomalyMetric]) -> AnomalyMetric:
-    """Resolve a metric name (or pass through an instance)."""
-    if isinstance(metric, AnomalyMetric):
-        return metric
-    key = str(metric).strip().lower().replace(" ", "_")
-    if key not in _REGISTRY:
-        raise ValueError(
-            f"unknown metric {metric!r}; choose from "
-            f"{sorted(set(cls.name for cls in _REGISTRY.values()))}"
-        )
-    return _REGISTRY[key]()
+    """Deprecated alias of :func:`resolve_metric`.
+
+    .. deprecated::
+        Use ``repro.metrics.create(name)`` / :func:`resolve_metric` (the
+        registry API) instead; this entry point will be removed after one
+        release.
+    """
+    warnings.warn(
+        "get_metric() is deprecated; use repro.metrics.create(name) or "
+        "repro.core.metrics.resolve_metric() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return resolve_metric(metric)

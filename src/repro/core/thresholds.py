@@ -13,7 +13,7 @@ from typing import Dict, Iterable, Mapping, Union
 
 import numpy as np
 
-from repro.core.metrics import AnomalyMetric, get_metric
+from repro.core.metrics import AnomalyMetric, resolve_metric
 from repro.utils.stats import empirical_percentile
 from repro.utils.validation import check_probability
 
@@ -48,7 +48,7 @@ class ThresholdTable:
 
     def add_metric(self, metric: Union[str, AnomalyMetric], scores: np.ndarray) -> None:
         """Record the benign training scores of one metric."""
-        metric = get_metric(metric)
+        metric = resolve_metric(metric)
         scores = np.asarray(scores, dtype=np.float64)
         if scores.size == 0:
             raise ValueError("cannot train a threshold on an empty score sample")
@@ -60,7 +60,7 @@ class ThresholdTable:
 
     def threshold(self, metric: Union[str, AnomalyMetric], tau: float = 0.99) -> float:
         """Threshold of *metric* at training percentile *tau*."""
-        metric = get_metric(metric)
+        metric = resolve_metric(metric)
         if metric.name not in self.benign_scores:
             raise KeyError(f"no training scores recorded for metric {metric.name!r}")
         return derive_threshold(self.benign_scores[metric.name], tau)

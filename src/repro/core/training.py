@@ -23,7 +23,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.core.metrics import AnomalyMetric, get_metric
+from repro.core.metrics import AnomalyMetric, resolve_metric
 from repro.deployment.knowledge import DeploymentKnowledge
 from repro.localization.base import LocalizationContext, LocalizationScheme
 from repro.localization.beaconless import BeaconlessLocalizer
@@ -160,7 +160,7 @@ def benign_scores(
     metric: Union[str, AnomalyMetric],
 ) -> np.ndarray:
     """Metric scores of the benign training samples (larger = more anomalous)."""
-    metric = get_metric(metric)
+    metric = resolve_metric(metric)
     expected = knowledge.expected_observation(training.estimated_locations)
     return np.asarray(
         metric.compute(training.observations, expected, group_size=knowledge.group_size)

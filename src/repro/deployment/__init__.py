@@ -20,10 +20,12 @@ from repro.deployment.distributions import (
     UniformDiskResidentDistribution,
 )
 from repro.deployment.models import (
+    DEPLOYMENTS as registry,
     DeploymentModel,
     GridDeploymentModel,
     HexDeploymentModel,
     RandomDeploymentModel,
+    resolve_deployment_model,
     paper_deployment_model,
 )
 from repro.deployment.gz import (
@@ -35,6 +37,15 @@ from repro.deployment.gz import (
 )
 from repro.deployment.knowledge import DeploymentKnowledge
 
+# Bound registry operations: ``repro.deployment.create("grid")``,
+# ``repro.deployment.available()``, ``@repro.deployment.register(...)``.
+register = registry.register
+create = registry.create
+get = registry.get
+resolve = registry.resolve
+available = registry.available
+aliases = registry.aliases
+
 __all__ = [
     "ResidentPointDistribution",
     "GaussianResidentDistribution",
@@ -43,6 +54,14 @@ __all__ = [
     "GridDeploymentModel",
     "HexDeploymentModel",
     "RandomDeploymentModel",
+    "registry",
+    "register",
+    "create",
+    "get",
+    "resolve",
+    "available",
+    "aliases",
+    "resolve_deployment_model",
     "paper_deployment_model",
     "gz_exact",
     "gz_quadrature",

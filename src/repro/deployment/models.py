@@ -18,6 +18,7 @@ from repro.deployment.distributions import (
     GaussianResidentDistribution,
     ResidentPointDistribution,
 )
+from repro.registry import Registry
 from repro.types import PAPER_REGION, Region, as_points
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_int
@@ -27,8 +28,15 @@ __all__ = [
     "GridDeploymentModel",
     "HexDeploymentModel",
     "RandomDeploymentModel",
+    "DEPLOYMENTS",
+    "resolve_deployment_model",
     "paper_deployment_model",
 ]
+
+#: Registry of deployment models; alternative layouts plug in with
+#: ``@DEPLOYMENTS.register(...)`` (also exposed as
+#: :func:`repro.deployment.register`).
+DEPLOYMENTS = Registry("deployment model")
 
 
 class DeploymentModel(abc.ABC):
@@ -144,6 +152,7 @@ class DeploymentModel(abc.ABC):
         )
 
 
+@DEPLOYMENTS.register()
 class GridDeploymentModel(DeploymentModel):
     """Deployment points at the centres of a ``rows x cols`` grid (Figure 1).
 
@@ -151,6 +160,8 @@ class GridDeploymentModel(DeploymentModel):
     10 x 10 cells of 100 m x 100 m, with the deployment point at each cell
     centre and ``σ = 50`` m.
     """
+
+    name = "grid"
 
     def __init__(
         self,
@@ -186,6 +197,7 @@ class GridDeploymentModel(DeploymentModel):
         return view
 
 
+@DEPLOYMENTS.register("hexagon")
 class HexDeploymentModel(DeploymentModel):
     """Deployment points on a hexagonal (offset-row) lattice.
 
@@ -193,6 +205,8 @@ class HexDeploymentModel(DeploymentModel):
     form hexagon shapes").  Rows are spaced ``spacing * sqrt(3)/2`` apart and
     every other row is shifted by half a spacing.
     """
+
+    name = "hex"
 
     def __init__(
         self,
@@ -232,6 +246,7 @@ class HexDeploymentModel(DeploymentModel):
         return view
 
 
+@DEPLOYMENTS.register("uniform")
 class RandomDeploymentModel(DeploymentModel):
     """Deployment points drawn uniformly at random from the region.
 
@@ -239,6 +254,8 @@ class RandomDeploymentModel(DeploymentModel):
     to all sensors"; this model covers that case and is used in tests and
     the ablation study on deployment-knowledge accuracy.
     """
+
+    name = "random"
 
     def __init__(
         self,
@@ -257,6 +274,15 @@ class RandomDeploymentModel(DeploymentModel):
         view = self._points.view()
         view.flags.writeable = False
         return view
+
+
+def resolve_deployment_model(model, **kwargs) -> DeploymentModel:
+    """Resolve a deployment-model name through :data:`DEPLOYMENTS`.
+
+    Instances pass through unchanged; names are created with *kwargs*
+    forwarded to the model constructor.
+    """
+    return DEPLOYMENTS.resolve(model, **kwargs)
 
 
 def paper_deployment_model(sigma: float = 50.0) -> GridDeploymentModel:

@@ -1,16 +1,25 @@
 """Experiment harness that regenerates the paper's evaluation figures.
 
-:class:`~repro.experiments.harness.LadSimulation` runs the end-to-end LAD
+:class:`~repro.experiments.session.LadSession` runs the end-to-end LAD
 pipeline (deploy → train thresholds → attack → score) with aggressive
-caching so parameter sweeps reuse networks, observations and training data.
-The :mod:`repro.experiments.figures` sub-package contains one module per
-figure of the paper (Figures 4–9), each exposing a ``run()`` function and a
-set of default parameters matching the paper's, scaled down by a
-``scale`` factor for quick benchmark runs.
+caching so parameter sweeps reuse networks, observations and training data;
+:class:`~repro.experiments.scenario.ScenarioSpec` is the declarative,
+TOML/JSON-serialisable description of a sweep that compiles onto the
+session's :class:`~repro.experiments.sweep.SweepRunner`; and
+:class:`~repro.experiments.store.ArtifactStore` persists trained state so
+repeated sweeps skip the training pass.  The
+:mod:`repro.experiments.figures` sub-package contains one module per figure
+of the paper (Figures 4–9), each exposing a declarative ``spec()`` plus a
+``run()`` function with parameters matching the paper's, scaled down by a
+``scale`` factor for quick benchmark runs.  ``LadSimulation`` remains as a
+deprecated alias of :class:`LadSession`.
 """
 
 from repro.experiments.config import SimulationConfig
+from repro.experiments.session import LadSession
 from repro.experiments.harness import LadSimulation
+from repro.experiments.scenario import ScenarioSpec
+from repro.experiments.store import ArtifactStore, fingerprint_key
 from repro.experiments.results import SeriesResult, PanelResult, FigureResult
 from repro.experiments.reporting import format_figure, format_panel
 from repro.experiments.sweep import SweepPoint, SweepRunner
@@ -18,7 +27,11 @@ from repro.experiments import figures
 
 __all__ = [
     "SimulationConfig",
+    "LadSession",
     "LadSimulation",
+    "ScenarioSpec",
+    "ArtifactStore",
+    "fingerprint_key",
     "SeriesResult",
     "PanelResult",
     "FigureResult",

@@ -1,14 +1,21 @@
 """Per-figure experiment definitions.
 
-Each module exposes a ``run(simulation=None, config=None, scale=1.0)``
-function that returns a :class:`~repro.experiments.results.FigureResult`
-with the same panels and series as the corresponding figure in the paper.
+Each module exposes
+
+* ``spec(config=None, scale=1.0, ...)`` — the figure's evaluation as a
+  declarative :class:`~repro.experiments.scenario.ScenarioSpec`;
+* ``run(simulation=None, config=None, scale=1.0, ...)`` — runs that spec
+  through a :class:`~repro.experiments.session.LadSession` and returns a
+  :class:`~repro.experiments.results.FigureResult` with the same panels
+  and series as the corresponding figure in the paper.
+
 ``scale`` shrinks the Monte-Carlo sample sizes for quick runs (the
 benchmarks use a small scale; the defaults approximate the paper's
 statistical quality).
 
 Use :func:`get_figure` / :func:`run_figure` to look figures up by id
-(``"fig4"`` … ``"fig9"``).
+(``"fig4"`` … ``"fig9"``); :data:`FIGURE_SPECS` maps ids to their spec
+builders (e.g. to write them out as TOML files for ``lad-repro sweep``).
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Callable, Dict
 
 from repro.experiments.figures import fig4, fig5, fig6, fig7, fig8, fig9
 from repro.experiments.results import FigureResult
+from repro.experiments.scenario import ScenarioSpec
 
 __all__ = [
     "fig4",
@@ -26,6 +34,7 @@ __all__ = [
     "fig8",
     "fig9",
     "FIGURES",
+    "FIGURE_SPECS",
     "get_figure",
     "run_figure",
 ]
@@ -38,6 +47,16 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig7": fig7.run,
     "fig8": fig8.run,
     "fig9": fig9.run,
+}
+
+#: Registry mapping figure ids to their declarative spec builders.
+FIGURE_SPECS: Dict[str, Callable[..., ScenarioSpec]] = {
+    "fig4": fig4.spec,
+    "fig5": fig5.spec,
+    "fig6": fig6.spec,
+    "fig7": fig7.spec,
+    "fig8": fig8.spec,
+    "fig9": fig9.spec,
 }
 
 

@@ -13,18 +13,17 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.core.metrics import ALL_METRICS
+from repro.core.metrics import ALL_METRICS, METRICS
 from repro.experiments.config import SimulationConfig
 from repro.experiments.figures.common import (
     DEFAULT_ROC_FP_GRID,
-    resolve_simulation,
-    roc_series,
+    run_roc_figure,
 )
-from repro.experiments.harness import LadSimulation
-from repro.experiments.results import FigureResult, PanelResult
-from repro.experiments.sweep import SweepPoint, SweepRunner
+from repro.experiments.results import FigureResult
+from repro.experiments.scenario import ScenarioSpec
+from repro.experiments.session import LadSession
 
-__all__ = ["run", "DEGREES_OF_DAMAGE", "COMPROMISED_FRACTION", "ATTACK_CLASS"]
+__all__ = ["run", "spec", "DEGREES_OF_DAMAGE", "COMPROMISED_FRACTION", "ATTACK_CLASS"]
 
 #: Degrees of damage of the three panels.
 DEGREES_OF_DAMAGE: tuple[float, ...] = (80.0, 120.0, 160.0)
@@ -36,42 +35,49 @@ COMPROMISED_FRACTION: float = 0.10
 ATTACK_CLASS: str = "dec_bounded"
 
 
+def spec(
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+) -> ScenarioSpec:
+    """The figure's evaluation as a declarative scenario."""
+    return ScenarioSpec(
+        name="fig4",
+        description="ROC curves per detection metric and degree of damage",
+        metrics=tuple(metric.name for metric in ALL_METRICS),
+        attacks=(ATTACK_CLASS,),
+        degrees=tuple(degrees),
+        fractions=(COMPROMISED_FRACTION,),
+        config=config or SimulationConfig(),
+    ).scaled(scale)
+
+
 def run(
-    simulation: Optional[LadSimulation] = None,
+    simulation: Optional[LadSession] = None,
     config: Optional[SimulationConfig] = None,
     scale: float = 1.0,
     *,
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
     workers: int = 0,
+    store=None,
 ) -> FigureResult:
     """Reproduce Figure 4 and return its series."""
-    sim = resolve_simulation(simulation, config, scale)
-    runner = sim.sweep(workers=workers)
-    points = SweepRunner.grid(
-        ALL_METRICS, [ATTACK_CLASS], degrees, [COMPROMISED_FRACTION]
-    )
-    rocs = runner.rocs(points)
-
-    figure = FigureResult(
+    scenario = spec(config, scale, degrees=degrees)
+    session = simulation or scenario.session(store=store)
+    return run_roc_figure(
+        scenario,
         figure_id="fig4",
         title="ROC curves for different detection metrics and degrees of damage",
+        series_axis="metrics",
+        series_label=lambda name: METRICS.create(name).paper_name,
         parameters={
             "compromised_fraction": COMPROMISED_FRACTION,
-            "group_size": sim.config.group_size,
+            "group_size": session.config.group_size,
             "attack": ATTACK_CLASS,
         },
+        session=session,
+        workers=workers,
+        fp_grid=fp_grid,
     )
-    for degree in degrees:
-        panel = PanelResult(
-            title=f"D={degree:g}",
-            x_label="FP-False Positive Rate",
-            y_label="DR-Detection Rate",
-        )
-        for metric in ALL_METRICS:
-            point = SweepPoint(
-                metric.name, ATTACK_CLASS, float(degree), COMPROMISED_FRACTION
-            )
-            panel.add_series(roc_series(metric.paper_name, rocs[point], fp_grid))
-        figure.add_panel(panel)
-    return figure

@@ -13,18 +13,17 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.attacks.constraints import DecBoundedAttack, DecOnlyAttack
+from repro.attacks.constraints import ATTACKS, DecBoundedAttack, DecOnlyAttack
 from repro.experiments.config import SimulationConfig
 from repro.experiments.figures.common import (
     DEFAULT_ROC_FP_GRID,
-    resolve_simulation,
-    roc_series,
+    run_roc_figure,
 )
-from repro.experiments.harness import LadSimulation
-from repro.experiments.results import FigureResult, PanelResult
-from repro.experiments.sweep import SweepPoint, SweepRunner
+from repro.experiments.results import FigureResult
+from repro.experiments.scenario import ScenarioSpec
+from repro.experiments.session import LadSession
 
-__all__ = ["run", "DEGREES_OF_DAMAGE", "COMPROMISED_FRACTION", "METRIC"]
+__all__ = ["run", "spec", "DEGREES_OF_DAMAGE", "COMPROMISED_FRACTION", "METRIC"]
 
 #: Degrees of damage of the two panels.
 DEGREES_OF_DAMAGE: tuple[float, ...] = (40.0, 80.0)
@@ -38,46 +37,51 @@ METRIC: str = "diff"
 #: Attack classes compared by the figure.
 ATTACK_CLASSES: tuple[str, ...] = (DecBoundedAttack.name, DecOnlyAttack.name)
 
-_ATTACK_LABELS = {
-    DecBoundedAttack.name: DecBoundedAttack.paper_name + "s",
-    DecOnlyAttack.name: DecOnlyAttack.paper_name + "s",
-}
+
+def spec(
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+    name: str = "fig5",
+) -> ScenarioSpec:
+    """The figure's evaluation as a declarative scenario."""
+    return ScenarioSpec(
+        name=name,
+        description="ROC curves per attack class",
+        metrics=(METRIC,),
+        attacks=ATTACK_CLASSES,
+        degrees=tuple(degrees),
+        fractions=(COMPROMISED_FRACTION,),
+        config=config or SimulationConfig(),
+    ).scaled(scale)
 
 
 def run(
-    simulation: Optional[LadSimulation] = None,
+    simulation: Optional[LadSession] = None,
     config: Optional[SimulationConfig] = None,
     scale: float = 1.0,
     *,
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
     workers: int = 0,
+    store=None,
 ) -> FigureResult:
     """Reproduce Figure 5 and return its series."""
-    sim = resolve_simulation(simulation, config, scale)
-    runner = sim.sweep(workers=workers)
-    points = SweepRunner.grid(
-        [METRIC], ATTACK_CLASSES, degrees, [COMPROMISED_FRACTION]
-    )
-    rocs = runner.rocs(points)
-
-    figure = FigureResult(
+    scenario = spec(config, scale, degrees=degrees)
+    session = simulation or scenario.session(store=store)
+    return run_roc_figure(
+        scenario,
         figure_id="fig5",
         title="ROC curves for different attacks (small degrees of damage)",
+        series_axis="attacks",
+        series_label=lambda name: ATTACKS.create(name).paper_name + "s",
         parameters={
             "compromised_fraction": COMPROMISED_FRACTION,
-            "group_size": sim.config.group_size,
+            "group_size": session.config.group_size,
             "metric": METRIC,
         },
+        session=session,
+        workers=workers,
+        fp_grid=fp_grid,
     )
-    for degree in degrees:
-        panel = PanelResult(
-            title=f"D={degree:g}",
-            x_label="FP-False Positive Rate",
-            y_label="DR-Detection Rate",
-        )
-        for attack in ATTACK_CLASSES:
-            point = SweepPoint(METRIC, attack, float(degree), COMPROMISED_FRACTION)
-            panel.add_series(roc_series(_ATTACK_LABELS[attack], rocs[point], fp_grid))
-        figure.add_panel(panel)
-    return figure

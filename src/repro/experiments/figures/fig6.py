@@ -16,23 +16,35 @@ from typing import Optional, Sequence
 from repro.experiments.config import SimulationConfig
 from repro.experiments.figures import fig5
 from repro.experiments.figures.common import DEFAULT_ROC_FP_GRID
-from repro.experiments.harness import LadSimulation
 from repro.experiments.results import FigureResult
+from repro.experiments.scenario import ScenarioSpec
+from repro.experiments.session import LadSession
 
-__all__ = ["run", "DEGREES_OF_DAMAGE"]
+__all__ = ["run", "spec", "DEGREES_OF_DAMAGE"]
 
 #: Degrees of damage of the two panels.
 DEGREES_OF_DAMAGE: tuple[float, ...] = (120.0, 160.0)
 
 
+def spec(
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+) -> ScenarioSpec:
+    """The figure's evaluation as a declarative scenario."""
+    return fig5.spec(config, scale, degrees=degrees, name="fig6")
+
+
 def run(
-    simulation: Optional[LadSimulation] = None,
+    simulation: Optional[LadSession] = None,
     config: Optional[SimulationConfig] = None,
     scale: float = 1.0,
     *,
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
     workers: int = 0,
+    store=None,
 ) -> FigureResult:
     """Reproduce Figure 6 and return its series."""
     figure = fig5.run(
@@ -42,6 +54,7 @@ def run(
         degrees=degrees,
         fp_grid=fp_grid,
         workers=workers,
+        store=store,
     )
     figure.figure_id = "fig6"
     figure.title = "ROC curves for different attacks (large degrees of damage)"

@@ -14,13 +14,14 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.figures.common import resolve_simulation
-from repro.experiments.harness import LadSimulation
-from repro.experiments.results import FigureResult, PanelResult, SeriesResult
-from repro.experiments.sweep import SweepPoint, SweepRunner
+from repro.experiments.figures.common import run_rate_figure
+from repro.experiments.results import FigureResult
+from repro.experiments.scenario import ScenarioSpec
+from repro.experiments.session import LadSession
 
 __all__ = [
     "run",
+    "spec",
     "DEGREES_OF_DAMAGE",
     "COMPROMISED_FRACTIONS",
     "FALSE_POSITIVE_RATE",
@@ -42,8 +43,29 @@ METRIC: str = "diff"
 ATTACK_CLASS: str = "dec_bounded"
 
 
+def spec(
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+    fractions: Sequence[float] = COMPROMISED_FRACTIONS,
+    false_positive_rate: float = FALSE_POSITIVE_RATE,
+) -> ScenarioSpec:
+    """The figure's evaluation as a declarative scenario."""
+    return ScenarioSpec(
+        name="fig7",
+        description="Detection rate vs degree of damage",
+        metrics=(METRIC,),
+        attacks=(ATTACK_CLASS,),
+        degrees=tuple(degrees),
+        fractions=tuple(fractions),
+        false_positive_rate=false_positive_rate,
+        config=config or SimulationConfig(),
+    ).scaled(scale)
+
+
 def run(
-    simulation: Optional[LadSimulation] = None,
+    simulation: Optional[LadSession] = None,
     config: Optional[SimulationConfig] = None,
     scale: float = 1.0,
     *,
@@ -51,41 +73,32 @@ def run(
     fractions: Sequence[float] = COMPROMISED_FRACTIONS,
     false_positive_rate: float = FALSE_POSITIVE_RATE,
     workers: int = 0,
+    store=None,
 ) -> FigureResult:
     """Reproduce Figure 7 and return its series."""
-    sim = resolve_simulation(simulation, config, scale)
-    runner = sim.sweep(workers=workers)
-    points = SweepRunner.grid([METRIC], [ATTACK_CLASS], degrees, fractions)
-    rates_at = runner.detection_rates(points, false_positive_rate=false_positive_rate)
-
-    figure = FigureResult(
+    scenario = spec(
+        config,
+        scale,
+        degrees=degrees,
+        fractions=fractions,
+        false_positive_rate=false_positive_rate,
+    )
+    session = simulation or scenario.session(store=store)
+    return run_rate_figure(
+        scenario,
         figure_id="fig7",
         title="Detection rate vs degree of damage",
+        panel_title="DR-D-x",
+        x_axis="degrees",
+        x_label="The Degree of Damage D",
+        series_axis="fractions",
+        series_label=lambda fraction: f"x={int(round(fraction * 100))}%",
         parameters={
             "false_positive_rate": false_positive_rate,
-            "group_size": sim.config.group_size,
+            "group_size": session.config.group_size,
             "metric": METRIC,
             "attack": ATTACK_CLASS,
         },
+        session=session,
+        workers=workers,
     )
-    panel = PanelResult(
-        title="DR-D-x",
-        x_label="The Degree of Damage D",
-        y_label="DR-Detection Rate",
-    )
-    for fraction in fractions:
-        rates = [
-            rates_at[
-                SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))
-            ][0]
-            for degree in degrees
-        ]
-        panel.add_series(
-            SeriesResult(
-                label=f"x={int(round(fraction * 100))}%",
-                x=list(degrees),
-                y=rates,
-            )
-        )
-    figure.add_panel(panel)
-    return figure

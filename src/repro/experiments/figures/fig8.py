@@ -15,13 +15,14 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.figures.common import resolve_simulation
-from repro.experiments.harness import LadSimulation
-from repro.experiments.results import FigureResult, PanelResult, SeriesResult
-from repro.experiments.sweep import SweepPoint, SweepRunner
+from repro.experiments.figures.common import run_rate_figure
+from repro.experiments.results import FigureResult
+from repro.experiments.scenario import ScenarioSpec
+from repro.experiments.session import LadSession
 
 __all__ = [
     "run",
+    "spec",
     "COMPROMISED_FRACTIONS",
     "DEGREES_OF_DAMAGE",
     "FALSE_POSITIVE_RATE",
@@ -43,8 +44,29 @@ METRIC: str = "diff"
 ATTACK_CLASS: str = "dec_bounded"
 
 
+def spec(
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    fractions: Sequence[float] = COMPROMISED_FRACTIONS,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+    false_positive_rate: float = FALSE_POSITIVE_RATE,
+) -> ScenarioSpec:
+    """The figure's evaluation as a declarative scenario."""
+    return ScenarioSpec(
+        name="fig8",
+        description="Detection rate vs percentage of compromised nodes",
+        metrics=(METRIC,),
+        attacks=(ATTACK_CLASS,),
+        degrees=tuple(degrees),
+        fractions=tuple(fractions),
+        false_positive_rate=false_positive_rate,
+        config=config or SimulationConfig(),
+    ).scaled(scale)
+
+
 def run(
-    simulation: Optional[LadSimulation] = None,
+    simulation: Optional[LadSession] = None,
     config: Optional[SimulationConfig] = None,
     scale: float = 1.0,
     *,
@@ -52,36 +74,33 @@ def run(
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     false_positive_rate: float = FALSE_POSITIVE_RATE,
     workers: int = 0,
+    store=None,
 ) -> FigureResult:
     """Reproduce Figure 8 and return its series."""
-    sim = resolve_simulation(simulation, config, scale)
-    runner = sim.sweep(workers=workers)
-    points = SweepRunner.grid([METRIC], [ATTACK_CLASS], degrees, fractions)
-    rates_at = runner.detection_rates(points, false_positive_rate=false_positive_rate)
-
-    figure = FigureResult(
+    scenario = spec(
+        config,
+        scale,
+        fractions=fractions,
+        degrees=degrees,
+        false_positive_rate=false_positive_rate,
+    )
+    session = simulation or scenario.session(store=store)
+    return run_rate_figure(
+        scenario,
         figure_id="fig8",
         title="Detection rate vs percentage of compromised nodes",
+        panel_title="DR-x-D",
+        x_axis="fractions",
+        x_label="The Percentage of Compromised Nodes",
+        series_axis="degrees",
+        series_label=lambda degree: f"D={degree:g}",
+        x_transform=lambda fraction: fraction * 100.0,
         parameters={
             "false_positive_rate": false_positive_rate,
-            "group_size": sim.config.group_size,
+            "group_size": session.config.group_size,
             "metric": METRIC,
             "attack": ATTACK_CLASS,
         },
+        session=session,
+        workers=workers,
     )
-    panel = PanelResult(
-        title="DR-x-D",
-        x_label="The Percentage of Compromised Nodes",
-        y_label="DR-Detection Rate",
-    )
-    percentages = [fraction * 100.0 for fraction in fractions]
-    for degree in degrees:
-        rates = [
-            rates_at[
-                SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))
-            ][0]
-            for fraction in fractions
-        ]
-        panel.add_series(SeriesResult(label=f"D={degree:g}", x=percentages, y=rates))
-    figure.add_panel(panel)
-    return figure

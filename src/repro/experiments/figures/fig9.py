@@ -10,6 +10,8 @@ localization error of the beaconless scheme shrinks as m grows, which is
 exactly the effect the figure demonstrates), so this is the most expensive
 figure; the default density sweep is therefore a small set of
 representative points and can be widened via the ``group_sizes`` argument.
+With an artifact store attached, each density's trained state persists, so
+re-runs skip every training pass.
 
 Expected qualitative outcome: the detection rate improves with density,
 because denser networks localise more accurately and admit tighter benign
@@ -20,15 +22,18 @@ from __future__ import annotations
 
 import warnings
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.harness import LadSimulation
+from repro.experiments.figures.common import resolve_store_root
 from repro.experiments.results import FigureResult, PanelResult, SeriesResult
-from repro.experiments.sweep import FAN_OUT_ERRORS, SweepPoint, SweepRunner
+from repro.experiments.scenario import ScenarioSpec
+from repro.experiments.session import LadSession
+from repro.experiments.sweep import FAN_OUT_ERRORS, SweepPoint
 
 __all__ = [
     "run",
+    "spec",
     "GROUP_SIZES",
     "DEGREES_OF_DAMAGE",
     "COMPROMISED_FRACTIONS",
@@ -54,26 +59,50 @@ METRIC: str = "diff"
 ATTACK_CLASS: str = "dec_bounded"
 
 
+def spec(
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    group_sizes: Sequence[int] = GROUP_SIZES,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+    fractions: Sequence[float] = COMPROMISED_FRACTIONS,
+    false_positive_rate: float = FALSE_POSITIVE_RATE,
+) -> ScenarioSpec:
+    """The figure's evaluation as a declarative scenario."""
+    return ScenarioSpec(
+        name="fig9",
+        description="Detection rate vs network density",
+        metrics=(METRIC,),
+        attacks=(ATTACK_CLASS,),
+        degrees=tuple(degrees),
+        fractions=tuple(fractions),
+        group_sizes=tuple(group_sizes),
+        false_positive_rate=false_positive_rate,
+        config=config or SimulationConfig(),
+    ).scaled(scale)
+
+
 def _density_rates(
-    args: Tuple[SimulationConfig, int, List[SweepPoint], float],
+    args: Tuple[ScenarioSpec, int, Optional[str]],
 ) -> Tuple[int, Dict[SweepPoint, tuple]]:
     """Detection rates of one density value (its own training pass).
 
     Module-level so the density fan-out can ship it to worker processes;
     every stream inside is derived from the config seed and parameter
     names, so the result is independent of where (and in which order) the
-    densities run.
+    densities run.  Workers re-open the artifact store by path (counters
+    stay per-process, content is shared).
     """
-    config, group_size, points, false_positive_rate = args
-    simulation = LadSimulation(config.with_group_size(int(group_size)))
-    rates = simulation.sweep(workers=0).detection_rates(
-        points, false_positive_rate=false_positive_rate
+    scenario, group_size, store_root = args
+    session = scenario.session(group_size=group_size, store=store_root)
+    rates = session.sweep(workers=0).detection_rates(
+        scenario.points(), false_positive_rate=scenario.false_positive_rate
     )
     return int(group_size), rates
 
 
 def run(
-    simulation: Optional[LadSimulation] = None,
+    simulation: Optional[LadSession] = None,
     config: Optional[SimulationConfig] = None,
     scale: float = 1.0,
     *,
@@ -83,11 +112,12 @@ def run(
     false_positive_rate: float = FALSE_POSITIVE_RATE,
     workers: int = 0,
     density_workers: int = 0,
+    store=None,
 ) -> FigureResult:
     """Reproduce Figure 9 and return its series.
 
     The *simulation* argument is ignored (each density needs its own
-    simulation); it is accepted for interface uniformity with the other
+    session); it is accepted for interface uniformity with the other
     figures.
 
     Parameters
@@ -104,30 +134,33 @@ def run(
         the parameter names); platforms without process support fall back
         to the serial path with a warning.
     """
-    base_config = config or SimulationConfig()
-    if scale != 1.0:
-        base_config = base_config.scaled(scale)
+    scenario = spec(
+        config,
+        scale,
+        group_sizes=group_sizes,
+        degrees=degrees,
+        fractions=fractions,
+        false_positive_rate=false_positive_rate,
+    )
 
     figure = FigureResult(
         figure_id="fig9",
         title="Detection rate vs network density",
         parameters={
-            "false_positive_rate": false_positive_rate,
+            "false_positive_rate": scenario.false_positive_rate,
             "metric": METRIC,
             "attack": ATTACK_CLASS,
         },
     )
 
-    # One simulation (with its own training) per density value; the
+    # One session (with its own training) per density value; the
     # per-density (D, x) grid runs through its sweep runner.  With
     # ``density_workers`` the densities themselves fan out across worker
     # processes (the training pass is the expensive part, and each density
     # needs its own).
-    points = SweepRunner.grid([METRIC], [ATTACK_CLASS], degrees, fractions)
     rates_at: Dict[int, Dict[SweepPoint, tuple]] = {}
-    tasks = [
-        (base_config, int(m), points, false_positive_rate) for m in group_sizes
-    ]
+    store_root = resolve_store_root(store)
+    tasks = [(scenario, m, store_root) for m in scenario.density_values()]
     if density_workers > 1:
         try:
             with ProcessPoolExecutor(
@@ -143,29 +176,30 @@ def run(
             )
             rates_at = {}
     if not rates_at:
-        for m in group_sizes:
-            simulation = LadSimulation(base_config.with_group_size(int(m)))
-            rates_at[int(m)] = simulation.sweep(workers=workers).detection_rates(
-                points, false_positive_rate=false_positive_rate
+        for m in scenario.density_values():
+            session = scenario.session(group_size=m, store=store_root)
+            rates_at[int(m)] = session.sweep(workers=workers).detection_rates(
+                scenario.points(),
+                false_positive_rate=scenario.false_positive_rate,
             )
 
-    for degree in degrees:
+    for degree in scenario.degrees:
         panel = PanelResult(
             title=f"D={degree:g}",
             x_label="m: Number of Nodes at Each Deployment Group",
             y_label="DR-Detection Rate",
         )
-        for fraction in fractions:
+        for fraction in scenario.fractions:
             rates = [
                 rates_at[int(m)][
                     SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))
                 ][0]
-                for m in group_sizes
+                for m in scenario.density_values()
             ]
             panel.add_series(
                 SeriesResult(
                     label=f"x={int(round(fraction * 100))}",
-                    x=[float(m) for m in group_sizes],
+                    x=[float(m) for m in scenario.density_values()],
                     y=rates,
                 )
             )

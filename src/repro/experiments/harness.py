@@ -1,288 +1,37 @@
-"""The LAD evaluation harness.
+"""Deprecated legacy harness module.
 
-:class:`LadSimulation` wires together the whole pipeline of the paper's
-evaluation (Section 7):
-
-* deploy sensor networks from the configured deployment model;
-* collect benign training data and derive metric thresholds (Section 5.5);
-* sample victim nodes, simulate D-anomaly attacks plus the greedy
-  observation-tainting adversary (Sections 6, 7.1);
-* report ROC curves and detection rates at a fixed false-positive budget.
-
-The pipeline is batched end to end.  Victim observations are collected by
-the one-pass :meth:`NeighborIndex.observations_of_nodes` kernel and benign
-training locations come from the vectorised
-:meth:`BeaconlessLocalizer.localize_observations` engine, so neither pays a
-Python-level loop per sample.  Everything expensive is cached per
-simulation instance: the ``g(z)`` table, the evaluation networks, the
-victims' honest observations, the benign training scores per metric.
-
-Parameter sweeps (over ``D``, ``x``, metric or attack class) therefore pay
-the deployment and neighbour-discovery cost only once.  :meth:`LadSimulation.sweep`
-hands the cached state to a :class:`~repro.experiments.sweep.SweepRunner`,
-which fans the per-combination scoring across worker processes while every
-combination keeps its name-derived random stream — a parallel sweep
-reproduces the serial one exactly.  The figure drivers (Figures 4–9) are
-all built on that runner.
+The end-to-end evaluation pipeline now lives in
+:class:`repro.experiments.session.LadSession` (cached state) plus the
+declarative :class:`repro.experiments.scenario.ScenarioSpec` (parameter
+grids).  ``LadSimulation`` remains as a thin deprecation shim for one
+release: it *is* a :class:`LadSession` — same caches, same random streams,
+bit-identical results — that additionally emits a
+:class:`DeprecationWarning` at construction time.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+import warnings
 
-import numpy as np
-
-from repro.core.evaluation import (
-    attacked_scores_from_observations,
-    detection_rate_at_false_positive,
-    evaluate_detection,
-)
-from repro.core.metrics import AnomalyMetric, get_metric
-from repro.core.roc import RocCurve, compute_roc
-from repro.core.training import TrainingData, benign_scores, collect_training_data
-from repro.deployment.distributions import GaussianResidentDistribution
-from repro.deployment.knowledge import DeploymentKnowledge
-from repro.deployment.models import GridDeploymentModel
-from repro.experiments.config import SimulationConfig
-from repro.localization.beaconless import BeaconlessLocalizer
-from repro.network.generator import NetworkGenerator
-from repro.network.neighbors import NeighborIndex
-from repro.network.radio import UnitDiskRadio
-from repro.types import Region
-from repro.utils.logging import get_logger
-from repro.utils.rng import RandomState
-
-if TYPE_CHECKING:  # pragma: no cover - imported for type checkers only
-    from repro.experiments.sweep import SweepRunner
+from repro.experiments.session import LadSession
 
 __all__ = ["LadSimulation"]
 
-_LOGGER = get_logger("experiments.harness")
 
+class LadSimulation(LadSession):
+    """Deprecated alias of :class:`~repro.experiments.session.LadSession`.
 
-@dataclass
-class _VictimSample:
-    """Cached honest observations of the evaluation victims."""
-
-    observations: np.ndarray
-    actual_locations: np.ndarray
-
-
-class LadSimulation:
-    """End-to-end LAD evaluation for one :class:`SimulationConfig`.
-
-    Parameters
-    ----------
-    config:
-        The simulation configuration (paper defaults when omitted).
-
-    Examples
-    --------
-    >>> sim = LadSimulation(SimulationConfig(num_training_samples=50,
-    ...                                      num_victims=50))
-    >>> dr, thr = sim.detection_rate("diff", "dec_bounded",
-    ...                              degree_of_damage=160,
-    ...                              compromised_fraction=0.1,
-    ...                              false_positive_rate=0.01)
+    .. deprecated::
+        Use :class:`repro.LadSession` (optionally driven by a
+        :class:`repro.ScenarioSpec`) instead; this shim will be removed
+        after one release.  Results are bit-identical to ``LadSession``.
     """
 
-    def __init__(self, config: Optional[SimulationConfig] = None):
-        self.config = config or SimulationConfig()
-        self._random = RandomState(self.config.seed)
-
-        region = Region(0.0, 0.0, self.config.region_size, self.config.region_size)
-        self._model = GridDeploymentModel(
-            region=region,
-            rows=self.config.grid_rows,
-            cols=self.config.grid_cols,
-            distribution=GaussianResidentDistribution(self.config.sigma),
+    def __init__(self, config=None, **kwargs):
+        warnings.warn(
+            "LadSimulation is deprecated; use repro.LadSession (optionally "
+            "driven by a repro.ScenarioSpec) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self._generator = NetworkGenerator(
-            model=self._model,
-            group_size=self.config.group_size,
-            radio=UnitDiskRadio(self.config.radio_range),
-        )
-        self._localizer = BeaconlessLocalizer(
-            resolution=self.config.localization_resolution
-        )
-
-        # Lazy caches.
-        self._knowledge: Optional[DeploymentKnowledge] = None
-        self._training: Optional[TrainingData] = None
-        self._benign_scores: Dict[str, np.ndarray] = {}
-        self._victims: Optional[_VictimSample] = None
-
-    # -- cached building blocks ------------------------------------------------
-
-    @property
-    def generator(self) -> NetworkGenerator:
-        """The network generator used by this simulation."""
-        return self._generator
-
-    @property
-    def knowledge(self) -> DeploymentKnowledge:
-        """The (cached) deployment knowledge, including the ``g(z)`` table."""
-        if self._knowledge is None:
-            self._knowledge = self._generator.knowledge(omega=self.config.gz_omega)
-        return self._knowledge
-
-    @property
-    def training_data(self) -> TrainingData:
-        """Benign training samples (cached; Section 5.5 step 1)."""
-        if self._training is None:
-            _LOGGER.info(
-                "collecting %d benign training samples (m=%d)",
-                self.config.num_training_samples,
-                self.config.group_size,
-            )
-            self._training = collect_training_data(
-                self._generator,
-                num_samples=self.config.num_training_samples,
-                samples_per_network=self.config.training_samples_per_network,
-                localizer=self._localizer,
-                rng=self._random.stream("training"),
-            )
-        return self._training
-
-    def benign_scores(self, metric: Union[str, AnomalyMetric]) -> np.ndarray:
-        """Benign metric scores used for threshold training (cached per metric)."""
-        metric = get_metric(metric)
-        if metric.name not in self._benign_scores:
-            self._benign_scores[metric.name] = benign_scores(
-                self.training_data, self.knowledge, metric
-            )
-        return self._benign_scores[metric.name]
-
-    def victims(self) -> _VictimSample:
-        """Honest observations and locations of the evaluation victims (cached)."""
-        if self._victims is None:
-            rng = self._random.stream("victims")
-            observations: List[np.ndarray] = []
-            locations: List[np.ndarray] = []
-            remaining = self.config.num_victims
-            while remaining > 0:
-                network = self._generator.generate(rng)
-                index = NeighborIndex(network)
-                take = min(self.config.victims_per_network, remaining)
-                nodes = rng.choice(network.num_nodes, size=take, replace=False)
-                observations.append(index.observations_of_nodes(nodes))
-                locations.append(network.positions[nodes])
-                remaining -= take
-            self._victims = _VictimSample(
-                observations=np.vstack(observations),
-                actual_locations=np.vstack(locations),
-            )
-        return self._victims
-
-    # -- evaluation entry points -------------------------------------------------
-
-    def attacked_scores(
-        self,
-        metric: Union[str, AnomalyMetric],
-        attack_class: str,
-        *,
-        degree_of_damage: float,
-        compromised_fraction: float,
-    ) -> np.ndarray:
-        """Attacked anomaly scores for one parameter combination."""
-        from repro.experiments.sweep import attack_stream_name
-
-        sample = self.victims()
-        rng = self._random.stream(
-            attack_stream_name(
-                metric, attack_class, degree_of_damage, compromised_fraction
-            )
-        )
-        return attacked_scores_from_observations(
-            self.knowledge,
-            sample.observations,
-            sample.actual_locations,
-            metric=metric,
-            attack_class=attack_class,
-            degree_of_damage=degree_of_damage,
-            compromised_fraction=compromised_fraction,
-            rng=rng,
-        )
-
-    def roc(
-        self,
-        metric: Union[str, AnomalyMetric],
-        attack_class: str,
-        *,
-        degree_of_damage: float,
-        compromised_fraction: float,
-        num_thresholds: Optional[int] = None,
-    ) -> RocCurve:
-        """ROC curve for one parameter combination (Figures 4–6)."""
-        benign = self.benign_scores(metric)
-        attacked = self.attacked_scores(
-            metric,
-            attack_class,
-            degree_of_damage=degree_of_damage,
-            compromised_fraction=compromised_fraction,
-        )
-        return compute_roc(benign, attacked, num_thresholds=num_thresholds)
-
-    def detection_rate(
-        self,
-        metric: Union[str, AnomalyMetric],
-        attack_class: str,
-        *,
-        degree_of_damage: float,
-        compromised_fraction: float,
-        false_positive_rate: float = 0.01,
-    ) -> Tuple[float, float]:
-        """``(detection rate, threshold)`` at a false-positive budget (Figures 7–9)."""
-        benign = self.benign_scores(metric)
-        attacked = self.attacked_scores(
-            metric,
-            attack_class,
-            degree_of_damage=degree_of_damage,
-            compromised_fraction=compromised_fraction,
-        )
-        return detection_rate_at_false_positive(benign, attacked, false_positive_rate)
-
-    def outcome(
-        self,
-        metric: Union[str, AnomalyMetric],
-        attack_class: str,
-        *,
-        degree_of_damage: float,
-        compromised_fraction: float,
-        false_positive_rate: float = 0.01,
-    ):
-        """Full :class:`~repro.core.evaluation.DetectionOutcome` for one combination."""
-        benign = self.benign_scores(metric)
-        attacked = self.attacked_scores(
-            metric,
-            attack_class,
-            degree_of_damage=degree_of_damage,
-            compromised_fraction=compromised_fraction,
-        )
-        return evaluate_detection(
-            benign, attacked, false_positive_rate=false_positive_rate
-        )
-
-    def sweep(self, *, workers: int = 0) -> "SweepRunner":
-        """A :class:`~repro.experiments.sweep.SweepRunner` over this simulation.
-
-        Parameters
-        ----------
-        workers:
-            Worker processes for the per-combination scoring; ``0``/``1``
-            runs serially with identical results.
-        """
-        from repro.experiments.sweep import SweepRunner
-
-        return SweepRunner(self, workers=workers)
-
-    def benign_localization_error(self) -> float:
-        """Mean benign localization error of the training samples (metres)."""
-        return float(self.training_data.localization_errors().mean())
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"LadSimulation(m={self.config.group_size}, "
-            f"R={self.config.radio_range:g})"
-        )
+        super().__init__(config, **kwargs)

@@ -1,0 +1,304 @@
+"""Declarative scenario specifications for the LAD evaluation.
+
+A :class:`ScenarioSpec` is the *data* form of an evaluation: one
+:class:`~repro.experiments.config.SimulationConfig` plus the parameter
+grid (metrics × attack classes × degrees of damage × compromise
+fractions, optionally × network densities) and the localizer choice.  It
+is serialisable to TOML and JSON, validates every component name against
+the registries at construction time, and compiles to
+:class:`~repro.experiments.sweep.SweepPoint` grids for the existing
+:class:`~repro.experiments.sweep.SweepRunner`:
+
+    >>> spec = ScenarioSpec(name="demo", metrics=("diff", "add_all"),
+    ...                     degrees=(80.0, 160.0))
+    >>> session = spec.session()
+    >>> rates = session.sweep(workers=4).detection_rates(spec.points())
+
+Every figure driver of :mod:`repro.experiments.figures` is a
+``ScenarioSpec`` over this same engine, and the CLI runs arbitrary spec
+files via ``lad-repro sweep scenario.toml``.  New scenarios — different
+attack mixes, other metrics, denser grids, alternative localizers — are
+therefore spec files, not code.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.attacks.constraints import ATTACKS
+from repro.core.metrics import METRICS
+from repro.experiments.config import SimulationConfig
+from repro.experiments.session import LadSession
+from repro.experiments.store import ArtifactStore
+from repro.experiments.sweep import SweepPoint, SweepRunner
+from repro.localization.base import LOCALIZERS
+from repro.utils.validation import check_fraction
+
+__all__ = ["ScenarioSpec"]
+
+#: ScenarioSpec fields holding grid axes (ordered as in the sweep grid).
+_AXIS_FIELDS = ("metrics", "attacks", "degrees", "fractions")
+
+
+def _toml_value(value: Any) -> str:
+    """Render one scalar/array value as TOML.
+
+    Only the types a :class:`ScenarioSpec` contains are supported
+    (strings, booleans, numbers, flat arrays); JSON string escaping is
+    valid TOML basic-string escaping.
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return json.dumps(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(item) for item in value) + "]"
+    raise TypeError(f"cannot render {type(value).__name__} as TOML")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative, serialisable LAD evaluation scenario.
+
+    Attributes
+    ----------
+    name:
+        Scenario identifier (used in reports and artifact paths).
+    description:
+        Free-form description for humans.
+    metrics, attacks:
+        Component names; resolved against :data:`repro.core.metrics.METRICS`
+        and :data:`repro.attacks.constraints.ATTACKS` at construction time
+        and stored in canonical form.
+    degrees:
+        Degrees of damage ``D`` (metres).
+    fractions:
+        Compromised-neighbour fractions ``x``.
+    group_sizes:
+        Optional network-density axis (sensors per group ``m``).  When
+        non-empty the scenario spans one full training + sweep pass per
+        density (the Figure 9 shape); when empty the config's own
+        ``group_size`` is used.
+    localizer:
+        Registered localization-scheme name used for threshold training.
+    false_positive_rate:
+        The false-positive budget detection rates are read at.
+    config:
+        The underlying :class:`SimulationConfig`.
+    """
+
+    name: str = "scenario"
+    description: str = ""
+    metrics: Tuple[str, ...] = ("diff",)
+    attacks: Tuple[str, ...] = ("dec_bounded",)
+    degrees: Tuple[float, ...] = (120.0,)
+    fractions: Tuple[float, ...] = (0.10,)
+    group_sizes: Tuple[int, ...] = ()
+    localizer: str = "beaconless"
+    false_positive_rate: float = 0.01
+    config: SimulationConfig = field(default_factory=SimulationConfig)
+
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__
+        set_(self, "name", str(self.name))
+        set_(self, "description", str(self.description))
+        set_(
+            self,
+            "metrics",
+            tuple(METRICS.canonical(metric) for metric in self.metrics),
+        )
+        set_(
+            self,
+            "attacks",
+            tuple(ATTACKS.canonical(attack) for attack in self.attacks),
+        )
+        set_(self, "degrees", tuple(float(degree) for degree in self.degrees))
+        set_(
+            self, "fractions", tuple(float(fraction) for fraction in self.fractions)
+        )
+        set_(self, "group_sizes", tuple(int(m) for m in self.group_sizes))
+        set_(self, "localizer", LOCALIZERS.canonical(self.localizer))
+        set_(self, "false_positive_rate", float(self.false_positive_rate))
+        check_fraction("false_positive_rate", self.false_positive_rate)
+        if not (self.metrics and self.attacks and self.degrees and self.fractions):
+            raise ValueError("every scenario axis needs at least one value")
+        for fraction in self.fractions:
+            check_fraction("compromised fraction", fraction)
+        for degree in self.degrees:
+            if degree < 0:
+                raise ValueError("degrees of damage must be >= 0")
+
+    # -- grid compilation --------------------------------------------------
+
+    def points(self) -> List[SweepPoint]:
+        """The spec's grid, compiled for :class:`SweepRunner`."""
+        return SweepRunner.grid(
+            self.metrics, self.attacks, self.degrees, self.fractions
+        )
+
+    @property
+    def grid_size(self) -> int:
+        """Number of sweep points (per density value)."""
+        size = 1
+        for axis in _AXIS_FIELDS:
+            size *= len(getattr(self, axis))
+        return size
+
+    def density_values(self) -> Tuple[int, ...]:
+        """The density axis (the config's own ``m`` when none is given)."""
+        return self.group_sizes or (self.config.group_size,)
+
+    # -- session construction ----------------------------------------------
+
+    def session(
+        self,
+        *,
+        group_size: Optional[int] = None,
+        store: Union[ArtifactStore, str, None] = None,
+    ) -> LadSession:
+        """A :class:`LadSession` for this spec (optionally at one density)."""
+        config = self.config
+        if group_size is not None:
+            config = config.with_group_size(int(group_size))
+        return LadSession(config, localizer=self.localizer, store=store)
+
+    def sessions(
+        self, *, store: Union[ArtifactStore, str, None] = None
+    ) -> List[Tuple[int, LadSession]]:
+        """One ``(group_size, session)`` pair per density value."""
+        return [
+            (m, self.session(group_size=m, store=store))
+            for m in self.density_values()
+        ]
+
+    # -- derivation --------------------------------------------------------
+
+    def scaled(self, scale: float) -> "ScenarioSpec":
+        """The spec with its Monte-Carlo sample sizes scaled (quick runs)."""
+        if scale == 1.0:
+            return self
+        return replace(self, config=self.config.scaled(scale))
+
+    def with_config(self, config: SimulationConfig) -> "ScenarioSpec":
+        """The spec over a different simulation configuration."""
+        return replace(self, config=config)
+
+    # -- serialisation -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON/TOML-ready; lossless round trip)."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "description": self.description,
+            "metrics": list(self.metrics),
+            "attacks": list(self.attacks),
+            "degrees": list(self.degrees),
+            "fractions": list(self.fractions),
+            "group_sizes": list(self.group_sizes),
+            "localizer": self.localizer,
+            "false_positive_rate": self.false_positive_rate,
+            "config": {
+                f.name: getattr(self.config, f.name)
+                for f in fields(SimulationConfig)
+            },
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from its :meth:`as_dict` form.
+
+        Unknown keys raise (catching typos in hand-written spec files);
+        the ``config`` table may be partial — omitted fields keep their
+        paper defaults.
+        """
+        data = dict(data)
+        config_data = dict(data.pop("config", {}))
+        known = {f.name for f in fields(cls) if f.name != "config"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known | {'config'})}"
+            )
+        unknown_config = set(config_data) - {
+            f.name for f in fields(SimulationConfig)
+        }
+        if unknown_config:
+            raise ValueError(
+                f"unknown config field(s) {sorted(unknown_config)}"
+            )
+        return cls(config=SimulationConfig(**config_data), **data)
+
+    def to_json(self, path: Optional[Path] = None, *, indent: int = 2) -> str:
+        """Serialise to JSON, optionally writing to *path*."""
+        text = json.dumps(self.as_dict(), indent=indent)
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text
+
+    def to_toml(self, path: Optional[Path] = None) -> str:
+        """Serialise to TOML, optionally writing to *path*."""
+        data = self.as_dict()
+        config_data = data.pop("config")
+        lines = [f"{key} = {_toml_value(value)}" for key, value in data.items()]
+        lines += ["", "[config]"]
+        lines += [
+            f"{key} = {_toml_value(value)}" for key, value in config_data.items()
+        ]
+        text = "\n".join(lines) + "\n"
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from a JSON document."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from a TOML document."""
+        return cls.from_dict(tomllib.loads(text))
+
+    @classmethod
+    def from_file(cls, path) -> "ScenarioSpec":
+        """Load a spec from a ``.toml`` or ``.json`` file."""
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            return cls.from_toml(text)
+        if suffix == ".json":
+            return cls.from_json(text)
+        raise ValueError(
+            f"unsupported spec format {path.suffix!r} (use .toml or .json)"
+        )
+
+    def to_file(self, path) -> None:
+        """Write the spec to a ``.toml`` or ``.json`` file (by suffix)."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            self.to_toml(path)
+        elif suffix == ".json":
+            self.to_json(path)
+        else:
+            raise ValueError(
+                f"unsupported spec format {path.suffix!r} (use .toml or .json)"
+            )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        axes = " x ".join(
+            f"{len(getattr(self, axis))} {axis}" for axis in _AXIS_FIELDS
+        )
+        densities = (
+            f" x {len(self.group_sizes)} densities" if self.group_sizes else ""
+        )
+        return f"ScenarioSpec({self.name!r}: {axes}{densities})"

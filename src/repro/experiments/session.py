@@ -1,0 +1,428 @@
+"""The LAD evaluation session — cached state behind the scenario API.
+
+:class:`LadSession` wires together the whole pipeline of the paper's
+evaluation (Section 7):
+
+* deploy sensor networks from the configured deployment model;
+* collect benign training data and derive metric thresholds (Section 5.5);
+* sample victim nodes, simulate D-anomaly attacks plus the greedy
+  observation-tainting adversary (Sections 6, 7.1);
+* report ROC curves and detection rates at a fixed false-positive budget.
+
+The pipeline is batched end to end.  Victim observations are collected by
+the one-pass :meth:`NeighborIndex.observations_of_nodes` kernel and benign
+training locations come from the vectorised
+:meth:`BeaconlessLocalizer.localize_observations` engine, so neither pays a
+Python-level loop per sample.  Everything expensive is cached per session
+instance: the ``g(z)`` table, the evaluation networks, the victims' honest
+observations, the benign training scores per metric.
+
+Two kinds of reuse stack on top of the in-memory caches:
+
+* **sweeps** — :meth:`LadSession.sweep` hands the cached state to a
+  :class:`~repro.experiments.sweep.SweepRunner`, which fans the
+  per-combination scoring across worker processes while every combination
+  keeps its name-derived random stream (a parallel sweep reproduces the
+  serial one exactly);
+* **persistence** — when constructed with a
+  :class:`~repro.experiments.store.ArtifactStore` (or ``--cache-dir`` on
+  the CLI), trained benign scores and victim samples are keyed by a
+  content hash of the training-relevant configuration and re-loaded from
+  disk, so repeated and resumed sweeps skip the training pass entirely.
+
+Sessions are usually built from a declarative
+:class:`~repro.experiments.scenario.ScenarioSpec`; the legacy
+``LadSimulation`` name remains available as a deprecated alias in
+:mod:`repro.experiments.harness`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.evaluation import (
+    attacked_scores_from_observations,
+    detection_rate_at_false_positive,
+    evaluate_detection,
+)
+from repro.core.metrics import AnomalyMetric, resolve_metric
+from repro.core.roc import RocCurve, compute_roc
+from repro.core.training import TrainingData, benign_scores, collect_training_data
+from repro.deployment.distributions import GaussianResidentDistribution
+from repro.deployment.knowledge import DeploymentKnowledge
+from repro.deployment.models import GridDeploymentModel
+from repro.experiments.config import SimulationConfig
+from repro.experiments.store import ArtifactStore, fingerprint_key
+from repro.localization.base import LOCALIZERS, LocalizationScheme
+from repro.localization.beaconless import BeaconlessLocalizer
+from repro.network.generator import NetworkGenerator
+from repro.network.neighbors import NeighborIndex
+from repro.network.radio import UnitDiskRadio
+from repro.types import Region
+from repro.utils.logging import get_logger
+from repro.utils.rng import RandomState
+
+if TYPE_CHECKING:  # pragma: no cover - imported for type checkers only
+    from repro.experiments.sweep import SweepRunner
+
+__all__ = ["LadSession"]
+
+_LOGGER = get_logger("experiments.session")
+
+
+@dataclass
+class _VictimSample:
+    """Cached honest observations of the evaluation victims."""
+
+    observations: np.ndarray
+    actual_locations: np.ndarray
+
+
+class LadSession:
+    """End-to-end LAD evaluation for one :class:`SimulationConfig`.
+
+    Parameters
+    ----------
+    config:
+        The simulation configuration (paper defaults when omitted).
+    localizer:
+        Localization scheme used for threshold training: a registered name
+        (``repro.localization.available()``) or a configured
+        :class:`~repro.localization.base.LocalizationScheme` instance.
+        Defaults to the paper's beaconless MLE scheme at the config's
+        resolution.  Beacon-based schemes need a beacon infrastructure in
+        their contexts, so pass a pre-configured instance for those.
+    store:
+        Optional :class:`~repro.experiments.store.ArtifactStore` (or a
+        cache-directory path) persisting trained benign scores and victim
+        samples across sessions.
+
+    Examples
+    --------
+    >>> session = LadSession(SimulationConfig(num_training_samples=50,
+    ...                                       num_victims=50))
+    >>> dr, thr = session.detection_rate("diff", "dec_bounded",
+    ...                                  degree_of_damage=160,
+    ...                                  compromised_fraction=0.1,
+    ...                                  false_positive_rate=0.01)
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        *,
+        localizer: Union[str, LocalizationScheme] = "beaconless",
+        store: Union[ArtifactStore, str, None] = None,
+    ):
+        self.config = config or SimulationConfig()
+        self._random = RandomState(self.config.seed)
+
+        region = Region(0.0, 0.0, self.config.region_size, self.config.region_size)
+        self._model = GridDeploymentModel(
+            region=region,
+            rows=self.config.grid_rows,
+            cols=self.config.grid_cols,
+            distribution=GaussianResidentDistribution(self.config.sigma),
+        )
+        self._generator = NetworkGenerator(
+            model=self._model,
+            group_size=self.config.group_size,
+            radio=UnitDiskRadio(self.config.radio_range),
+        )
+        self._localizer = self._resolve_localizer(localizer)
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self._store: Optional[ArtifactStore] = store
+
+        # Lazy caches.
+        self._knowledge: Optional[DeploymentKnowledge] = None
+        self._training: Optional[TrainingData] = None
+        self._benign_scores: Dict[str, np.ndarray] = {}
+        self._victims: Optional[_VictimSample] = None
+
+    def _resolve_localizer(
+        self, localizer: Union[str, LocalizationScheme]
+    ) -> LocalizationScheme:
+        if isinstance(localizer, str):
+            cls = LOCALIZERS.get(localizer)
+            if issubclass(cls, BeaconlessLocalizer):
+                return cls(resolution=self.config.localization_resolution)
+            return cls()
+        return localizer
+
+    # -- cached building blocks ------------------------------------------------
+
+    @property
+    def generator(self) -> NetworkGenerator:
+        """The network generator used by this session."""
+        return self._generator
+
+    @property
+    def localizer(self) -> LocalizationScheme:
+        """The localization scheme used for threshold training."""
+        return self._localizer
+
+    @property
+    def store(self) -> Optional[ArtifactStore]:
+        """The artifact store persisting trained state (``None`` = off)."""
+        return self._store
+
+    @property
+    def knowledge(self) -> DeploymentKnowledge:
+        """The (cached) deployment knowledge, including the ``g(z)`` table."""
+        if self._knowledge is None:
+            self._knowledge = self._generator.knowledge(omega=self.config.gz_omega)
+        return self._knowledge
+
+    # -- artifact fingerprints -------------------------------------------------
+
+    def _deployment_fingerprint(self) -> Dict[str, object]:
+        """Config fields that shape the deployed networks and the seed."""
+        c = self.config
+        return {
+            "version": 1,
+            "region_size": c.region_size,
+            "grid_rows": c.grid_rows,
+            "grid_cols": c.grid_cols,
+            "sigma": c.sigma,
+            "group_size": c.group_size,
+            "radio_range": c.radio_range,
+            "seed": c.seed,
+        }
+
+    def training_fingerprint(self) -> Dict[str, object]:
+        """Everything the trained benign scores depend on.
+
+        Victim-sampling fields are deliberately excluded: two specs that
+        differ only in their victim counts share the same trained state.
+        """
+        c = self.config
+        fingerprint = self._deployment_fingerprint()
+        fingerprint.update(
+            {
+                "num_training_samples": c.num_training_samples,
+                "training_samples_per_network": c.training_samples_per_network,
+                "gz_omega": c.gz_omega,
+                "localizer": repr(self._localizer),
+            }
+        )
+        return fingerprint
+
+    def victims_fingerprint(self) -> Dict[str, object]:
+        """Everything the victims' honest observations depend on."""
+        c = self.config
+        fingerprint = self._deployment_fingerprint()
+        fingerprint.update(
+            {
+                "num_victims": c.num_victims,
+                "victims_per_network": c.victims_per_network,
+            }
+        )
+        return fingerprint
+
+    @property
+    def training_data(self) -> TrainingData:
+        """Benign training samples (cached; Section 5.5 step 1)."""
+        if self._training is None:
+            _LOGGER.info(
+                "collecting %d benign training samples (m=%d)",
+                self.config.num_training_samples,
+                self.config.group_size,
+            )
+            self._training = collect_training_data(
+                self._generator,
+                num_samples=self.config.num_training_samples,
+                samples_per_network=self.config.training_samples_per_network,
+                localizer=self._localizer,
+                rng=self._random.stream("training"),
+            )
+        return self._training
+
+    def benign_scores(self, metric: Union[str, AnomalyMetric]) -> np.ndarray:
+        """Benign metric scores used for threshold training.
+
+        Cached per metric in memory and — when a store is attached —
+        persisted under the training fingerprint, so a warm cache serves
+        the scores without ever collecting training data.
+        """
+        metric = resolve_metric(metric)
+        if metric.name not in self._benign_scores:
+            key = None
+            if self._store is not None:
+                fingerprint = self.training_fingerprint()
+                fingerprint["metric"] = metric.name
+                # The implementation identity too: a re-registered or
+                # customised metric under the same name must not hit the
+                # scores the stock implementation produced.
+                fingerprint["metric_impl"] = (
+                    f"{type(metric).__module__}.{type(metric).__qualname__}"
+                    f":{metric!r}"
+                )
+                key = fingerprint_key(fingerprint)
+                cached = self._store.load("benign_scores", key)
+                if cached is not None:
+                    self._benign_scores[metric.name] = cached["scores"]
+                    return self._benign_scores[metric.name]
+            scores = benign_scores(self.training_data, self.knowledge, metric)
+            self._benign_scores[metric.name] = scores
+            if self._store is not None and key is not None:
+                self._store.save("benign_scores", key, scores=scores)
+        return self._benign_scores[metric.name]
+
+    def victims(self) -> _VictimSample:
+        """Honest observations and locations of the evaluation victims.
+
+        Cached in memory and — when a store is attached — persisted under
+        the victim fingerprint, so a warm cache skips network generation
+        and neighbour discovery for the evaluation victims too.
+        """
+        if self._victims is None:
+            key = None
+            if self._store is not None:
+                key = fingerprint_key(self.victims_fingerprint())
+                cached = self._store.load("victims", key)
+                if cached is not None:
+                    self._victims = _VictimSample(
+                        observations=cached["observations"],
+                        actual_locations=cached["locations"],
+                    )
+                    return self._victims
+            rng = self._random.stream("victims")
+            observations: List[np.ndarray] = []
+            locations: List[np.ndarray] = []
+            remaining = self.config.num_victims
+            while remaining > 0:
+                network = self._generator.generate(rng)
+                index = NeighborIndex(network)
+                take = min(self.config.victims_per_network, remaining)
+                nodes = rng.choice(network.num_nodes, size=take, replace=False)
+                observations.append(index.observations_of_nodes(nodes))
+                locations.append(network.positions[nodes])
+                remaining -= take
+            self._victims = _VictimSample(
+                observations=np.vstack(observations),
+                actual_locations=np.vstack(locations),
+            )
+            if self._store is not None and key is not None:
+                self._store.save(
+                    "victims",
+                    key,
+                    observations=self._victims.observations,
+                    locations=self._victims.actual_locations,
+                )
+        return self._victims
+
+    # -- evaluation entry points -------------------------------------------------
+
+    def attacked_scores(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+    ) -> np.ndarray:
+        """Attacked anomaly scores for one parameter combination."""
+        from repro.experiments.sweep import attack_stream_name
+
+        sample = self.victims()
+        rng = self._random.stream(
+            attack_stream_name(
+                metric, attack_class, degree_of_damage, compromised_fraction
+            )
+        )
+        return attacked_scores_from_observations(
+            self.knowledge,
+            sample.observations,
+            sample.actual_locations,
+            metric=metric,
+            attack_class=attack_class,
+            degree_of_damage=degree_of_damage,
+            compromised_fraction=compromised_fraction,
+            rng=rng,
+        )
+
+    def roc(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+        num_thresholds: Optional[int] = None,
+    ) -> RocCurve:
+        """ROC curve for one parameter combination (Figures 4–6)."""
+        benign = self.benign_scores(metric)
+        attacked = self.attacked_scores(
+            metric,
+            attack_class,
+            degree_of_damage=degree_of_damage,
+            compromised_fraction=compromised_fraction,
+        )
+        return compute_roc(benign, attacked, num_thresholds=num_thresholds)
+
+    def detection_rate(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+        false_positive_rate: float = 0.01,
+    ) -> Tuple[float, float]:
+        """``(detection rate, threshold)`` at a false-positive budget (Figures 7–9)."""
+        benign = self.benign_scores(metric)
+        attacked = self.attacked_scores(
+            metric,
+            attack_class,
+            degree_of_damage=degree_of_damage,
+            compromised_fraction=compromised_fraction,
+        )
+        return detection_rate_at_false_positive(benign, attacked, false_positive_rate)
+
+    def outcome(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+        false_positive_rate: float = 0.01,
+    ):
+        """Full :class:`~repro.core.evaluation.DetectionOutcome` for one combination."""
+        benign = self.benign_scores(metric)
+        attacked = self.attacked_scores(
+            metric,
+            attack_class,
+            degree_of_damage=degree_of_damage,
+            compromised_fraction=compromised_fraction,
+        )
+        return evaluate_detection(
+            benign, attacked, false_positive_rate=false_positive_rate
+        )
+
+    def sweep(self, *, workers: int = 0) -> "SweepRunner":
+        """A :class:`~repro.experiments.sweep.SweepRunner` over this session.
+
+        Parameters
+        ----------
+        workers:
+            Worker processes for the per-combination scoring; ``0``/``1``
+            runs serially with identical results.
+        """
+        from repro.experiments.sweep import SweepRunner
+
+        return SweepRunner(self, workers=workers)
+
+    def benign_localization_error(self) -> float:
+        """Mean benign localization error of the training samples (metres)."""
+        return float(self.training_data.localization_errors().mean())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(m={self.config.group_size}, "
+            f"R={self.config.radio_range:g})"
+        )

@@ -19,10 +19,10 @@ once:
   only the segment name / shape / dtype through the pool initializer and
   map the buffers zero-copy, so no worker ever re-pickles the (potentially
   large) victim sample;
-* the per-combination random streams are derived from the simulation seed
+* the per-combination random streams are derived from the session seed
   and the combination *name* (:func:`attack_stream_name`), so a parallel
   sweep reproduces the serial one — and therefore
-  :meth:`LadSimulation.attacked_scores` — bit for bit, regardless of
+  :meth:`LadSession.attacked_scores` — bit for bit, regardless of
   scheduling order.
 
 Platforms without working process pools or shared memory (some sandboxes
@@ -45,6 +45,7 @@ from typing import (
     TYPE_CHECKING,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -58,12 +59,12 @@ from repro.core.evaluation import (
     attacked_scores_from_observations,
     detection_rate_at_false_positive,
 )
-from repro.core.metrics import AnomalyMetric, get_metric
+from repro.core.metrics import AnomalyMetric, resolve_metric
 from repro.core.roc import RocCurve, compute_roc
 from repro.utils.rng import RandomState
 
 if TYPE_CHECKING:  # pragma: no cover - imported for type checkers only
-    from repro.experiments.harness import LadSimulation
+    from repro.experiments.session import LadSession
 
 __all__ = ["SweepPoint", "SweepRunner", "attack_stream_name"]
 
@@ -76,13 +77,13 @@ def attack_stream_name(
 ) -> str:
     """Name of the random stream for one attack parameter combination.
 
-    Shared by :meth:`LadSimulation.attacked_scores` and the sweep workers:
+    Shared by :meth:`LadSession.attacked_scores` and the sweep workers:
     because :meth:`~repro.utils.rng.RandomState.stream` derives its
     generator from ``(seed, name)`` alone, any evaluation path that uses the
     same name reproduces the same attack randomness.
     """
     return (
-        f"attack/{get_metric(metric).name}/{attack_class}/"
+        f"attack/{resolve_metric(metric).name}/{attack_class}/"
         f"{degree_of_damage:g}/{compromised_fraction:g}"
     )
 
@@ -191,7 +192,7 @@ class SweepRunner:
     Parameters
     ----------
     simulation:
-        The :class:`~repro.experiments.harness.LadSimulation` whose cached
+        The :class:`~repro.experiments.session.LadSession` whose cached
         knowledge, victims and benign scores the sweep reuses.
     workers:
         Number of worker processes.  ``0`` or ``1`` (default) runs the sweep
@@ -199,19 +200,24 @@ class SweepRunner:
 
     Examples
     --------
-    >>> runner = LadSimulation(config).sweep(workers=4)
+    >>> runner = LadSession(config).sweep(workers=4)
     >>> points = SweepRunner.grid(["diff"], ["dec_bounded"],
     ...                           degrees=[80, 160], fractions=[0.1, 0.3])
     >>> rates = runner.detection_rates(points)
     """
 
-    def __init__(self, simulation: "LadSimulation", *, workers: int = 0):
+    def __init__(self, simulation: "LadSession", *, workers: int = 0):
         self._simulation = simulation
         self._workers = int(workers)
 
     @property
-    def simulation(self) -> "LadSimulation":
-        """The simulation whose cached state this runner shares."""
+    def simulation(self) -> "LadSession":
+        """The session whose cached state this runner shares."""
+        return self._simulation
+
+    @property
+    def session(self) -> "LadSession":
+        """Alias of :attr:`simulation` matching the session API naming."""
         return self._simulation
 
     @staticmethod
@@ -223,7 +229,9 @@ class SweepRunner:
     ) -> List[SweepPoint]:
         """The cartesian product of the given parameter axes."""
         return [
-            SweepPoint(get_metric(metric).name, attack, float(degree), float(fraction))
+            SweepPoint(
+                resolve_metric(metric).name, attack, float(degree), float(fraction)
+            )
             for metric, attack, degree, fraction in itertools.product(
                 metrics, attacks, degrees, fractions
             )
@@ -239,10 +247,28 @@ class SweepRunner:
         where that is impossible the sweep falls back to the serial path
         (identical results) with a :class:`RuntimeWarning`.
         """
+        return dict(self.iter_attacked_scores(points))
+
+    def iter_attacked_scores(
+        self, points: Sequence[SweepPoint]
+    ) -> Iterator[Tuple[SweepPoint, np.ndarray]]:
+        """Yield ``(point, attacked scores)`` pairs as they complete.
+
+        Results arrive in grid order.  This is the streaming form of
+        :meth:`attacked_scores`: the CLI ``sweep`` command prints each point
+        the moment it is scored instead of waiting for the whole grid.
+        With ``workers > 1`` the pool's result iterator is consumed lazily,
+        so scoring and downstream reporting overlap; when fan-out is
+        unavailable (or a pool dies mid-sweep) the remaining points continue
+        on the bit-identical serial path after a :class:`RuntimeWarning`.
+        """
         points = list(points)
+        yielded = 0
         if self._workers > 1:
             try:
-                return self._attacked_scores_parallel(points)
+                for pair in self._iter_parallel(points):
+                    yield pair
+                    yielded += 1
             except FAN_OUT_ERRORS as exc:
                 warnings.warn(
                     f"parallel sweep unavailable on this platform ({exc!r}); "
@@ -250,19 +276,20 @@ class SweepRunner:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-        return {
-            point: self._simulation.attacked_scores(
-                point.metric,
-                point.attack,
-                degree_of_damage=point.degree_of_damage,
-                compromised_fraction=point.compromised_fraction,
+        for point in points[yielded:]:
+            yield (
+                point,
+                self._simulation.attacked_scores(
+                    point.metric,
+                    point.attack,
+                    degree_of_damage=point.degree_of_damage,
+                    compromised_fraction=point.compromised_fraction,
+                ),
             )
-            for point in points
-        }
 
-    def _attacked_scores_parallel(
+    def _iter_parallel(
         self, points: List[SweepPoint]
-    ) -> Dict[SweepPoint, np.ndarray]:
+    ) -> Iterator[Tuple[SweepPoint, np.ndarray]]:
         """Fan the grid over a pool; victim arrays travel via shared memory."""
         sample = self._simulation.victims()
         segments = []
@@ -285,8 +312,7 @@ class SweepRunner:
                 initializer=_init_worker,
                 initargs=(payload,),
             ) as pool:
-                scored = list(pool.map(_score_point, points))
-            return dict(zip(points, scored))
+                yield from zip(points, pool.map(_score_point, points))
         finally:
             for segment in segments:
                 segment.close()
@@ -328,6 +354,28 @@ class SweepRunner:
             )
             for point, scores in attacked.items()
         }
+
+    def iter_detection_rates(
+        self,
+        points: Sequence[SweepPoint],
+        *,
+        false_positive_rate: float = 0.01,
+    ) -> Iterator[Tuple[SweepPoint, Tuple[float, float]]]:
+        """Stream ``(point, (detection rate, threshold))`` pairs in grid order.
+
+        The streaming form of :meth:`detection_rates` used by the CLI
+        ``sweep`` subcommand; thresholds are trained (or served from the
+        session's artifact store) before the first point is scored.
+        """
+        for point, scores in self.iter_attacked_scores(points):
+            yield (
+                point,
+                detection_rate_at_false_positive(
+                    self._simulation.benign_scores(point.metric),
+                    scores,
+                    false_positive_rate,
+                ),
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SweepRunner(workers={self._workers}, simulation={self._simulation!r})"

@@ -10,9 +10,11 @@ schemes and show how beacon compromises translate into localization errors.
 """
 
 from repro.localization.base import (
+    LOCALIZERS as registry,
     LocalizationScheme,
     LocalizationResult,
     BeaconInfrastructure,
+    resolve_localizer,
 )
 from repro.localization.beaconless import BeaconlessLocalizer
 from repro.localization.centroid import CentroidLocalizer
@@ -26,10 +28,27 @@ from repro.localization.errors import (
     ErrorStatistics,
 )
 
+# Bound registry operations: ``repro.localization.create("beaconless")``,
+# ``repro.localization.available()``, ``@repro.localization.register(...)``.
+register = registry.register
+create = registry.create
+get = registry.get
+resolve = registry.resolve
+available = registry.available
+aliases = registry.aliases
+
 __all__ = [
     "LocalizationScheme",
     "LocalizationResult",
     "BeaconInfrastructure",
+    "registry",
+    "register",
+    "create",
+    "get",
+    "resolve",
+    "available",
+    "aliases",
+    "resolve_localizer",
     "BeaconlessLocalizer",
     "CentroidLocalizer",
     "MmseMultilaterationLocalizer",

@@ -21,16 +21,18 @@ import numpy as np
 
 from repro.geometry.shapes import point_in_triangle
 from repro.localization.base import (
+    LOCALIZERS,
     LocalizationContext,
     LocalizationResult,
     LocalizationScheme,
 )
-from repro.types import Region
+from repro.types import PAPER_REGION, Region
 from repro.utils.validation import check_int, check_positive
 
 __all__ = ["ApitLocalizer"]
 
 
+@LOCALIZERS.register()
 @dataclass
 class ApitLocalizer(LocalizationScheme):
     """Approximate point-in-triangulation localization.
@@ -46,7 +48,7 @@ class ApitLocalizer(LocalizationScheme):
         are preferred); keeps the cost bounded for dense beacon sets.
     """
 
-    region: Region
+    region: Region = PAPER_REGION
     grid_resolution: float = 10.0
     max_triangles: int = 120
     name: str = "apit"

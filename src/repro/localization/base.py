@@ -16,12 +16,13 @@ node can see; schemes pick the fields they need.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from repro.deployment.knowledge import DeploymentKnowledge
+from repro.registry import Registry
 from repro.types import as_point, as_points
 from repro.utils.validation import check_positive
 
@@ -30,7 +31,19 @@ __all__ = [
     "LocalizationContext",
     "LocalizationResult",
     "LocalizationScheme",
+    "LOCALIZERS",
+    "resolve_localizer",
 ]
+
+#: Registry of localization schemes; alternative schemes plug in with
+#: ``@LOCALIZERS.register(...)`` (also exposed as
+#: :func:`repro.localization.register`).
+LOCALIZERS = Registry("localizer")
+
+
+def resolve_localizer(scheme, **kwargs) -> "LocalizationScheme":
+    """Resolve a localizer name through :data:`LOCALIZERS` (instances pass)."""
+    return LOCALIZERS.resolve(scheme, **kwargs)
 
 
 @dataclass

@@ -67,6 +67,7 @@ import numpy as np
 
 from repro.deployment.knowledge import DeploymentKnowledge
 from repro.localization.base import (
+    LOCALIZERS,
     LocalizationContext,
     LocalizationResult,
     LocalizationScheme,
@@ -77,6 +78,7 @@ from repro.utils.validation import check_positive
 __all__ = ["BeaconlessLocalizer"]
 
 
+@LOCALIZERS.register("beaconless_mle", "mle", name="beaconless")
 @dataclass
 class BeaconlessLocalizer(LocalizationScheme):
     """Maximum-likelihood beaconless localization from group observations.

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.localization.base import (
+    LOCALIZERS,
     LocalizationContext,
     LocalizationResult,
     LocalizationScheme,
@@ -22,6 +23,7 @@ from repro.localization.base import (
 __all__ = ["CentroidLocalizer"]
 
 
+@LOCALIZERS.register()
 @dataclass
 class CentroidLocalizer(LocalizationScheme):
     """Estimate a node's position as the centroid of audible beacon positions."""

@@ -20,6 +20,7 @@ from scipy.sparse.csgraph import dijkstra
 from scipy.spatial import cKDTree
 
 from repro.localization.base import (
+    LOCALIZERS,
     BeaconInfrastructure,
     LocalizationContext,
     LocalizationResult,
@@ -94,6 +95,7 @@ def average_hop_distance(
     return float(dist[mask].sum() / beacon_hop_counts[mask].sum())
 
 
+@LOCALIZERS.register("dv_hop", name="dvhop")
 @dataclass
 class DvHopLocalizer(LocalizationScheme):
     """DV-Hop position estimation for a single node.

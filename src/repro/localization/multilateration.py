@@ -17,6 +17,7 @@ import numpy as np
 from scipy import optimize
 
 from repro.localization.base import (
+    LOCALIZERS,
     LocalizationContext,
     LocalizationResult,
     LocalizationScheme,
@@ -25,6 +26,7 @@ from repro.localization.base import (
 __all__ = ["MmseMultilaterationLocalizer"]
 
 
+@LOCALIZERS.register("mmse_multilateration", "multilateration", name="mmse")
 @dataclass
 class MmseMultilaterationLocalizer(LocalizationScheme):
     """Least-squares multilateration from beacon distance measurements.

@@ -1,0 +1,49 @@
+"""Public registry facade for the anomaly metrics.
+
+The canonical spelling of the plug-in API::
+
+    import repro.metrics
+
+    metric = repro.metrics.create("diff")
+    repro.metrics.available()        # ['add_all', 'diff', 'probability']
+
+    @repro.metrics.register("my_metric")
+    class MyMetric(repro.metrics.AnomalyMetric):
+        name = "my_metric"
+        ...
+
+The metric implementations themselves live in :mod:`repro.core.metrics`;
+this module re-exports them together with the bound registry operations so
+user code never has to touch the ``repro.core`` internals.
+"""
+
+from repro.core.metrics import (
+    ALL_METRICS,
+    METRICS as registry,
+    AddAllMetric,
+    AnomalyMetric,
+    DiffMetric,
+    ProbabilityMetric,
+    resolve_metric as resolve,
+)
+
+__all__ = [
+    "registry",
+    "register",
+    "create",
+    "get",
+    "resolve",
+    "available",
+    "aliases",
+    "AnomalyMetric",
+    "DiffMetric",
+    "AddAllMetric",
+    "ProbabilityMetric",
+    "ALL_METRICS",
+]
+
+register = registry.register
+create = registry.create
+get = registry.get
+available = registry.available
+aliases = registry.aliases

@@ -1,0 +1,171 @@
+"""Generic component registries for the public scenario API.
+
+Every pluggable component family (anomaly metrics, attack classes,
+deployment models, localization schemes) is published through a
+:class:`Registry`: a mapping from canonical short names (plus friendly
+aliases) to component classes.  User code and third-party scenarios plug
+components in by name::
+
+    import repro.metrics, repro.attacks
+
+    metric = repro.metrics.create("diff")
+    repro.attacks.available()          # ['dec_bounded', 'dec_only']
+
+and can register their own implementations with the ``@register``
+decorator::
+
+    @repro.metrics.register("my_metric", "mm")
+    class MyMetric(AnomalyMetric):
+        name = "my_metric"
+        ...
+
+The registries replace the old ``get_metric``-style string dispatch: names
+are normalised the same way everywhere (lower-case, spaces and dashes to
+underscores), unknown names raise a uniform error listing the choices, and
+the declarative :class:`~repro.experiments.scenario.ScenarioSpec` validates
+its component names against these registries at construction time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Type, TypeVar
+
+__all__ = ["Registry", "normalize_name"]
+
+T = TypeVar("T")
+
+
+def normalize_name(name: str) -> str:
+    """Canonical lookup form of a component name.
+
+    Lower-cased with spaces and dashes folded to underscores, so
+    ``"Dec-Bounded"``, ``"dec bounded"`` and ``"dec_bounded"`` all resolve
+    to the same entry.
+    """
+    return str(name).strip().lower().replace(" ", "_").replace("-", "_")
+
+
+class Registry:
+    """A name → class mapping with aliases and decorator registration.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable component-family name used in error messages
+        (e.g. ``"metric"``).
+
+    Examples
+    --------
+    >>> METRICS = Registry("metric")
+    >>> @METRICS.register("difference", "dm")
+    ... class DiffMetric:
+    ...     name = "diff"
+    >>> METRICS.create("DM")  # doctest: +ELLIPSIS
+    <...DiffMetric object at ...>
+    >>> METRICS.available()
+    ['diff']
+    """
+
+    def __init__(self, kind: str):
+        self._kind = str(kind)
+        self._classes: Dict[str, type] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register(
+        self, *aliases: str, name: Optional[str] = None
+    ) -> Callable[[Type[T]], Type[T]]:
+        """Class decorator registering a component under its canonical name.
+
+        The canonical name is *name* when given, otherwise the class'
+        ``name`` attribute.  Extra positional *aliases* resolve to the same
+        class.  Re-registering an existing name replaces it (so user code
+        can override a built-in), but an alias may not shadow a different
+        component's canonical name.
+        """
+
+        def decorator(cls: Type[T]) -> Type[T]:
+            canonical = normalize_name(name or getattr(cls, "name", "") or "")
+            if not canonical:
+                raise ValueError(
+                    f"cannot register {cls!r} as a {self._kind}: it has no "
+                    "'name' attribute and no explicit name was given"
+                )
+            if self._aliases.get(canonical, canonical) != canonical:
+                # Lookups consult aliases first, so a canonical name hiding
+                # behind an existing alias would be unreachable.
+                raise ValueError(
+                    f"cannot register {self._kind} {canonical!r}: the name "
+                    f"is already an alias of {self._aliases[canonical]!r}"
+                )
+            self._classes[canonical] = cls
+            for alias in aliases:
+                key = normalize_name(alias)
+                if key in self._classes and key != canonical:
+                    raise ValueError(
+                        f"alias {alias!r} would shadow the registered "
+                        f"{self._kind} {key!r}"
+                    )
+                self._aliases[key] = canonical
+            return cls
+
+        return decorator
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, name: str) -> type:
+        """The registered class for *name* (canonical or alias)."""
+        key = normalize_name(name)
+        key = self._aliases.get(key, key)
+        try:
+            return self._classes[key]
+        except KeyError:
+            raise ValueError(
+                f"unknown {self._kind} {name!r}; choose from {self.available()}"
+            ) from None
+
+    def create(self, name: str, **kwargs):
+        """Instantiate the component registered under *name*."""
+        return self.get(name)(**kwargs)
+
+    def resolve(self, spec, **kwargs):
+        """Pass a component instance through, or create one from its name."""
+        if isinstance(spec, str):
+            return self.create(spec, **kwargs)
+        return spec
+
+    def canonical(self, name: str) -> str:
+        """The canonical name *name* resolves to (validating it exists)."""
+        key = normalize_name(name)
+        key = self._aliases.get(key, key)
+        if key not in self._classes:
+            raise ValueError(
+                f"unknown {self._kind} {name!r}; choose from {self.available()}"
+            )
+        return key
+
+    # -- introspection -----------------------------------------------------
+
+    def available(self) -> List[str]:
+        """Sorted canonical names of every registered component."""
+        return sorted(self._classes)
+
+    def aliases(self) -> Dict[str, str]:
+        """Mapping of alias → canonical name (copy)."""
+        return dict(self._aliases)
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        key = normalize_name(name)
+        return self._aliases.get(key, key) in self._classes
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.available())
+
+    def __len__(self) -> int:
+        return len(self._classes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Registry({self._kind!r}, {self.available()})"

@@ -5,10 +5,12 @@ import pytest
 
 from repro.core.metrics import (
     ALL_METRICS,
+    METRICS,
     AddAllMetric,
     DiffMetric,
     ProbabilityMetric,
     get_metric,
+    resolve_metric,
 )
 
 M = 30  # group size used in the tests
@@ -139,18 +141,28 @@ class TestMetricRegistry:
         assert names == {"diff", "add_all", "probability"}
 
     def test_lookup_by_name_and_alias(self):
-        assert isinstance(get_metric("diff"), DiffMetric)
-        assert isinstance(get_metric("Add-All"), AddAllMetric)
-        assert isinstance(get_metric("PM"), ProbabilityMetric)
-        assert isinstance(get_metric("difference"), DiffMetric)
+        assert isinstance(resolve_metric("diff"), DiffMetric)
+        assert isinstance(resolve_metric("Add-All"), AddAllMetric)
+        assert isinstance(resolve_metric("PM"), ProbabilityMetric)
+        assert isinstance(resolve_metric("difference"), DiffMetric)
+
+    def test_registry_introspection(self):
+        assert METRICS.available() == ["add_all", "diff", "probability"]
+        assert "dm" in METRICS
+        assert METRICS.canonical("Add-All") == "add_all"
 
     def test_instance_passthrough(self):
         metric = DiffMetric()
-        assert get_metric(metric) is metric
+        assert resolve_metric(metric) is metric
 
     def test_unknown_rejected(self):
-        with pytest.raises(ValueError):
-            get_metric("entropy")
+        with pytest.raises(ValueError, match="unknown metric"):
+            resolve_metric("entropy")
+
+    def test_get_metric_deprecated_but_equivalent(self):
+        with pytest.warns(DeprecationWarning, match="get_metric"):
+            metric = get_metric("diff")
+        assert isinstance(metric, DiffMetric)
 
     def test_shape_mismatch_rejected(self, vectors):
         obs, exp = vectors
@@ -158,6 +170,6 @@ class TestMetricRegistry:
             DiffMetric().compute(obs, exp[:2])
 
     def test_paper_names(self):
-        assert get_metric("diff").paper_name == "Diff Metric"
-        assert get_metric("add_all").paper_name == "Add All Metric"
-        assert get_metric("probability").paper_name == "Probability Metric"
+        assert resolve_metric("diff").paper_name == "Diff Metric"
+        assert resolve_metric("add_all").paper_name == "Add All Metric"
+        assert resolve_metric("probability").paper_name == "Probability Metric"

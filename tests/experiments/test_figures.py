@@ -12,7 +12,7 @@ import pytest
 from repro.experiments.config import SimulationConfig
 from repro.experiments.figures import FIGURES, get_figure, run_figure
 from repro.experiments.figures import fig4, fig5, fig6, fig7, fig8, fig9
-from repro.experiments.harness import LadSimulation
+from repro.experiments.session import LadSession
 
 
 @pytest.fixture(scope="module")
@@ -30,7 +30,7 @@ def tiny_config():
 
 @pytest.fixture(scope="module")
 def tiny_simulation(tiny_config):
-    return LadSimulation(tiny_config)
+    return LadSession(tiny_config)
 
 
 class TestRegistry:

@@ -1,10 +1,11 @@
-"""Tests for :mod:`repro.experiments.harness`."""
+"""Tests for :mod:`repro.experiments.session` and the legacy harness shim."""
 
 import numpy as np
 import pytest
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.harness import LadSimulation
+from repro.experiments.session import LadSession
 
 
 @pytest.fixture(scope="module")
@@ -20,7 +21,7 @@ def tiny_simulation():
         gz_omega=400,
         seed=99,
     )
-    return LadSimulation(config)
+    return LadSession(config)
 
 
 class TestCaching:
@@ -97,5 +98,39 @@ class TestEvaluationEntryPoints:
         assert 0.0 < error < 100.0
 
     def test_default_config_used_when_omitted(self):
-        sim = LadSimulation()
+        sim = LadSession()
         assert sim.config.group_size == 300
+
+
+class TestLegacyShim:
+    def test_lad_simulation_warns_and_is_a_session(self):
+        with pytest.warns(DeprecationWarning, match="LadSimulation is deprecated"):
+            sim = LadSimulation(SimulationConfig(group_size=40))
+        assert isinstance(sim, LadSession)
+
+    def test_shim_results_match_session(self):
+        config = SimulationConfig(
+            group_size=40,
+            num_training_samples=30,
+            training_samples_per_network=15,
+            num_victims=30,
+            victims_per_network=15,
+            gz_omega=300,
+            seed=31,
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = LadSimulation(config)
+        modern = LadSession(config)
+        np.testing.assert_array_equal(
+            legacy.benign_scores("diff"), modern.benign_scores("diff")
+        )
+        np.testing.assert_array_equal(
+            legacy.attacked_scores(
+                "diff", "dec_bounded",
+                degree_of_damage=120.0, compromised_fraction=0.1,
+            ),
+            modern.attacked_scores(
+                "diff", "dec_bounded",
+                degree_of_damage=120.0, compromised_fraction=0.1,
+            ),
+        )

@@ -4,13 +4,13 @@ import numpy as np
 import pytest
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.harness import LadSimulation
+from repro.experiments.session import LadSession
 from repro.experiments.sweep import SweepPoint, SweepRunner, attack_stream_name
 
 
 @pytest.fixture(scope="module")
 def tiny_simulation():
-    return LadSimulation(
+    return LadSession(
         SimulationConfig(
             group_size=40,
             num_training_samples=30,

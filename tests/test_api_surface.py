@@ -1,0 +1,59 @@
+"""The public API surface: ``repro.__all__`` imports cleanly and lazily."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_scenario_api_exported(self):
+        for name in (
+            "LadSession",
+            "LadSimulation",
+            "ScenarioSpec",
+            "SimulationConfig",
+            "ArtifactStore",
+            "SweepPoint",
+            "SweepRunner",
+            "Registry",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_registry_facades_reachable_from_package(self):
+        assert repro.metrics.available() == ["add_all", "diff", "probability"]
+
+    def test_dir_lists_lazy_names(self):
+        listing = dir(repro)
+        assert "LadSession" in listing and "ScenarioSpec" in listing
+
+    def test_unknown_attribute_raises(self):
+        try:
+            repro.does_not_exist
+        except AttributeError as exc:
+            assert "does_not_exist" in str(exc)
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected AttributeError")
+
+    def test_import_repro_stays_light(self):
+        """``import repro`` must not pull the heavy experiments layer
+        (sessions, sweeps, figures); those load lazily on first access."""
+        code = (
+            "import sys; import repro; "
+            "heavy = [m for m in sys.modules if m.startswith("
+            "'repro.experiments')]; "
+            "assert not heavy, heavy; "
+            "repro.LadSession; "
+            "assert 'repro.experiments.session' in sys.modules"
+        )
+        repo_root = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        subprocess.run([sys.executable, "-c", code], check=True, env=env)

@@ -6,6 +6,24 @@ import pytest
 
 from repro.cli import build_parser, main
 
+TINY_SPEC = """\
+name = "cli_tiny"
+metrics = ["diff"]
+attacks = ["dec_bounded"]
+degrees = [80.0, 160.0]
+fractions = [0.1]
+false_positive_rate = 0.05
+
+[config]
+group_size = 40
+num_training_samples = 30
+training_samples_per_network = 15
+num_victims = 30
+victims_per_network = 15
+gz_omega = 300
+seed = 777
+"""
+
 
 class TestParser:
     def test_version_flag(self, capsys):
@@ -28,6 +46,19 @@ class TestParser:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
+
+    def test_every_subcommand_binds_a_handler(self):
+        """Dispatch runs through the handler table: each sub-parser sets
+        ``func``, so ``main`` never falls through to a dead branch."""
+        parser = build_parser()
+        for argv in (
+            ["figure", "fig4"],
+            ["sweep", "spec.toml"],
+            ["demo"],
+            ["gz-table"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func), argv
 
 
 class TestCommands:
@@ -84,3 +115,57 @@ class TestCommands:
         assert data["figure_id"] == "fig7"
         out = capsys.readouterr().out
         assert "Detection rate vs degree of damage" in out
+
+
+class TestSweepCommand:
+    def test_sweep_streams_results_and_writes_outputs(self, capsys, tmp_path):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            [
+                "sweep",
+                str(spec_path),
+                "--json",
+                str(json_path),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario 'cli_tiny': 2 point(s)" in out
+        assert "[2/2]" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["spec"]["name"] == "cli_tiny"
+        assert len(payload["results"]) == 2
+        assert {row["degree_of_damage"] for row in payload["results"]} == {
+            80.0,
+            160.0,
+        }
+        assert csv_path.read_text().startswith("group_size,")
+
+    def test_sweep_cache_dir_warm_run_hits(self, capsys, tmp_path):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        cache = tmp_path / "cache"
+        assert main(["sweep", str(spec_path), "--cache-dir", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        assert "cache: 0 hit(s)" in cold
+        assert main(["sweep", str(spec_path), "--cache-dir", str(cache)]) == 0
+        warm = capsys.readouterr().out
+        assert ", 0 miss(es)" in warm
+
+        def rows(text):
+            return [
+                line for line in text.splitlines() if line.strip().startswith("40 ")
+            ]
+
+        assert rows(cold) == rows(warm)
+
+    def test_sweep_rejects_bad_spec(self, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('metrics = ["entropy"]\n')
+        with pytest.raises(ValueError, match="unknown metric"):
+            main(["sweep", str(bad)])

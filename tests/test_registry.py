@@ -1,0 +1,183 @@
+"""Tests for :mod:`repro.registry` and the built-in component registries."""
+
+import numpy as np
+import pytest
+
+import repro.attacks
+import repro.deployment
+import repro.localization
+import repro.metrics
+from repro.registry import Registry, normalize_name
+
+
+class TestNormalization:
+    def test_case_spaces_and_dashes_fold(self):
+        assert normalize_name(" Dec-Bounded ") == "dec_bounded"
+        assert normalize_name("add all") == "add_all"
+        assert normalize_name("DIFF") == "diff"
+
+
+class TestGenericRegistry:
+    def test_register_by_class_name_attribute(self):
+        reg = Registry("widget")
+
+        @reg.register("alias_one", "alias-two")
+        class Widget:
+            name = "widget_a"
+
+        assert reg.available() == ["widget_a"]
+        assert reg.get("Alias One") is Widget
+        assert reg.get("alias_two") is Widget
+        assert reg.canonical("alias-two") == "widget_a"
+        assert "widget_a" in reg and "alias_one" in reg
+        assert len(reg) == 1 and list(reg) == ["widget_a"]
+
+    def test_register_with_explicit_name(self):
+        reg = Registry("widget")
+
+        @reg.register(name="short")
+        class Widget:
+            name = "a-very-long-name"
+
+        assert reg.available() == ["short"]
+        assert reg.canonical("short") == "short"
+
+    def test_create_forwards_kwargs_and_resolve_passes_instances(self):
+        reg = Registry("widget")
+
+        @reg.register()
+        class Widget:
+            name = "w"
+
+            def __init__(self, size=1):
+                self.size = size
+
+        assert reg.create("w", size=5).size == 5
+        instance = Widget(size=9)
+        assert reg.resolve(instance) is instance
+        assert reg.resolve("w").size == 1
+
+    def test_unknown_name_lists_choices(self):
+        reg = Registry("widget")
+
+        @reg.register()
+        class Widget:
+            name = "w"
+
+        with pytest.raises(ValueError, match=r"unknown widget 'nope'.*\['w'\]"):
+            reg.get("nope")
+        with pytest.raises(ValueError, match="unknown widget"):
+            reg.canonical("nope")
+
+    def test_nameless_class_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(ValueError, match="no 'name' attribute"):
+            reg.register()(object)
+
+    def test_alias_cannot_shadow_other_canonical_name(self):
+        reg = Registry("widget")
+
+        @reg.register()
+        class A:
+            name = "a"
+
+        with pytest.raises(ValueError, match="shadow"):
+
+            @reg.register("a")
+            class B:
+                name = "b"
+
+    def test_canonical_name_cannot_hide_behind_existing_alias(self):
+        reg = Registry("widget")
+
+        @reg.register("short")
+        class A:
+            name = "a"
+
+        # Lookups resolve aliases first, so registering a component whose
+        # canonical name equals A's alias would make it unreachable.
+        with pytest.raises(ValueError, match="already an alias"):
+
+            @reg.register(name="short")
+            class B:
+                name = "b"
+
+    def test_reregistering_overrides(self):
+        reg = Registry("widget")
+
+        @reg.register()
+        class A:
+            name = "a"
+
+        @reg.register(name="a")
+        class A2:
+            name = "a"
+
+        assert reg.get("a") is A2
+
+
+class TestBuiltinRegistries:
+    def test_metric_registry(self):
+        assert repro.metrics.available() == ["add_all", "diff", "probability"]
+        metric = repro.metrics.create("dm")
+        assert metric.name == "diff"
+        assert repro.metrics.resolve(metric) is metric
+
+    def test_attack_registry(self):
+        assert repro.attacks.available() == ["dec_bounded", "dec_only"]
+        attack = repro.attacks.create("Dec-Only")
+        assert attack.name == "dec_only"
+        assert not attack.allows_increase
+
+    def test_deployment_registry(self):
+        assert repro.deployment.available() == ["grid", "hex", "random"]
+        model = repro.deployment.create("grid", rows=4, cols=5)
+        assert model.n_groups == 20
+
+    def test_localizer_registry(self):
+        assert repro.localization.available() == [
+            "apit",
+            "beaconless",
+            "centroid",
+            "dvhop",
+            "mmse",
+        ]
+        localizer = repro.localization.create("beaconless", resolution=4.0)
+        assert localizer.resolution == 4.0
+        assert repro.localization.registry.canonical("mle") == "beaconless"
+        assert repro.localization.registry.canonical("dv-hop") == "dvhop"
+        # Every advertised name must be creatable without arguments.
+        for name in repro.localization.available():
+            assert repro.localization.create(name) is not None
+
+    def test_third_party_metric_pluggable(self):
+        @repro.metrics.register(name="_test_sum")
+        class SumMetric(repro.metrics.AnomalyMetric):
+            name = "_test_sum"
+            paper_name = "Sum Metric"
+
+            def compute(self, observations, expected, group_size=None):
+                return float(np.asarray(observations).sum())
+
+        try:
+            assert "_test_sum" in repro.metrics.registry
+            assert repro.metrics.create("_test_sum").compute(
+                np.ones(4), np.zeros(4)
+            ) == pytest.approx(4.0)
+        finally:
+            # Keep the shared registry clean for the other tests.
+            repro.metrics.registry._classes.pop("_test_sum", None)
+
+    def test_figure_specs_resolve_in_registries(self):
+        """Registry completeness: every component name a figure spec uses
+        resolves in its registry (the specs validate at construction)."""
+        from repro.experiments.figures import FIGURE_SPECS
+
+        assert set(FIGURE_SPECS) == {f"fig{i}" for i in range(4, 10)}
+        for figure_id, build in FIGURE_SPECS.items():
+            spec = build()
+            for metric in spec.metrics:
+                assert metric in repro.metrics.registry, (figure_id, metric)
+            for attack in spec.attacks:
+                assert attack in repro.attacks.registry, (figure_id, attack)
+            assert spec.localizer in repro.localization.registry
