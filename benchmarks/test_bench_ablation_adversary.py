@@ -7,10 +7,18 @@ same D-anomaly attack is scored when the compromised neighbours are used
 Diff-minimising procedure.  The detection rate should drop monotonically
 from (a) to (c) — i.e. the greedy adversary is genuinely the hardest to
 catch, which justifies evaluating LAD against it.
+
+The file also tracks the speedup of the vectorised
+:meth:`GreedyMetricMinimizer.taint_batch` (the 2-D decrease-allocation over
+all victims at once) against the per-row :meth:`taint` loop, asserting the
+outputs stay bit-identical.
 """
+
+import time
 
 import numpy as np
 
+from benchmarks.bench_records import record_benchmark
 from benchmarks.conftest import bench_config
 from repro.attacks.base import AttackBudget
 from repro.attacks.greedy import GreedyMetricMinimizer
@@ -89,3 +97,61 @@ def test_adversary_strength_ablation(benchmark):
 
     assert rates["greedy Diff-minimising"] <= rates["naive silence attack"] + 0.05
     assert rates["naive silence attack"] <= rates["no adversary on detection"] + 0.05
+
+
+def test_taint_batch_vectorised_speedup():
+    """Vectorised taint_batch at 512 victims: bit-identical, >= 5x."""
+    rng = np.random.default_rng(20050404)
+    num_victims, n_groups = 512, 100
+    group_size = 40
+    honest = np.round(rng.uniform(0.0, group_size, size=(num_victims, n_groups)))
+    expected = rng.uniform(0.0, group_size, size=(num_victims, n_groups))
+    budgets = [int(b) for b in rng.integers(0, 2 * group_size, size=num_victims)]
+    adversary = GreedyMetricMinimizer("diff", "dec_bounded")
+
+    def per_row_loop():
+        return np.vstack(
+            [
+                adversary.taint(
+                    honest[i], expected[i], budgets[i], group_size=group_size
+                )
+                for i in range(num_victims)
+            ]
+        )
+
+    def batched():
+        return adversary.taint_batch(
+            honest, expected, budgets, group_size=group_size
+        )
+
+    # Warm both paths before timing.
+    batched()
+    per_row_loop()
+
+    loop_best, loop_result = np.inf, None
+    for _ in range(3):
+        start = time.perf_counter()
+        loop_result = per_row_loop()
+        loop_best = min(loop_best, time.perf_counter() - start)
+    batch_best, batch_result = np.inf, None
+    for _ in range(5):
+        start = time.perf_counter()
+        batch_result = batched()
+        batch_best = min(batch_best, time.perf_counter() - start)
+
+    np.testing.assert_array_equal(batch_result, loop_result)
+    speedup = loop_best / batch_best
+    record_benchmark(
+        "taint_batch_vectorised",
+        speedup=speedup,
+        loop_seconds=loop_best,
+        batch_seconds=batch_best,
+        victims=num_victims,
+        n_groups=n_groups,
+    )
+    print(
+        f"\ntaint_batch: loop {loop_best * 1000:.1f} ms, "
+        f"batch {batch_best * 1000:.1f} ms, speedup {speedup:.1f}x "
+        f"({num_victims} victims)"
+    )
+    assert speedup >= 5.0

@@ -115,6 +115,9 @@ _LAZY_EXPORTS = {
     "ArtifactStore": "repro.experiments.store",
     "SweepPoint": "repro.experiments.sweep",
     "SweepRunner": "repro.experiments.sweep",
+    "FigureResult": "repro.experiments.results",
+    "run_figure": "repro.experiments.figures",
+    "run_figure_spec": "repro.experiments.figures.common",
 }
 
 
@@ -206,4 +209,7 @@ __all__ = [
     "ArtifactStore",
     "SweepPoint",
     "SweepRunner",
+    "FigureResult",
+    "run_figure",
+    "run_figure_spec",
 ]

@@ -93,6 +93,11 @@ class AttackClass(abc.ABC):
             return budget.compromised_nodes
         return int(budget)
 
+    def __repr__(self) -> str:
+        # Stable across instances and processes: attack classes are
+        # stateless, and artifact fingerprints embed this repr.
+        return f"{type(self).__name__}()"
+
 
 @ATTACKS.register("decbounded")
 class DecBoundedAttack(AttackClass):

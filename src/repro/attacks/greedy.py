@@ -50,32 +50,52 @@ __all__ = ["GreedyMetricMinimizer", "taint_observation"]
 
 
 def _allocate_decreases(
-    honest: np.ndarray, targets: np.ndarray, budget: float
+    honest: np.ndarray, targets: np.ndarray, budget
 ) -> np.ndarray:
     """Lower entries of *honest* toward *targets* spending at most *budget*.
 
     Entries where ``honest <= target`` are untouched.  The budget is spent on
     the largest gaps first; the final entry touched may receive a fractional
     decrease so that the full budget is used exactly when it is binding.
+
+    Vectorised over victims: *honest*/*targets* may be ``(n,)`` vectors with
+    a scalar budget or ``(k, n)`` batches with one budget per row.  Both
+    shapes run the identical numpy operations row-wise (stable descending
+    sort, exclusive prefix sums, clipped spends), so the batch result is
+    bit-for-bit the stack of the per-row results.
     """
-    o = honest.astype(np.float64).copy()
-    gaps = np.clip(honest - targets, 0.0, None)
-    total = gaps.sum()
-    if total <= budget:
-        # Enough budget to close every gap completely.
-        return np.where(gaps > 0, targets, o)
-    if budget <= 0:
-        return o
-    order = np.argsort(-gaps)
-    remaining = float(budget)
-    for idx in order:
-        gap = gaps[idx]
-        if gap <= 0 or remaining <= 0:
-            break
-        spend = min(gap, remaining)
-        o[idx] -= spend
-        remaining -= spend
-    return o
+    honest = np.asarray(honest, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    single = honest.ndim == 1
+    o = np.atleast_2d(honest)
+    t = np.atleast_2d(targets)
+    b = np.asarray(budget, dtype=np.float64).reshape(-1, 1)
+    gaps = np.clip(o - t, 0.0, None)
+    totals = gaps.sum(axis=1, keepdims=True)
+
+    # Rows with enough budget close every gap completely (exactly to the
+    # target); rows without any budget stay honest.
+    out = np.where((totals <= b) & (gaps > 0), t, o)
+
+    binding = ((totals > b) & (b > 0)).ravel()
+    if np.any(binding):
+        gaps_b = gaps[binding]
+        order = np.argsort(-gaps_b, axis=1, kind="stable")
+        sorted_gaps = np.take_along_axis(gaps_b, order, axis=1)
+        # Exclusive prefix sum: budget remaining before each rank is spent.
+        spent_before = np.concatenate(
+            [
+                np.zeros((sorted_gaps.shape[0], 1)),
+                np.cumsum(sorted_gaps, axis=1)[:, :-1],
+            ],
+            axis=1,
+        )
+        remaining = b[binding] - spent_before
+        spends_sorted = np.clip(np.minimum(sorted_gaps, remaining), 0.0, None)
+        spends = np.empty_like(spends_sorted)
+        np.put_along_axis(spends, order, spends_sorted, axis=1)
+        out[binding] = o[binding] - spends
+    return out[0] if single else out
 
 
 @dataclass
@@ -156,13 +176,35 @@ class GreedyMetricMinimizer:
         *,
         group_size: Optional[int] = None,
     ) -> np.ndarray:
-        """Vectorised-over-victims convenience wrapper around :meth:`taint`."""
+        """Taint a whole batch of victims at once.
+
+        For the Diff and Add-all metrics the allocation runs as one 2-D
+        :func:`_allocate_decreases` over all victims with per-row budgets —
+        bit-for-bit equal to calling :meth:`taint` per row, but without the
+        Python-level loop.  The Probability metric's sequential greedy (and
+        any future metric without a closed-form batch) falls back to the
+        per-row path.
+        """
         honest = np.asarray(honest_observations, dtype=np.float64)
         expected = np.asarray(expected_observations, dtype=np.float64)
         if honest.ndim != 2 or honest.shape != expected.shape:
             raise ValueError("batch inputs must be matching (k, n_groups) arrays")
         if len(budgets) != honest.shape[0]:
             raise ValueError("need one budget per victim")
+
+        if isinstance(self.metric, (DiffMetric, AddAllMetric)):
+            x = np.array([float(int(b)) for b in budgets], dtype=np.float64)
+            if isinstance(self.metric, DiffMetric):
+                tainted = self._taint_diff(honest, expected, x, group_size)
+            else:
+                tainted = self._taint_add_all(honest, expected, x)
+            if self.integer_mode:
+                for row in range(honest.shape[0]):
+                    tainted[row] = self._round_feasible(
+                        honest[row], tainted[row], x[row]
+                    )
+            return tainted
+
         out = np.empty_like(honest)
         for row in range(honest.shape[0]):
             out[row] = self.taint(
@@ -173,8 +215,9 @@ class GreedyMetricMinimizer:
     # -- per-metric strategies ------------------------------------------------
 
     def _taint_diff(
-        self, a: np.ndarray, mu: np.ndarray, x: float, group_size: Optional[int]
+        self, a: np.ndarray, mu: np.ndarray, x, group_size: Optional[int]
     ) -> np.ndarray:
+        """Diff-metric taint; shape-generic (one victim or a ``(k, n)`` batch)."""
         if self.attack_class.allows_increase:
             # Free increases: match mu wherever the honest count is short.
             upper = float(group_size) if group_size is not None else np.inf
@@ -183,8 +226,9 @@ class GreedyMetricMinimizer:
             o = a.astype(np.float64).copy()
         return _allocate_decreases(o, np.minimum(mu, o), x)
 
-    def _taint_add_all(self, a: np.ndarray, mu: np.ndarray, x: float) -> np.ndarray:
+    def _taint_add_all(self, a: np.ndarray, mu: np.ndarray, x) -> np.ndarray:
         # Increases never help; only decreases toward mu matter.
+        # Shape-generic like _taint_diff.
         return _allocate_decreases(a.astype(np.float64), np.minimum(mu, a), x)
 
     def _taint_probability(

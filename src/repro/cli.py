@@ -6,6 +6,7 @@ command line::
 
     lad-repro figure fig7 --scale 0.25 --json results/fig7.json
     lad-repro sweep scenario.toml --workers 4 --cache-dir ~/.cache/lad
+    lad-repro sweep --figures fig4 --json results/fig4.json
     lad-repro demo --degree 120 --metric diff
     lad-repro gz-table --radio-range 100 --sigma 50
 
@@ -13,9 +14,12 @@ Subcommands dispatch through a handler table (each sub-parser binds its
 handler via ``set_defaults(func=...)``), so adding a command is one parser
 block plus one function.  ``sweep`` runs any
 :class:`~repro.experiments.scenario.ScenarioSpec` file (TOML or JSON) and
-streams per-point results as they complete; with ``--cache-dir`` the
-trained thresholds and victim samples persist across runs, so a re-run
-skips the training pass entirely.
+streams per-point results as they complete; ``sweep --figures`` renders a
+registered figure spec (or a figure-shaped spec file) into the same
+FigureResult series as ``lad-repro figure``.  With ``--cache-dir`` the
+trained thresholds, victim samples and per-point attacked scores persist
+across runs, so a re-run skips the training pass entirely and an
+interrupted sweep resumes by recomputing only the missing points.
 
 No plotting dependency is required: figures are printed as aligned text
 tables (the same series the paper plots).
@@ -32,6 +36,13 @@ from repro._version import __version__
 from repro.utils.logging import configure_logging
 
 __all__ = ["main", "build_parser"]
+
+#: Shared config defaults of the ``figure`` and ``sweep --figures`` paths.
+#: Both parsers must agree on these, or the documented guarantee that
+#: ``sweep --figures figN`` equals ``figure figN`` silently breaks.
+DEFAULT_GROUP_SIZE = 300
+DEFAULT_RADIO_RANGE = 100.0
+DEFAULT_SEED = 20050404
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,14 +74,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="Monte-Carlo sample-size scale factor (use <1 for quick runs)",
     )
-    fig.add_argument("--group-size", type=int, default=300, help="sensors per group m")
+    fig.add_argument(
+        "--group-size",
+        type=int,
+        default=DEFAULT_GROUP_SIZE,
+        help="sensors per group m",
+    )
     fig.add_argument(
         "--radio-range",
         type=float,
-        default=100.0,
+        default=DEFAULT_RADIO_RANGE,
         help="radio range R (m)",
     )
-    fig.add_argument("--seed", type=int, default=20050404, help="master random seed")
+    fig.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="master random seed"
+    )
     fig.add_argument(
         "--workers",
         type=int,
@@ -94,7 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "spec",
         type=Path,
-        help="ScenarioSpec file (.toml or .json); see repro.ScenarioSpec",
+        help=(
+            "ScenarioSpec file (.toml or .json); with --figures, a "
+            "registered figure id (fig4..fig9) is accepted too"
+        ),
+    )
+    sweep.add_argument(
+        "--figures",
+        action="store_true",
+        help=(
+            "render the result as the paper figure named by SPEC (a figure "
+            "id or a spec file whose name matches one), emitting the same "
+            "FigureResult series as `lad-repro figure`"
+        ),
     )
     sweep.add_argument(
         "--workers",
@@ -107,8 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help=(
-            "artifact store directory: trained thresholds and victim "
-            "samples persist here, so repeated sweeps skip training"
+            "artifact store directory: trained thresholds, victim samples "
+            "and per-point attacked scores persist here, so repeated and "
+            "interrupted sweeps recompute only what is missing"
         ),
     )
     sweep.add_argument(
@@ -116,6 +147,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="Monte-Carlo sample-size scale factor (use <1 for quick runs)",
+    )
+    sweep.add_argument(
+        "--group-size",
+        type=int,
+        default=DEFAULT_GROUP_SIZE,
+        help="sensors per group m (--figures with a figure id only)",
+    )
+    sweep.add_argument(
+        "--radio-range",
+        type=float,
+        default=DEFAULT_RADIO_RANGE,
+        help="radio range R in m (--figures with a figure id only)",
+    )
+    sweep.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_SEED,
+        help="master random seed (--figures with a figure id only)",
     )
     sweep.add_argument(
         "--json", type=Path, default=None, help="write the results as JSON"
@@ -183,12 +232,70 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cache_stats(store) -> None:
+    """One-line cache summary (plus the per-point sweep cache when used)."""
+    if store is None:
+        return
+    print(
+        f"cache: {store.hits} hit(s), {store.misses} miss(es) "
+        f"under {store.root}"
+    )
+    point_hits = store.hit_counts["attacked_scores"]
+    scored = point_hits + store.miss_counts["attacked_scores"]
+    if scored:
+        print(
+            f"cache: attacked scores for {point_hits}/{scored} point(s) "
+            "served from cache"
+        )
+
+
+def _cmd_sweep_figures(args: argparse.Namespace) -> int:
+    """The ``sweep --figures`` mode: evaluate a figure spec end to end."""
+    from repro.experiments.config import SimulationConfig
+    from repro.experiments.figures import FIGURE_SPECS, run_figure_spec
+    from repro.experiments.reporting import format_figure
+    from repro.experiments.scenario import ScenarioSpec
+    from repro.experiments.store import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir) if args.cache_dir is not None else None
+    # Same id normalisation as run_figure_spec, so the CLI accepts
+    # exactly the ids the library does.
+    spec_arg = str(args.spec).strip().lower()
+    if args.spec.is_file():
+        spec = ScenarioSpec.from_file(args.spec).scaled(args.scale)
+    elif spec_arg in FIGURE_SPECS:
+        config = SimulationConfig(
+            group_size=args.group_size,
+            radio_range=args.radio_range,
+            seed=args.seed,
+        )
+        spec = FIGURE_SPECS[spec_arg](config=config, scale=args.scale)
+    else:
+        raise ValueError(
+            f"{spec_arg!r} is neither a spec file nor a registered figure "
+            f"id; available figures: {sorted(FIGURE_SPECS)}"
+        )
+    result = run_figure_spec(spec, workers=args.workers, store=store)
+    print(format_figure(result))
+    _print_cache_stats(store)
+    if args.json is not None:
+        result.to_json(args.json)
+        print(f"[written] {args.json}")
+    if args.csv is not None:
+        result.to_csv(args.csv)
+        print(f"[written] {args.csv}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import csv
     import json
 
     from repro.experiments.scenario import ScenarioSpec
     from repro.experiments.store import ArtifactStore
+
+    if args.figures:
+        return _cmd_sweep_figures(args)
 
     spec = ScenarioSpec.from_file(args.spec).scaled(args.scale)
     store = ArtifactStore(args.cache_dir) if args.cache_dir is not None else None
@@ -232,11 +339,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     "threshold": threshold,
                 }
             )
-    if store is not None:
-        print(
-            f"cache: {store.hits} hit(s), {store.misses} miss(es) "
-            f"under {store.root}"
-        )
+    _print_cache_stats(store)
     if args.json is not None:
         payload = {"spec": spec.as_dict(), "results": rows}
         Path(args.json).write_text(

@@ -15,7 +15,10 @@ statistical quality).
 
 Use :func:`get_figure` / :func:`run_figure` to look figures up by id
 (``"fig4"`` … ``"fig9"``); :data:`FIGURE_SPECS` maps ids to their spec
-builders (e.g. to write them out as TOML files for ``lad-repro sweep``).
+builders (e.g. to write them out as TOML files for ``lad-repro sweep``)
+and :data:`FIGURE_RENDERERS` to their ``render(spec, ...)`` functions —
+:func:`repro.experiments.figures.common.run_figure_spec` (the engine
+behind ``lad-repro sweep --figures``) dispatches through the latter.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.experiments.figures import fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments.figures.common import run_figure_spec
 from repro.experiments.results import FigureResult
 from repro.experiments.scenario import ScenarioSpec
 
@@ -35,8 +39,10 @@ __all__ = [
     "fig9",
     "FIGURES",
     "FIGURE_SPECS",
+    "FIGURE_RENDERERS",
     "get_figure",
     "run_figure",
+    "run_figure_spec",
 ]
 
 #: Registry mapping figure ids to their ``run`` functions.
@@ -57,6 +63,18 @@ FIGURE_SPECS: Dict[str, Callable[..., ScenarioSpec]] = {
     "fig7": fig7.spec,
     "fig8": fig8.spec,
     "fig9": fig9.spec,
+}
+
+#: Registry mapping figure ids to their spec renderers
+#: (``render(spec, *, session=None, workers=0, density_workers=0,
+#: store=None)`` → :class:`FigureResult`).
+FIGURE_RENDERERS: Dict[str, Callable[..., FigureResult]] = {
+    "fig4": fig4.render,
+    "fig5": fig5.render,
+    "fig6": fig6.render,
+    "fig7": fig7.render,
+    "fig8": fig8.render,
+    "fig9": fig9.render,
 }
 
 

@@ -30,6 +30,7 @@ __all__ = [
     "roc_series",
     "run_roc_figure",
     "run_rate_figure",
+    "run_figure_spec",
     "DEFAULT_ROC_FP_GRID",
 ]
 
@@ -94,6 +95,43 @@ def resolve_session(
 
 #: Backwards-compatible name from the pre-session API.
 resolve_simulation = resolve_session
+
+
+def run_figure_spec(
+    spec: ScenarioSpec,
+    *,
+    figure_id: Optional[str] = None,
+    session: Optional[LadSession] = None,
+    workers: int = 0,
+    density_workers: int = 0,
+    store: Union[ArtifactStore, str, None] = None,
+) -> FigureResult:
+    """Evaluate a figure-shaped spec end to end and render its figure.
+
+    The renderer is looked up by *figure_id* — defaulting to ``spec.name``,
+    so any spec named after a registered figure (``"fig4"`` … ``"fig9"``)
+    renders directly — and produces the same
+    :class:`~repro.experiments.results.FigureResult` (panels, series,
+    parameters) as the corresponding ``run`` driver.  This is what
+    ``lad-repro sweep --figures`` runs, with ``--cache-dir`` adding the
+    per-point attacked-score cache underneath.
+    """
+    from repro.experiments.figures import FIGURE_RENDERERS
+
+    key = (figure_id or spec.name).strip().lower()
+    renderer = FIGURE_RENDERERS.get(key)
+    if renderer is None:
+        raise KeyError(
+            f"no figure renderer named {key!r}; "
+            f"available: {sorted(FIGURE_RENDERERS)}"
+        )
+    return renderer(
+        spec,
+        session=session,
+        workers=workers,
+        density_workers=density_workers,
+        store=store,
+    )
 
 
 def roc_series(

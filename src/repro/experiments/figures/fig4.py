@@ -17,13 +17,21 @@ from repro.core.metrics import ALL_METRICS, METRICS
 from repro.experiments.config import SimulationConfig
 from repro.experiments.figures.common import (
     DEFAULT_ROC_FP_GRID,
+    resolve_session,
     run_roc_figure,
 )
 from repro.experiments.results import FigureResult
 from repro.experiments.scenario import ScenarioSpec
 from repro.experiments.session import LadSession
 
-__all__ = ["run", "spec", "DEGREES_OF_DAMAGE", "COMPROMISED_FRACTION", "ATTACK_CLASS"]
+__all__ = [
+    "run",
+    "render",
+    "spec",
+    "DEGREES_OF_DAMAGE",
+    "COMPROMISED_FRACTION",
+    "ATTACK_CLASS",
+]
 
 #: Degrees of damage of the three panels.
 DEGREES_OF_DAMAGE: tuple[float, ...] = (80.0, 120.0, 160.0)
@@ -53,6 +61,35 @@ def spec(
     ).scaled(scale)
 
 
+def render(
+    scenario: ScenarioSpec,
+    *,
+    session: Optional[LadSession] = None,
+    workers: int = 0,
+    density_workers: int = 0,
+    store=None,
+    fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
+) -> FigureResult:
+    """Render Figure 4 from an already-built scenario spec."""
+    del density_workers  # single-density figure
+    session = resolve_session(session, spec=scenario, store=store)
+    return run_roc_figure(
+        scenario,
+        figure_id="fig4",
+        title="ROC curves for different detection metrics and degrees of damage",
+        series_axis="metrics",
+        series_label=lambda name: METRICS.create(name).paper_name,
+        parameters={
+            "compromised_fraction": scenario.fractions[0],
+            "group_size": session.config.group_size,
+            "attack": scenario.attacks[0],
+        },
+        session=session,
+        workers=workers,
+        fp_grid=fp_grid,
+    )
+
+
 def run(
     simulation: Optional[LadSession] = None,
     config: Optional[SimulationConfig] = None,
@@ -64,20 +101,10 @@ def run(
     store=None,
 ) -> FigureResult:
     """Reproduce Figure 4 and return its series."""
-    scenario = spec(config, scale, degrees=degrees)
-    session = simulation or scenario.session(store=store)
-    return run_roc_figure(
-        scenario,
-        figure_id="fig4",
-        title="ROC curves for different detection metrics and degrees of damage",
-        series_axis="metrics",
-        series_label=lambda name: METRICS.create(name).paper_name,
-        parameters={
-            "compromised_fraction": COMPROMISED_FRACTION,
-            "group_size": session.config.group_size,
-            "attack": ATTACK_CLASS,
-        },
-        session=session,
+    return render(
+        spec(config, scale, degrees=degrees),
+        session=simulation,
         workers=workers,
+        store=store,
         fp_grid=fp_grid,
     )

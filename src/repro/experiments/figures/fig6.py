@@ -20,7 +20,7 @@ from repro.experiments.results import FigureResult
 from repro.experiments.scenario import ScenarioSpec
 from repro.experiments.session import LadSession
 
-__all__ = ["run", "spec", "DEGREES_OF_DAMAGE"]
+__all__ = ["run", "render", "spec", "DEGREES_OF_DAMAGE"]
 
 #: Degrees of damage of the two panels.
 DEGREES_OF_DAMAGE: tuple[float, ...] = (120.0, 160.0)
@@ -36,6 +36,29 @@ def spec(
     return fig5.spec(config, scale, degrees=degrees, name="fig6")
 
 
+def render(
+    scenario: ScenarioSpec,
+    *,
+    session: Optional[LadSession] = None,
+    workers: int = 0,
+    density_workers: int = 0,
+    store=None,
+    fp_grid: Sequence[float] = DEFAULT_ROC_FP_GRID,
+) -> FigureResult:
+    """Render Figure 6 from an already-built scenario spec."""
+    figure = fig5.render(
+        scenario,
+        session=session,
+        workers=workers,
+        density_workers=density_workers,
+        store=store,
+        fp_grid=fp_grid,
+    )
+    figure.figure_id = "fig6"
+    figure.title = "ROC curves for different attacks (large degrees of damage)"
+    return figure
+
+
 def run(
     simulation: Optional[LadSession] = None,
     config: Optional[SimulationConfig] = None,
@@ -47,15 +70,10 @@ def run(
     store=None,
 ) -> FigureResult:
     """Reproduce Figure 6 and return its series."""
-    figure = fig5.run(
-        simulation=simulation,
-        config=config,
-        scale=scale,
-        degrees=degrees,
-        fp_grid=fp_grid,
+    return render(
+        spec(config, scale, degrees=degrees),
+        session=simulation,
         workers=workers,
         store=store,
+        fp_grid=fp_grid,
     )
-    figure.figure_id = "fig6"
-    figure.title = "ROC curves for different attacks (large degrees of damage)"
-    return figure

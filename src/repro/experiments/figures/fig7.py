@@ -14,13 +14,14 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.figures.common import run_rate_figure
+from repro.experiments.figures.common import resolve_session, run_rate_figure
 from repro.experiments.results import FigureResult
 from repro.experiments.scenario import ScenarioSpec
 from repro.experiments.session import LadSession
 
 __all__ = [
     "run",
+    "render",
     "spec",
     "DEGREES_OF_DAMAGE",
     "COMPROMISED_FRACTIONS",
@@ -64,6 +65,37 @@ def spec(
     ).scaled(scale)
 
 
+def render(
+    scenario: ScenarioSpec,
+    *,
+    session: Optional[LadSession] = None,
+    workers: int = 0,
+    density_workers: int = 0,
+    store=None,
+) -> FigureResult:
+    """Render Figure 7 from an already-built scenario spec."""
+    del density_workers  # single-density figure
+    session = resolve_session(session, spec=scenario, store=store)
+    return run_rate_figure(
+        scenario,
+        figure_id="fig7",
+        title="Detection rate vs degree of damage",
+        panel_title="DR-D-x",
+        x_axis="degrees",
+        x_label="The Degree of Damage D",
+        series_axis="fractions",
+        series_label=lambda fraction: f"x={int(round(fraction * 100))}%",
+        parameters={
+            "false_positive_rate": scenario.false_positive_rate,
+            "group_size": session.config.group_size,
+            "metric": scenario.metrics[0],
+            "attack": scenario.attacks[0],
+        },
+        session=session,
+        workers=workers,
+    )
+
+
 def run(
     simulation: Optional[LadSession] = None,
     config: Optional[SimulationConfig] = None,
@@ -76,29 +108,15 @@ def run(
     store=None,
 ) -> FigureResult:
     """Reproduce Figure 7 and return its series."""
-    scenario = spec(
-        config,
-        scale,
-        degrees=degrees,
-        fractions=fractions,
-        false_positive_rate=false_positive_rate,
-    )
-    session = simulation or scenario.session(store=store)
-    return run_rate_figure(
-        scenario,
-        figure_id="fig7",
-        title="Detection rate vs degree of damage",
-        panel_title="DR-D-x",
-        x_axis="degrees",
-        x_label="The Degree of Damage D",
-        series_axis="fractions",
-        series_label=lambda fraction: f"x={int(round(fraction * 100))}%",
-        parameters={
-            "false_positive_rate": false_positive_rate,
-            "group_size": session.config.group_size,
-            "metric": METRIC,
-            "attack": ATTACK_CLASS,
-        },
-        session=session,
+    return render(
+        spec(
+            config,
+            scale,
+            degrees=degrees,
+            fractions=fractions,
+            false_positive_rate=false_positive_rate,
+        ),
+        session=simulation,
         workers=workers,
+        store=store,
     )

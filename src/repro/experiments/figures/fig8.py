@@ -15,13 +15,14 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.figures.common import run_rate_figure
+from repro.experiments.figures.common import resolve_session, run_rate_figure
 from repro.experiments.results import FigureResult
 from repro.experiments.scenario import ScenarioSpec
 from repro.experiments.session import LadSession
 
 __all__ = [
     "run",
+    "render",
     "spec",
     "COMPROMISED_FRACTIONS",
     "DEGREES_OF_DAMAGE",
@@ -65,6 +66,38 @@ def spec(
     ).scaled(scale)
 
 
+def render(
+    scenario: ScenarioSpec,
+    *,
+    session: Optional[LadSession] = None,
+    workers: int = 0,
+    density_workers: int = 0,
+    store=None,
+) -> FigureResult:
+    """Render Figure 8 from an already-built scenario spec."""
+    del density_workers  # single-density figure
+    session = resolve_session(session, spec=scenario, store=store)
+    return run_rate_figure(
+        scenario,
+        figure_id="fig8",
+        title="Detection rate vs percentage of compromised nodes",
+        panel_title="DR-x-D",
+        x_axis="fractions",
+        x_label="The Percentage of Compromised Nodes",
+        series_axis="degrees",
+        series_label=lambda degree: f"D={degree:g}",
+        x_transform=lambda fraction: fraction * 100.0,
+        parameters={
+            "false_positive_rate": scenario.false_positive_rate,
+            "group_size": session.config.group_size,
+            "metric": scenario.metrics[0],
+            "attack": scenario.attacks[0],
+        },
+        session=session,
+        workers=workers,
+    )
+
+
 def run(
     simulation: Optional[LadSession] = None,
     config: Optional[SimulationConfig] = None,
@@ -77,30 +110,15 @@ def run(
     store=None,
 ) -> FigureResult:
     """Reproduce Figure 8 and return its series."""
-    scenario = spec(
-        config,
-        scale,
-        fractions=fractions,
-        degrees=degrees,
-        false_positive_rate=false_positive_rate,
-    )
-    session = simulation or scenario.session(store=store)
-    return run_rate_figure(
-        scenario,
-        figure_id="fig8",
-        title="Detection rate vs percentage of compromised nodes",
-        panel_title="DR-x-D",
-        x_axis="fractions",
-        x_label="The Percentage of Compromised Nodes",
-        series_axis="degrees",
-        series_label=lambda degree: f"D={degree:g}",
-        x_transform=lambda fraction: fraction * 100.0,
-        parameters={
-            "false_positive_rate": false_positive_rate,
-            "group_size": session.config.group_size,
-            "metric": METRIC,
-            "attack": ATTACK_CLASS,
-        },
-        session=session,
+    return render(
+        spec(
+            config,
+            scale,
+            fractions=fractions,
+            degrees=degrees,
+            false_positive_rate=false_positive_rate,
+        ),
+        session=simulation,
         workers=workers,
+        store=store,
     )

@@ -33,6 +33,7 @@ from repro.experiments.sweep import FAN_OUT_ERRORS, SweepPoint
 
 __all__ = [
     "run",
+    "render",
     "spec",
     "GROUP_SIZES",
     "DEGREES_OF_DAMAGE",
@@ -101,24 +102,19 @@ def _density_rates(
     return int(group_size), rates
 
 
-def run(
-    simulation: Optional[LadSession] = None,
-    config: Optional[SimulationConfig] = None,
-    scale: float = 1.0,
+def render(
+    scenario: ScenarioSpec,
     *,
-    group_sizes: Sequence[int] = GROUP_SIZES,
-    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
-    fractions: Sequence[float] = COMPROMISED_FRACTIONS,
-    false_positive_rate: float = FALSE_POSITIVE_RATE,
+    session: Optional[LadSession] = None,
     workers: int = 0,
     density_workers: int = 0,
     store=None,
 ) -> FigureResult:
-    """Reproduce Figure 9 and return its series.
+    """Render Figure 9 from an already-built scenario spec.
 
-    The *simulation* argument is ignored (each density needs its own
+    The *session* argument is ignored (each density needs its own
     session); it is accepted for interface uniformity with the other
-    figures.
+    figure renderers.
 
     Parameters
     ----------
@@ -134,22 +130,15 @@ def run(
         the parameter names); platforms without process support fall back
         to the serial path with a warning.
     """
-    scenario = spec(
-        config,
-        scale,
-        group_sizes=group_sizes,
-        degrees=degrees,
-        fractions=fractions,
-        false_positive_rate=false_positive_rate,
-    )
+    del session
 
     figure = FigureResult(
         figure_id="fig9",
         title="Detection rate vs network density",
         parameters={
             "false_positive_rate": scenario.false_positive_rate,
-            "metric": METRIC,
-            "attack": ATTACK_CLASS,
+            "metric": scenario.metrics[0],
+            "attack": scenario.attacks[0],
         },
     )
 
@@ -192,7 +181,12 @@ def run(
         for fraction in scenario.fractions:
             rates = [
                 rates_at[int(m)][
-                    SweepPoint(METRIC, ATTACK_CLASS, float(degree), float(fraction))
+                    SweepPoint(
+                        scenario.metrics[0],
+                        scenario.attacks[0],
+                        float(degree),
+                        float(fraction),
+                    )
                 ][0]
                 for m in scenario.density_values()
             ]
@@ -205,3 +199,33 @@ def run(
             )
         figure.add_panel(panel)
     return figure
+
+
+def run(
+    simulation: Optional[LadSession] = None,
+    config: Optional[SimulationConfig] = None,
+    scale: float = 1.0,
+    *,
+    group_sizes: Sequence[int] = GROUP_SIZES,
+    degrees: Sequence[float] = DEGREES_OF_DAMAGE,
+    fractions: Sequence[float] = COMPROMISED_FRACTIONS,
+    false_positive_rate: float = FALSE_POSITIVE_RATE,
+    workers: int = 0,
+    density_workers: int = 0,
+    store=None,
+) -> FigureResult:
+    """Reproduce Figure 9 and return its series (see :func:`render`)."""
+    return render(
+        spec(
+            config,
+            scale,
+            group_sizes=group_sizes,
+            degrees=degrees,
+            fractions=fractions,
+            false_positive_rate=false_positive_rate,
+        ),
+        session=simulation,
+        workers=workers,
+        density_workers=density_workers,
+        store=store,
+    )

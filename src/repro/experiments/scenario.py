@@ -177,6 +177,36 @@ class ScenarioSpec:
             for m in self.density_values()
         ]
 
+    # -- figure rendering --------------------------------------------------
+
+    def figure(
+        self,
+        *,
+        figure_id: Optional[str] = None,
+        session=None,
+        workers: int = 0,
+        density_workers: int = 0,
+        store: Union[ArtifactStore, str, None] = None,
+    ):
+        """Evaluate this spec end to end as one of the paper's figures.
+
+        The renderer is selected by *figure_id* (default: the spec's
+        ``name``, so a spec named ``"fig7"`` renders as Figure 7) and the
+        result is the same :class:`~repro.experiments.results.FigureResult`
+        the ``lad-repro figure`` drivers emit.  Raises ``KeyError`` when no
+        renderer is registered under that id.
+        """
+        from repro.experiments.figures.common import run_figure_spec
+
+        return run_figure_spec(
+            self,
+            figure_id=figure_id,
+            session=session,
+            workers=workers,
+            density_workers=density_workers,
+            store=store,
+        )
+
     # -- derivation --------------------------------------------------------
 
     def scaled(self, scale: float) -> "ScenarioSpec":

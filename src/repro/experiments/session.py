@@ -28,7 +28,10 @@ Two kinds of reuse stack on top of the in-memory caches:
   :class:`~repro.experiments.store.ArtifactStore` (or ``--cache-dir`` on
   the CLI), trained benign scores and victim samples are keyed by a
   content hash of the training-relevant configuration and re-loaded from
-  disk, so repeated and resumed sweeps skip the training pass entirely.
+  disk, so repeated and resumed sweeps skip the training pass entirely;
+  attacked scores are additionally persisted *per sweep point* (keyed by
+  :meth:`attacked_fingerprint`), so an interrupted sweep resumed with the
+  same cache directory recomputes only the points that never finished.
 
 Sessions are usually built from a declarative
 :class:`~repro.experiments.scenario.ScenarioSpec`; the legacy
@@ -223,6 +226,72 @@ class LadSession:
         )
         return fingerprint
 
+    @staticmethod
+    def _impl_identity(component) -> str:
+        """Implementation identity of a pluggable component.
+
+        Cached artifacts must not survive a re-registered or customised
+        implementation under the same canonical name, so keys carry the
+        class path and ``repr`` alongside the name.
+        """
+        return (
+            f"{type(component).__module__}.{type(component).__qualname__}"
+            f":{component!r}"
+        )
+
+    def attacked_fingerprint(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+    ) -> Dict[str, object]:
+        """Everything one sweep point's attacked scores depend on.
+
+        Builds on :meth:`victims_fingerprint` (the honest observations)
+        plus the ``g(z)`` table resolution, the metric and attack-class
+        identities and the attack parameters.  The per-point random stream
+        is derived from the seed (already fingerprinted) and the parameter
+        names, so two runs with equal fingerprints produce bit-identical
+        scores regardless of which other points ran alongside them.
+        """
+        from repro.attacks.constraints import resolve_attack_class
+
+        metric = resolve_metric(metric)
+        attack = resolve_attack_class(attack_class)
+        fingerprint = self.victims_fingerprint()
+        fingerprint.update(
+            {
+                "gz_omega": self.config.gz_omega,
+                "metric": metric.name,
+                "metric_impl": self._impl_identity(metric),
+                "attack": attack.name,
+                "attack_impl": self._impl_identity(attack),
+                "degree_of_damage": float(degree_of_damage),
+                "compromised_fraction": float(compromised_fraction),
+            }
+        )
+        return fingerprint
+
+    def attacked_scores_key(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+    ) -> str:
+        """Content key of one sweep point's attacked scores."""
+        return fingerprint_key(
+            self.attacked_fingerprint(
+                metric,
+                attack_class,
+                degree_of_damage=degree_of_damage,
+                compromised_fraction=compromised_fraction,
+            )
+        )
+
     @property
     def training_data(self) -> TrainingData:
         """Benign training samples (cached; Section 5.5 step 1)."""
@@ -257,10 +326,7 @@ class LadSession:
                 # The implementation identity too: a re-registered or
                 # customised metric under the same name must not hit the
                 # scores the stock implementation produced.
-                fingerprint["metric_impl"] = (
-                    f"{type(metric).__module__}.{type(metric).__qualname__}"
-                    f":{metric!r}"
-                )
+                fingerprint["metric_impl"] = self._impl_identity(metric)
                 key = fingerprint_key(fingerprint)
                 cached = self._store.load("benign_scores", key)
                 if cached is not None:
@@ -325,7 +391,49 @@ class LadSession:
         degree_of_damage: float,
         compromised_fraction: float,
     ) -> np.ndarray:
-        """Attacked anomaly scores for one parameter combination."""
+        """Attacked anomaly scores for one parameter combination.
+
+        When a store is attached the scores are persisted per point under
+        :meth:`attacked_fingerprint`, so a resumed sweep recomputes only
+        the points that never finished — bit-identical to a cold run,
+        because every point's random stream is derived from the seed and
+        the parameter names alone.
+        """
+        key = None
+        if self._store is not None:
+            key = self.attacked_scores_key(
+                metric,
+                attack_class,
+                degree_of_damage=degree_of_damage,
+                compromised_fraction=compromised_fraction,
+            )
+            cached = self._store.load("attacked_scores", key)
+            if cached is not None:
+                return cached["scores"]
+        scores = self._compute_attacked_scores(
+            metric,
+            attack_class,
+            degree_of_damage=degree_of_damage,
+            compromised_fraction=compromised_fraction,
+        )
+        if self._store is not None and key is not None:
+            self._store.save("attacked_scores", key, scores=scores)
+        return scores
+
+    def _compute_attacked_scores(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+    ) -> np.ndarray:
+        """Score one parameter combination, bypassing the artifact store.
+
+        :meth:`SweepRunner.iter_attacked_scores` calls this for its cold
+        points (it already consulted the store and publishes the results
+        itself), so hit/miss counters are bumped exactly once per point.
+        """
         from repro.experiments.sweep import attack_stream_name
 
         sample = self.victims()

@@ -11,8 +11,18 @@ training pass entirely by persisting it once.
 files.  Keys are SHA-256 hashes of a canonical JSON rendering of the
 fingerprint dictionary describing how an artifact was produced; values are
 named numpy arrays.  :class:`~repro.experiments.session.LadSession` wires
-it into its benign-score and victim-sample caches, and the CLI exposes it
-as ``--cache-dir``.
+it into its benign-score, victim-sample and per-point attacked-score
+caches, and the CLI exposes it as ``--cache-dir``.
+
+On disk the layout is one directory per category::
+
+    <root>/benign_scores/<key>.npz     trained benign metric scores
+    <root>/victims/<key>.npz           victims' honest observations
+    <root>/attacked_scores/<key>.npz   attacked scores of one sweep point
+
+Keys change whenever any fingerprinted input changes (deployment geometry,
+seed, sample sizes, component implementations, attack parameters), so
+stale artifacts are never served — they are simply left unreferenced.
 
 The store counts hits and misses (overall and per category) so tests and
 operators can assert that a warm cache actually skipped the training pass.
@@ -89,23 +99,57 @@ class ArtifactStore:
         """Whether an artifact exists (does not touch the counters)."""
         return self.path_for(category, key).is_file()
 
+    def probe(self, category: str, key: str) -> bool:
+        """Existence check that counts an absent artifact as a miss.
+
+        The streaming sweep partitions warm/cold points with this before
+        fanning out, then :meth:`load`\\ s each warm artifact only at yield
+        time (that read counts the hit).  A present artifact is therefore
+        not counted here — only the definitive miss is, exactly once per
+        artifact the caller will have to compute and publish.
+        """
+        if self.contains(category, key):
+            return True
+        self.misses += 1
+        self.miss_counts[category] += 1
+        return False
+
     def load(self, category: str, key: str) -> Optional[Dict[str, np.ndarray]]:
         """The stored arrays for ``(category, key)``, or ``None`` on a miss.
 
         A hit bumps ``hits`` (and ``hit_counts[category]``); a miss —
         including an unreadable or corrupt file — bumps ``misses``.
+
+        A file that exists but cannot be read (truncated by a crashed
+        non-atomic writer, bit rot, ...) is *quarantined*: it is renamed to
+        ``<key>.npz.corrupt`` so the artifact path is free again and a
+        subsequent :meth:`save` of the same key can never race this
+        reader's half-open handle against its own atomic rename.
         """
         path = self.path_for(category, key)
         try:
             with np.load(path) as archive:
                 arrays = {name: archive[name] for name in archive.files}
+        except FileNotFoundError:
+            self.misses += 1
+            self.miss_counts[category] += 1
+            return None
         except (OSError, ValueError, EOFError, zipfile.BadZipFile):
             self.misses += 1
             self.miss_counts[category] += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         self.hit_counts[category] += 1
         return arrays
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        """Move a corrupt artifact aside (best effort, atomic rename)."""
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - already gone or unwritable dir
+            pass
 
     def save(self, category: str, key: str, **arrays: np.ndarray) -> Path:
         """Persist named *arrays* under ``(category, key)``.

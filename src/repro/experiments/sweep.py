@@ -257,17 +257,78 @@ class SweepRunner:
         Results arrive in grid order.  This is the streaming form of
         :meth:`attacked_scores`: the CLI ``sweep`` command prints each point
         the moment it is scored instead of waiting for the whole grid.
+
+        When the session carries an artifact store, every point is first
+        looked up under its attacked-score fingerprint: warm points stream
+        straight from disk, only the cold remainder is computed (serially
+        or via the shared-memory worker pool) and each cold result is
+        published atomically the moment it arrives.  An interrupted sweep
+        resumed with the same cache directory therefore recomputes exactly
+        the missing points — and, because each point's random stream is
+        derived from the seed and parameter names alone, reproduces an
+        uninterrupted cold run bit for bit.
+
         With ``workers > 1`` the pool's result iterator is consumed lazily,
         so scoring and downstream reporting overlap; when fan-out is
         unavailable (or a pool dies mid-sweep) the remaining points continue
         on the bit-identical serial path after a :class:`RuntimeWarning`.
         """
         points = list(points)
+        session = self._simulation
+        store = session.store
+        # Partition warm/cold with existence probes only (the pre-scan
+        # must not read N arrays up front: warm artifacts are loaded one
+        # at a time at yield time, keeping the generator O(1) in memory
+        # for arbitrarily long resumed sweeps).
+        keys: List[Optional[str]] = [None] * len(points)
+        warm_indices: set = set()
+        if store is not None:
+            for i, point in enumerate(points):
+                keys[i] = session.attacked_scores_key(
+                    point.metric,
+                    point.attack,
+                    degree_of_damage=point.degree_of_damage,
+                    compromised_fraction=point.compromised_fraction,
+                )
+                if store.probe("attacked_scores", keys[i]):
+                    warm_indices.add(i)
+        cold_scores = self._iter_cold_scores(
+            [points[i] for i in range(len(points)) if i not in warm_indices]
+        )
+        for i, point in enumerate(points):
+            if i in warm_indices:
+                cached = store.load("attacked_scores", keys[i])
+                if cached is not None:
+                    yield point, cached["scores"]
+                    continue
+                # Vanished or corrupt since the probe (quarantined by the
+                # failed load): recompute this point inline.
+                scores = session._compute_attacked_scores(
+                    point.metric,
+                    point.attack,
+                    degree_of_damage=point.degree_of_damage,
+                    compromised_fraction=point.compromised_fraction,
+                )
+            else:
+                scores = next(cold_scores)
+            if store is not None and keys[i] is not None:
+                store.save("attacked_scores", keys[i], scores=scores)
+            yield point, scores
+
+    def _iter_cold_scores(
+        self, points: List[SweepPoint]
+    ) -> Iterator[np.ndarray]:
+        """Compute scores for store-missing points, in grid order.
+
+        The store was already consulted by :meth:`iter_attacked_scores`
+        (which also publishes the results), so this path scores directly —
+        via the pool when requested, with the usual serial fallback.
+        """
         yielded = 0
-        if self._workers > 1:
+        if self._workers > 1 and points:
             try:
-                for pair in self._iter_parallel(points):
-                    yield pair
+                for _point, scores in self._iter_parallel(points):
+                    yield scores
                     yielded += 1
             except FAN_OUT_ERRORS as exc:
                 warnings.warn(
@@ -277,14 +338,11 @@ class SweepRunner:
                     stacklevel=2,
                 )
         for point in points[yielded:]:
-            yield (
-                point,
-                self._simulation.attacked_scores(
-                    point.metric,
-                    point.attack,
-                    degree_of_damage=point.degree_of_damage,
-                    compromised_fraction=point.compromised_fraction,
-                ),
+            yield self._simulation._compute_attacked_scores(
+                point.metric,
+                point.attack,
+                degree_of_damage=point.degree_of_damage,
+                compromised_fraction=point.compromised_fraction,
             )
 
     def _iter_parallel(

@@ -216,6 +216,55 @@ class TestIntegerModeAndBatch:
                 np.vstack([honest, honest]), np.vstack([expected, expected]), [5]
             )
 
+    @pytest.mark.parametrize("metric", ["diff", "add_all"])
+    @pytest.mark.parametrize("attack", ["dec_bounded", "dec_only"])
+    @pytest.mark.parametrize("integer_mode", [False, True])
+    def test_vectorised_batch_equals_loop_bitwise(self, metric, attack, integer_mode):
+        """The 2-D allocation over all victims at once must reproduce the
+        per-row :meth:`taint` loop bit for bit (not just approximately)."""
+        rng = np.random.default_rng(20050404)
+        k, n = 64, 25
+        honest = np.round(rng.uniform(0.0, 30.0, size=(k, n)))
+        expected = rng.uniform(0.0, 30.0, size=(k, n))
+        # Include duplicate gaps (ties in the sort), zero budgets and
+        # budgets large enough to close every gap.
+        budgets = [int(b) for b in rng.integers(0, 120, size=k)]
+        budgets[0] = 0
+        honest[1] = honest[2]
+        expected[1] = expected[2]
+        budgets[1] = budgets[2]
+        adversary = GreedyMetricMinimizer(metric, attack, integer_mode=integer_mode)
+        batch = adversary.taint_batch(honest, expected, budgets, group_size=GROUP_SIZE)
+        loop = np.vstack(
+            [
+                adversary.taint(
+                    honest[i], expected[i], budgets[i], group_size=GROUP_SIZE
+                )
+                for i in range(k)
+            ]
+        )
+        np.testing.assert_array_equal(batch, loop)
+
+    def test_probability_batch_still_matches_loop(self):
+        """The probability metric keeps the per-row greedy; the batch path
+        must stay the trivial loop wrapper."""
+        rng = np.random.default_rng(99)
+        k, n = 8, 10
+        honest = np.round(rng.uniform(0.0, 20.0, size=(k, n)))
+        expected = rng.uniform(0.0, 20.0, size=(k, n))
+        budgets = [int(b) for b in rng.integers(0, 30, size=k)]
+        adversary = GreedyMetricMinimizer("probability", "dec_bounded")
+        batch = adversary.taint_batch(honest, expected, budgets, group_size=GROUP_SIZE)
+        loop = np.vstack(
+            [
+                adversary.taint(
+                    honest[i], expected[i], budgets[i], group_size=GROUP_SIZE
+                )
+                for i in range(k)
+            ]
+        )
+        np.testing.assert_array_equal(batch, loop)
+
     def test_functional_wrapper(self, scenario):
         honest, expected = scenario
         out = taint_observation(

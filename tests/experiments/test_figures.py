@@ -42,6 +42,41 @@ class TestRegistry:
         with pytest.raises(KeyError):
             get_figure("fig99")
 
+    def test_renderers_cover_every_figure(self):
+        from repro.experiments.figures import FIGURE_RENDERERS, FIGURE_SPECS
+
+        assert set(FIGURE_RENDERERS) == set(FIGURES) == set(FIGURE_SPECS)
+
+
+class TestSpecRendering:
+    """``run_figure_spec`` / ``ScenarioSpec.figure`` reproduce the drivers."""
+
+    @pytest.mark.parametrize("figure_id", ["fig4", "fig5", "fig7", "fig8"])
+    def test_run_figure_spec_matches_run_driver(
+        self, figure_id, tiny_config, tiny_simulation
+    ):
+        from repro.experiments.figures import FIGURE_SPECS, run_figure_spec
+
+        spec = FIGURE_SPECS[figure_id](tiny_config)
+        via_spec = run_figure_spec(spec, session=tiny_simulation)
+        via_run = run_figure(figure_id, simulation=tiny_simulation)
+        assert via_spec.as_dict() == via_run.as_dict()
+
+    def test_scenario_spec_figure_method(self, tiny_config, tiny_simulation):
+        from repro.experiments.figures import fig7 as fig7_module
+
+        spec = fig7_module.spec(tiny_config, degrees=(160.0,), fractions=(0.1,))
+        result = spec.figure(session=tiny_simulation)
+        assert result.figure_id == "fig7"
+        assert result.get_panel("DR-D-x").get_series("x=10%")
+
+    def test_unregistered_spec_name_raises(self, tiny_config):
+        from repro.experiments.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(name="not_a_figure", config=tiny_config)
+        with pytest.raises(KeyError, match="no figure renderer"):
+            spec.figure()
+
 
 class TestFig4(object):
     def test_structure_and_trends(self, tiny_simulation):

@@ -57,6 +57,38 @@ class TestArtifactStore:
         assert store.load("victims", key) is None
         assert store.misses == 1
 
+    def test_truncated_archive_is_quarantined_and_recoverable(self, tmp_path):
+        """A corrupt artifact is moved aside on the failed load, so the
+        subsequent ``save`` of the same key publishes onto a free path
+        instead of racing the half-read file; the re-saved artifact then
+        loads as a normal hit."""
+        store = ArtifactStore(tmp_path)
+        key = fingerprint_key({"seed": 13})
+        path = store.save("attacked_scores", key, scores=np.arange(16.0))
+        # Truncate the real npz mid-archive (a crashed non-atomic writer).
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+
+        assert store.load("attacked_scores", key) is None
+        assert store.misses == 1 and store.hits == 0
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.exists()
+        assert quarantined.read_bytes() == payload[: len(payload) // 2]
+
+        # The key is writable and readable again.
+        store.save("attacked_scores", key, scores=np.arange(16.0))
+        reloaded = store.load("attacked_scores", key)
+        np.testing.assert_array_equal(reloaded["scores"], np.arange(16.0))
+        assert store.hit_counts["attacked_scores"] == 1
+
+    def test_missing_artifact_is_not_quarantined(self, tmp_path):
+        """A plain miss (no file at all) must not leave quarantine debris."""
+        store = ArtifactStore(tmp_path)
+        key = fingerprint_key({"seed": 14})
+        assert store.load("victims", key) is None
+        assert list(tmp_path.rglob("*.corrupt")) == []
+
     def test_empty_artifact_rejected(self, tmp_path):
         store = ArtifactStore(tmp_path)
         with pytest.raises(ValueError, match="empty artifact"):

@@ -169,3 +169,76 @@ class TestSweepCommand:
         bad.write_text('metrics = ["entropy"]\n')
         with pytest.raises(ValueError, match="unknown metric"):
             main(["sweep", str(bad)])
+
+
+class TestSweepFiguresMode:
+    ARGS = ["--scale", "0.05", "--group-size", "40", "--seed", "11"]
+
+    def test_figures_mode_matches_figure_driver(self, capsys, tmp_path):
+        """`sweep --figures fig7 --json` must emit exactly the series the
+        `figure fig7` driver emits (same config, same seed)."""
+        fig_json = tmp_path / "figure.json"
+        sweep_json = tmp_path / "sweep.json"
+        sweep_csv = tmp_path / "sweep.csv"
+        assert main(["figure", "fig7", *self.ARGS, "--json", str(fig_json)]) == 0
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--figures",
+                    "fig7",
+                    *self.ARGS,
+                    "--json",
+                    str(sweep_json),
+                    "--csv",
+                    str(sweep_csv),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(fig_json.read_text()) == json.loads(
+            sweep_json.read_text()
+        )
+        assert sweep_csv.read_text().startswith("figure,panel,series,")
+        out = capsys.readouterr().out
+        assert "Detection rate vs degree of damage" in out
+
+    def test_figures_mode_accepts_figure_shaped_spec_file(
+        self, capsys, tmp_path
+    ):
+        """A spec file whose name matches a registered figure renders
+        through the same per-figure presentation."""
+        from repro.experiments.config import SimulationConfig
+        from repro.experiments.figures import fig7
+
+        spec = fig7.spec(
+            SimulationConfig(group_size=40, seed=11), scale=0.05, degrees=(160.0,)
+        )
+        spec_path = tmp_path / "custom_fig7.toml"
+        spec.to_file(spec_path)
+        assert main(["sweep", "--figures", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "DR-D-x" in out
+
+    def test_figures_mode_rejects_unknown_id(self):
+        with pytest.raises(ValueError, match="neither a spec file"):
+            main(["sweep", "--figures", "fig99"])
+
+    def test_figures_mode_cache_dir_round_trip(self, capsys, tmp_path):
+        cache = tmp_path / "cache"
+        args = ["sweep", "--figures", "fig7", *self.ARGS]
+        assert main([*args, "--cache-dir", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        assert main([*args, "--cache-dir", str(cache)]) == 0
+        warm = capsys.readouterr().out
+        assert ", 0 miss(es)" in warm
+        assert "served from cache" in warm
+
+        def series(text):
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith(("cache:", "[written]"))
+            ]
+
+        assert series(cold) == series(warm)
