@@ -30,13 +30,19 @@ from benchmarks.bench_records import record_benchmark
 from repro.deployment.distributions import GaussianResidentDistribution
 from repro.deployment.models import GridDeploymentModel, paper_deployment_model
 from repro.localization.beaconless import BeaconlessLocalizer
+from repro.localization.beacons import BeaconSpec, beacon_contexts
+from repro.localization.centroid import CentroidLocalizer
 from repro.network.generator import NetworkGenerator
 from repro.network.neighbors import NeighborIndex
 from repro.network.radio import UnitDiskRadio
-from repro.types import Region
+from repro.types import PAPER_REGION, Region
 
 #: Number of victims localized by the batched-localization comparison.
 NUM_VICTIMS = 200
+
+#: Nodes localized by the batched-centroid comparison (the per-row loop is
+#: pure Python overhead, so a training-pass-sized batch shows the gap).
+NUM_CENTROID_NODES = 512
 
 #: Victims localized by the pruned-vs-dense comparison (the dense engine at
 #: 1024 groups is expensive — keep the reference measurement affordable).
@@ -127,6 +133,47 @@ def test_batched_localization_speedup(paper_network, victim_observations):
         f"\nbatched localization: loop {loop_time * 1000:.0f} ms, "
         f"batch {batch_time * 1000:.0f} ms, speedup {speedup:.1f}x "
         f"({NUM_VICTIMS} victims)"
+    )
+    assert speedup > 1.0
+
+
+def test_batched_centroid_speedup(paper_network):
+    """Batched centroid localization of a training-pass-sized node batch:
+    bit-identical to the per-row loop, tracked speedup."""
+    network, _ = paper_network
+    rng = np.random.default_rng(17)
+    nodes = rng.choice(network.num_nodes, size=NUM_CENTROID_NODES, replace=False)
+    beacons = BeaconSpec(count=25).build(PAPER_REGION)
+    localizer = CentroidLocalizer()
+    contexts = beacon_contexts(network.positions[nodes], beacons, localizer)
+
+    localizer.localize_many(contexts[:4])
+    [localizer.localize(ctx) for ctx in contexts[:4]]
+
+    loop_time, looped = _best_of(
+        lambda: [localizer.localize(ctx) for ctx in contexts], rounds=2
+    )
+    batch_time, batched = _best_of(
+        lambda: localizer.localize_many(contexts), rounds=3
+    )
+
+    np.testing.assert_array_equal(
+        np.stack([r.position for r in batched]),
+        np.stack([r.position for r in looped]),
+    )
+    speedup = loop_time / batch_time
+    record_benchmark(
+        "batched_centroid",
+        speedup=speedup,
+        loop_seconds=loop_time,
+        batch_seconds=batch_time,
+        nodes=NUM_CENTROID_NODES,
+        beacons=beacons.num_beacons,
+    )
+    print(
+        f"\nbatched centroid: loop {loop_time * 1000:.1f} ms, "
+        f"batch {batch_time * 1000:.1f} ms, speedup {speedup:.1f}x "
+        f"({NUM_CENTROID_NODES} nodes, {beacons.num_beacons} beacons)"
     )
     assert speedup > 1.0
 

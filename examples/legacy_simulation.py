@@ -1,15 +1,15 @@
 #!/usr/bin/env python
-"""The legacy ``LadSimulation`` / ``get_metric`` API, kept on purpose.
+"""Migration landing spot for the removed legacy API.
 
-Everything here still works — ``LadSimulation`` is now a thin shim over
-:class:`repro.LadSession` and ``get_metric`` forwards to the metric
-registry — but both emit a :class:`DeprecationWarning` and will be removed
-after one release.  This example exists to exercise that deprecation path
-(CI runs it) and to show that the shim's numbers are identical to the new
-API's, so migrating is purely mechanical:
+``LadSimulation`` and ``get_metric`` shipped as one-release deprecation
+shims after the scenario API landed; that release has passed and both are
+now gone.  This example (still run by CI) is the migration reference: it
+exercises the replacements side by side and asserts the equivalences the
+shims used to guarantee, so anyone landing here from an old script sees
+exactly what to write instead:
 
 ====================================  ====================================
-legacy                                replacement
+removed                               replacement
 ====================================  ====================================
 ``LadSimulation(config)``             ``LadSession(config)``
 ``get_metric("diff")``                ``repro.metrics.create("diff")``
@@ -23,12 +23,10 @@ Run with::
 
 from __future__ import annotations
 
-import warnings
-
 import numpy as np
 
-from repro import LadSession, SimulationConfig, get_metric
-from repro.experiments.harness import LadSimulation
+import repro.metrics
+from repro import LadSession, ScenarioSpec, SimulationConfig
 
 CONFIG = SimulationConfig(
     group_size=60,
@@ -41,28 +39,33 @@ CONFIG = SimulationConfig(
 
 
 def main() -> None:
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always", DeprecationWarning)
-        legacy = LadSimulation(CONFIG)
-        metric = get_metric("diff")
-    print("deprecation warnings emitted by the legacy API:")
-    for warning in caught:
-        print(f"  - {warning.message}")
-
-    modern = LadSession(CONFIG)
-    legacy_rate, _ = legacy.detection_rate(
+    # ``get_metric("diff")`` -> the metric registry.  Instances and names
+    # are interchangeable everywhere a metric is accepted.
+    metric = repro.metrics.create("diff")
+    session = LadSession(CONFIG)
+    by_instance, _ = session.detection_rate(
         metric, "dec_bounded", degree_of_damage=160.0, compromised_fraction=0.1
     )
-    modern_rate, _ = modern.detection_rate(
+    by_name, _ = session.detection_rate(
         "diff", "dec_bounded", degree_of_damage=160.0, compromised_fraction=0.1
     )
-    print(f"legacy LadSimulation detection rate @1% FP: {legacy_rate:.3f}")
-    print(f"modern LadSession   detection rate @1% FP: {modern_rate:.3f}")
-    np.testing.assert_array_equal(
-        legacy.benign_scores("diff"), modern.benign_scores("diff")
+    assert by_instance == by_name
+
+    # Bespoke sweep drivers -> a declarative spec over the same session.
+    spec = ScenarioSpec(
+        name="migration",
+        metrics=("diff",),
+        degrees=(160.0,),
+        fractions=(0.1,),
+        config=CONFIG,
     )
-    assert legacy_rate == modern_rate
-    print("shim and session agree bit for bit — migrate at your leisure.")
+    rates = spec.session().sweep().detection_rates(spec.points())
+    (spec_rate, _), = rates.values()
+    np.testing.assert_allclose(spec_rate, by_name)
+
+    print(f"session detection rate @1% FP: {by_name:.3f}")
+    print(f"spec    detection rate @1% FP: {spec_rate:.3f}")
+    print("session and spec agree bit for bit — the legacy shims are gone.")
 
 
 if __name__ == "__main__":

@@ -88,7 +88,6 @@ from repro.core import (
     AddAllMetric,
     ProbabilityMetric,
     resolve_metric,
-    get_metric,
     LADDetector,
     ThresholdTable,
     collect_training_data,
@@ -110,7 +109,6 @@ from repro.registry import Registry
 _LAZY_EXPORTS = {
     "SimulationConfig": "repro.experiments.config",
     "LadSession": "repro.experiments.session",
-    "LadSimulation": "repro.experiments.harness",
     "ScenarioSpec": "repro.experiments.scenario",
     "ArtifactStore": "repro.experiments.store",
     "SweepPoint": "repro.experiments.sweep",
@@ -189,7 +187,6 @@ __all__ = [
     "AddAllMetric",
     "ProbabilityMetric",
     "resolve_metric",
-    "get_metric",
     "LADDetector",
     "ThresholdTable",
     "collect_training_data",
@@ -204,7 +201,6 @@ __all__ = [
     # experiments (lazy)
     "SimulationConfig",
     "LadSession",
-    "LadSimulation",
     "ScenarioSpec",
     "ArtifactStore",
     "SweepPoint",

@@ -5,7 +5,9 @@ harness, declarative scenario sweeps and a small end-to-end demo from the
 command line::
 
     lad-repro figure fig7 --scale 0.25 --json results/fig7.json
+    lad-repro figure figl --scale 0.1 --beacon-count 25   # per-localizer DR
     lad-repro sweep scenario.toml --workers 4 --cache-dir ~/.cache/lad
+    lad-repro sweep scenario.toml --localizer centroid --beacon-layout grid
     lad-repro sweep --figures fig4 --json results/fig4.json
     lad-repro demo --degree 120 --metric diff
     lad-repro gz-table --radio-range 100 --sigma 50
@@ -45,6 +47,75 @@ DEFAULT_RADIO_RANGE = 100.0
 DEFAULT_SEED = 20050404
 
 
+def _add_localizer_arguments(parser: argparse.ArgumentParser) -> None:
+    """Localizer / beacon-infrastructure overrides shared by figure+sweep."""
+    group = parser.add_argument_group(
+        "localizer / beacons",
+        "override the spec's localization scheme and beacon infrastructure "
+        "(beacon-based schemes deploy default beacons when none are given)",
+    )
+    group.add_argument(
+        "--localizer",
+        default=None,
+        help=(
+            "localization scheme used for threshold training "
+            "(e.g. beaconless, centroid, mmse, dvhop, apit); replaces any "
+            "localizer axis in the spec"
+        ),
+    )
+    group.add_argument(
+        "--beacon-count", type=int, default=None, help="number of beacon nodes"
+    )
+    group.add_argument(
+        "--beacon-layout",
+        choices=["grid", "random", "perimeter"],
+        default=None,
+        help="beacon placement layout",
+    )
+    group.add_argument(
+        "--beacon-range",
+        type=float,
+        default=None,
+        help="beacon transmit range (m)",
+    )
+    group.add_argument(
+        "--beacon-noise",
+        type=float,
+        default=None,
+        help="distance-measurement noise std (m) for range-based schemes",
+    )
+    group.add_argument(
+        "--beacon-seed", type=int, default=None, help="beacon placement seed"
+    )
+
+
+def _apply_localizer_overrides(spec, args):
+    """Fold the ``--localizer`` / ``--beacon-*`` flags into a spec."""
+    from dataclasses import replace
+
+    from repro.localization.beacons import BeaconSpec
+
+    if args.localizer is not None:
+        spec = replace(spec, localizer=args.localizer, localizers=())
+    overrides = {
+        field: value
+        for field, value in (
+            ("count", args.beacon_count),
+            ("layout", args.beacon_layout),
+            ("transmit_range", args.beacon_range),
+            ("noise_std", args.beacon_noise),
+            ("seed", args.beacon_seed),
+        )
+        if value is not None
+    }
+    if overrides:
+        base = spec.config.beacons or BeaconSpec()
+        spec = spec.with_config(
+            spec.config.with_beacons(replace(base, **overrides))
+        )
+    return spec
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Create the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -66,7 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.set_defaults(func=_cmd_figure)
     fig.add_argument(
         "figure_id",
-        choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9"],
+        choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figl"],
     )
     fig.add_argument(
         "--scale",
@@ -103,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig.add_argument("--json", type=Path, default=None, help="write the series as JSON")
     fig.add_argument("--csv", type=Path, default=None, help="write the series as CSV")
+    _add_localizer_arguments(fig)
 
     sweep = sub.add_parser(
         "sweep",
@@ -172,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--csv", type=Path, default=None, help="write the results as CSV"
     )
+    _add_localizer_arguments(sweep)
 
     demo = sub.add_parser("demo", help="run a small end-to-end detection demo")
     demo.set_defaults(func=_cmd_demo)
@@ -209,16 +282,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.config import SimulationConfig
-    from repro.experiments.figures import run_figure
+    from repro.experiments.figures import FIGURE_SPECS, run_figure_spec
     from repro.experiments.reporting import format_figure
 
     config = SimulationConfig(
         group_size=args.group_size, radio_range=args.radio_range, seed=args.seed
     )
-    result = run_figure(
-        args.figure_id,
-        config=config,
-        scale=args.scale,
+    # Build the figure's declarative spec, fold in any --localizer /
+    # --beacon-* overrides, and render through the same dispatch as
+    # ``sweep --figures`` (the two paths are pinned equal by tests and CI).
+    spec = FIGURE_SPECS[args.figure_id](config=config, scale=args.scale)
+    spec = _apply_localizer_overrides(spec, args)
+    result = run_figure_spec(
+        spec,
+        figure_id=args.figure_id,
         workers=args.workers,
         store=args.cache_dir,
     )
@@ -275,6 +352,7 @@ def _cmd_sweep_figures(args: argparse.Namespace) -> int:
             f"{spec_arg!r} is neither a spec file nor a registered figure "
             f"id; available figures: {sorted(FIGURE_SPECS)}"
         )
+    spec = _apply_localizer_overrides(spec, args)
     result = run_figure_spec(spec, workers=args.workers, store=store)
     print(format_figure(result))
     _print_cache_stats(store)
@@ -298,47 +376,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return _cmd_sweep_figures(args)
 
     spec = ScenarioSpec.from_file(args.spec).scaled(args.scale)
+    spec = _apply_localizer_overrides(spec, args)
     store = ArtifactStore(args.cache_dir) if args.cache_dir is not None else None
     points = spec.points()
     densities = spec.density_values()
-    total = len(points) * len(densities)
+    localizers = spec.localizer_values()
+    total = len(points) * len(densities) * len(localizers)
     print(
         f"scenario {spec.name!r}: {len(points)} point(s) x "
-        f"{len(densities)} density value(s), localizer={spec.localizer}, "
+        f"{len(densities)} density value(s) x "
+        f"{len(localizers)} localizer(s) [{', '.join(localizers)}], "
         f"FP budget {spec.false_positive_rate:.2%}"
     )
     header = (
-        f"{'m':>6} {'metric':>12} {'attack':>12} {'D':>8} {'x':>6} "
-        f"{'DR':>8} {'threshold':>10}"
+        f"{'m':>6} {'localizer':>10} {'metric':>12} {'attack':>12} "
+        f"{'D':>8} {'x':>6} {'DR':>8} {'threshold':>10}"
     )
     print(header)
     rows = []
     done = 0
-    for group_size in densities:
-        session = spec.session(group_size=group_size, store=store)
-        runner = session.sweep(workers=args.workers)
-        for point, (rate, threshold) in runner.iter_detection_rates(
-            points, false_positive_rate=spec.false_positive_rate
-        ):
-            done += 1
-            print(
-                f"{group_size:>6} {point.metric:>12} {point.attack:>12} "
-                f"{point.degree_of_damage:>8g} {point.compromised_fraction:>6g} "
-                f"{rate:>8.3f} {threshold:>10.2f}"
-                f"    [{done}/{total}]",
-                flush=True,
+    for localizer in localizers:
+        for group_size in densities:
+            session = spec.session(
+                group_size=group_size, localizer=localizer, store=store
             )
-            rows.append(
-                {
-                    "group_size": int(group_size),
-                    "metric": point.metric,
-                    "attack": point.attack,
-                    "degree_of_damage": point.degree_of_damage,
-                    "compromised_fraction": point.compromised_fraction,
-                    "detection_rate": rate,
-                    "threshold": threshold,
-                }
-            )
+            runner = session.sweep(workers=args.workers)
+            for point, (rate, threshold) in runner.iter_detection_rates(
+                points, false_positive_rate=spec.false_positive_rate
+            ):
+                done += 1
+                print(
+                    f"{group_size:>6} {localizer:>10} "
+                    f"{point.metric:>12} {point.attack:>12} "
+                    f"{point.degree_of_damage:>8g} "
+                    f"{point.compromised_fraction:>6g} "
+                    f"{rate:>8.3f} {threshold:>10.2f}"
+                    f"    [{done}/{total}]",
+                    flush=True,
+                )
+                rows.append(
+                    {
+                        "group_size": int(group_size),
+                        "localizer": localizer,
+                        "metric": point.metric,
+                        "attack": point.attack,
+                        "degree_of_damage": point.degree_of_damage,
+                        "compromised_fraction": point.compromised_fraction,
+                        "detection_rate": rate,
+                        "threshold": threshold,
+                    }
+                )
     _print_cache_stats(store)
     if args.json is not None:
         payload = {"spec": spec.as_dict(), "results": rows}

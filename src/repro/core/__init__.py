@@ -24,7 +24,6 @@ from repro.core.metrics import (
     ProbabilityMetric,
     METRICS,
     resolve_metric,
-    get_metric,
     ALL_METRICS,
 )
 from repro.core.thresholds import derive_threshold, ThresholdTable
@@ -48,7 +47,6 @@ __all__ = [
     "ProbabilityMetric",
     "METRICS",
     "resolve_metric",
-    "get_metric",
     "ALL_METRICS",
     "derive_threshold",
     "ThresholdTable",

@@ -20,7 +20,6 @@ Every metric exposes a vectorised ``compute`` over batches of
 from __future__ import annotations
 
 import abc
-import warnings
 from typing import List, Optional, Union
 
 import numpy as np
@@ -36,7 +35,6 @@ __all__ = [
     "ProbabilityMetric",
     "METRICS",
     "resolve_metric",
-    "get_metric",
     "ALL_METRICS",
 ]
 
@@ -194,20 +192,3 @@ ALL_METRICS: List[AnomalyMetric] = [DiffMetric(), AddAllMetric(), ProbabilityMet
 def resolve_metric(metric: Union[str, AnomalyMetric]) -> AnomalyMetric:
     """Resolve a metric name through :data:`METRICS` (instances pass through)."""
     return METRICS.resolve(metric)
-
-
-def get_metric(metric: Union[str, AnomalyMetric]) -> AnomalyMetric:
-    """Deprecated alias of :func:`resolve_metric`.
-
-    .. deprecated::
-        Use ``repro.metrics.create(name)`` / :func:`resolve_metric` (the
-        registry API) instead; this entry point will be removed after one
-        release.
-    """
-    warnings.warn(
-        "get_metric() is deprecated; use repro.metrics.create(name) or "
-        "repro.core.metrics.resolve_metric() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return resolve_metric(metric)

@@ -25,8 +25,13 @@ import numpy as np
 
 from repro.core.metrics import AnomalyMetric, resolve_metric
 from repro.deployment.knowledge import DeploymentKnowledge
-from repro.localization.base import LocalizationContext, LocalizationScheme
+from repro.localization.base import (
+    BeaconInfrastructure,
+    LocalizationContext,
+    LocalizationScheme,
+)
 from repro.localization.beaconless import BeaconlessLocalizer
+from repro.localization.beacons import beacon_contexts
 from repro.network.generator import NetworkGenerator
 from repro.network.neighbors import NeighborIndex
 from repro.utils.rng import as_generator
@@ -89,6 +94,8 @@ def collect_training_data(
     num_samples: int = 500,
     samples_per_network: int = 100,
     localizer: Optional[LocalizationScheme] = None,
+    beacons: Optional[BeaconInfrastructure] = None,
+    beacon_noise_std: float = 0.0,
     rng=None,
 ) -> TrainingData:
     """Simulate deployments and collect benign training samples.
@@ -106,6 +113,15 @@ def collect_training_data(
     localizer:
         The localization scheme used to produce the estimated locations;
         defaults to the beaconless MLE scheme evaluated in the paper.
+    beacons:
+        Beacon infrastructure shared by every deployed network.  Required
+        when *localizer* is beacon-based (``requires_beacons``): each
+        sampled node's context then carries the audible beacons, the
+        (optionally noisy) distance measurements and — for DV-Hop — the
+        per-network flooding profile.
+    beacon_noise_std:
+        Standard deviation of the distance-measurement noise for the
+        range-based schemes.
     rng:
         Seed or generator.
     """
@@ -113,6 +129,11 @@ def collect_training_data(
     check_int("samples_per_network", samples_per_network, minimum=1)
     generator_rng = as_generator(rng)
     localizer = localizer or BeaconlessLocalizer()
+    if localizer.requires_beacons and beacons is None:
+        raise ValueError(
+            f"the {localizer.name!r} scheme is beacon-based: pass a "
+            "BeaconInfrastructure (or configure a BeaconSpec on the session)"
+        )
     knowledge = generator.knowledge()
 
     observations = []
@@ -131,14 +152,28 @@ def collect_training_data(
         if isinstance(localizer, BeaconlessLocalizer):
             est = localizer.localize_observations(knowledge, obs)
         else:
-            est = np.empty((take, 2), dtype=np.float64)
-            for row, node in enumerate(nodes):
-                context = LocalizationContext(
-                    observation=obs[row],
+            if localizer.requires_beacons:
+                contexts = beacon_contexts(
+                    network.positions[nodes],
+                    beacons,
+                    localizer,
+                    network=network,
+                    observations=obs,
                     knowledge=knowledge,
-                    true_position=network.positions[node],
+                    noise_std=beacon_noise_std,
+                    rng=generator_rng,
                 )
-                est[row] = localizer.localize(context, rng=generator_rng).position
+            else:
+                contexts = [
+                    LocalizationContext(
+                        observation=obs[row],
+                        knowledge=knowledge,
+                        true_position=network.positions[node],
+                    )
+                    for row, node in enumerate(nodes)
+                ]
+            results = localizer.localize_many(contexts, rng=generator_rng)
+            est = np.stack([result.position for result in results])
 
         observations.append(obs)
         actual.append(network.positions[nodes])

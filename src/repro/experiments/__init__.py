@@ -11,13 +11,11 @@ repeated sweeps skip the training pass.  The
 :mod:`repro.experiments.figures` sub-package contains one module per figure
 of the paper (Figures 4–9), each exposing a declarative ``spec()`` plus a
 ``run()`` function with parameters matching the paper's, scaled down by a
-``scale`` factor for quick benchmark runs.  ``LadSimulation`` remains as a
-deprecated alias of :class:`LadSession`.
+``scale`` factor for quick benchmark runs.
 """
 
 from repro.experiments.config import SimulationConfig
 from repro.experiments.session import LadSession
-from repro.experiments.harness import LadSimulation
 from repro.experiments.scenario import ScenarioSpec
 from repro.experiments.store import ArtifactStore, fingerprint_key
 from repro.experiments.results import SeriesResult, PanelResult, FigureResult
@@ -28,7 +26,6 @@ from repro.experiments import figures
 __all__ = [
     "SimulationConfig",
     "LadSession",
-    "LadSimulation",
     "ScenarioSpec",
     "ArtifactStore",
     "fingerprint_key",

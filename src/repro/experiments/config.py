@@ -11,7 +11,9 @@ benchmarks scale down to keep the figure reproduction fast.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
+from repro.localization.beacons import BeaconSpec
 from repro.utils.validation import check_int, check_positive
 
 __all__ = ["SimulationConfig"]
@@ -45,6 +47,11 @@ class SimulationConfig:
         Final grid resolution (metres) of the beaconless MLE search.
     gz_omega:
         Number of sub-ranges in the ``g(z)`` lookup table.
+    beacons:
+        Optional :class:`~repro.localization.beacons.BeaconSpec` describing
+        the beacon infrastructure deployed for beacon-based localizers
+        (``None`` = the paper's beaconless setting; sessions running a
+        beacon-based scheme fall back to the spec's defaults).
     seed:
         Master seed; every random stream is derived from it.
     """
@@ -61,6 +68,7 @@ class SimulationConfig:
     victims_per_network: int = 200
     localization_resolution: float = 2.0
     gz_omega: int = 1000
+    beacons: Optional[BeaconSpec] = None
     seed: int = 20050404
 
     def __post_init__(self) -> None:
@@ -80,6 +88,12 @@ class SimulationConfig:
         check_int("victims_per_network", self.victims_per_network, minimum=1)
         check_positive("localization_resolution", self.localization_resolution)
         check_int("gz_omega", self.gz_omega, minimum=10)
+        if self.beacons is not None and not isinstance(self.beacons, BeaconSpec):
+            raise TypeError("beacons must be a BeaconSpec (or None)")
+
+    def with_beacons(self, beacons: Optional[BeaconSpec]) -> "SimulationConfig":
+        """A copy of the config with a different beacon infrastructure spec."""
+        return replace(self, beacons=beacons)
 
     @property
     def n_groups(self) -> int:

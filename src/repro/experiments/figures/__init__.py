@@ -14,7 +14,8 @@ benchmarks use a small scale; the defaults approximate the paper's
 statistical quality).
 
 Use :func:`get_figure` / :func:`run_figure` to look figures up by id
-(``"fig4"`` … ``"fig9"``); :data:`FIGURE_SPECS` maps ids to their spec
+(``"fig4"`` … ``"fig9"``, plus ``"figl"`` — this reproduction's own
+cross-localizer comparison); :data:`FIGURE_SPECS` maps ids to their spec
 builders (e.g. to write them out as TOML files for ``lad-repro sweep``)
 and :data:`FIGURE_RENDERERS` to their ``render(spec, ...)`` functions —
 :func:`repro.experiments.figures.common.run_figure_spec` (the engine
@@ -25,7 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.experiments.figures import fig4, fig5, fig6, fig7, fig8, fig9
+from repro.experiments.figures import fig4, fig5, fig6, fig7, fig8, fig9, figl
 from repro.experiments.figures.common import run_figure_spec
 from repro.experiments.results import FigureResult
 from repro.experiments.scenario import ScenarioSpec
@@ -37,6 +38,7 @@ __all__ = [
     "fig7",
     "fig8",
     "fig9",
+    "figl",
     "FIGURES",
     "FIGURE_SPECS",
     "FIGURE_RENDERERS",
@@ -53,6 +55,7 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig7": fig7.run,
     "fig8": fig8.run,
     "fig9": fig9.run,
+    "figl": figl.run,
 }
 
 #: Registry mapping figure ids to their declarative spec builders.
@@ -63,6 +66,7 @@ FIGURE_SPECS: Dict[str, Callable[..., ScenarioSpec]] = {
     "fig7": fig7.spec,
     "fig8": fig8.spec,
     "fig9": fig9.spec,
+    "figl": figl.spec,
 }
 
 #: Registry mapping figure ids to their spec renderers
@@ -75,6 +79,7 @@ FIGURE_RENDERERS: Dict[str, Callable[..., FigureResult]] = {
     "fig7": fig7.render,
     "fig8": fig8.render,
     "fig9": fig9.render,
+    "figl": figl.render,
 }
 
 

@@ -36,6 +36,7 @@ from repro.experiments.session import LadSession
 from repro.experiments.store import ArtifactStore
 from repro.experiments.sweep import SweepPoint, SweepRunner
 from repro.localization.base import LOCALIZERS
+from repro.localization.beacons import BeaconSpec
 from repro.utils.validation import check_fraction
 
 __all__ = ["ScenarioSpec"]
@@ -87,10 +88,16 @@ class ScenarioSpec:
         ``group_size`` is used.
     localizer:
         Registered localization-scheme name used for threshold training.
+    localizers:
+        Optional localization-scheme axis.  When non-empty the scenario
+        spans one full training + sweep pass per scheme (the figure-L
+        shape: every registered localizer is a first-class scenario axis);
+        when empty the single ``localizer`` is used.
     false_positive_rate:
         The false-positive budget detection rates are read at.
     config:
-        The underlying :class:`SimulationConfig`.
+        The underlying :class:`SimulationConfig` (its optional ``beacons``
+        spec serialises as the ``[beacons]`` table of the spec file).
     """
 
     name: str = "scenario"
@@ -101,6 +108,7 @@ class ScenarioSpec:
     fractions: Tuple[float, ...] = (0.10,)
     group_sizes: Tuple[int, ...] = ()
     localizer: str = "beaconless"
+    localizers: Tuple[str, ...] = ()
     false_positive_rate: float = 0.01
     config: SimulationConfig = field(default_factory=SimulationConfig)
 
@@ -124,6 +132,11 @@ class ScenarioSpec:
         )
         set_(self, "group_sizes", tuple(int(m) for m in self.group_sizes))
         set_(self, "localizer", LOCALIZERS.canonical(self.localizer))
+        set_(
+            self,
+            "localizers",
+            tuple(LOCALIZERS.canonical(scheme) for scheme in self.localizers),
+        )
         set_(self, "false_positive_rate", float(self.false_positive_rate))
         check_fraction("false_positive_rate", self.false_positive_rate)
         if not (self.metrics and self.attacks and self.degrees and self.fractions):
@@ -154,19 +167,36 @@ class ScenarioSpec:
         """The density axis (the config's own ``m`` when none is given)."""
         return self.group_sizes or (self.config.group_size,)
 
+    def localizer_values(self) -> Tuple[str, ...]:
+        """The localizer axis (the single ``localizer`` when none is given)."""
+        return self.localizers or (self.localizer,)
+
+    @property
+    def beacons(self) -> Optional[BeaconSpec]:
+        """The beacon spec carried by the config (``None`` = no beacons)."""
+        return self.config.beacons
+
     # -- session construction ----------------------------------------------
 
     def session(
         self,
         *,
         group_size: Optional[int] = None,
+        localizer: Optional[str] = None,
         store: Union[ArtifactStore, str, None] = None,
     ) -> LadSession:
-        """A :class:`LadSession` for this spec (optionally at one density)."""
+        """A :class:`LadSession` for this spec.
+
+        *group_size* / *localizer* pin one value of the density and
+        localizer axes (defaults: the config's density, the spec's single
+        ``localizer``).
+        """
         config = self.config
         if group_size is not None:
             config = config.with_group_size(int(group_size))
-        return LadSession(config, localizer=self.localizer, store=store)
+        return LadSession(
+            config, localizer=localizer or self.localizer, store=store
+        )
 
     def sessions(
         self, *, store: Union[ArtifactStore, str, None] = None
@@ -222,7 +252,13 @@ class ScenarioSpec:
     # -- serialisation -----------------------------------------------------
 
     def as_dict(self) -> Dict[str, Any]:
-        """Plain-dict view (JSON/TOML-ready; lossless round trip)."""
+        """Plain-dict view (JSON/TOML-ready; lossless round trip).
+
+        The config's :class:`BeaconSpec` is lifted out of the ``config``
+        table into a top-level ``beacons`` entry (the ``[beacons]`` table
+        of spec files); it is omitted entirely when no beacons are
+        configured.
+        """
         data: Dict[str, Any] = {
             "name": self.name,
             "description": self.description,
@@ -232,12 +268,16 @@ class ScenarioSpec:
             "fractions": list(self.fractions),
             "group_sizes": list(self.group_sizes),
             "localizer": self.localizer,
+            "localizers": list(self.localizers),
             "false_positive_rate": self.false_positive_rate,
             "config": {
                 f.name: getattr(self.config, f.name)
                 for f in fields(SimulationConfig)
+                if f.name != "beacons"
             },
         }
+        if self.config.beacons is not None:
+            data["beacons"] = self.config.beacons.as_dict()
         return data
 
     @classmethod
@@ -245,17 +285,26 @@ class ScenarioSpec:
         """Rebuild a spec from its :meth:`as_dict` form.
 
         Unknown keys raise (catching typos in hand-written spec files);
-        the ``config`` table may be partial — omitted fields keep their
-        paper defaults.
+        the ``config`` and ``beacons`` tables may be partial — omitted
+        fields keep their defaults.
         """
         data = dict(data)
         config_data = dict(data.pop("config", {}))
+        beacon_data = data.pop("beacons", None)
+        config_beacons = config_data.pop("beacons", None)
+        if beacon_data is not None and config_beacons is not None:
+            raise ValueError(
+                "beacons given both top-level and inside [config]; "
+                "keep a single [beacons] table"
+            )
+        if beacon_data is None:
+            beacon_data = config_beacons
         known = {f.name for f in fields(cls) if f.name != "config"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(
                 f"unknown scenario field(s) {sorted(unknown)}; "
-                f"expected a subset of {sorted(known | {'config'})}"
+                f"expected a subset of {sorted(known | {'beacons', 'config'})}"
             )
         unknown_config = set(config_data) - {
             f.name for f in fields(SimulationConfig)
@@ -264,7 +313,11 @@ class ScenarioSpec:
             raise ValueError(
                 f"unknown config field(s) {sorted(unknown_config)}"
             )
-        return cls(config=SimulationConfig(**config_data), **data)
+        if beacon_data is not None and not isinstance(beacon_data, BeaconSpec):
+            beacon_data = BeaconSpec.from_dict(dict(beacon_data))
+        return cls(
+            config=SimulationConfig(beacons=beacon_data, **config_data), **data
+        )
 
     def to_json(self, path: Optional[Path] = None, *, indent: int = 2) -> str:
         """Serialise to JSON, optionally writing to *path*."""
@@ -277,7 +330,14 @@ class ScenarioSpec:
         """Serialise to TOML, optionally writing to *path*."""
         data = self.as_dict()
         config_data = data.pop("config")
+        beacon_data = data.pop("beacons", None)
         lines = [f"{key} = {_toml_value(value)}" for key, value in data.items()]
+        if beacon_data is not None:
+            lines += ["", "[beacons]"]
+            lines += [
+                f"{key} = {_toml_value(value)}"
+                for key, value in beacon_data.items()
+            ]
         lines += ["", "[config]"]
         lines += [
             f"{key} = {_toml_value(value)}" for key, value in config_data.items()

@@ -34,9 +34,13 @@ Two kinds of reuse stack on top of the in-memory caches:
   same cache directory recomputes only the points that never finished.
 
 Sessions are usually built from a declarative
-:class:`~repro.experiments.scenario.ScenarioSpec`; the legacy
-``LadSimulation`` name remains available as a deprecated alias in
-:mod:`repro.experiments.harness`.
+:class:`~repro.experiments.scenario.ScenarioSpec`.  Beacon-based
+localization schemes are first-class: the session deploys the config's
+:class:`~repro.localization.beacons.BeaconSpec` (spec defaults when none is
+configured) from a name-derived random stream and threads the resulting
+:class:`~repro.localization.base.BeaconInfrastructure` through threshold
+training, and the artifact keys carry the localizer identity plus the
+beacon fingerprint so warm caches never alias across schemes.
 """
 
 from __future__ import annotations
@@ -59,8 +63,14 @@ from repro.deployment.knowledge import DeploymentKnowledge
 from repro.deployment.models import GridDeploymentModel
 from repro.experiments.config import SimulationConfig
 from repro.experiments.store import ArtifactStore, fingerprint_key
-from repro.localization.base import LOCALIZERS, LocalizationScheme
+from repro.localization.apit import ApitLocalizer
+from repro.localization.base import (
+    LOCALIZERS,
+    BeaconInfrastructure,
+    LocalizationScheme,
+)
 from repro.localization.beaconless import BeaconlessLocalizer
+from repro.localization.beacons import BeaconSpec
 from repro.network.generator import NetworkGenerator
 from repro.network.neighbors import NeighborIndex
 from repro.network.radio import UnitDiskRadio
@@ -96,8 +106,12 @@ class LadSession:
         (``repro.localization.available()``) or a configured
         :class:`~repro.localization.base.LocalizationScheme` instance.
         Defaults to the paper's beaconless MLE scheme at the config's
-        resolution.  Beacon-based schemes need a beacon infrastructure in
-        their contexts, so pass a pre-configured instance for those.
+        resolution.  Beacon-based schemes (``centroid``, ``mmse``,
+        ``dvhop``, ``apit``) get a :class:`BeaconInfrastructure` deployed
+        from the config's :class:`~repro.localization.beacons.BeaconSpec`
+        (spec defaults when the config carries none); the beacon layout is
+        drawn from a name-derived random stream, so parallel and serial
+        sweeps place the same beacons.
     store:
         Optional :class:`~repro.experiments.store.ArtifactStore` (or a
         cache-directory path) persisting trained benign scores and victim
@@ -136,12 +150,19 @@ class LadSession:
             radio=UnitDiskRadio(self.config.radio_range),
         )
         self._localizer = self._resolve_localizer(localizer)
+        # Beacon-based schemes always get an infrastructure: the config's
+        # spec when present, the BeaconSpec defaults otherwise.
+        beacon_spec = self.config.beacons
+        if beacon_spec is None and self._localizer.requires_beacons:
+            beacon_spec = BeaconSpec()
+        self._beacon_spec: Optional[BeaconSpec] = beacon_spec
         if store is not None and not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
         self._store: Optional[ArtifactStore] = store
 
         # Lazy caches.
         self._knowledge: Optional[DeploymentKnowledge] = None
+        self._beacons: Optional[BeaconInfrastructure] = None
         self._training: Optional[TrainingData] = None
         self._benign_scores: Dict[str, np.ndarray] = {}
         self._victims: Optional[_VictimSample] = None
@@ -153,6 +174,9 @@ class LadSession:
             cls = LOCALIZERS.get(localizer)
             if issubclass(cls, BeaconlessLocalizer):
                 return cls(resolution=self.config.localization_resolution)
+            if issubclass(cls, ApitLocalizer):
+                # APIT rasterises the deployment region; match the config's.
+                return cls(region=self._model.region)
             return cls()
         return localizer
 
@@ -180,6 +204,27 @@ class LadSession:
             self._knowledge = self._generator.knowledge(omega=self.config.gz_omega)
         return self._knowledge
 
+    @property
+    def beacon_spec(self) -> Optional[BeaconSpec]:
+        """The beacon spec in effect (``None`` = no beacons deployed)."""
+        return self._beacon_spec
+
+    @property
+    def beacons(self) -> Optional[BeaconInfrastructure]:
+        """The (cached) beacon infrastructure, or ``None`` without a spec.
+
+        Placement randomness (the ``random`` layout) comes from a stream
+        named after the beacon seed, so the infrastructure depends only on
+        ``(config seed, beacon spec)`` — never on call order or on which
+        process builds it.
+        """
+        if self._beacon_spec is None:
+            return None
+        if self._beacons is None:
+            rng = self._random.stream(f"beacons/{self._beacon_spec.seed}")
+            self._beacons = self._beacon_spec.build(self._model.region, rng=rng)
+        return self._beacons
+
     # -- artifact fingerprints -------------------------------------------------
 
     def _deployment_fingerprint(self) -> Dict[str, object]:
@@ -196,11 +241,25 @@ class LadSession:
             "seed": c.seed,
         }
 
+    def _beacon_fingerprint(self) -> Optional[Dict[str, object]]:
+        """The beacon spec's contribution to artifact keys.
+
+        ``None`` whenever the localizer is not beacon-based: a beaconless
+        session ignores any configured beacons, so two such sessions with
+        different ``[beacons]`` tables legitimately share artifacts.
+        """
+        if not self._localizer.requires_beacons or self._beacon_spec is None:
+            return None
+        return dict(self._beacon_spec.as_dict())
+
     def training_fingerprint(self) -> Dict[str, object]:
         """Everything the trained benign scores depend on.
 
         Victim-sampling fields are deliberately excluded: two specs that
         differ only in their victim counts share the same trained state.
+        The localizer identity and — for beacon-based schemes — the beacon
+        fingerprint (layout, count, noise, range, seed) are included, so
+        warm caches never alias across localizers or beacon layouts.
         """
         c = self.config
         fingerprint = self._deployment_fingerprint()
@@ -212,6 +271,9 @@ class LadSession:
                 "localizer": repr(self._localizer),
             }
         )
+        beacons = self._beacon_fingerprint()
+        if beacons is not None:
+            fingerprint["beacons"] = beacons
         return fingerprint
 
     def victims_fingerprint(self) -> Dict[str, object]:
@@ -251,7 +313,10 @@ class LadSession:
 
         Builds on :meth:`victims_fingerprint` (the honest observations)
         plus the ``g(z)`` table resolution, the metric and attack-class
-        identities and the attack parameters.  The per-point random stream
+        identities and the attack parameters.  The localizer identity and
+        the beacon fingerprint ride along too, so a sweep point scored
+        under one localization scheme is never served to another — warm
+        caches cannot alias across schemes.  The per-point random stream
         is derived from the seed (already fingerprinted) and the parameter
         names, so two runs with equal fingerprints produce bit-identical
         scores regardless of which other points ran alongside them.
@@ -270,6 +335,8 @@ class LadSession:
                 "attack_impl": self._impl_identity(attack),
                 "degree_of_damage": float(degree_of_damage),
                 "compromised_fraction": float(compromised_fraction),
+                "localizer": repr(self._localizer),
+                "beacons": self._beacon_fingerprint(),
             }
         )
         return fingerprint
@@ -301,11 +368,18 @@ class LadSession:
                 self.config.num_training_samples,
                 self.config.group_size,
             )
+            beacons = (
+                self.beacons if self._localizer.requires_beacons else None
+            )
             self._training = collect_training_data(
                 self._generator,
                 num_samples=self.config.num_training_samples,
                 samples_per_network=self.config.training_samples_per_network,
                 localizer=self._localizer,
+                beacons=beacons,
+                beacon_noise_std=(
+                    self._beacon_spec.noise_std if beacons is not None else 0.0
+                ),
                 rng=self._random.stream("training"),
             )
         return self._training

@@ -21,6 +21,7 @@ from repro.localization.centroid import CentroidLocalizer
 from repro.localization.multilateration import MmseMultilaterationLocalizer
 from repro.localization.dvhop import DvHopLocalizer
 from repro.localization.apit import ApitLocalizer
+from repro.localization.beacons import BeaconSpec, beacon_contexts
 from repro.localization.errors import (
     localization_error,
     localization_errors,
@@ -41,6 +42,8 @@ __all__ = [
     "LocalizationScheme",
     "LocalizationResult",
     "BeaconInfrastructure",
+    "BeaconSpec",
+    "beacon_contexts",
     "registry",
     "register",
     "create",

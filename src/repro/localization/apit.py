@@ -25,6 +25,7 @@ from repro.localization.base import (
     LocalizationContext,
     LocalizationResult,
     LocalizationScheme,
+    resolve_audible_beacons,
 )
 from repro.types import PAPER_REGION, Region
 from repro.utils.validation import check_int, check_positive
@@ -52,6 +53,7 @@ class ApitLocalizer(LocalizationScheme):
     grid_resolution: float = 10.0
     max_triangles: int = 120
     name: str = "apit"
+    requires_beacons = True
 
     def __post_init__(self) -> None:
         check_positive("grid_resolution", self.grid_resolution)
@@ -75,13 +77,7 @@ class ApitLocalizer(LocalizationScheme):
         beacons = context.beacons
         if beacons is None:
             raise ValueError("APIT needs a BeaconInfrastructure")
-        audible = context.audible_beacons
-        if audible is None:
-            if context.true_position is None:
-                audible = np.arange(beacons.num_beacons)
-            else:
-                audible = beacons.audible_from(context.true_position)
-        audible = np.asarray(audible, dtype=np.int64)
+        audible = resolve_audible_beacons(beacons, context)
         if audible.size < 3:
             fallback = beacons.declared_positions.mean(axis=0)
             return LocalizationResult(position=fallback, converged=False)

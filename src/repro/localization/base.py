@@ -32,6 +32,7 @@ __all__ = [
     "LocalizationResult",
     "LocalizationScheme",
     "LOCALIZERS",
+    "resolve_audible_beacons",
     "resolve_localizer",
 ]
 
@@ -98,25 +99,35 @@ class BeaconInfrastructure:
         dist = np.hypot(diff[:, 0], diff[:, 1])
         return np.flatnonzero(dist <= self.transmit_range)
 
+    @staticmethod
+    def apply_measurement_noise(
+        distances: np.ndarray, rng=None, noise_std: float = 0.0
+    ) -> np.ndarray:
+        """The shared range-measurement error model: additive Gaussian
+        noise clipped at zero.  Context builders apply it to their own
+        distance arrays so the noise semantics have a single definition.
+        """
+        if noise_std <= 0.0:
+            return distances
+        if rng is None:
+            raise ValueError("rng is required when noise_std > 0")
+        return np.clip(
+            distances + rng.normal(0.0, noise_std, size=distances.shape),
+            0.0,
+            None,
+        )
+
     def measured_distances(self, point, rng=None, noise_std: float = 0.0) -> np.ndarray:
         """Distances from *point* to every beacon, optionally with noise.
 
         Range-based schemes (TOA/TDOA/RSS) estimate these distances; the
         ``noise_std`` parameter models measurement error as additive
-        Gaussian noise.
+        Gaussian noise (see :meth:`apply_measurement_noise`).
         """
         p = as_point(point)
         diff = self.positions - p
         dist = np.hypot(diff[:, 0], diff[:, 1])
-        if noise_std > 0.0:
-            if rng is None:
-                raise ValueError("rng is required when noise_std > 0")
-            dist = np.clip(
-                dist + rng.normal(0.0, noise_std, size=dist.shape),
-                0.0,
-                None,
-            )
-        return dist
+        return self.apply_measurement_noise(dist, rng=rng, noise_std=noise_std)
 
     def declare_false_position(self, beacon: int, position) -> None:
         """Make beacon *beacon* announce a false *position* (compromise)."""
@@ -163,6 +174,25 @@ class LocalizationContext:
     true_position: Optional[np.ndarray] = None
 
 
+def resolve_audible_beacons(
+    beacons: BeaconInfrastructure, context: LocalizationContext
+) -> np.ndarray:
+    """The beacon indices a context's node can hear.
+
+    The shared fallback chain every beacon-based scheme applies: an
+    explicit ``audible_beacons`` set wins; otherwise audibility is derived
+    from the true position when available; otherwise all beacons are
+    assumed audible.  Centralised here so the schemes cannot drift apart.
+    """
+    audible = context.audible_beacons
+    if audible is None:
+        if context.true_position is None:
+            audible = np.arange(beacons.num_beacons)
+        else:
+            audible = beacons.audible_from(context.true_position)
+    return np.asarray(audible, dtype=np.int64)
+
+
 @dataclass(frozen=True)
 class LocalizationResult:
     """Outcome of a localization attempt.
@@ -194,6 +224,20 @@ class LocalizationScheme(abc.ABC):
     #: Human-readable scheme name used in reports.
     name: str = "abstract"
 
+    #: Whether the scheme needs a :class:`BeaconInfrastructure` in its
+    #: contexts.  Sessions use this to decide when to deploy beacons (and
+    #: to fold the beacon fingerprint into their artifact keys).
+    requires_beacons: bool = False
+
+    #: Whether the scheme consumes ``measured_distances`` (range-based
+    #: schemes); context builders only draw measurement noise for these.
+    uses_ranges: bool = False
+
+    #: Whether the scheme consumes ``hop_counts``/``avg_hop_distance``
+    #: (DV-Hop-style schemes); context builders run the flooding phase
+    #: over the network once per deployment for these.
+    uses_hops: bool = False
+
     @abc.abstractmethod
     def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
         """Estimate the node's location from the information in *context*."""
@@ -203,8 +247,13 @@ class LocalizationScheme(abc.ABC):
     ) -> list[LocalizationResult]:
         """Localize a batch of nodes (default: sequential loop).
 
-        Schemes with a vectorised batch path (the beaconless MLE) override
-        this for performance.
+        This is the shared batch entry point of every scheme.  Schemes with
+        a vectorised path (centroid and MMSE multilaterate all rows at
+        once; the beaconless MLE additionally exposes the array-in/array-out
+        ``localize_observations`` engine) override it; DV-Hop and APIT keep
+        the per-row loop behind the same interface.  Overrides must agree
+        with the per-row :meth:`localize` bit for bit — the cross-localizer
+        invariant suite pins that down for every registered scheme.
         """
         return [self.localize(ctx, rng=rng) for ctx in contexts]
 

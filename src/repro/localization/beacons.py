@@ -1,0 +1,275 @@
+"""Declarative beacon infrastructure: :class:`BeaconSpec` and context building.
+
+The beacon-based baselines (centroid, MMSE multilateration, DV-Hop, APIT)
+need a :class:`~repro.localization.base.BeaconInfrastructure` — a set of
+anchor nodes with known positions — before they can localize anything.
+:class:`BeaconSpec` is the *data* form of that infrastructure: how many
+beacons, laid out how (``grid``, ``random`` or ``perimeter``), with what
+transmit range and distance-measurement noise, under which placement seed.
+It serialises into scenario files (the ``[beacons]`` table of a
+``ScenarioSpec``) and builds the concrete infrastructure for any region:
+
+    >>> spec = BeaconSpec(count=16, layout="grid")
+    >>> beacons = spec.build(Region(0, 0, 1000, 1000))
+    >>> beacons.num_beacons
+    16
+
+:func:`beacon_contexts` turns a deployed network plus an infrastructure
+into the per-node :class:`~repro.localization.base.LocalizationContext`
+batch a beacon-based scheme consumes — audibility from the true position,
+noisy distance measurements for the range-based schemes, and the DV-Hop
+flooding profile (hop counts + average hop distance) computed once per
+network.  This is the bridge :func:`repro.core.training.collect_training_data`
+uses to make every registered localizer spec-trainable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.localization.base import (
+    BeaconInfrastructure,
+    LocalizationContext,
+    LocalizationScheme,
+)
+from repro.localization.dvhop import average_hop_distance, compute_hop_profile
+from repro.types import Region
+from repro.utils.validation import check_int, check_positive
+
+__all__ = ["BeaconSpec", "BEACON_LAYOUTS", "beacon_contexts"]
+
+#: Supported beacon placement layouts.
+BEACON_LAYOUTS = ("grid", "random", "perimeter")
+
+
+@dataclass(frozen=True)
+class BeaconSpec:
+    """Declarative description of a beacon (anchor) infrastructure.
+
+    Attributes
+    ----------
+    count:
+        Number of beacon nodes.
+    layout:
+        Placement pattern: ``"grid"`` (near-square lattice of cell
+        centres), ``"random"`` (uniform over the region) or
+        ``"perimeter"`` (evenly spaced along the region boundary).
+    transmit_range:
+        Beacon transmission range in metres (beacons typically carry
+        high-power transmitters, so this exceeds the sensor range).
+    noise_std:
+        Standard deviation of the additive Gaussian error on distance
+        measurements (range-based schemes); ``0`` measures exactly.
+    seed:
+        Placement seed.  Only the ``random`` layout consumes randomness,
+        but the seed is part of the fingerprint for every layout so two
+        specs that differ only here never share cached artifacts.
+    """
+
+    count: int = 16
+    layout: str = "grid"
+    transmit_range: float = 250.0
+    noise_std: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_int("count", self.count, minimum=1)
+        check_positive("transmit_range", self.transmit_range)
+        check_positive("noise_std", self.noise_std, strict=False)
+        check_int("seed", self.seed)
+        if self.layout not in BEACON_LAYOUTS:
+            raise ValueError(
+                f"unknown beacon layout {self.layout!r}; "
+                f"choose from {list(BEACON_LAYOUTS)}"
+            )
+
+    # -- serialisation -----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON/TOML-ready; lossless round trip)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BeaconSpec":
+        """Rebuild a spec from its :meth:`as_dict` form (typos raise)."""
+        known = {"count", "layout", "transmit_range", "noise_std", "seed"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown beacon field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+    # -- construction ------------------------------------------------------
+
+    def positions(self, region: Region, rng=None) -> np.ndarray:
+        """Beacon positions for *region* under this spec's layout."""
+        if self.layout == "grid":
+            return self._grid_positions(region)
+        if self.layout == "perimeter":
+            return self._perimeter_positions(region)
+        if rng is None:
+            rng = np.random.default_rng(self.seed)
+        xs = rng.uniform(region.x_min, region.x_max, size=self.count)
+        ys = rng.uniform(region.y_min, region.y_max, size=self.count)
+        return np.column_stack([xs, ys])
+
+    def _grid_positions(self, region: Region) -> np.ndarray:
+        """A near-square lattice of cell centres, row-major, ``count`` long."""
+        rows = max(1, int(np.floor(np.sqrt(self.count))))
+        cols = int(np.ceil(self.count / rows))
+        width = region.x_max - region.x_min
+        height = region.y_max - region.y_min
+        xs = region.x_min + (np.arange(cols) + 0.5) * (width / cols)
+        ys = region.y_min + (np.arange(rows) + 0.5) * (height / rows)
+        gx, gy = np.meshgrid(xs, ys)
+        return np.column_stack([gx.ravel(), gy.ravel()])[: self.count]
+
+    def _perimeter_positions(self, region: Region) -> np.ndarray:
+        """``count`` points evenly spaced along the region boundary."""
+        width = region.x_max - region.x_min
+        height = region.y_max - region.y_min
+        perimeter = 2.0 * (width + height)
+        offsets = (np.arange(self.count) + 0.5) * (perimeter / self.count)
+        points = np.empty((self.count, 2), dtype=np.float64)
+        for i, t in enumerate(offsets):
+            if t < width:  # bottom edge, left to right
+                points[i] = (region.x_min + t, region.y_min)
+            elif t < width + height:  # right edge, bottom to top
+                points[i] = (region.x_max, region.y_min + (t - width))
+            elif t < 2 * width + height:  # top edge, right to left
+                points[i] = (
+                    region.x_max - (t - width - height),
+                    region.y_max,
+                )
+            else:  # left edge, top to bottom
+                points[i] = (
+                    region.x_min,
+                    region.y_max - (t - 2 * width - height),
+                )
+        return points
+
+    def build(self, region: Region, rng=None) -> BeaconInfrastructure:
+        """The concrete infrastructure for *region*.
+
+        *rng* feeds the ``random`` layout; when omitted a generator seeded
+        with :attr:`seed` is used, so a standalone ``build`` is already
+        deterministic.  Sessions pass a name-derived stream instead so a
+        parallel sweep places beacons exactly like the serial one.
+        """
+        return BeaconInfrastructure(
+            positions=self.positions(region, rng=rng),
+            transmit_range=self.transmit_range,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BeaconSpec({self.count} x {self.layout}, "
+            f"range={self.transmit_range:g}, noise={self.noise_std:g})"
+        )
+
+
+def beacon_contexts(
+    positions: np.ndarray,
+    beacons: BeaconInfrastructure,
+    scheme: LocalizationScheme,
+    *,
+    network=None,
+    observations: Optional[np.ndarray] = None,
+    knowledge=None,
+    noise_std: float = 0.0,
+    rng=None,
+) -> List[LocalizationContext]:
+    """Localization contexts for nodes at *positions* under *beacons*.
+
+    Every context carries the beacon infrastructure, the audible-beacon set
+    derived from the node's true position and — for range-based schemes
+    (``uses_ranges``) — the (optionally noisy) measured distances to the
+    audible beacons.  For hop-based schemes (``uses_hops``, e.g. DV-Hop)
+    the flooding profile is computed once over *network* (required in that
+    case) and threaded per node.  *observations*/*knowledge* ride along untouched so
+    hybrid schemes can combine both information sources.
+
+    Parameters
+    ----------
+    positions:
+        True node positions, shape ``(k, 2)``.
+    beacons:
+        The beacon infrastructure the nodes hear.
+    scheme:
+        The localization scheme the contexts are built for (decides which
+        optional fields are populated).
+    network:
+        The deployed :class:`~repro.network.network.SensorNetwork`
+        (DV-Hop only: the flooding runs over its connectivity graph).
+    observations, knowledge:
+        Optional observation vectors ``(k, n_groups)`` and deployment
+        knowledge, forwarded verbatim.
+    noise_std:
+        Distance-measurement noise (range-based schemes); requires *rng*
+        when positive.
+    rng:
+        Generator for the measurement noise.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError("positions must have shape (k, 2)")
+
+    hop_counts = None
+    avg_hop = None
+    if scheme.uses_hops:
+        if network is None:
+            raise ValueError("DV-Hop contexts need the deployed network")
+        node_hops, beacon_hops = compute_hop_profile(network, beacons)
+        avg_hop = average_hop_distance(beacons, beacon_hops)
+        # Map each requested position onto its node index in the network.
+        hop_counts = _hops_for_positions(network, positions, node_hops)
+
+    # Audibility of every beacon from every node in one distance pass.
+    diff = positions[:, None, :] - beacons.positions[None, :, :]
+    distances = np.hypot(diff[..., 0], diff[..., 1])
+    audible_mask = distances <= beacons.transmit_range
+
+    contexts: List[LocalizationContext] = []
+    for row in range(positions.shape[0]):
+        audible = np.flatnonzero(audible_mask[row])
+        measured = None
+        if scheme.uses_ranges:
+            measured = beacons.apply_measurement_noise(
+                distances[row, audible], rng=rng, noise_std=noise_std
+            )
+        contexts.append(
+            LocalizationContext(
+                observation=None if observations is None else observations[row],
+                knowledge=knowledge,
+                beacons=beacons,
+                audible_beacons=audible,
+                measured_distances=measured,
+                hop_counts=None if hop_counts is None else hop_counts[row],
+                avg_hop_distance=avg_hop,
+                true_position=positions[row],
+            )
+        )
+    return contexts
+
+
+def _hops_for_positions(
+    network, positions: np.ndarray, node_hops: np.ndarray
+) -> np.ndarray:
+    """Per-position hop-count rows, matched by exact position lookup."""
+    # The training pipeline samples nodes from the network itself, so every
+    # requested position is a network position; match rows exactly.
+    index = {tuple(p): i for i, p in enumerate(network.positions)}
+    rows = np.empty((positions.shape[0], node_hops.shape[1]), dtype=np.float64)
+    for row, point in enumerate(positions):
+        node = index.get(tuple(point))
+        if node is None:
+            raise ValueError(
+                "DV-Hop contexts require node positions drawn from the network"
+            )
+        rows[row] = node_hops[node]
+    return rows

@@ -5,6 +5,17 @@ related-work section: a node estimates its position as the centroid of the
 *declared* positions of all beacon nodes it can hear.  Low overhead, coarse
 accuracy — and trivially misled once a compromised beacon declares a far-away
 position, which the ``attack_resilience_study`` example demonstrates.
+
+Batched path
+------------
+
+Threshold training localizes hundreds of nodes against one shared beacon
+set, so :meth:`CentroidLocalizer.localize_many` runs all rows through one
+masked-sum kernel instead of a Python-level loop.  Both the per-row and the
+batched path call the same :func:`_masked_centroids` kernel (the per-row
+case is the ``k = 1`` batch), and skipped beacons contribute exact zeros to
+the sums, so the batch reproduces the loop bit for bit — the invariant
+suite asserts exactly that.
 """
 
 from __future__ import annotations
@@ -15,12 +26,44 @@ import numpy as np
 
 from repro.localization.base import (
     LOCALIZERS,
+    BeaconInfrastructure,
     LocalizationContext,
     LocalizationResult,
     LocalizationScheme,
+    resolve_audible_beacons,
 )
 
 __all__ = ["CentroidLocalizer"]
+
+
+def _audible_mask(
+    beacons: BeaconInfrastructure, context: LocalizationContext
+) -> np.ndarray:
+    """Boolean audibility mask of one context (shared resolution rules)."""
+    mask = np.zeros(beacons.num_beacons, dtype=bool)
+    mask[resolve_audible_beacons(beacons, context)] = True
+    return mask
+
+
+def _masked_centroids(
+    mask: np.ndarray, declared: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Centroids of the masked beacon subsets, one row per mask row.
+
+    Inaudible beacons enter the sum as exact zeros (adding ``0.0`` is
+    exact), so each row equals the sequential sum over its audible subset
+    bit for bit regardless of the batch size.  Rows with an empty mask get
+    the all-beacon centroid fallback and ``converged = False``.
+    """
+    counts = mask.sum(axis=1)
+    sums = np.where(mask[:, :, None], declared[None, :, :], 0.0).sum(axis=1)
+    converged = counts > 0
+    estimates = np.where(
+        converged[:, None],
+        sums / np.maximum(counts, 1)[:, None],
+        declared.mean(axis=0)[None, :],
+    )
+    return estimates, converged
 
 
 @LOCALIZERS.register()
@@ -29,21 +72,35 @@ class CentroidLocalizer(LocalizationScheme):
     """Estimate a node's position as the centroid of audible beacon positions."""
 
     name: str = "centroid"
+    requires_beacons = True
 
     def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
         beacons = context.beacons
         if beacons is None:
             raise ValueError("the centroid scheme needs a BeaconInfrastructure")
-        audible = context.audible_beacons
-        if audible is None:
-            if context.true_position is None:
-                audible = np.arange(beacons.num_beacons)
-            else:
-                audible = beacons.audible_from(context.true_position)
-        audible = np.asarray(audible, dtype=np.int64)
-        if audible.size == 0:
-            # No beacon audible: the scheme cannot produce an estimate.
-            fallback = beacons.declared_positions.mean(axis=0)
-            return LocalizationResult(position=fallback, converged=False)
-        estimate = beacons.declared_positions[audible].mean(axis=0)
-        return LocalizationResult(position=estimate, converged=True)
+        mask = _audible_mask(beacons, context)
+        estimates, converged = _masked_centroids(
+            mask[None, :], beacons.declared_positions
+        )
+        return LocalizationResult(position=estimates[0], converged=bool(converged[0]))
+
+    def localize_many(
+        self, contexts: list[LocalizationContext], rng=None
+    ) -> list[LocalizationResult]:
+        """Vectorised batch path: one masked-sum kernel over all rows.
+
+        Falls back to the per-row loop when the contexts do not share one
+        beacon infrastructure (the kernel needs a common declared-position
+        matrix).
+        """
+        if not contexts:
+            return []
+        beacons = contexts[0].beacons
+        if beacons is None or any(ctx.beacons is not beacons for ctx in contexts):
+            return super().localize_many(contexts, rng=rng)
+        mask = np.stack([_audible_mask(beacons, ctx) for ctx in contexts])
+        estimates, converged = _masked_centroids(mask, beacons.declared_positions)
+        return [
+            LocalizationResult(position=estimates[row], converged=bool(converged[row]))
+            for row in range(len(contexts))
+        ]

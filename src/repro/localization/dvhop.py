@@ -29,7 +29,12 @@ from repro.localization.base import (
 from repro.localization.multilateration import MmseMultilaterationLocalizer
 from repro.network.network import SensorNetwork
 
-__all__ = ["DvHopLocalizer", "compute_hop_counts", "average_hop_distance"]
+__all__ = [
+    "DvHopLocalizer",
+    "compute_hop_counts",
+    "compute_hop_profile",
+    "average_hop_distance",
+]
 
 
 def _connectivity_graph(
@@ -48,16 +53,19 @@ def _connectivity_graph(
     return (adj + adj.T).tocsr()
 
 
-def compute_hop_counts(
+def compute_hop_profile(
     network: SensorNetwork, beacons: BeaconInfrastructure
-) -> np.ndarray:
-    """Minimum hop counts from every node to every beacon.
+) -> tuple[np.ndarray, np.ndarray]:
+    """One DV-Hop flooding pass: node→beacon and beacon→beacon hop counts.
 
     Beacons are attached to the connectivity graph as extra vertices whose
     neighbours are the sensor nodes within the *sensor* radio range (the
     flooding travels over sensor links).  Unreachable pairs get ``inf``.
 
-    Returns an array of shape ``(num_nodes, num_beacons)``.
+    Returns ``(node_hops, beacon_hops)`` with shapes
+    ``(num_nodes, num_beacons)`` and ``(num_beacons, num_beacons)`` — the
+    latter is what :func:`average_hop_distance` calibrates the per-hop
+    distance from, so one dijkstra run serves the whole protocol.
     """
     radio_range = network.radio.nominal_range
     all_positions = np.vstack([network.positions, beacons.positions])
@@ -67,7 +75,18 @@ def compute_hop_counts(
     )
     dist = dijkstra(graph, indices=beacon_vertices, unweighted=True)
     # dist has shape (num_beacons, num_nodes + num_beacons).
-    return dist[:, : network.num_nodes].T
+    return dist[:, : network.num_nodes].T, dist[:, network.num_nodes :]
+
+
+def compute_hop_counts(
+    network: SensorNetwork, beacons: BeaconInfrastructure
+) -> np.ndarray:
+    """Minimum hop counts from every node to every beacon.
+
+    The node→beacon half of :func:`compute_hop_profile` (kept as the
+    original entry point); shape ``(num_nodes, num_beacons)``.
+    """
+    return compute_hop_profile(network, beacons)[0]
 
 
 def average_hop_distance(
@@ -107,6 +126,8 @@ class DvHopLocalizer(LocalizationScheme):
     """
 
     name: str = "dv-hop"
+    requires_beacons = True
+    uses_hops = True
 
     def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
         beacons = context.beacons

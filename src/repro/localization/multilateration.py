@@ -7,6 +7,19 @@ implements the standard linearised least-squares solution with an optional
 non-linear refinement, and is the baseline the paper's discussion points to
 when it argues that a single compromised anchor can introduce an arbitrarily
 large localization error.
+
+Batched path
+------------
+
+Threshold training multilaterates hundreds of nodes against one shared
+beacon set, so the linearised stage runs as one masked normal-equation
+kernel over all rows (:func:`_linear_estimates`): the per-anchor terms are
+reduced with exact-zero padding for inaudible beacons and the 2x2 systems
+are solved with the explicit closed form, all elementwise — so the per-row
+path (the ``k = 1`` batch of the same kernel) and
+:meth:`MmseMultilaterationLocalizer.localize_many` agree bit for bit.  The
+Levenberg–Marquardt refinement stays a per-row loop in both paths (same
+function, same inputs, same result).
 """
 
 from __future__ import annotations
@@ -18,12 +31,83 @@ from scipy import optimize
 
 from repro.localization.base import (
     LOCALIZERS,
+    BeaconInfrastructure,
     LocalizationContext,
     LocalizationResult,
     LocalizationScheme,
+    resolve_audible_beacons,
 )
 
 __all__ = ["MmseMultilaterationLocalizer"]
+
+
+def _masked_row_sums(terms: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Row sums of *terms* over the masked beacon axis (exact-zero padding)."""
+    return np.where(mask, terms, 0.0).sum(axis=1)
+
+
+def _linear_estimates(
+    mask: np.ndarray, declared: np.ndarray, distances: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Linearised multilateration of every mask row at once.
+
+    Parameters
+    ----------
+    mask:
+        Audibility mask, shape ``(k, b)``; rows are assumed to have at
+        least three audible beacons (callers route smaller rows to the
+        fallback).
+    declared:
+        Declared beacon positions, shape ``(b, 2)``.
+    distances:
+        Measured distances scattered onto the full beacon axis, shape
+        ``(k, b)`` (entries outside the mask are ignored).
+
+    Returns
+    -------
+    ``(estimates, solvable)`` where rows with a singular or
+    near-singular normal matrix (collinear or nearly collinear anchors)
+    carry ``solvable = False``.
+
+    The classic linearisation subtracts the last audible anchor's circle
+    equation; the resulting overdetermined system is solved through its
+    2x2 normal equations with the explicit inverse, so every operation is
+    elementwise or an exact-zero-padded row sum — the row results do not
+    depend on the batch size.
+    """
+    k, b = mask.shape
+    ref = b - 1 - np.argmax(mask[:, ::-1], axis=1)  # last audible index
+    p_ref = declared[ref]
+    d_ref = distances[np.arange(k), ref]
+    mask_ex = mask.copy()
+    mask_ex[np.arange(k), ref] = False
+
+    a = 2.0 * (declared[None, :, :] - p_ref[:, None, :])  # (k, b, 2)
+    rhs = -(
+        distances**2
+        - d_ref[:, None] ** 2
+        - np.sum(declared**2, axis=1)[None, :]
+        + np.sum(p_ref**2, axis=1)[:, None]
+    )
+    m00 = _masked_row_sums(a[:, :, 0] * a[:, :, 0], mask_ex)
+    m01 = _masked_row_sums(a[:, :, 0] * a[:, :, 1], mask_ex)
+    m11 = _masked_row_sums(a[:, :, 1] * a[:, :, 1], mask_ex)
+    v0 = _masked_row_sums(a[:, :, 0] * rhs, mask_ex)
+    v1 = _masked_row_sums(a[:, :, 1] * rhs, mask_ex)
+
+    det = m00 * m11 - m01 * m01
+    # M is a sum of outer products, so det >= 0 up to rounding, and
+    # det / tr(M)^2 ~ lambda_min / lambda_max: near-collinear anchors make
+    # M nearly rank-one, the closed-form solve amplifies range noise by
+    # 1/lambda_min, and the estimate explodes.  Such rows are routed to
+    # the non-converged fallback instead of returning an arbitrarily
+    # amplified position.
+    solvable = det > 1e-9 * (m00 + m11) ** 2
+    safe_det = np.where(solvable, det, 1.0)
+    estimates = np.column_stack(
+        [(m11 * v0 - m01 * v1) / safe_det, (m00 * v1 - m01 * v0) / safe_det]
+    )
+    return estimates, solvable
 
 
 @LOCALIZERS.register("mmse_multilateration", "multilateration", name="mmse")
@@ -40,18 +124,44 @@ class MmseMultilaterationLocalizer(LocalizationScheme):
 
     refine: bool = True
     name: str = "mmse-multilateration"
+    requires_beacons = True
+    uses_ranges = True
 
     def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
+        mask, distances = self._row_inputs(context)
+        return self._results_from_rows(
+            context.beacons, mask[None, :], distances[None, :]
+        )[0]
+
+    def localize_many(
+        self, contexts: list[LocalizationContext], rng=None
+    ) -> list[LocalizationResult]:
+        """Vectorised batch path: one normal-equation kernel over all rows.
+
+        Falls back to the per-row loop when the contexts do not share one
+        beacon infrastructure.
+        """
+        if not contexts:
+            return []
+        beacons = contexts[0].beacons
+        if beacons is None or any(ctx.beacons is not beacons for ctx in contexts):
+            return super().localize_many(contexts, rng=rng)
+        rows = [self._row_inputs(ctx) for ctx in contexts]
+        mask = np.stack([row[0] for row in rows])
+        distances = np.stack([row[1] for row in rows])
+        return self._results_from_rows(beacons, mask, distances)
+
+    # -- shared kernels ------------------------------------------------------
+
+    @staticmethod
+    def _row_inputs(
+        context: LocalizationContext,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One context's ``(mask, full-axis distances)`` pair (validated)."""
         beacons = context.beacons
         if beacons is None:
             raise ValueError("multilateration needs a BeaconInfrastructure")
-        audible = context.audible_beacons
-        if audible is None:
-            if context.true_position is None:
-                audible = np.arange(beacons.num_beacons)
-            else:
-                audible = beacons.audible_from(context.true_position)
-        audible = np.asarray(audible, dtype=np.int64)
+        audible = resolve_audible_beacons(beacons, context)
         distances = context.measured_distances
         if distances is None:
             raise ValueError("multilateration needs measured_distances")
@@ -60,40 +170,55 @@ class MmseMultilaterationLocalizer(LocalizationScheme):
             raise ValueError(
                 "measured_distances must have one entry per audible beacon"
             )
-        anchors = beacons.declared_positions[audible]
+        mask = np.zeros(beacons.num_beacons, dtype=bool)
+        mask[audible] = True
+        full = np.zeros(beacons.num_beacons, dtype=np.float64)
+        full[audible] = distances
+        return mask, full
 
-        if audible.size < 3:
-            # Under-determined: fall back to the centroid of what is audible.
-            if audible.size == 0:
-                fallback = beacons.declared_positions.mean(axis=0)
-            else:
-                fallback = anchors.mean(axis=0)
-            return LocalizationResult(position=fallback, converged=False)
-
-        estimate = self._linear_solution(anchors, distances)
-        iterations = 0
-        if self.refine:
-            estimate, iterations = self._nonlinear_refinement(
-                anchors, distances, estimate
+    def _results_from_rows(
+        self,
+        beacons: BeaconInfrastructure,
+        mask: np.ndarray,
+        distances: np.ndarray,
+    ) -> list[LocalizationResult]:
+        """Results for pre-validated mask/distance rows (any batch size)."""
+        declared = beacons.declared_positions
+        counts = mask.sum(axis=1)
+        determined = counts >= 3
+        estimates = np.zeros((mask.shape[0], 2), dtype=np.float64)
+        solvable = np.zeros(mask.shape[0], dtype=bool)
+        if np.any(determined):
+            estimates[determined], solvable[determined] = _linear_estimates(
+                mask[determined], declared, distances[determined]
             )
-        return LocalizationResult(
-            position=estimate, converged=True, iterations=iterations
-        )
 
-    @staticmethod
-    def _linear_solution(anchors: np.ndarray, distances: np.ndarray) -> np.ndarray:
-        """Classic linearisation: subtract the last anchor's circle equation."""
-        ref = anchors[-1]
-        d_ref = distances[-1]
-        a = 2.0 * (anchors[:-1] - ref)
-        b = (
-            distances[:-1] ** 2
-            - d_ref**2
-            - np.sum(anchors[:-1] ** 2, axis=1)
-            + np.sum(ref**2)
-        )
-        solution, *_ = np.linalg.lstsq(a, -b, rcond=None)
-        return solution
+        results: list[LocalizationResult] = []
+        for row in range(mask.shape[0]):
+            if not (determined[row] and solvable[row]):
+                # Under-determined (or collinear anchors): fall back to the
+                # centroid of what is audible.
+                if counts[row] == 0:
+                    fallback = declared.mean(axis=0)
+                else:
+                    fallback = declared[mask[row]].mean(axis=0)
+                results.append(
+                    LocalizationResult(position=fallback, converged=False)
+                )
+                continue
+            estimate = estimates[row]
+            iterations = 0
+            if self.refine:
+                audible = np.flatnonzero(mask[row])
+                estimate, iterations = self._nonlinear_refinement(
+                    declared[audible], distances[row, audible], estimate
+                )
+            results.append(
+                LocalizationResult(
+                    position=estimate, converged=True, iterations=iterations
+                )
+            )
+        return results
 
     @staticmethod
     def _nonlinear_refinement(

@@ -9,7 +9,6 @@ from repro.core.metrics import (
     AddAllMetric,
     DiffMetric,
     ProbabilityMetric,
-    get_metric,
     resolve_metric,
 )
 
@@ -159,10 +158,10 @@ class TestMetricRegistry:
         with pytest.raises(ValueError, match="unknown metric"):
             resolve_metric("entropy")
 
-    def test_get_metric_deprecated_but_equivalent(self):
-        with pytest.warns(DeprecationWarning, match="get_metric"):
-            metric = get_metric("diff")
-        assert isinstance(metric, DiffMetric)
+    def test_get_metric_shim_removed(self):
+        import repro.core.metrics as metrics_module
+
+        assert not hasattr(metrics_module, "get_metric")
 
     def test_shape_mismatch_rejected(self, vectors):
         obs, exp = vectors

@@ -99,11 +99,15 @@ class TestCollectTrainingData:
 
     def test_custom_localizer_is_used(self, small_generator_module):
         """A non-beaconless localizer goes through the generic code path."""
+        from repro.localization.base import (
+            LocalizationResult,
+            LocalizationScheme,
+        )
 
-        class FixedLocalizer(CentroidLocalizer):
+        class FixedLocalizer(LocalizationScheme):
+            name = "fixed"
+
             def localize(self, context, rng=None):  # noqa: D102 - test stub
-                from repro.localization.base import LocalizationResult
-
                 return LocalizationResult(position=np.array([123.0, 321.0]))
 
         data = collect_training_data(
@@ -114,6 +118,72 @@ class TestCollectTrainingData:
             rng=2,
         )
         np.testing.assert_allclose(data.estimated_locations, [[123.0, 321.0]] * 5)
+
+    def test_beacon_localizer_needs_beacons(self, small_generator_module):
+        with pytest.raises(ValueError, match="beacon-based"):
+            collect_training_data(
+                small_generator_module,
+                num_samples=5,
+                samples_per_network=5,
+                localizer=CentroidLocalizer(),
+                rng=2,
+            )
+
+    @pytest.mark.parametrize("scheme", ["centroid", "mmse", "dvhop", "apit"])
+    def test_beacon_localizers_train_end_to_end(
+        self, small_generator_module, scheme
+    ):
+        from repro.localization import create
+        from repro.localization.apit import ApitLocalizer
+        from repro.localization.beacons import BeaconSpec
+        from repro.types import Region
+
+        region = small_generator_module.model.region
+        beacons = BeaconSpec(count=9, transmit_range=400.0).build(region)
+        localizer = (
+            ApitLocalizer(region=Region(0, 0, 500, 500), grid_resolution=25.0)
+            if scheme == "apit"
+            else create(scheme)
+        )
+        data = collect_training_data(
+            small_generator_module,
+            num_samples=8,
+            samples_per_network=4,
+            localizer=localizer,
+            beacons=beacons,
+            rng=5,
+        )
+        assert data.estimated_locations.shape == (8, 2)
+        assert np.isfinite(data.estimated_locations).all()
+        # The beacon schemes are coarser than the beaconless MLE but must
+        # stay within the region scale.
+        assert data.localization_errors().max() < 750.0
+
+    def test_beacon_training_reproducible_with_noise(
+        self, small_generator_module
+    ):
+        from repro.localization.beacons import BeaconSpec
+        from repro.localization.multilateration import (
+            MmseMultilaterationLocalizer,
+        )
+
+        region = small_generator_module.model.region
+        beacons = BeaconSpec(count=9, transmit_range=400.0).build(region)
+        runs = [
+            collect_training_data(
+                small_generator_module,
+                num_samples=6,
+                samples_per_network=3,
+                localizer=MmseMultilaterationLocalizer(),
+                beacons=beacons,
+                beacon_noise_std=3.0,
+                rng=11,
+            )
+            for _ in range(2)
+        ]
+        np.testing.assert_array_equal(
+            runs[0].estimated_locations, runs[1].estimated_locations
+        )
 
     def test_invalid_arguments(self, small_generator_module):
         with pytest.raises(ValueError):

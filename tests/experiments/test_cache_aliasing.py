@@ -1,0 +1,152 @@
+"""Cache-aliasing regression tests.
+
+The artifact store is content-addressed, so the only way a warm cache can
+lie is a fingerprint that under-describes what produced an artifact.  These
+tests pin the guarantee the beacon work introduced: two sessions differing
+only in their localizer (or beacon layout) produce disjoint artifact keys
+and a sweep under one scheme never consumes another scheme's cached scores
+— while a repeated sweep of the *same* beacon scheme is served entirely
+from cache, bit-identical to the cold run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.scenario import ScenarioSpec
+from repro.experiments.session import LadSession
+from repro.experiments.store import ArtifactStore, fingerprint_key
+from repro.localization.beacons import BeaconSpec
+
+
+@pytest.fixture()
+def tiny_config():
+    return SimulationConfig(
+        group_size=40,
+        num_training_samples=20,
+        training_samples_per_network=10,
+        num_victims=20,
+        victims_per_network=10,
+        gz_omega=300,
+        seed=90210,
+        beacons=BeaconSpec(count=9, transmit_range=450.0),
+    )
+
+
+def _attacked_key(session):
+    return session.attacked_scores_key(
+        "diff", "dec_bounded", degree_of_damage=120.0, compromised_fraction=0.1
+    )
+
+
+def _benign_key(session, metric="diff"):
+    fingerprint = session.training_fingerprint()
+    fingerprint["metric"] = metric
+    return fingerprint_key(fingerprint)
+
+
+class TestDisjointKeys:
+    def test_sessions_differing_only_in_localizer(self, tiny_config):
+        sessions = {
+            name: LadSession(tiny_config, localizer=name)
+            for name in ("beaconless", "centroid", "mmse", "dvhop", "apit")
+        }
+        benign_keys = [_benign_key(s) for s in sessions.values()]
+        attacked_keys = [_attacked_key(s) for s in sessions.values()]
+        assert len(set(benign_keys)) == len(sessions)
+        assert len(set(attacked_keys)) == len(sessions)
+
+    def test_sessions_differing_only_in_beacon_layout(self, tiny_config):
+        variants = [
+            BeaconSpec(count=9, transmit_range=450.0),
+            BeaconSpec(count=16, transmit_range=450.0),
+            BeaconSpec(count=9, layout="perimeter", transmit_range=450.0),
+            BeaconSpec(count=9, transmit_range=450.0, noise_std=2.0),
+            BeaconSpec(count=9, transmit_range=450.0, seed=1),
+        ]
+        sessions = [
+            LadSession(tiny_config.with_beacons(spec), localizer="centroid")
+            for spec in variants
+        ]
+        assert len({_benign_key(s) for s in sessions}) == len(variants)
+        assert len({_attacked_key(s) for s in sessions}) == len(variants)
+
+    def test_beaconless_ignores_beacon_spec(self, tiny_config):
+        """A beaconless session never reads the beacons, so two configs
+        differing only there legitimately share trained artifacts."""
+        with_beacons = LadSession(tiny_config, localizer="beaconless")
+        without = LadSession(
+            tiny_config.with_beacons(None), localizer="beaconless"
+        )
+        assert _benign_key(with_beacons) == _benign_key(without)
+        assert _attacked_key(with_beacons) == _attacked_key(without)
+
+
+class TestZeroCrossHits:
+    def test_second_localizer_recomputes_everything_scored(
+        self, tiny_config, tmp_path
+    ):
+        spec = ScenarioSpec(
+            name="alias",
+            metrics=("diff",),
+            degrees=(80.0, 160.0),
+            fractions=(0.1,),
+            false_positive_rate=0.05,
+            config=tiny_config,
+        )
+        first = spec.session(localizer="centroid", store=ArtifactStore(tmp_path))
+        first.sweep().detection_rates(
+            spec.points(), false_positive_rate=spec.false_positive_rate
+        )
+        assert first.store.hits == 0
+
+        second = spec.session(localizer="mmse", store=ArtifactStore(tmp_path))
+        second.sweep().detection_rates(
+            spec.points(), false_positive_rate=spec.false_positive_rate
+        )
+        # Nothing scored under one scheme is served to the other.
+        assert second.store.hit_counts["benign_scores"] == 0
+        assert second.store.hit_counts["attacked_scores"] == 0
+        # The victims' honest observations are localizer-independent by
+        # construction, so sharing them across schemes is correct (and
+        # documented) — pin that this is the *only* shared artifact.
+        assert second.store.hit_counts["victims"] == 1
+        assert set(second.store.hit_counts) == {"victims"}
+
+
+class TestWarmEqualsColdForBeaconSweep:
+    @pytest.mark.parametrize("localizer", ["centroid", "dvhop"])
+    def test_warm_sweep_fully_hits_and_matches_cold(
+        self, tiny_config, tmp_path, localizer
+    ):
+        spec = ScenarioSpec(
+            name="beacon_warm",
+            metrics=("diff",),
+            degrees=(80.0, 160.0),
+            fractions=(0.1,),
+            false_positive_rate=0.05,
+            localizer=localizer,
+            config=tiny_config,
+        )
+        cold_session = spec.session(store=ArtifactStore(tmp_path))
+        cold = dict(
+            cold_session.sweep().iter_attacked_scores(spec.points())
+        )
+        cold_rates = cold_session.sweep().detection_rates(
+            spec.points(), false_positive_rate=spec.false_positive_rate
+        )
+
+        warm_session = spec.session(store=ArtifactStore(tmp_path))
+        warm = dict(
+            warm_session.sweep().iter_attacked_scores(spec.points())
+        )
+        warm_rates = warm_session.sweep().detection_rates(
+            spec.points(), false_positive_rate=spec.false_positive_rate
+        )
+        assert warm_session.store.misses == 0
+        assert warm_session.store.hit_counts["attacked_scores"] >= len(
+            spec.points()
+        )
+        assert warm_rates == cold_rates
+        for point, scores in cold.items():
+            np.testing.assert_array_equal(scores, warm[point])

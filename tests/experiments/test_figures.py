@@ -34,8 +34,16 @@ def tiny_simulation(tiny_config):
 
 
 class TestRegistry:
-    def test_all_six_figures_registered(self):
-        assert set(FIGURES) == {"fig4", "fig5", "fig6", "fig7", "fig8", "fig9"}
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "figl",
+        }
 
     def test_get_figure_lookup(self):
         assert get_figure("FIG7") is fig7.run
@@ -184,6 +192,42 @@ class TestFig9:
                 density_workers=2,
             )
         assert result.figure_id == "fig9"
+
+
+class TestFigL:
+    def test_structure_and_localizer_series(self, tiny_config):
+        from repro.experiments.figures import figl
+
+        result = figl.run(
+            config=tiny_config,
+            localizers=("beaconless", "centroid"),
+            degrees=(80.0, 160.0),
+            fractions=(0.1,),
+        )
+        assert result.figure_id == "figl"
+        panel = result.get_panel("x=10%")
+        assert [s.label for s in panel.series] == ["beaconless", "centroid"]
+        for series in panel.series:
+            assert series.x == [80.0, 160.0]
+            assert all(0.0 <= y <= 1.0 for y in series.y)
+        # The effective beacon infrastructure is recorded for the reader.
+        assert result.parameters["beacons"] is not None
+
+    def test_localizer_fan_out_matches_serial(self, tiny_config):
+        from repro.experiments.figures import figl
+
+        kwargs = dict(
+            config=tiny_config,
+            localizers=("beaconless", "centroid"),
+            degrees=(160.0,),
+            fractions=(0.1,),
+        )
+        serial = figl.run(**kwargs)
+        parallel = figl.run(**kwargs, density_workers=2)
+        for panel_serial, panel_parallel in zip(serial.panels, parallel.panels):
+            for a, b in zip(panel_serial.series, panel_parallel.series):
+                assert a.label == b.label
+                assert a.y == b.y
 
 
 class TestRunFigureDispatch:

@@ -1,11 +1,11 @@
-"""Tests for :mod:`repro.experiments.session` and the legacy harness shim."""
+"""Tests for :mod:`repro.experiments.session`."""
 
 import numpy as np
 import pytest
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.harness import LadSimulation
 from repro.experiments.session import LadSession
+from repro.localization.beacons import BeaconSpec
 
 
 @pytest.fixture(scope="module")
@@ -102,14 +102,34 @@ class TestEvaluationEntryPoints:
         assert sim.config.group_size == 300
 
 
-class TestLegacyShim:
-    def test_lad_simulation_warns_and_is_a_session(self):
-        with pytest.warns(DeprecationWarning, match="LadSimulation is deprecated"):
-            sim = LadSimulation(SimulationConfig(group_size=40))
-        assert isinstance(sim, LadSession)
+class TestLegacyShimRemoval:
+    """The one-release deprecation shims are gone, not just deprecated."""
 
-    def test_shim_results_match_session(self):
-        config = SimulationConfig(
+    def test_lad_simulation_removed(self):
+        import repro
+        import repro.experiments
+
+        with pytest.raises(AttributeError, match="LadSimulation"):
+            repro.LadSimulation
+        assert not hasattr(repro.experiments, "LadSimulation")
+        with pytest.raises(ModuleNotFoundError):
+            import repro.experiments.harness  # noqa: F401
+
+    def test_get_metric_removed(self):
+        import repro
+        import repro.core
+
+        with pytest.raises(AttributeError, match="get_metric"):
+            repro.get_metric
+        assert not hasattr(repro.core, "get_metric")
+
+
+class TestBeaconSessions:
+    """Beacon-based localizers are first-class session citizens."""
+
+    @pytest.fixture(scope="class")
+    def beacon_config(self):
+        return SimulationConfig(
             group_size=40,
             num_training_samples=30,
             training_samples_per_network=15,
@@ -117,20 +137,61 @@ class TestLegacyShim:
             victims_per_network=15,
             gz_omega=300,
             seed=31,
+            beacons=BeaconSpec(count=9, layout="grid", transmit_range=450.0),
         )
-        with pytest.warns(DeprecationWarning):
-            legacy = LadSimulation(config)
-        modern = LadSession(config)
-        np.testing.assert_array_equal(
-            legacy.benign_scores("diff"), modern.benign_scores("diff")
+
+    def test_session_deploys_configured_beacons(self, beacon_config):
+        session = LadSession(beacon_config, localizer="centroid")
+        beacons = session.beacons
+        assert beacons is not None
+        assert beacons.num_beacons == 9
+        assert session.beacons is beacons  # cached
+        # The whole pipeline runs end to end behind the beacon scheme.
+        rate, threshold = session.detection_rate(
+            "diff",
+            "dec_bounded",
+            degree_of_damage=160.0,
+            compromised_fraction=0.1,
+            false_positive_rate=0.05,
         )
-        np.testing.assert_array_equal(
-            legacy.attacked_scores(
-                "diff", "dec_bounded",
-                degree_of_damage=120.0, compromised_fraction=0.1,
-            ),
-            modern.attacked_scores(
-                "diff", "dec_bounded",
-                degree_of_damage=120.0, compromised_fraction=0.1,
-            ),
+        assert 0.0 <= rate <= 1.0 and np.isfinite(threshold)
+
+    def test_beacon_scheme_defaults_spec_when_config_has_none(self):
+        config = SimulationConfig(
+            group_size=40,
+            num_training_samples=20,
+            training_samples_per_network=10,
+            num_victims=20,
+            victims_per_network=10,
+            gz_omega=300,
+            seed=31,
         )
+        session = LadSession(config, localizer="mmse")
+        assert session.beacon_spec == BeaconSpec()
+        assert session.beacons.num_beacons == BeaconSpec().count
+
+    def test_beaconless_session_deploys_no_beacons(self, tiny_simulation):
+        assert tiny_simulation.beacon_spec is None
+        assert tiny_simulation.beacons is None
+
+    def test_beacon_placement_is_seed_deterministic(self, beacon_config):
+        from dataclasses import replace
+
+        random_config = replace(
+            beacon_config,
+            beacons=BeaconSpec(count=7, layout="random", seed=3),
+        )
+        a = LadSession(random_config, localizer="centroid").beacons
+        b = LadSession(random_config, localizer="centroid").beacons
+        np.testing.assert_array_equal(a.positions, b.positions)
+        reseeded = replace(
+            random_config,
+            beacons=BeaconSpec(count=7, layout="random", seed=4),
+        )
+        c = LadSession(reseeded, localizer="centroid").beacons
+        assert not np.array_equal(a.positions, c.positions)
+
+    def test_apit_localizer_matches_config_region(self):
+        config = SimulationConfig(group_size=40, region_size=500.0)
+        session = LadSession(config, localizer="apit")
+        assert session.localizer.region.x_max == 500.0

@@ -4,10 +4,10 @@ import numpy as np
 import pytest
 
 from repro.experiments.config import SimulationConfig
-from repro.experiments.harness import LadSimulation
 from repro.experiments.scenario import ScenarioSpec
 from repro.experiments.session import LadSession
 from repro.experiments.sweep import SweepPoint
+from repro.localization.beacons import BeaconSpec
 
 
 @pytest.fixture()
@@ -75,6 +75,14 @@ class TestConstruction:
         dense = ScenarioSpec(group_sizes=(100, 300))
         assert dense.density_values() == (100, 300)
 
+    def test_localizer_values_default_to_single_localizer(self, spec):
+        assert spec.localizer_values() == ("beaconless",)
+        multi = ScenarioSpec(localizers=("Centroid", "dv-hop"))
+        assert multi.localizers == ("centroid", "dvhop")
+        assert multi.localizer_values() == ("centroid", "dvhop")
+        with pytest.raises(ValueError, match="unknown localizer"):
+            ScenarioSpec(localizers=("gps",))
+
 
 class TestRoundTrip:
     def test_toml_round_trip_is_lossless(self, spec):
@@ -105,6 +113,42 @@ class TestRoundTrip:
         with pytest.raises(ValueError, match="unknown config field"):
             ScenarioSpec.from_toml('[config]\ntypo_field = 1\n')
 
+    def test_beacon_table_round_trips(self, tiny_config):
+        spec = ScenarioSpec(
+            name="beacons",
+            localizer="centroid",
+            localizers=("centroid", "mmse"),
+            config=tiny_config.with_beacons(
+                BeaconSpec(count=9, layout="perimeter", noise_std=2.0, seed=5)
+            ),
+        )
+        text = spec.to_toml()
+        assert "[beacons]" in text
+        loaded = ScenarioSpec.from_toml(text)
+        assert loaded == spec
+        assert loaded.beacons == spec.config.beacons
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_beacons_omitted_when_not_configured(self, spec):
+        assert "beacons" not in spec.as_dict()
+        assert "[beacons]" not in spec.to_toml()
+
+    def test_unknown_beacon_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown beacon field"):
+            ScenarioSpec.from_toml('name = "x"\n[beacons]\ntypo = 1\n')
+
+    def test_conflicting_beacon_tables_rejected(self):
+        with pytest.raises(ValueError, match="single \\[beacons\\] table"):
+            ScenarioSpec.from_dict(
+                {
+                    "beacons": {"count": 4},
+                    "config": {"beacons": {"count": 99}},
+                }
+            )
+        # A config-level table alone still parses (legacy placement).
+        spec = ScenarioSpec.from_dict({"config": {"beacons": {"count": 4}}})
+        assert spec.beacons == BeaconSpec(count=4)
+
     def test_unsupported_suffix_rejected(self, spec, tmp_path):
         with pytest.raises(ValueError, match="unsupported spec format"):
             spec.to_file(tmp_path / "spec.yaml")
@@ -115,33 +159,32 @@ class TestRoundTrip:
 
 
 class TestEngineEquivalence:
-    def test_spec_sweep_matches_legacy_simulation_sweep(self, spec):
-        """The spec-driven path reproduces the legacy ``LadSimulation``
+    def test_spec_sweep_matches_direct_session_sweep(self, spec):
+        """The spec-driven path reproduces a hand-built ``LadSession``
         sweep bit for bit: same grid, same scores, same rates."""
         session = spec.session()
-        with pytest.warns(DeprecationWarning):
-            legacy = LadSimulation(spec.config)
+        direct = LadSession(spec.config)
 
         points = spec.points()
-        legacy_points = type(session.sweep()).grid(
+        direct_points = type(session.sweep()).grid(
             spec.metrics, spec.attacks, spec.degrees, spec.fractions
         )
-        assert points == legacy_points
+        assert points == direct_points
 
         spec_scores = session.sweep().attacked_scores(points)
-        legacy_scores = legacy.sweep().attacked_scores(points)
+        direct_scores = direct.sweep().attacked_scores(points)
         for point in points:
             np.testing.assert_array_equal(
-                spec_scores[point], legacy_scores[point]
+                spec_scores[point], direct_scores[point]
             )
 
         spec_rates = session.sweep().detection_rates(
             points, false_positive_rate=spec.false_positive_rate
         )
-        legacy_rates = legacy.sweep().detection_rates(
+        direct_rates = direct.sweep().detection_rates(
             points, false_positive_rate=spec.false_positive_rate
         )
-        assert spec_rates == legacy_rates
+        assert spec_rates == direct_rates
 
     def test_scaled_spec_scales_config_samples(self, spec):
         scaled = spec.scaled(0.5)

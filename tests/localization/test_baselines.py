@@ -131,6 +131,26 @@ class TestMultilateration:
         result = MmseMultilaterationLocalizer().localize(context)
         assert np.hypot(*(result.position - true)) > 50.0
 
+    def test_near_collinear_anchors_fall_back(self, beacons):
+        """Nearly collinear anchors make the linearised solve explode;
+        such rows must report non-convergence instead of returning a
+        wildly amplified estimate (the removed lstsq path absorbed them
+        via its SVD cutoff)."""
+        anchors = np.array(
+            [[0.0, 0.0], [200.0, 1e-7], [400.0, 2e-7], [600.0, 0.0]]
+        )
+        collinear = BeaconInfrastructure(positions=anchors, transmit_range=1000.0)
+        true = np.array([300.0, 40.0])
+        context = LocalizationContext(
+            beacons=collinear,
+            audible_beacons=np.arange(4),
+            measured_distances=collinear.measured_distances(true),
+        )
+        result = MmseMultilaterationLocalizer().localize(context)
+        assert not result.converged
+        # The fallback (audible centroid) stays at the problem's scale.
+        assert np.linalg.norm(result.position) < 2000.0
+
     def test_under_determined_falls_back(self, beacons):
         context = LocalizationContext(
             beacons=beacons,

@@ -1,0 +1,136 @@
+"""Tests for :mod:`repro.localization.beacons` (declarative beacon specs)."""
+
+import numpy as np
+import pytest
+
+from repro.localization.beacons import BEACON_LAYOUTS, BeaconSpec, beacon_contexts
+from repro.localization.centroid import CentroidLocalizer
+from repro.localization.dvhop import DvHopLocalizer
+from repro.localization.multilateration import MmseMultilaterationLocalizer
+from repro.types import Region
+
+REGION = Region(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestBeaconSpec:
+    @pytest.mark.parametrize("layout", BEACON_LAYOUTS)
+    def test_layouts_place_count_beacons_inside_region(self, layout):
+        spec = BeaconSpec(count=13, layout=layout)
+        beacons = spec.build(REGION)
+        assert beacons.num_beacons == 13
+        assert REGION.contains(beacons.positions).all()
+        assert beacons.transmit_range == spec.transmit_range
+
+    def test_grid_layout_is_even_and_deterministic(self):
+        spec = BeaconSpec(count=16, layout="grid")
+        a = spec.build(REGION).positions
+        b = spec.build(REGION).positions
+        np.testing.assert_array_equal(a, b)
+        # 4 x 4 lattice of cell centres.
+        assert sorted(set(a[:, 0])) == [125.0, 375.0, 625.0, 875.0]
+        assert sorted(set(a[:, 1])) == [125.0, 375.0, 625.0, 875.0]
+
+    def test_perimeter_layout_sits_on_boundary(self):
+        positions = BeaconSpec(count=8, layout="perimeter").build(REGION).positions
+        on_edge = (
+            (positions[:, 0] == REGION.x_min)
+            | (positions[:, 0] == REGION.x_max)
+            | (positions[:, 1] == REGION.y_min)
+            | (positions[:, 1] == REGION.y_max)
+        )
+        assert on_edge.all()
+        # Evenly spread: every edge gets at least one beacon.
+        assert (positions[:, 1] == REGION.y_min).any()
+        assert (positions[:, 1] == REGION.y_max).any()
+        assert (positions[:, 0] == REGION.x_min).any()
+        assert (positions[:, 0] == REGION.x_max).any()
+
+    def test_random_layout_uses_seed(self):
+        a = BeaconSpec(count=6, layout="random", seed=1).build(REGION).positions
+        b = BeaconSpec(count=6, layout="random", seed=1).build(REGION).positions
+        c = BeaconSpec(count=6, layout="random", seed=2).build(REGION).positions
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_explicit_rng_overrides_seed(self):
+        spec = BeaconSpec(count=6, layout="random", seed=1)
+        a = spec.build(REGION, rng=np.random.default_rng(99)).positions
+        b = spec.build(REGION, rng=np.random.default_rng(99)).positions
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown beacon layout"):
+            BeaconSpec(layout="ring")
+        with pytest.raises(ValueError):
+            BeaconSpec(count=0)
+        with pytest.raises(ValueError):
+            BeaconSpec(transmit_range=0.0)
+        with pytest.raises(ValueError):
+            BeaconSpec(noise_std=-1.0)
+
+    def test_dict_round_trip(self):
+        spec = BeaconSpec(count=9, layout="perimeter", noise_std=3.0, seed=4)
+        assert BeaconSpec.from_dict(spec.as_dict()) == spec
+        with pytest.raises(ValueError, match="unknown beacon field"):
+            BeaconSpec.from_dict({"count": 9, "typo": 1})
+
+
+class TestBeaconContexts:
+    @pytest.fixture()
+    def beacons(self):
+        return BeaconSpec(count=9, transmit_range=400.0).build(REGION)
+
+    def test_contexts_carry_audibility_and_distances(self, beacons):
+        positions = np.array([[100.0, 100.0], [900.0, 900.0]])
+        contexts = beacon_contexts(
+            positions, beacons, MmseMultilaterationLocalizer()
+        )
+        for row, context in enumerate(contexts):
+            expected_audible = beacons.audible_from(positions[row])
+            np.testing.assert_array_equal(context.audible_beacons, expected_audible)
+            np.testing.assert_allclose(
+                context.measured_distances,
+                beacons.measured_distances(positions[row])[expected_audible],
+            )
+            np.testing.assert_array_equal(context.true_position, positions[row])
+
+    def test_range_free_scheme_gets_no_distances(self, beacons):
+        contexts = beacon_contexts(
+            np.array([[500.0, 500.0]]), beacons, CentroidLocalizer()
+        )
+        assert contexts[0].measured_distances is None
+
+    def test_noise_requires_rng(self, beacons):
+        with pytest.raises(ValueError, match="rng"):
+            beacon_contexts(
+                np.array([[500.0, 500.0]]),
+                beacons,
+                MmseMultilaterationLocalizer(),
+                noise_std=2.0,
+            )
+
+    def test_dvhop_contexts_need_network(self, beacons):
+        with pytest.raises(ValueError, match="network"):
+            beacon_contexts(
+                np.array([[500.0, 500.0]]), beacons, DvHopLocalizer()
+            )
+
+    def test_dvhop_contexts_carry_flooding_profile(self, small_network):
+        beacons = BeaconSpec(count=4, transmit_range=200.0).build(
+            Region(0.0, 0.0, 500.0, 500.0)
+        )
+        rng = np.random.default_rng(3)
+        nodes = rng.choice(small_network.num_nodes, size=4, replace=False)
+        contexts = beacon_contexts(
+            small_network.positions[nodes],
+            beacons,
+            DvHopLocalizer(),
+            network=small_network,
+        )
+        for context in contexts:
+            assert context.hop_counts.shape == (4,)
+            assert context.avg_hop_distance > 0.0
+
+    def test_bad_positions_shape_rejected(self, beacons):
+        with pytest.raises(ValueError, match="shape"):
+            beacon_contexts(np.zeros(4), beacons, CentroidLocalizer())

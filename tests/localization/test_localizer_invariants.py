@@ -1,0 +1,145 @@
+"""Cross-localizer invariant suite.
+
+Every scheme registered in :data:`repro.localization.base.LOCALIZERS` is run
+over the same seeded batch of nodes and must satisfy the shared contract:
+
+* estimates stay within the deployment region (expanded by one radio range
+  — the coarse baselines may multilaterate slightly past the boundary);
+* estimates are finite;
+* the same seed reproduces the same estimates bit for bit;
+* where a batch path exists, it matches the per-row ``localize`` bit for
+  bit (``localize_many`` for every scheme; additionally
+  ``localize_observations`` for the beaconless MLE).
+
+New schemes registered by third parties inherit the suite automatically:
+the parametrisation enumerates the registry, not a hard-coded list.
+"""
+
+import numpy as np
+import pytest
+
+from repro.localization import create
+from repro.localization.apit import ApitLocalizer
+from repro.localization.base import LOCALIZERS
+from repro.localization.beaconless import BeaconlessLocalizer
+from repro.localization.beacons import BeaconSpec, beacon_contexts
+from repro.types import Region
+
+#: Nodes localized per scheme (kept small: APIT and DV-Hop loop per row).
+BATCH_SIZE = 16
+
+#: Distance-measurement noise exercised by the determinism invariant.
+NOISE_STD = 2.0
+
+TEST_REGION = Region(0.0, 0.0, 500.0, 500.0)
+
+
+def _scheme(name: str):
+    """A registry scheme configured for the small test deployment."""
+    if name == "apit":
+        # Match the test region and coarsen the raster so the suite stays fast.
+        return ApitLocalizer(region=TEST_REGION, grid_resolution=25.0)
+    return create(name)
+
+
+@pytest.fixture(scope="module")
+def batch(small_network, small_knowledge):
+    """A seeded victim batch plus the shared beacon infrastructure."""
+    from repro.network.neighbors import NeighborIndex
+
+    rng = np.random.default_rng(20050404)
+    nodes = rng.choice(small_network.num_nodes, size=BATCH_SIZE, replace=False)
+    observations = NeighborIndex(small_network).observations_of_nodes(nodes)
+    beacons = BeaconSpec(count=9, transmit_range=400.0).build(TEST_REGION)
+    return {
+        "network": small_network,
+        "knowledge": small_knowledge,
+        "positions": small_network.positions[nodes],
+        "observations": observations,
+        "beacons": beacons,
+    }
+
+
+def _contexts(batch, scheme, *, noise_std=0.0, seed=0):
+    return beacon_contexts(
+        batch["positions"],
+        batch["beacons"],
+        scheme,
+        network=batch["network"],
+        observations=batch["observations"],
+        knowledge=batch["knowledge"],
+        noise_std=noise_std,
+        rng=np.random.default_rng(seed) if noise_std > 0 else None,
+    )
+
+
+def _positions(results):
+    return np.stack([result.position for result in results])
+
+
+@pytest.mark.parametrize("name", LOCALIZERS.available())
+class TestLocalizerInvariants:
+    def test_estimates_inside_region_and_finite(self, name, batch):
+        scheme = _scheme(name)
+        results = scheme.localize_many(_contexts(batch, scheme))
+        positions = _positions(results)
+        assert np.isfinite(positions).all()
+        margin = batch["network"].radio.nominal_range
+        expanded = Region(
+            TEST_REGION.x_min - margin,
+            TEST_REGION.y_min - margin,
+            TEST_REGION.x_max + margin,
+            TEST_REGION.y_max + margin,
+        )
+        assert expanded.contains(positions).all(), positions
+
+    def test_deterministic_under_same_seed(self, name, batch):
+        scheme = _scheme(name)
+        noise = NOISE_STD if scheme.uses_ranges else 0.0
+        a = scheme.localize_many(_contexts(batch, scheme, noise_std=noise, seed=7))
+        b = scheme.localize_many(_contexts(batch, scheme, noise_std=noise, seed=7))
+        np.testing.assert_array_equal(_positions(a), _positions(b))
+
+    def test_batch_matches_per_row_bit_for_bit(self, name, batch):
+        scheme = _scheme(name)
+        contexts = _contexts(batch, scheme)
+        batched = scheme.localize_many(contexts)
+        looped = [scheme.localize(ctx) for ctx in contexts]
+        np.testing.assert_array_equal(_positions(batched), _positions(looped))
+        assert [r.converged for r in batched] == [r.converged for r in looped]
+
+    def test_every_result_reports_convergence_flag(self, name, batch):
+        scheme = _scheme(name)
+        for result in scheme.localize_many(_contexts(batch, scheme)):
+            assert isinstance(result.converged, bool)
+
+
+class TestBeaconlessBatchEngine:
+    """The beaconless array engine obeys the same batch == loop contract."""
+
+    def test_localize_observations_matches_per_row_localize(self, batch):
+        scheme = BeaconlessLocalizer()
+        contexts = _contexts(batch, scheme)
+        estimates = scheme.localize_observations(
+            batch["knowledge"], batch["observations"]
+        )
+        looped = _positions([scheme.localize(ctx) for ctx in contexts])
+        np.testing.assert_array_equal(estimates, looped)
+
+
+class TestBatchPathEdgeCases:
+    def test_empty_batch(self):
+        for name in LOCALIZERS.available():
+            assert _scheme(name).localize_many([]) == []
+
+    def test_mixed_infrastructures_fall_back_to_loop(self, batch):
+        """Contexts over different beacon sets still localize correctly."""
+        scheme = create("centroid")
+        a = BeaconSpec(count=9, transmit_range=400.0).build(TEST_REGION)
+        b = BeaconSpec(count=4, transmit_range=400.0).build(TEST_REGION)
+        contexts = beacon_contexts(
+            batch["positions"][:2], a, scheme
+        ) + beacon_contexts(batch["positions"][:2], b, scheme)
+        batched = scheme.localize_many(contexts)
+        looped = [scheme.localize(ctx) for ctx in contexts]
+        np.testing.assert_array_equal(_positions(batched), _positions(looped))

@@ -16,7 +16,6 @@ class TestPublicSurface:
     def test_scenario_api_exported(self):
         for name in (
             "LadSession",
-            "LadSimulation",
             "ScenarioSpec",
             "SimulationConfig",
             "ArtifactStore",

@@ -170,6 +170,48 @@ class TestSweepCommand:
         with pytest.raises(ValueError, match="unknown metric"):
             main(["sweep", str(bad)])
 
+    def test_sweep_localizer_override_and_beacon_flags(self, capsys, tmp_path):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        code = main(
+            [
+                "sweep",
+                str(spec_path),
+                "--localizer",
+                "centroid",
+                "--beacon-count",
+                "9",
+                "--beacon-layout",
+                "grid",
+                "--beacon-range",
+                "450",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 localizer(s) [centroid]" in out
+        assert " centroid " in out
+
+    def test_sweep_localizer_axis_spec(self, capsys, tmp_path):
+        spec_path = tmp_path / "multi.toml"
+        spec_path.write_text(
+            TINY_SPEC.replace(
+                'false_positive_rate = 0.05',
+                'localizers = ["beaconless", "mmse"]\n'
+                'false_positive_rate = 0.05',
+            )
+        )
+        json_path = tmp_path / "out.json"
+        assert main(["sweep", str(spec_path), "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 localizer(s) [beaconless, mmse]" in out
+        assert "[4/4]" in out
+        payload = json.loads(json_path.read_text())
+        assert {row["localizer"] for row in payload["results"]} == {
+            "beaconless",
+            "mmse",
+        }
+
 
 class TestSweepFiguresMode:
     ARGS = ["--scale", "0.05", "--group-size", "40", "--seed", "11"]
@@ -223,6 +265,50 @@ class TestSweepFiguresMode:
     def test_figures_mode_rejects_unknown_id(self):
         with pytest.raises(ValueError, match="neither a spec file"):
             main(["sweep", "--figures", "fig99"])
+
+    def test_figure_localizer_override_matches_sweep_figures(
+        self, capsys, tmp_path
+    ):
+        """`figure fig7 --localizer centroid` equals the sweep --figures
+        route with the same override (both paths fold the flags in)."""
+        flags = [*self.ARGS, "--localizer", "centroid", "--beacon-count", "9"]
+        fig_json = tmp_path / "figure.json"
+        sweep_json = tmp_path / "sweep.json"
+        assert main(["figure", "fig7", *flags, "--json", str(fig_json)]) == 0
+        assert (
+            main(
+                ["sweep", "--figures", "fig7", *flags, "--json", str(sweep_json)]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert json.loads(fig_json.read_text()) == json.loads(
+            sweep_json.read_text()
+        )
+
+    def test_figl_figure_runs_from_cli(self, capsys, tmp_path):
+        json_path = tmp_path / "figl.json"
+        code = main(
+            [
+                "figure",
+                "figl",
+                "--scale",
+                "0.05",
+                "--group-size",
+                "40",
+                "--seed",
+                "11",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(json_path.read_text())
+        assert data["figure_id"] == "figl"
+        labels = [s["label"] for s in data["panels"][0]["series"]]
+        assert labels == ["beaconless", "centroid", "mmse", "dvhop", "apit"]
+        out = capsys.readouterr().out
+        assert "per localization scheme" in out
 
     def test_figures_mode_cache_dir_round_trip(self, capsys, tmp_path):
         cache = tmp_path / "cache"

@@ -15,6 +15,7 @@ from repro.attacks.constraints import DecBoundedAttack, DecOnlyAttack
 from repro.attacks.greedy import GreedyMetricMinimizer
 from repro.core.metrics import AddAllMetric, DiffMetric, ProbabilityMetric
 from repro.deployment.gz import GzTable, gz_quadrature
+from repro.localization.base import BeaconInfrastructure
 from repro.types import Region
 from repro.utils.stats import binomial_pmf, roc_points
 from repro.utils.tables import LookupTable1D
@@ -176,6 +177,78 @@ class TestAttackProperties:
         assert np.all(lower >= -1e-12)
         assert np.all(upper == obs)
         assert np.all(lower <= upper + 1e-12)
+
+
+#: Beacon positions reused by the infrastructure properties (construction
+#: is cheap; a fixed, irregular set keeps the distance geometry non-trivial).
+_BEACON_POSITIONS = np.array(
+    [
+        [100.0, 100.0],
+        [430.0, 80.0],
+        [250.0, 260.0],
+        [60.0, 410.0],
+        [390.0, 440.0],
+        [500.0, 250.0],
+    ]
+)
+
+point_coords = st.tuples(
+    st.floats(min_value=-200.0, max_value=700.0, allow_nan=False),
+    st.floats(min_value=-200.0, max_value=700.0, allow_nan=False),
+)
+
+
+class TestBeaconInfrastructureProperties:
+    @_SETTINGS
+    @given(
+        point=point_coords,
+        transmit_range=st.floats(min_value=10.0, max_value=800.0),
+    )
+    def test_audible_consistent_with_distance_support(
+        self, point, transmit_range
+    ):
+        """``audible_from`` is exactly the support of the (noise-free)
+        measured distances at or below the transmit range."""
+        beacons = BeaconInfrastructure(
+            positions=_BEACON_POSITIONS, transmit_range=transmit_range
+        )
+        audible = beacons.audible_from(point)
+        distances = beacons.measured_distances(point)
+        np.testing.assert_array_equal(
+            audible, np.flatnonzero(distances <= transmit_range)
+        )
+
+    @_SETTINGS
+    @given(point=point_coords)
+    def test_noise_free_distances_are_exact(self, point):
+        beacons = BeaconInfrastructure(positions=_BEACON_POSITIONS)
+        distances = beacons.measured_distances(point)
+        expected = np.hypot(
+            _BEACON_POSITIONS[:, 0] - point[0],
+            _BEACON_POSITIONS[:, 1] - point[1],
+        )
+        np.testing.assert_array_equal(distances, expected)
+        assert np.all(distances >= 0.0)
+
+    @_SETTINGS
+    @given(
+        beacon=st.integers(min_value=0, max_value=len(_BEACON_POSITIONS) - 1),
+        lie=point_coords,
+    )
+    def test_declare_false_position_only_perturbs_declared_beacon(
+        self, beacon, lie
+    ):
+        beacons = BeaconInfrastructure(positions=_BEACON_POSITIONS)
+        before = beacons.declared_positions.copy()
+        beacons.declare_false_position(beacon, lie)
+        others = np.arange(beacons.num_beacons) != beacon
+        np.testing.assert_array_equal(
+            beacons.declared_positions[others], before[others]
+        )
+        np.testing.assert_array_equal(beacons.declared_positions[beacon], lie)
+        # True positions never move; only the declared one lies.
+        np.testing.assert_array_equal(beacons.positions, _BEACON_POSITIONS)
+        np.testing.assert_array_equal(beacons.compromised, ~others)
 
 
 class TestRocProperties:

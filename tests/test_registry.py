@@ -173,11 +173,12 @@ class TestBuiltinRegistries:
         resolves in its registry (the specs validate at construction)."""
         from repro.experiments.figures import FIGURE_SPECS
 
-        assert set(FIGURE_SPECS) == {f"fig{i}" for i in range(4, 10)}
+        assert set(FIGURE_SPECS) == {f"fig{i}" for i in range(4, 10)} | {"figl"}
         for figure_id, build in FIGURE_SPECS.items():
             spec = build()
             for metric in spec.metrics:
                 assert metric in repro.metrics.registry, (figure_id, metric)
             for attack in spec.attacks:
                 assert attack in repro.attacks.registry, (figure_id, attack)
-            assert spec.localizer in repro.localization.registry
+            for localizer in spec.localizer_values():
+                assert localizer in repro.localization.registry
