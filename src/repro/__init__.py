@@ -23,13 +23,24 @@ The package is organised bottom-up:
   surveillance, coverage) used by the examples.
 
 Pluggable component families (metrics, attack classes, deployment models,
-localizers) are published through :class:`repro.registry.Registry`
+localizers, array backends) are published through :class:`repro.registry.Registry`
 instances — ``repro.metrics.create("diff")``,
 ``repro.attacks.available()``, ``repro.localization.create("dvhop")`` —
 so third-party scenarios can add components by name.
 """
 
 from repro._version import __version__
+
+# Array-compute backends (the deployment kernels already depend on them,
+# so the export is eager and free).
+from repro.backend import (
+    ArrayBackend,
+    BACKENDS,
+    BackendSpec,
+    NumpyBackend,
+    TorchBackend,
+    default_backend,
+)
 
 # Deployment substrate.
 from repro.types import Region, PAPER_REGION
@@ -141,6 +152,13 @@ def __dir__():
 
 __all__ = [
     "__version__",
+    # backends
+    "ArrayBackend",
+    "BACKENDS",
+    "BackendSpec",
+    "NumpyBackend",
+    "TorchBackend",
+    "default_backend",
     # types
     "Region",
     "PAPER_REGION",

@@ -1,0 +1,38 @@
+"""Pluggable array-compute backends for the hot likelihood kernels.
+
+The public surface:
+
+* :class:`ArrayBackend` — the kernel interface (matmul, segmented
+  reductions, argmax/gather, masked sums, batched 2x2 solve);
+* :data:`BACKENDS` — the backend registry (``numpy`` default, ``torch``
+  optional), in the same family as ``METRICS``/``ATTACKS``/
+  ``LOCALIZERS``;
+* :class:`BackendSpec` — declarative selection (the ``[backend]`` table
+  of scenario files and ``--backend`` on the CLI);
+* :func:`default_backend` / :func:`resolve_backend` — the shared numpy
+  reference instance and the ``None``/name/spec/instance resolver.
+
+Selecting the default numpy backend is bit-for-bit identical to the
+historical direct-numpy code paths, and numpy-exact backends share the
+historical artifact-cache keys; see :mod:`repro.backend.base`.
+"""
+
+from repro.backend.base import (
+    BACKENDS,
+    ArrayBackend,
+    BackendSpec,
+    default_backend,
+    resolve_backend,
+)
+from repro.backend.numpy_backend import NumpyBackend
+from repro.backend.torch_backend import TorchBackend
+
+__all__ = [
+    "ArrayBackend",
+    "BACKENDS",
+    "BackendSpec",
+    "NumpyBackend",
+    "TorchBackend",
+    "default_backend",
+    "resolve_backend",
+]

@@ -1,0 +1,352 @@
+"""Optional torch backend (CPU + CUDA when available).
+
+Runs the same kernel interface through torch so million-observation
+batches can use an accelerator.  Torch is an optional dependency
+(``pip install lad-repro[gpu]``): this module always imports cleanly,
+the registry entry is always listed, and availability is probed at
+instantiation time — ``lad-repro backends`` reports *why* the backend is
+unavailable instead of crashing.
+
+Design notes
+------------
+
+* **Lazy torch import.**  ``torch`` is imported inside methods, never at
+  module scope and never stored on the instance, so backend objects stay
+  picklable — sweep sessions are shipped to worker processes, and each
+  worker re-imports torch on first use.
+* **Numpy at the boundary.**  Every operation accepts plain numpy arrays
+  and returns numpy ``float64``; staging to the device and the compute
+  dtype (``float64`` or ``float32``) are internal policy.
+* **Not bit-exact.**  Torch reductions accumulate in a different order
+  than the numpy reference (and ``float32`` rounds), so
+  ``numpy_exact = False``: the backend carries its own artifact-cache
+  identity and is validated by atol-pinned score comparisons plus
+  identical detection decisions, never bit equality.
+* **Fallback crossover.**  A device matmul is comparatively cheaper than
+  gather/scatter traffic, so the pruned kernels fall back to the dense
+  path earlier on CUDA (``dense_fallback_fraction = 0.35`` vs the CPU
+  0.5).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.backend.base import BACKENDS, ArrayBackend
+
+__all__ = ["TorchBackend"]
+
+
+def _torch():
+    """Import torch on demand (raises a clear error when missing)."""
+    try:
+        import torch
+    except ImportError as exc:  # pragma: no cover - depends on environment
+        raise RuntimeError(
+            "the torch backend requires the optional 'torch' dependency "
+            "(pip install lad-repro[gpu])"
+        ) from exc
+    return torch
+
+
+@BACKENDS.register("pytorch", name="torch")
+class TorchBackend(ArrayBackend):
+    """Torch implementation of the kernel interface (CPU or CUDA)."""
+
+    name = "torch"
+    numpy_exact = False
+
+    def __init__(self, device: str = "auto", dtype: str = "float64"):
+        if not self.is_available():  # pragma: no cover - depends on env
+            raise RuntimeError(
+                "the torch backend requires the optional 'torch' dependency "
+                "(pip install lad-repro[gpu])"
+            )
+        torch = _torch()
+        device = str(device).strip().lower()
+        if device == "auto":
+            device = "cuda" if torch.cuda.is_available() else "cpu"
+        if device.split(":")[0] not in ("cpu", "cuda"):
+            raise ValueError(
+                f"unsupported torch device {device!r}; use 'auto', 'cpu' "
+                "or 'cuda[:index]'"
+            )
+        if device.split(":")[0] == "cuda" and not torch.cuda.is_available():
+            raise RuntimeError(
+                "device='cuda' requested but torch reports no CUDA device"
+            )
+        dtype = str(dtype).strip().lower()
+        if dtype not in ("float64", "float32"):
+            raise ValueError(
+                f"unsupported torch dtype {dtype!r}; use 'float64' or 'float32'"
+            )
+        self.device = device
+        self.dtype = dtype
+        if device.split(":")[0] == "cuda":
+            # Device<->host traffic dominates the sparse gathers sooner on
+            # an accelerator, so prefer the dense matmul earlier.
+            self.dense_fallback_fraction = 0.35
+
+    # -- availability ------------------------------------------------------
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("torch") is not None
+
+    @classmethod
+    def availability(cls) -> str:
+        if not cls.is_available():
+            return "unavailable (torch not installed; pip install lad-repro[gpu])"
+        torch = _torch()
+        if torch.cuda.is_available():  # pragma: no cover - needs a GPU
+            return (
+                f"available (torch {torch.__version__}, "
+                f"CUDA: {torch.cuda.get_device_name(0)})"
+            )
+        return f"available (torch {torch.__version__}, CPU only, CUDA absent)"
+
+    # -- staging helpers ---------------------------------------------------
+
+    @property
+    def _dtype(self):
+        torch = _torch()
+        return torch.float32 if self.dtype == "float32" else torch.float64
+
+    def _stage(self, values: Any):
+        """Move *values* onto the device in the compute dtype."""
+        torch = _torch()
+        if isinstance(values, torch.Tensor):
+            return values.to(device=self.device, dtype=self._dtype)
+        return torch.as_tensor(
+            np.asarray(values), dtype=self._dtype, device=self.device
+        )
+
+    def _unstage(self, tensor) -> np.ndarray:
+        """Materialise a tensor back as a numpy float64 array."""
+        return tensor.detach().to("cpu", dtype=_torch().float64).numpy()
+
+    # -- array plumbing ----------------------------------------------------
+
+    def asarray(self, values: Any) -> Any:
+        return self._stage(values)
+
+    def to_numpy(self, values: Any) -> np.ndarray:
+        torch = _torch()
+        if isinstance(values, torch.Tensor):
+            return self._unstage(values)
+        return np.asarray(values, dtype=np.float64)
+
+    # -- dense likelihood kernels ------------------------------------------
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._unstage(self._stage(a) @ self._stage(b))
+
+    def binomial_loglik(
+        self,
+        row_coeff: np.ndarray,
+        obs: np.ndarray,
+        m: float,
+        log_p: np.ndarray,
+        log_q: np.ndarray,
+    ) -> np.ndarray:
+        coeff = self._stage(row_coeff)
+        obs_t = self._stage(obs)
+        ll = (
+            coeff[:, None]
+            + obs_t @ self._stage(log_p).T
+            + (m - obs_t) @ self._stage(log_q).T
+        )
+        return self._unstage(ll)
+
+    def segmented_loglik(
+        self,
+        obs_rep: np.ndarray,
+        probs: np.ndarray,
+        m: float,
+        *,
+        reaches_one: bool,
+        log_coefficients: Callable[[np.ndarray, float], np.ndarray],
+    ) -> np.ndarray:
+        torch = _torch()
+        obs_t = self._stage(obs_rep)
+        probs_t = self._stage(probs)
+        one = torch.tensor(1.0, dtype=self._dtype, device=probs_t.device)
+        neg_inf = torch.tensor(
+            float("-inf"), dtype=self._dtype, device=probs_t.device
+        )
+        if reaches_one:
+            log_q = torch.log(torch.where(probs_t < 1, 1.0 - probs_t, one))
+        else:
+            log_q = torch.log1p(-probs_t)
+        out = (m - obs_t) * log_q
+
+        observed = obs_t > 0
+        k_obs = obs_t[observed]
+        p_obs = probs_t[observed]
+        # The binomial coefficients are observation-only; evaluate them
+        # through the shared (numpy/scipy) gammaln path and stage the
+        # short observed vector.
+        coeff = self._stage(
+            log_coefficients(self.to_numpy(k_obs), m)
+        )
+        term = coeff + k_obs * torch.log(p_obs)
+        term = torch.where(p_obs <= 0, neg_inf, term)
+        out = out.masked_scatter(observed, out[observed] + term)
+
+        if reaches_one:
+            out = torch.where((probs_t >= 1) & (obs_t < m), neg_inf, out)
+        return self._unstage(out.sum(dim=1))
+
+    def sparse_segment_loglik(
+        self,
+        k_values: np.ndarray,
+        probs: np.ndarray,
+        m: float,
+        candidate_ids: np.ndarray,
+        num_candidates: int,
+        *,
+        reaches_one: bool,
+        log_coefficients: Callable[[np.ndarray, float], np.ndarray],
+    ) -> np.ndarray:
+        torch = _torch()
+        k = self._stage(k_values)
+        probs_t = self._stage(probs)
+        one = torch.tensor(1.0, dtype=self._dtype, device=probs_t.device)
+        neg_inf = torch.tensor(
+            float("-inf"), dtype=self._dtype, device=probs_t.device
+        )
+        if reaches_one:
+            log_q = torch.log(torch.where(probs_t < 1, 1.0 - probs_t, one))
+        else:
+            log_q = torch.log1p(-probs_t)
+        terms = (m - k) * log_q
+
+        observed = k > 0
+        k_obs = k[observed]
+        p_obs = probs_t[observed]
+        coeff = self._stage(log_coefficients(self.to_numpy(k_obs), m))
+        term = coeff + k_obs * torch.log(p_obs)
+        term = torch.where(p_obs <= 0, neg_inf, term)
+        terms = terms.masked_scatter(observed, terms[observed] + term)
+        if reaches_one:
+            terms = torch.where((probs_t >= 1) & (k < m), neg_inf, terms)
+
+        out = torch.zeros(
+            int(num_candidates), dtype=self._dtype, device=terms.device
+        )
+        ids = torch.as_tensor(
+            np.asarray(candidate_ids, dtype=np.int64), device=terms.device
+        )
+        out.index_add_(0, ids, terms)
+        return self._unstage(out)
+
+    # -- reductions and gathers --------------------------------------------
+
+    def segment_sum(
+        self,
+        values: np.ndarray,
+        segment_ids: np.ndarray,
+        num_segments: int,
+    ) -> np.ndarray:
+        torch = _torch()
+        vals = self._stage(values)
+        out = torch.zeros(
+            int(num_segments), dtype=self._dtype, device=vals.device
+        )
+        ids = torch.as_tensor(
+            np.asarray(segment_ids, dtype=np.int64), device=vals.device
+        )
+        out.index_add_(0, ids, vals)
+        return self._unstage(out)
+
+    def segment_argmax(
+        self, values: np.ndarray, counts: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        torch = _torch()
+        counts_np = np.asarray(counts, dtype=np.int64)
+        if counts_np.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+        if np.any(counts_np <= 0):
+            raise ValueError("segment_argmax requires positive segment counts")
+        vals = self._stage(values)
+        n = vals.shape[0]
+        device = vals.device
+        counts_t = torch.as_tensor(counts_np, device=device)
+        offsets = torch.zeros(
+            counts_np.size, dtype=torch.int64, device=device
+        )
+        offsets[1:] = torch.cumsum(counts_t, 0)[:-1]
+        seg_ids = torch.repeat_interleave(
+            torch.arange(counts_np.size, device=device), counts_t
+        )
+        maxima = torch.full(
+            (counts_np.size,),
+            float("-inf"),
+            dtype=self._dtype,
+            device=device,
+        )
+        maxima.scatter_reduce_(0, seg_ids, vals, reduce="amax")
+        # First maximal element per segment (np.argmax tie-breaking).
+        is_max = vals == maxima[seg_ids]
+        tagged = torch.where(
+            is_max,
+            torch.arange(n, device=device),
+            torch.full((n,), n, dtype=torch.int64, device=device),
+        )
+        indices = torch.full(
+            (counts_np.size,), n, dtype=torch.int64, device=device
+        )
+        indices.scatter_reduce_(0, seg_ids, tagged, reduce="amin")
+        return (
+            indices.to("cpu").numpy(),
+            self._unstage(maxima),
+        )
+
+    def rowwise_argmax(
+        self, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        vals = self._stage(values)
+        maxima, idx = vals.max(dim=1)
+        return idx.to("cpu").numpy(), self._unstage(maxima)
+
+    def masked_sum(self, terms: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        torch = _torch()
+        terms_t = self._stage(terms)
+        mask_t = torch.as_tensor(
+            np.asarray(mask, dtype=bool), device=terms_t.device
+        )
+        if terms_t.dim() == mask_t.dim() + 1:
+            mask_t = mask_t[..., None]
+        zero = torch.tensor(0.0, dtype=self._dtype, device=terms_t.device)
+        return self._unstage(torch.where(mask_t, terms_t, zero).sum(dim=1))
+
+    # -- batched linear algebra --------------------------------------------
+
+    def solve2x2(
+        self,
+        m00: np.ndarray,
+        m01: np.ndarray,
+        m11: np.ndarray,
+        v0: np.ndarray,
+        v1: np.ndarray,
+        *,
+        rtol: float = 1e-9,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        torch = _torch()
+        a00 = self._stage(m00)
+        a01 = self._stage(m01)
+        a11 = self._stage(m11)
+        b0 = self._stage(v0)
+        b1 = self._stage(v1)
+        det = a00 * a11 - a01 * a01
+        solvable = det > rtol * (a00 + a11) ** 2
+        one = torch.tensor(1.0, dtype=self._dtype, device=det.device)
+        safe_det = torch.where(solvable, det, one)
+        estimates = torch.stack(
+            [(a11 * b0 - a01 * b1) / safe_det, (a00 * b1 - a01 * b0) / safe_det],
+            dim=1,
+        )
+        return self._unstage(estimates), solvable.to("cpu").numpy()

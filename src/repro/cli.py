@@ -9,6 +9,8 @@ command line::
     lad-repro sweep scenario.toml --workers 4 --cache-dir ~/.cache/lad
     lad-repro sweep scenario.toml --localizer centroid --beacon-layout grid
     lad-repro sweep --figures fig4 --json results/fig4.json
+    lad-repro sweep scenario.toml --backend torch --backend-device cuda
+    lad-repro backends
     lad-repro demo --degree 120 --metric diff
     lad-repro gz-table --radio-range 100 --sigma 50
 
@@ -116,6 +118,54 @@ def _apply_localizer_overrides(spec, args):
     return spec
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """Array-backend overrides shared by figure+sweep."""
+    group = parser.add_argument_group(
+        "compute backend",
+        "override the spec's array backend running the likelihood kernels "
+        "(see `lad-repro backends` for what this build can run)",
+    )
+    group.add_argument(
+        "--backend",
+        default=None,
+        help="array backend (e.g. numpy, torch); numpy is the bit-exact default",
+    )
+    group.add_argument(
+        "--backend-device",
+        default=None,
+        help="backend device (auto, cpu, cuda); auto picks CUDA when present",
+    )
+    group.add_argument(
+        "--backend-dtype",
+        choices=["float64", "float32"],
+        default=None,
+        help="backend compute dtype (numpy supports float64 only)",
+    )
+
+
+def _apply_backend_overrides(spec, args):
+    """Fold the ``--backend*`` flags into a spec's ``[backend]`` table."""
+    overrides = {
+        field: value
+        for field, value in (
+            ("name", args.backend),
+            ("device", args.backend_device),
+            ("dtype", args.backend_dtype),
+        )
+        if value is not None
+    }
+    if not overrides:
+        return spec
+    from dataclasses import replace
+
+    from repro.backend import BackendSpec
+
+    base = spec.config.backend or BackendSpec()
+    return spec.with_config(
+        spec.config.with_backend(replace(base, **overrides))
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Create the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -175,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--json", type=Path, default=None, help="write the series as JSON")
     fig.add_argument("--csv", type=Path, default=None, help="write the series as CSV")
     _add_localizer_arguments(fig)
+    _add_backend_arguments(fig)
 
     sweep = sub.add_parser(
         "sweep",
@@ -245,6 +296,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", type=Path, default=None, help="write the results as CSV"
     )
     _add_localizer_arguments(sweep)
+    _add_backend_arguments(sweep)
+
+    backends = sub.add_parser(
+        "backends",
+        help="list the registered array backends and probe their availability",
+    )
+    backends.set_defaults(func=_cmd_backends)
 
     demo = sub.add_parser("demo", help="run a small end-to-end detection demo")
     demo.set_defaults(func=_cmd_demo)
@@ -293,6 +351,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     # ``sweep --figures`` (the two paths are pinned equal by tests and CI).
     spec = FIGURE_SPECS[args.figure_id](config=config, scale=args.scale)
     spec = _apply_localizer_overrides(spec, args)
+    spec = _apply_backend_overrides(spec, args)
     result = run_figure_spec(
         spec,
         figure_id=args.figure_id,
@@ -353,6 +412,7 @@ def _cmd_sweep_figures(args: argparse.Namespace) -> int:
             f"id; available figures: {sorted(FIGURE_SPECS)}"
         )
     spec = _apply_localizer_overrides(spec, args)
+    spec = _apply_backend_overrides(spec, args)
     result = run_figure_spec(spec, workers=args.workers, store=store)
     print(format_figure(result))
     _print_cache_stats(store)
@@ -377,6 +437,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     spec = ScenarioSpec.from_file(args.spec).scaled(args.scale)
     spec = _apply_localizer_overrides(spec, args)
+    spec = _apply_backend_overrides(spec, args)
     store = ArtifactStore(args.cache_dir) if args.cache_dir is not None else None
     points = spec.points()
     densities = spec.density_values()
@@ -439,6 +500,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             writer.writeheader()
             writer.writerows(rows)
         print(f"[written] {args.csv}")
+    return 0
+
+
+def _cmd_backends(args: argparse.Namespace) -> int:
+    """List registered array backends with an availability probe each."""
+    from repro.backend import BACKENDS
+
+    alias_map: dict = {}
+    for alias, canonical in BACKENDS.aliases().items():
+        alias_map.setdefault(canonical, []).append(alias)
+    print(f"{'backend':<10} {'exact':>6}  availability")
+    for name in BACKENDS.available():
+        cls = BACKENDS.get(name)
+        exact = "yes" if cls.numpy_exact else "no"
+        print(f"{name:<10} {exact:>6}  {cls.availability()}")
+        aliases = sorted(alias_map.get(name, []))
+        if aliases:
+            print(f"{'':<10} {'':>6}  aliases: {', '.join(aliases)}")
+    print(
+        "\nexact = bit-identical to the numpy reference (shares its "
+        "artifact-cache keys)"
+    )
     return 0
 
 

@@ -97,6 +97,7 @@ def collect_training_data(
     beacons: Optional[BeaconInfrastructure] = None,
     beacon_noise_std: float = 0.0,
     rng=None,
+    backend=None,
 ) -> TrainingData:
     """Simulate deployments and collect benign training samples.
 
@@ -124,6 +125,10 @@ def collect_training_data(
         range-based schemes.
     rng:
         Seed or generator.
+    backend:
+        Array backend running the training pass' likelihood kernels
+        (``None`` = the numpy reference); forwarded to the knowledge this
+        pass builds.
     """
     check_int("num_samples", num_samples, minimum=1)
     check_int("samples_per_network", samples_per_network, minimum=1)
@@ -134,7 +139,7 @@ def collect_training_data(
             f"the {localizer.name!r} scheme is beacon-based: pass a "
             "BeaconInfrastructure (or configure a BeaconSpec on the session)"
         )
-    knowledge = generator.knowledge()
+    knowledge = generator.knowledge(backend=backend)
 
     observations = []
     actual = []

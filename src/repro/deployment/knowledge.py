@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 import numpy as np
 from scipy.spatial import cKDTree
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.deployment.gz import GzTable
 from repro.deployment.models import DeploymentModel
 from repro.types import Region, as_points
@@ -31,11 +32,6 @@ __all__ = ["DeploymentKnowledge"]
 #: ``1.0 - p == 1.0`` in float64 (so the unobserved ``(m - k) log(1 - p)``
 #: term is an exact zero) whenever ``p <= 2**-55``.
 _PRUNE_TINY = 2.0**-55
-
-#: When the pruned active set would cover at least this fraction of the
-#: ``(candidate, group)`` pairs, the sparse kernels fall back to the dense
-#: matmul path — gather/scatter overhead beats the saved work there.
-_DENSE_FALLBACK_FRACTION = 0.5
 
 
 class DeploymentKnowledge:
@@ -55,6 +51,15 @@ class DeploymentKnowledge:
         Gaussian ``σ``.
     omega:
         Table resolution used when ``gz_table`` is not supplied.
+    backend:
+        Array backend running the batched likelihood kernels: ``None``
+        (the shared numpy reference), a registered backend name, a
+        :class:`~repro.backend.BackendSpec`, or an
+        :class:`~repro.backend.ArrayBackend` instance.
+    dense_fallback_fraction:
+        Optional override of the active-set fraction above which the
+        pruned kernels fall back to the dense path; defaults to the
+        backend's own crossover.
     """
 
     def __init__(
@@ -65,10 +70,19 @@ class DeploymentKnowledge:
         *,
         gz_table: Optional[GzTable] = None,
         omega: int = 1000,
+        backend=None,
+        dense_fallback_fraction: Optional[float] = None,
     ):
         self._model = model
         self._group_size = check_int("group_size", group_size, minimum=1)
         self._radio_range = check_positive("radio_range", radio_range)
+        self._backend = resolve_backend(backend)
+        if dense_fallback_fraction is None:
+            self._dense_fallback = float(self._backend.dense_fallback_fraction)
+        else:
+            self._dense_fallback = float(dense_fallback_fraction)
+            if not 0.0 < self._dense_fallback <= 1.0:
+                raise ValueError("dense_fallback_fraction must be in (0, 1]")
         if gz_table is None:
             sigma = getattr(model.distribution, "sigma", None)
             if sigma is None:
@@ -118,6 +132,16 @@ class DeploymentKnowledge:
     def gz_table(self) -> GzTable:
         """The ``g(z)`` lookup table."""
         return self._gz
+
+    @property
+    def backend(self) -> ArrayBackend:
+        """The array backend running the batched likelihood kernels."""
+        return self._backend
+
+    @property
+    def dense_fallback_fraction(self) -> float:
+        """Active-set fraction above which pruned kernels go dense."""
+        return self._dense_fallback
 
     # -- active-group pruning ----------------------------------------------
 
@@ -190,7 +214,7 @@ class DeploymentKnowledge:
         near = self.active_groups(locations)
         observed = np.flatnonzero(np.any(observations != 0, axis=0))
         active = np.unique(np.concatenate([*near, observed]))
-        if active.size >= _DENSE_FALLBACK_FRACTION * self.n_groups:
+        if active.size >= self._dense_fallback * self.n_groups:
             return None
         return active
 
@@ -347,7 +371,7 @@ class DeploymentKnowledge:
         with np.errstate(divide="ignore", invalid="ignore"):
             log_p = np.log(np.where(probs > 0, probs, 1.0))
             log_q = np.log(np.where(probs < 1, 1.0 - probs, 1.0))
-        ll = row_coeff[:, None] + obs @ log_p.T + (m - obs) @ log_q.T
+        ll = self._backend.binomial_loglik(row_coeff, obs, m, log_p, log_q)
 
         # Degenerate probabilities force the count: p == 0 requires k == 0
         # and p == 1 requires k == m at that group; one float matmul counts
@@ -356,10 +380,14 @@ class DeploymentKnowledge:
         zero_p = probs <= 0
         one_p = probs >= 1
         if np.any(zero_p):
-            impossible = (obs > 0).astype(np.float64) @ zero_p.T.astype(np.float64)
+            impossible = self._backend.matmul(
+                (obs > 0).astype(np.float64), zero_p.T.astype(np.float64)
+            )
             ll = np.where(impossible > 0, -np.inf, ll)
         if np.any(one_p):
-            impossible = (obs < m).astype(np.float64) @ one_p.T.astype(np.float64)
+            impossible = self._backend.matmul(
+                (obs < m).astype(np.float64), one_p.T.astype(np.float64)
+            )
             ll = np.where(impossible > 0, -np.inf, ll)
         return ll
 
@@ -416,8 +444,6 @@ class DeploymentKnowledge:
         -------
         Flat array of shape ``(sum(counts),)``.
         """
-        from repro.utils.stats import binomial_log_coefficient
-
         obs = np.atleast_2d(np.asarray(observations, dtype=np.float64))
         counts = np.asarray(segment_counts, dtype=np.int64)
         if counts.shape != (obs.shape[0],):
@@ -434,34 +460,22 @@ class DeploymentKnowledge:
 
         obs_rep = np.repeat(obs, counts, axis=0)
         reaches_one = bool(np.any(self._gz.table.values >= 1.0))
-        with np.errstate(divide="ignore", invalid="ignore"):
-            # Dense part: (m − k) · log(1 − p).  Groups far from a candidate
-            # have p below the rounding threshold of 1 − p, so their term is
-            # an exact zero without any masking.
-            if reaches_one:
-                log_q = np.log(np.where(probs < 1, 1.0 - probs, 1.0))
-            else:
-                log_q = np.log(1.0 - probs)
-            out = (m - obs_rep) * log_q
-
-            # Sparse part: the observed (k > 0) pairs additionally carry the
-            # binomial coefficient and k · log p — a few percent of all
-            # elements, so gammaln and the second log run on a short vector.
-            observed = obs_rep > 0
-            k_obs = obs_rep[observed]
-            p_obs = probs[observed]
-            term = self._log_coefficients(k_obs, m) + k_obs * np.log(p_obs)
-        term = np.where(p_obs <= 0, -np.inf, term)
-        out[observed] += term
+        out = self._backend.segmented_loglik(
+            obs_rep,
+            probs,
+            m,
+            reaches_one=reaches_one,
+            log_coefficients=self._log_coefficients,
+        )
 
         # Out-of-support observations poison their whole segment, exactly as
-        # the reference -inf masking does.
+        # the reference -inf masking does (every element of such a row is
+        # -inf before the row sum there, so forcing the summed value is the
+        # same number).
         invalid = np.any((obs < 0) | (obs > m), axis=1)
         if np.any(invalid):
             out[np.repeat(invalid, counts)] = -np.inf
-        if reaches_one:
-            out = np.where((probs >= 1) & (obs_rep < m), -np.inf, out)
-        return out.sum(axis=1)
+        return out
 
     def _segmented_pruned(
         self,
@@ -472,8 +486,9 @@ class DeploymentKnowledge:
     ) -> Optional[np.ndarray]:
         """Sparse evaluation of the segmented kernel over per-row active sets.
 
-        Returns ``None`` when the active sets would cover at least half of
-        the ``(candidate, group)`` pairs — the dense matmul path wins there.
+        Returns ``None`` when the active sets would cover at least the
+        backend's dense-fallback fraction of the ``(candidate, group)``
+        pairs — the dense matmul path wins there.
         Every scored pair reuses the exact distance (``cdist`` evaluates
         pairs independently) and the same per-pair arithmetic as the dense
         kernel, so the flat result differs from it only by the summation
@@ -491,7 +506,7 @@ class DeploymentKnowledge:
         sizes = np.array([a.size for a in rows_active], dtype=np.int64)
         total = int(counts.sum())
         n_pairs = int((sizes * counts).sum())
-        if n_pairs >= _DENSE_FALLBACK_FRACTION * total * self.n_groups:
+        if n_pairs >= self._dense_fallback * total * self.n_groups:
             return None
 
         m = float(self._group_size)
@@ -518,21 +533,15 @@ class DeploymentKnowledge:
             probs = self._gz.fast_lookup(np.concatenate(dist_parts))
             k = np.concatenate(k_parts)
             cand = np.concatenate(cand_parts)
-            with np.errstate(divide="ignore", invalid="ignore"):
-                if reaches_one:
-                    log_q = np.log(np.where(probs < 1, 1.0 - probs, 1.0))
-                else:
-                    log_q = np.log(1.0 - probs)
-                terms = (m - k) * log_q
-                observed = k > 0
-                k_obs = k[observed]
-                p_obs = probs[observed]
-                term = self._log_coefficients(k_obs, m) + k_obs * np.log(p_obs)
-            term = np.where(p_obs <= 0, -np.inf, term)
-            terms[observed] += term
-            if reaches_one:
-                terms = np.where((probs >= 1) & (k < m), -np.inf, terms)
-            out = np.bincount(cand, weights=terms, minlength=total)
+            out = self._backend.sparse_segment_loglik(
+                k,
+                probs,
+                m,
+                cand,
+                total,
+                reaches_one=reaches_one,
+                log_coefficients=self._log_coefficients,
+            )
 
         invalid = np.any((obs < 0) | (obs > m), axis=1)
         if np.any(invalid):

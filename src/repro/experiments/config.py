@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+from repro.backend import BackendSpec
 from repro.localization.beacons import BeaconSpec
 from repro.utils.validation import check_int, check_positive
 
@@ -52,6 +53,11 @@ class SimulationConfig:
         the beacon infrastructure deployed for beacon-based localizers
         (``None`` = the paper's beaconless setting; sessions running a
         beacon-based scheme fall back to the spec's defaults).
+    backend:
+        Optional :class:`~repro.backend.BackendSpec` selecting the array
+        backend running the hot likelihood kernels (``None`` = the
+        bit-exact numpy reference).  Numpy-exact selections share the
+        default's artifact-cache keys; others carry their own identity.
     seed:
         Master seed; every random stream is derived from it.
     """
@@ -69,6 +75,7 @@ class SimulationConfig:
     localization_resolution: float = 2.0
     gz_omega: int = 1000
     beacons: Optional[BeaconSpec] = None
+    backend: Optional[BackendSpec] = None
     seed: int = 20050404
 
     def __post_init__(self) -> None:
@@ -90,10 +97,16 @@ class SimulationConfig:
         check_int("gz_omega", self.gz_omega, minimum=10)
         if self.beacons is not None and not isinstance(self.beacons, BeaconSpec):
             raise TypeError("beacons must be a BeaconSpec (or None)")
+        if self.backend is not None and not isinstance(self.backend, BackendSpec):
+            raise TypeError("backend must be a BackendSpec (or None)")
 
     def with_beacons(self, beacons: Optional[BeaconSpec]) -> "SimulationConfig":
         """A copy of the config with a different beacon infrastructure spec."""
         return replace(self, beacons=beacons)
+
+    def with_backend(self, backend: Optional[BackendSpec]) -> "SimulationConfig":
+        """A copy of the config with a different array-backend spec."""
+        return replace(self, backend=backend)
 
     @property
     def n_groups(self) -> int:

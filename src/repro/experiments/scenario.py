@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.attacks.constraints import ATTACKS
+from repro.backend import BackendSpec
 from repro.core.metrics import METRICS
 from repro.experiments.config import SimulationConfig
 from repro.experiments.session import LadSession
@@ -97,7 +98,8 @@ class ScenarioSpec:
         The false-positive budget detection rates are read at.
     config:
         The underlying :class:`SimulationConfig` (its optional ``beacons``
-        spec serialises as the ``[beacons]`` table of the spec file).
+        and ``backend`` specs serialise as the ``[beacons]`` and
+        ``[backend]`` tables of the spec file).
     """
 
     name: str = "scenario"
@@ -175,6 +177,11 @@ class ScenarioSpec:
     def beacons(self) -> Optional[BeaconSpec]:
         """The beacon spec carried by the config (``None`` = no beacons)."""
         return self.config.beacons
+
+    @property
+    def backend_spec(self) -> Optional[BackendSpec]:
+        """The backend spec carried by the config (``None`` = numpy)."""
+        return self.config.backend
 
     # -- session construction ----------------------------------------------
 
@@ -254,10 +261,10 @@ class ScenarioSpec:
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view (JSON/TOML-ready; lossless round trip).
 
-        The config's :class:`BeaconSpec` is lifted out of the ``config``
-        table into a top-level ``beacons`` entry (the ``[beacons]`` table
-        of spec files); it is omitted entirely when no beacons are
-        configured.
+        The config's :class:`BeaconSpec` and :class:`BackendSpec` are
+        lifted out of the ``config`` table into top-level ``beacons`` and
+        ``backend`` entries (the ``[beacons]``/``[backend]`` tables of
+        spec files); each is omitted entirely when not configured.
         """
         data: Dict[str, Any] = {
             "name": self.name,
@@ -273,11 +280,13 @@ class ScenarioSpec:
             "config": {
                 f.name: getattr(self.config, f.name)
                 for f in fields(SimulationConfig)
-                if f.name != "beacons"
+                if f.name not in ("beacons", "backend")
             },
         }
         if self.config.beacons is not None:
             data["beacons"] = self.config.beacons.as_dict()
+        if self.config.backend is not None:
+            data["backend"] = self.config.backend.as_dict()
         return data
 
     @classmethod
@@ -299,12 +308,22 @@ class ScenarioSpec:
             )
         if beacon_data is None:
             beacon_data = config_beacons
+        backend_data = data.pop("backend", None)
+        config_backend = config_data.pop("backend", None)
+        if backend_data is not None and config_backend is not None:
+            raise ValueError(
+                "backend given both top-level and inside [config]; "
+                "keep a single [backend] table"
+            )
+        if backend_data is None:
+            backend_data = config_backend
         known = {f.name for f in fields(cls) if f.name != "config"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(
                 f"unknown scenario field(s) {sorted(unknown)}; "
-                f"expected a subset of {sorted(known | {'beacons', 'config'})}"
+                "expected a subset of "
+                f"{sorted(known | {'backend', 'beacons', 'config'})}"
             )
         unknown_config = set(config_data) - {
             f.name for f in fields(SimulationConfig)
@@ -315,8 +334,16 @@ class ScenarioSpec:
             )
         if beacon_data is not None and not isinstance(beacon_data, BeaconSpec):
             beacon_data = BeaconSpec.from_dict(dict(beacon_data))
+        if backend_data is not None and not isinstance(backend_data, BackendSpec):
+            if isinstance(backend_data, str):
+                backend_data = BackendSpec(name=backend_data)
+            else:
+                backend_data = BackendSpec.from_dict(dict(backend_data))
         return cls(
-            config=SimulationConfig(beacons=beacon_data, **config_data), **data
+            config=SimulationConfig(
+                beacons=beacon_data, backend=backend_data, **config_data
+            ),
+            **data,
         )
 
     def to_json(self, path: Optional[Path] = None, *, indent: int = 2) -> str:
@@ -331,12 +358,19 @@ class ScenarioSpec:
         data = self.as_dict()
         config_data = data.pop("config")
         beacon_data = data.pop("beacons", None)
+        backend_data = data.pop("backend", None)
         lines = [f"{key} = {_toml_value(value)}" for key, value in data.items()]
         if beacon_data is not None:
             lines += ["", "[beacons]"]
             lines += [
                 f"{key} = {_toml_value(value)}"
                 for key, value in beacon_data.items()
+            ]
+        if backend_data is not None:
+            lines += ["", "[backend]"]
+            lines += [
+                f"{key} = {_toml_value(value)}"
+                for key, value in backend_data.items()
             ]
         lines += ["", "[config]"]
         lines += [

@@ -57,6 +57,7 @@ from repro.core.evaluation import (
 )
 from repro.core.metrics import AnomalyMetric, resolve_metric
 from repro.core.roc import RocCurve, compute_roc
+from repro.backend import ArrayBackend, BackendSpec
 from repro.core.training import TrainingData, benign_scores, collect_training_data
 from repro.deployment.distributions import GaussianResidentDistribution
 from repro.deployment.knowledge import DeploymentKnowledge
@@ -149,7 +150,14 @@ class LadSession:
             group_size=self.config.group_size,
             radio=UnitDiskRadio(self.config.radio_range),
         )
+        # The session owns one backend instance for everything it computes:
+        # the likelihood kernels of its deployment knowledge, the
+        # localizer's vectorised kernels, and the training pass.
+        self._backend_spec = self.config.backend or BackendSpec()
+        self._backend = self._backend_spec.build()
         self._localizer = self._resolve_localizer(localizer)
+        if self._localizer.backend is None:
+            self._localizer.with_backend(self._backend)
         # Beacon-based schemes always get an infrastructure: the config's
         # spec when present, the BeaconSpec defaults otherwise.
         beacon_spec = self.config.beacons
@@ -198,10 +206,24 @@ class LadSession:
         return self._store
 
     @property
+    def backend(self) -> ArrayBackend:
+        """The array backend owned by this session (never ``None``)."""
+        return self._backend
+
+    @property
+    def backend_spec(self) -> BackendSpec:
+        """The backend spec in effect (the numpy default when unset)."""
+        return self._backend_spec
+
+    @property
     def knowledge(self) -> DeploymentKnowledge:
         """The (cached) deployment knowledge, including the ``g(z)`` table."""
         if self._knowledge is None:
-            self._knowledge = self._generator.knowledge(omega=self.config.gz_omega)
+            self._knowledge = self._generator.knowledge(
+                omega=self.config.gz_omega,
+                backend=self._backend,
+                dense_fallback_fraction=self._backend_spec.dense_fallback_fraction,
+            )
         return self._knowledge
 
     @property
@@ -241,6 +263,17 @@ class LadSession:
             "seed": c.seed,
         }
 
+    def _backend_fingerprint(self) -> Optional[Dict[str, object]]:
+        """The backend's contribution to artifact keys.
+
+        ``None`` for numpy-exact backends: their scores are bit-identical
+        to the historical default, so they must alias to its keys (a cache
+        written before the backend layer existed — or by any numpy-exact
+        backend — keeps hitting).  Backends whose results can differ at
+        the bit level (torch, float32, CUDA) carry their identity instead.
+        """
+        return self._backend.fingerprint()
+
     def _beacon_fingerprint(self) -> Optional[Dict[str, object]]:
         """The beacon spec's contribution to artifact keys.
 
@@ -259,7 +292,11 @@ class LadSession:
         differ only in their victim counts share the same trained state.
         The localizer identity and — for beacon-based schemes — the beacon
         fingerprint (layout, count, noise, range, seed) are included, so
-        warm caches never alias across localizers or beacon layouts.
+        warm caches never alias across localizers or beacon layouts.  The
+        backend identity is included only when the backend is not
+        numpy-exact (see :meth:`_backend_fingerprint`): the default and
+        every bit-exact backend keep the historical keys, so pre-refactor
+        warm caches stay warm.
         """
         c = self.config
         fingerprint = self._deployment_fingerprint()
@@ -274,6 +311,9 @@ class LadSession:
         beacons = self._beacon_fingerprint()
         if beacons is not None:
             fingerprint["beacons"] = beacons
+        backend = self._backend_fingerprint()
+        if backend is not None:
+            fingerprint["backend"] = backend
         return fingerprint
 
     def victims_fingerprint(self) -> Dict[str, object]:
@@ -339,6 +379,9 @@ class LadSession:
                 "beacons": self._beacon_fingerprint(),
             }
         )
+        backend = self._backend_fingerprint()
+        if backend is not None:
+            fingerprint["backend"] = backend
         return fingerprint
 
     def attacked_scores_key(
@@ -381,6 +424,7 @@ class LadSession:
                     self._beacon_spec.noise_std if beacons is not None else 0.0
                 ),
                 rng=self._random.stream("training"),
+                backend=self._backend,
             )
         return self._training
 

@@ -224,6 +224,29 @@ class LocalizationScheme(abc.ABC):
     #: Human-readable scheme name used in reports.
     name: str = "abstract"
 
+    #: The array backend running the scheme's vectorised kernels, or
+    #: ``None`` for the shared numpy reference.  Deliberately a plain
+    #: class attribute rather than a dataclass field: the scheme ``repr``
+    #: feeds artifact-cache fingerprints, and backend identity is folded
+    #: into those keys separately (only when results can differ).
+    backend = None
+
+    @property
+    def array_backend(self):
+        """The resolved :class:`~repro.backend.ArrayBackend` (never None)."""
+        if self.backend is not None:
+            return self.backend
+        from repro.backend import default_backend
+
+        return default_backend()
+
+    def with_backend(self, backend) -> "LocalizationScheme":
+        """Attach an array backend to this scheme (returns ``self``)."""
+        from repro.backend import resolve_backend
+
+        self.backend = None if backend is None else resolve_backend(backend)
+        return self
+
     #: Whether the scheme needs a :class:`BeaconInfrastructure` in its
     #: contexts.  Sessions use this to decide when to deploy beacons (and
     #: to fold the beacon fingerprint into their artifact keys).

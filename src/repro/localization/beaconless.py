@@ -99,12 +99,29 @@ class BeaconlessLocalizer(LocalizationScheme):
         reported estimate is accurate to about this value.
     refine_factor:
         Each refinement level shrinks the grid spacing by this factor.
+    coarse_tiers:
+        Number of coarse-search tiers.  The default ``1`` scores every
+        in-window lattice point densely (the bit-exact historical path).
+        ``2`` first scores a ``tier_stride``-subsampled lattice and then
+        only the full-lattice points near each row's tier-1 winner,
+        cutting the dense group-dimension matmul by ``tier_stride**2`` at
+        very large regions; the likelihood surface is smooth at the
+        lattice scale, so the same coarse winner emerges for real
+        observation vectors (asserted on seeded networks), but the
+        two-tier result is not defined to be bit-identical — schemes
+        with ``coarse_tiers != 1`` therefore carry a distinct ``repr``
+        (and hence distinct artifact-cache keys).
+    tier_stride:
+        Subsampling stride of the tier-1 lattice when ``coarse_tiers``
+        is ``2``.
     """
 
     search_margin: float = 250.0
     coarse_step: float = 25.0
     resolution: float = 2.0
     refine_factor: float = 5.0
+    coarse_tiers: int = 1
+    tier_stride: int = 4
 
     name: str = "beaconless-mle"
 
@@ -116,6 +133,27 @@ class BeaconlessLocalizer(LocalizationScheme):
             raise ValueError("refine_factor must be > 1")
         if self.coarse_step > 2 * self.search_margin:
             raise ValueError("coarse_step must not exceed the search window")
+        if self.coarse_tiers not in (1, 2):
+            raise ValueError("coarse_tiers must be 1 (dense) or 2 (hierarchical)")
+        if self.tier_stride < 2:
+            raise ValueError("tier_stride must be at least 2")
+
+    def __repr__(self) -> str:
+        # The repr feeds artifact-cache fingerprints, so the hierarchical
+        # fields appear only when they can change results: the default
+        # one-tier form stays byte-identical to the historical repr and
+        # keeps hitting pre-existing cache entries.
+        extra = ""
+        if self.coarse_tiers != 1:
+            extra = (
+                f", coarse_tiers={self.coarse_tiers!r}"
+                f", tier_stride={self.tier_stride!r}"
+            )
+        return (
+            f"{type(self).__name__}(search_margin={self.search_margin!r}, "
+            f"coarse_step={self.coarse_step!r}, resolution={self.resolution!r}, "
+            f"refine_factor={self.refine_factor!r}, name={self.name!r}{extra})"
+        )
 
     # -- public API ----------------------------------------------------------
 
@@ -354,6 +392,7 @@ class BeaconlessLocalizer(LocalizationScheme):
         """
         region = knowledge.region
         k = observations.shape[0]
+        backend = knowledge.backend
         prune = prune and np.isfinite(knowledge.support_radius)
 
         # Vectorised initial guesses: the observation-weighted centroids of
@@ -383,19 +422,26 @@ class BeaconlessLocalizer(LocalizationScheme):
         if not covered.all():
             lattice = lattice[covered]
             in_window = in_window[:, covered]
-        lls = knowledge.log_likelihood_batch(lattice, observations)
-        lls = np.where(in_window, lls, -np.inf)
-        idx = np.argmax(lls, axis=1)
-        values = lls[np.arange(k), idx]
+        if self.coarse_tiers == 2:
+            coarse_pos, values = self._coarse_hierarchical(
+                knowledge, lattice, in_window, observations, prune=prune
+            )
+        else:
+            lls = knowledge.log_likelihood_batch(lattice, observations)
+            lls = np.where(in_window, lls, -np.inf)
+            idx, values = backend.rowwise_argmax(lls)
+            coarse_pos = lattice[idx]
 
         best = centers.copy()
         best_ll = np.full(k, -np.inf)
         update = values > best_ll
-        best[update] = lattice[idx[update]]
+        best[update] = coarse_pos[update]
         best_ll[update] = values[update]
 
         # Refinement levels in lock-step: the step schedule is shared, the
-        # per-row sub-grids are concatenated into one segmented kernel call.
+        # per-row sub-grids are concatenated into one segmented kernel call
+        # followed by one segmented argmax (same first-max winner per row
+        # as the historical per-row argmax loop, without the Python pass).
         step = self.coarse_step
         while step > self.resolution:
             half_width = step
@@ -410,15 +456,80 @@ class BeaconlessLocalizer(LocalizationScheme):
                 # every group any candidate of the row could interact with.
                 reach = knowledge.support_radius + half_width * np.sqrt(2.0)
                 active = knowledge.active_groups(best, radius=reach)
+            stacked = np.vstack(grids)
             flat = knowledge.log_likelihood_segmented(
-                np.vstack(grids), observations, counts, active=active
+                stacked, observations, counts, active=active
             )
-            offsets = np.concatenate([[0], np.cumsum(counts)])
-            for row in range(k):
-                segment = flat[offsets[row] : offsets[row + 1]]
-                idx = int(np.argmax(segment))
-                if segment[idx] > best_ll[row]:
-                    best_ll[row] = float(segment[idx])
-                    best[row] = grids[row][idx]
+            seg_idx, seg_best = backend.segment_argmax(flat, counts)
+            update = seg_best > best_ll
+            best_ll[update] = seg_best[update]
+            best[update] = stacked[seg_idx[update]]
 
         return best
+
+    def _coarse_hierarchical(
+        self,
+        knowledge: DeploymentKnowledge,
+        lattice: np.ndarray,
+        in_window: np.ndarray,
+        observations: np.ndarray,
+        *,
+        prune: bool = True,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Two-tier coarse search over the shared lattice.
+
+        Tier 1 scores a ``tier_stride``-subsampled lattice with the dense
+        matmul kernel; tier 2 re-scores only the full-lattice points within
+        one tier-1 cell (Chebyshev radius ``tier_stride * coarse_step``) of
+        each row's tier-1 winner through the segmented kernel.  Every row's
+        tier-1 winner is itself a full-lattice in-window point, so tier-2
+        candidate sets are never empty and the returned value never falls
+        below the tier-1 score.
+
+        Returns ``(positions, values)``: the per-row coarse winner and its
+        log-likelihood.
+        """
+        backend = knowledge.backend
+        k = observations.shape[0]
+        stride = int(self.tier_stride)
+
+        # Tier 1: stride-subsample the surviving lattice spatially (unique
+        # axis values, every stride-th coordinate in each dimension).
+        xs = np.unique(lattice[:, 0])
+        ys = np.unique(lattice[:, 1])
+        sub_x = np.isin(lattice[:, 0], xs[::stride])
+        sub_y = np.isin(lattice[:, 1], ys[::stride])
+        sub = sub_x & sub_y
+        # Keep each row's window non-empty at tier 1: rows whose window
+        # misses every subsampled point fall back to their full window.
+        window_sub = in_window[:, sub]
+        empty = ~window_sub.any(axis=1)
+        if np.any(empty):  # pragma: no cover - needs margin < stride * step
+            sub = np.ones(lattice.shape[0], dtype=bool)
+            window_sub = in_window
+        lls1 = knowledge.log_likelihood_batch(lattice[sub], observations)
+        lls1 = np.where(window_sub, lls1, -np.inf)
+        idx1, _ = backend.rowwise_argmax(lls1)
+        winners = lattice[sub][idx1]
+
+        # Tier 2: full-lattice points inside the row window and within one
+        # tier-1 cell of the winner, scored through the segmented kernel.
+        reach = stride * self.coarse_step
+        near = (
+            in_window
+            & (np.abs(lattice[None, :, 0] - winners[:, 0, None]) <= reach)
+            & (np.abs(lattice[None, :, 1] - winners[:, 1, None]) <= reach)
+        )
+        grids = [lattice[near[row]] for row in range(k)]
+        counts = np.array([grid.shape[0] for grid in grids], dtype=np.int64)
+        active = None
+        if prune:
+            active = knowledge.active_groups(
+                winners, radius=knowledge.support_radius + reach * np.sqrt(2.0)
+            )
+        stacked = np.vstack(grids)
+        flat = knowledge.log_likelihood_segmented(
+            stacked, observations, counts, active=active
+        )
+        idx2, values = backend.segment_argmax(flat, counts)
+        return stacked[idx2], values

@@ -46,17 +46,23 @@ def _audible_mask(
 
 
 def _masked_centroids(
-    mask: np.ndarray, declared: np.ndarray
+    mask: np.ndarray, declared: np.ndarray, backend=None
 ) -> tuple[np.ndarray, np.ndarray]:
     """Centroids of the masked beacon subsets, one row per mask row.
 
     Inaudible beacons enter the sum as exact zeros (adding ``0.0`` is
     exact), so each row equals the sequential sum over its audible subset
     bit for bit regardless of the batch size.  Rows with an empty mask get
-    the all-beacon centroid fallback and ``converged = False``.
+    the all-beacon centroid fallback and ``converged = False``.  The sum
+    runs through *backend*'s masked-sum kernel (``None`` = the numpy
+    reference).
     """
+    if backend is None:
+        from repro.backend import default_backend
+
+        backend = default_backend()
     counts = mask.sum(axis=1)
-    sums = np.where(mask[:, :, None], declared[None, :, :], 0.0).sum(axis=1)
+    sums = backend.masked_sum(declared[None, :, :], mask)
     converged = counts > 0
     estimates = np.where(
         converged[:, None],
@@ -80,7 +86,7 @@ class CentroidLocalizer(LocalizationScheme):
             raise ValueError("the centroid scheme needs a BeaconInfrastructure")
         mask = _audible_mask(beacons, context)
         estimates, converged = _masked_centroids(
-            mask[None, :], beacons.declared_positions
+            mask[None, :], beacons.declared_positions, self.array_backend
         )
         return LocalizationResult(position=estimates[0], converged=bool(converged[0]))
 
@@ -99,7 +105,9 @@ class CentroidLocalizer(LocalizationScheme):
         if beacons is None or any(ctx.beacons is not beacons for ctx in contexts):
             return super().localize_many(contexts, rng=rng)
         mask = np.stack([_audible_mask(beacons, ctx) for ctx in contexts])
-        estimates, converged = _masked_centroids(mask, beacons.declared_positions)
+        estimates, converged = _masked_centroids(
+            mask, beacons.declared_positions, self.array_backend
+        )
         return [
             LocalizationResult(position=estimates[row], converged=bool(converged[row]))
             for row in range(len(contexts))

@@ -41,13 +41,11 @@ from repro.localization.base import (
 __all__ = ["MmseMultilaterationLocalizer"]
 
 
-def _masked_row_sums(terms: np.ndarray, mask: np.ndarray) -> np.ndarray:
-    """Row sums of *terms* over the masked beacon axis (exact-zero padding)."""
-    return np.where(mask, terms, 0.0).sum(axis=1)
-
-
 def _linear_estimates(
-    mask: np.ndarray, declared: np.ndarray, distances: np.ndarray
+    mask: np.ndarray,
+    declared: np.ndarray,
+    distances: np.ndarray,
+    backend=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Linearised multilateration of every mask row at once.
 
@@ -62,6 +60,9 @@ def _linear_estimates(
     distances:
         Measured distances scattered onto the full beacon axis, shape
         ``(k, b)`` (entries outside the mask are ignored).
+    backend:
+        Array backend running the masked sums and the batched 2x2 solve
+        (``None`` = the numpy reference).
 
     Returns
     -------
@@ -73,8 +74,17 @@ def _linear_estimates(
     equation; the resulting overdetermined system is solved through its
     2x2 normal equations with the explicit inverse, so every operation is
     elementwise or an exact-zero-padded row sum — the row results do not
-    depend on the batch size.
+    depend on the batch size.  Near-collinear anchors make the normal
+    matrix nearly rank-one and the closed-form solve would amplify range
+    noise by ``1/lambda_min``; such rows come back ``solvable = False``
+    (see :meth:`~repro.backend.ArrayBackend.solve2x2`) and are routed to
+    the non-converged fallback instead of returning an arbitrarily
+    amplified position.
     """
+    if backend is None:
+        from repro.backend import default_backend
+
+        backend = default_backend()
     k, b = mask.shape
     ref = b - 1 - np.argmax(mask[:, ::-1], axis=1)  # last audible index
     p_ref = declared[ref]
@@ -89,25 +99,12 @@ def _linear_estimates(
         - np.sum(declared**2, axis=1)[None, :]
         + np.sum(p_ref**2, axis=1)[:, None]
     )
-    m00 = _masked_row_sums(a[:, :, 0] * a[:, :, 0], mask_ex)
-    m01 = _masked_row_sums(a[:, :, 0] * a[:, :, 1], mask_ex)
-    m11 = _masked_row_sums(a[:, :, 1] * a[:, :, 1], mask_ex)
-    v0 = _masked_row_sums(a[:, :, 0] * rhs, mask_ex)
-    v1 = _masked_row_sums(a[:, :, 1] * rhs, mask_ex)
-
-    det = m00 * m11 - m01 * m01
-    # M is a sum of outer products, so det >= 0 up to rounding, and
-    # det / tr(M)^2 ~ lambda_min / lambda_max: near-collinear anchors make
-    # M nearly rank-one, the closed-form solve amplifies range noise by
-    # 1/lambda_min, and the estimate explodes.  Such rows are routed to
-    # the non-converged fallback instead of returning an arbitrarily
-    # amplified position.
-    solvable = det > 1e-9 * (m00 + m11) ** 2
-    safe_det = np.where(solvable, det, 1.0)
-    estimates = np.column_stack(
-        [(m11 * v0 - m01 * v1) / safe_det, (m00 * v1 - m01 * v0) / safe_det]
-    )
-    return estimates, solvable
+    m00 = backend.masked_sum(a[:, :, 0] * a[:, :, 0], mask_ex)
+    m01 = backend.masked_sum(a[:, :, 0] * a[:, :, 1], mask_ex)
+    m11 = backend.masked_sum(a[:, :, 1] * a[:, :, 1], mask_ex)
+    v0 = backend.masked_sum(a[:, :, 0] * rhs, mask_ex)
+    v1 = backend.masked_sum(a[:, :, 1] * rhs, mask_ex)
+    return backend.solve2x2(m00, m01, m11, v0, v1)
 
 
 @LOCALIZERS.register("mmse_multilateration", "multilateration", name="mmse")
@@ -190,7 +187,10 @@ class MmseMultilaterationLocalizer(LocalizationScheme):
         solvable = np.zeros(mask.shape[0], dtype=bool)
         if np.any(determined):
             estimates[determined], solvable[determined] = _linear_estimates(
-                mask[determined], declared, distances[determined]
+                mask[determined],
+                declared,
+                distances[determined],
+                self.array_backend,
             )
 
         results: list[LocalizationResult] = []

@@ -69,13 +69,26 @@ class NetworkGenerator:
             region=self.model.region,
         )
 
-    def knowledge(self, *, omega: int = 1000) -> DeploymentKnowledge:
-        """The deployment knowledge matching the networks this generator makes."""
+    def knowledge(
+        self,
+        *,
+        omega: int = 1000,
+        backend=None,
+        dense_fallback_fraction: Optional[float] = None,
+    ) -> DeploymentKnowledge:
+        """The deployment knowledge matching the networks this generator makes.
+
+        *backend* and *dense_fallback_fraction* are forwarded to
+        :class:`DeploymentKnowledge` (``None`` keeps the numpy reference
+        backend and its crossover).
+        """
         return DeploymentKnowledge(
             self.model,
             group_size=self.group_size,
             radio_range=self.radio.nominal_range,
             omega=omega,
+            backend=backend,
+            dense_fallback_fraction=dense_fallback_fraction,
         )
 
 

@@ -213,6 +213,63 @@ class TestSweepCommand:
         }
 
 
+class TestBackendsCommand:
+    def test_backends_lists_and_probes(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "numpy" in out
+        assert "torch" in out
+        assert "aliases: np" in out
+        # The numpy reference is always available; torch's probe must
+        # report *something* rather than crash when it is absent.
+        assert "bit-exact reference" in out
+
+    def test_backend_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "spec.toml", "--backend", "numpy", "--backend-device", "cpu"]
+        )
+        assert args.backend == "numpy"
+        assert args.backend_device == "cpu"
+        args = build_parser().parse_args(["figure", "fig7", "--backend", "np"])
+        assert args.backend == "np"
+
+    def test_sweep_backend_numpy_aliases_backendless_cache(
+        self, capsys, tmp_path
+    ):
+        """`--backend numpy` must fully reuse a cache written without any
+        backend selection (the numpy-exact aliasing contract, CLI level)."""
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        cache = tmp_path / "cache"
+        assert main(["sweep", str(spec_path), "--cache-dir", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        assert main(
+            [
+                "sweep",
+                str(spec_path),
+                "--cache-dir",
+                str(cache),
+                "--backend",
+                "numpy",
+            ]
+        ) == 0
+        warm = capsys.readouterr().out
+        assert ", 0 miss(es)" in warm
+
+        def rows(text):
+            return [
+                line for line in text.splitlines() if line.strip().startswith("40 ")
+            ]
+
+        assert rows(cold) == rows(warm)
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        with pytest.raises(ValueError, match="unknown backend"):
+            main(["sweep", str(spec_path), "--backend", "fortran"])
+
+
 class TestSweepFiguresMode:
     ARGS = ["--scale", "0.05", "--group-size", "40", "--seed", "11"]
 
