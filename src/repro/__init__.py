@@ -19,6 +19,10 @@ The package is organised bottom-up:
 * :mod:`repro.experiments` — the scenario API (``LadSession`` cached
   evaluation state, declarative ``ScenarioSpec`` sweeps, the artifact
   store) that regenerates every figure of the paper's evaluation section;
+* :mod:`repro.serving` — the streaming detection service
+  (``DetectionService`` vectorised claim verification, the asyncio
+  micro-batching runtime with backpressure, JSONL transports and the
+  load generator behind ``lad-repro serve`` / ``lad-repro loadgen``);
 * :mod:`repro.applications` — motivating applications (geographic routing,
   surveillance, coverage) used by the examples.
 
@@ -108,6 +112,8 @@ from repro.core import (
     attacked_scores_for_victims,
     detection_rate_at_false_positive,
     evaluate_detection,
+    Verdict,
+    verdicts_from_scores,
 )
 
 # Registries.
@@ -127,6 +133,16 @@ _LAZY_EXPORTS = {
     "FigureResult": "repro.experiments.results",
     "run_figure": "repro.experiments.figures",
     "run_figure_spec": "repro.experiments.figures.common",
+    # serving (lazy for the same reason: asyncio machinery on demand)
+    "DetectionService": "repro.serving",
+    "LocationClaim": "repro.serving",
+    "ClaimError": "repro.serving",
+    "ServiceRuntime": "repro.serving",
+    "ServingConfig": "repro.serving",
+    "ServiceOverloaded": "repro.serving",
+    "ServiceClosed": "repro.serving",
+    "LoadReport": "repro.serving",
+    "claims_from_session": "repro.serving",
 }
 
 
@@ -214,6 +230,8 @@ __all__ = [
     "attacked_scores_for_victims",
     "detection_rate_at_false_positive",
     "evaluate_detection",
+    "Verdict",
+    "verdicts_from_scores",
     # registries
     "Registry",
     # experiments (lazy)
@@ -226,4 +244,14 @@ __all__ = [
     "FigureResult",
     "run_figure",
     "run_figure_spec",
+    # serving (lazy)
+    "DetectionService",
+    "LocationClaim",
+    "ClaimError",
+    "ServiceRuntime",
+    "ServingConfig",
+    "ServiceOverloaded",
+    "ServiceClosed",
+    "LoadReport",
+    "claims_from_session",
 ]

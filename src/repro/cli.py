@@ -11,6 +11,8 @@ command line::
     lad-repro sweep --figures fig4 --json results/fig4.json
     lad-repro sweep scenario.toml --backend torch --backend-device cuda
     lad-repro backends
+    lad-repro serve scenario.toml --port 0 --cache-dir ~/.cache/lad --warm
+    lad-repro loadgen scenario.toml --claims 500 --rate 2000
     lad-repro demo --degree 120 --metric diff
     lad-repro gz-table --radio-range 100 --sigma 50
 
@@ -24,6 +26,15 @@ FigureResult series as ``lad-repro figure``.  With ``--cache-dir`` the
 trained thresholds, victim samples and per-point attacked scores persist
 across runs, so a re-run skips the training pass entirely and an
 interrupted sweep resumes by recomputing only the missing points.
+
+``serve`` turns a trained scenario into a streaming verification service
+(JSONL over stdin or TCP) with micro-batching and bounded-queue
+backpressure; ``loadgen`` drives one — in-process or over TCP — and
+reports sustained claims/sec plus p50/p99 latency.  Flag groups shared by
+several subcommands (``--workers``, ``--cache-dir``, the localizer /
+beacon and backend overrides, the micro-batching knobs) are defined once
+as argparse *parent parsers*, so every subcommand that composes a parent
+gets the exact same flags and help text.
 
 No plotting dependency is required: figures are printed as aligned text
 tables (the same series the paper plots).
@@ -47,6 +58,181 @@ __all__ = ["main", "build_parser"]
 DEFAULT_GROUP_SIZE = 300
 DEFAULT_RADIO_RANGE = 100.0
 DEFAULT_SEED = 20050404
+
+
+def _workers_parent() -> argparse.ArgumentParser:
+    """Parent parser: the ``--workers`` flag of the sweep-running commands."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the per-point scoring (0 = serial)",
+    )
+    return parent
+
+
+def _cache_parent() -> argparse.ArgumentParser:
+    """Parent parser: the ``--cache-dir`` artifact-store flag."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "artifact store directory: trained thresholds, victim samples "
+            "and per-point attacked scores persist here, so repeated runs "
+            "(and warm service starts) skip the training pass"
+        ),
+    )
+    return parent
+
+
+def _output_parent() -> argparse.ArgumentParser:
+    """Parent parser: the ``--json`` / ``--csv`` result-file flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--json", type=Path, default=None, help="write the results as JSON"
+    )
+    parent.add_argument(
+        "--csv", type=Path, default=None, help="write the results as CSV"
+    )
+    return parent
+
+
+def _figure_config_parent() -> argparse.ArgumentParser:
+    """Parent parser: config knobs shared by ``figure`` and ``sweep``."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="Monte-Carlo sample-size scale factor (use <1 for quick runs)",
+    )
+    parent.add_argument(
+        "--group-size",
+        type=int,
+        default=DEFAULT_GROUP_SIZE,
+        help="sensors per group m",
+    )
+    parent.add_argument(
+        "--radio-range",
+        type=float,
+        default=DEFAULT_RADIO_RANGE,
+        help="radio range R (m)",
+    )
+    parent.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="master random seed"
+    )
+    return parent
+
+
+def _localizer_parent() -> argparse.ArgumentParser:
+    """Parent parser: the ``--localizer`` / ``--beacon-*`` override group."""
+    parent = argparse.ArgumentParser(add_help=False)
+    _add_localizer_arguments(parent)
+    return parent
+
+
+def _backend_parent() -> argparse.ArgumentParser:
+    """Parent parser: the ``--backend*`` override group."""
+    parent = argparse.ArgumentParser(add_help=False)
+    _add_backend_arguments(parent)
+    return parent
+
+
+def _service_source_parent() -> argparse.ArgumentParser:
+    """Parent parser: how ``serve`` / ``loadgen`` build their service."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "spec",
+        type=Path,
+        help="ScenarioSpec file (.toml or .json) the service is trained from",
+    )
+    group = parent.add_argument_group(
+        "service construction",
+        "which trained state the detection service loads",
+    )
+    group.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="Monte-Carlo sample-size scale factor for the training pass",
+    )
+    group.add_argument(
+        "--group-size",
+        type=int,
+        default=None,
+        help="override the spec's sensors per group m",
+    )
+    group.add_argument(
+        "--metric",
+        action="append",
+        default=None,
+        help=(
+            "metric to train and serve a threshold for (repeatable; "
+            "default: the spec's metrics)"
+        ),
+    )
+    group.add_argument(
+        "--fp-rate",
+        type=float,
+        default=None,
+        help="false-positive budget of the thresholds (default: the spec's)",
+    )
+    group.add_argument(
+        "--warm",
+        action="store_true",
+        help=(
+            "require a warm --cache-dir: startup loads every trained "
+            "artifact from the store and never trains (missing artifacts "
+            "are an error, not a silent cold start)"
+        ),
+    )
+    return parent
+
+
+def _serving_parent() -> argparse.ArgumentParser:
+    """Parent parser: micro-batching / backpressure knobs of the runtime."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group(
+        "micro-batching",
+        "how the service batches queued claims and sheds overload",
+    )
+    group.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=32,
+        help="flush a micro-batch at this many claims",
+    )
+    group.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="flush an incomplete batch this long after its first claim",
+    )
+    group.add_argument(
+        "--queue-size",
+        type=int,
+        default=1024,
+        help="bound of the admission queue (the backpressure trigger)",
+    )
+    group.add_argument(
+        "--overflow",
+        choices=["reject", "block"],
+        default="reject",
+        help=(
+            "full-queue policy: reject fails fast with a retry-after hint, "
+            "block parks the submitter"
+        ),
+    )
+    group.add_argument(
+        "--retry-after-ms",
+        type=float,
+        default=20.0,
+        help="back-off hint attached to rejected claims",
+    )
+    return parent
 
 
 def _add_localizer_arguments(parser: argparse.ArgumentParser) -> None:
@@ -183,53 +369,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    fig = sub.add_parser("figure", help="reproduce one of the paper's figures")
+    # Flag groups shared by several subcommands are built once as parent
+    # parsers, so the flags (and their help text) can never drift apart.
+    workers_parent = _workers_parent()
+    cache_parent = _cache_parent()
+    output_parent = _output_parent()
+    figure_config_parent = _figure_config_parent()
+    localizer_parent = _localizer_parent()
+    backend_parent = _backend_parent()
+
+    fig = sub.add_parser(
+        "figure",
+        help="reproduce one of the paper's figures",
+        parents=[
+            figure_config_parent,
+            workers_parent,
+            cache_parent,
+            output_parent,
+            localizer_parent,
+            backend_parent,
+        ],
+    )
     fig.set_defaults(func=_cmd_figure)
     fig.add_argument(
         "figure_id",
         choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figl"],
     )
-    fig.add_argument(
-        "--scale",
-        type=float,
-        default=1.0,
-        help="Monte-Carlo sample-size scale factor (use <1 for quick runs)",
-    )
-    fig.add_argument(
-        "--group-size",
-        type=int,
-        default=DEFAULT_GROUP_SIZE,
-        help="sensors per group m",
-    )
-    fig.add_argument(
-        "--radio-range",
-        type=float,
-        default=DEFAULT_RADIO_RANGE,
-        help="radio range R (m)",
-    )
-    fig.add_argument(
-        "--seed", type=int, default=DEFAULT_SEED, help="master random seed"
-    )
-    fig.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="worker processes for the parameter sweep (0 = serial)",
-    )
-    fig.add_argument(
-        "--cache-dir",
-        type=Path,
-        default=None,
-        help="artifact store directory persisting trained thresholds",
-    )
-    fig.add_argument("--json", type=Path, default=None, help="write the series as JSON")
-    fig.add_argument("--csv", type=Path, default=None, help="write the series as CSV")
-    _add_localizer_arguments(fig)
-    _add_backend_arguments(fig)
 
     sweep = sub.add_parser(
         "sweep",
         help="run a declarative scenario sweep from a spec file (TOML/JSON)",
+        parents=[
+            figure_config_parent,
+            workers_parent,
+            cache_parent,
+            output_parent,
+            localizer_parent,
+            backend_parent,
+        ],
     )
     sweep.set_defaults(func=_cmd_sweep)
     sweep.add_argument(
@@ -249,54 +426,91 @@ def build_parser() -> argparse.ArgumentParser:
             "FigureResult series as `lad-repro figure`"
         ),
     )
-    sweep.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="worker processes for the per-point scoring (0 = serial)",
+
+    service_source_parent = _service_source_parent()
+    serving_parent = _serving_parent()
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve streaming location-claim verification (JSONL stdin/TCP)",
+        parents=[
+            service_source_parent,
+            serving_parent,
+            cache_parent,
+            localizer_parent,
+            backend_parent,
+        ],
     )
-    sweep.add_argument(
-        "--cache-dir",
-        type=Path,
+    serve.set_defaults(func=_cmd_serve)
+    serve.add_argument(
+        "--port",
+        type=int,
         default=None,
         help=(
-            "artifact store directory: trained thresholds, victim samples "
-            "and per-point attacked scores persist here, so repeated and "
-            "interrupted sweeps recompute only what is missing"
+            "listen for JSONL claims on this TCP port (0 = ephemeral; "
+            "prints 'listening on HOST:PORT'); default: serve stdin"
         ),
     )
-    sweep.add_argument(
-        "--scale",
-        type=float,
-        default=1.0,
-        help="Monte-Carlo sample-size scale factor (use <1 for quick runs)",
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP listen address"
     )
-    sweep.add_argument(
-        "--group-size",
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a detection service with claims; report p50/p99 latency",
+        parents=[
+            service_source_parent,
+            serving_parent,
+            cache_parent,
+            localizer_parent,
+            backend_parent,
+        ],
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
+    loadgen.add_argument(
+        "--claims",
         type=int,
-        default=DEFAULT_GROUP_SIZE,
-        help="sensors per group m (--figures with a figure id only)",
+        default=200,
+        help="number of claims to generate (victims are cycled)",
     )
-    sweep.add_argument(
-        "--radio-range",
+    loadgen.add_argument(
+        "--rate",
         type=float,
-        default=DEFAULT_RADIO_RANGE,
-        help="radio range R in m (--figures with a figure id only)",
+        default=None,
+        help=(
+            "open-loop release rate in claims/sec "
+            "(default: release everything at once — saturation mode)"
+        ),
     )
-    sweep.add_argument(
-        "--seed",
+    loadgen.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "drive a running `lad-repro serve --port` instance over TCP "
+            "instead of an in-process runtime"
+        ),
+    )
+    loadgen.add_argument(
+        "--connections",
         type=int,
-        default=DEFAULT_SEED,
-        help="master random seed (--figures with a figure id only)",
+        default=1,
+        help="TCP connections sharing the claim stream (--connect only)",
     )
-    sweep.add_argument(
-        "--json", type=Path, default=None, help="write the results as JSON"
+    loadgen.add_argument(
+        "--localize",
+        action="store_true",
+        help=(
+            "omit claimed locations so the service localizes each "
+            "observation first (beaconless scheme only)"
+        ),
     )
-    sweep.add_argument(
-        "--csv", type=Path, default=None, help="write the results as CSV"
+    loadgen.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="write the load report as JSON",
     )
-    _add_localizer_arguments(sweep)
-    _add_backend_arguments(sweep)
 
     backends = sub.add_parser(
         "backends",
@@ -462,7 +676,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 group_size=group_size, localizer=localizer, store=store
             )
             runner = session.sweep(workers=args.workers)
-            for point, (rate, threshold) in runner.iter_detection_rates(
+            for point, outcome in runner.iter_detection_rates(
                 points, false_positive_rate=spec.false_positive_rate
             ):
                 done += 1
@@ -471,7 +685,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     f"{point.metric:>12} {point.attack:>12} "
                     f"{point.degree_of_damage:>8g} "
                     f"{point.compromised_fraction:>6g} "
-                    f"{rate:>8.3f} {threshold:>10.2f}"
+                    f"{outcome.detection_rate:>8.3f} "
+                    f"{outcome.threshold:>10.2f}"
                     f"    [{done}/{total}]",
                     flush=True,
                 )
@@ -483,8 +698,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                         "attack": point.attack,
                         "degree_of_damage": point.degree_of_damage,
                         "compromised_fraction": point.compromised_fraction,
-                        "detection_rate": rate,
-                        "threshold": threshold,
+                        "detection_rate": outcome.detection_rate,
+                        "threshold": outcome.threshold,
                     }
                 )
     _print_cache_stats(store)
@@ -500,6 +715,149 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             writer.writeheader()
             writer.writerows(rows)
         print(f"[written] {args.csv}")
+    return 0
+
+
+def _build_service_session(args: argparse.Namespace):
+    """Shared ``serve`` / ``loadgen`` setup: spec file -> (spec, session).
+
+    Applies the localizer/beacon and backend override parents, attaches
+    the artifact store when ``--cache-dir`` is given, and pins the
+    density override.
+    """
+    from repro.experiments.scenario import ScenarioSpec
+    from repro.experiments.store import ArtifactStore
+
+    spec = ScenarioSpec.from_file(args.spec).scaled(args.scale)
+    spec = _apply_localizer_overrides(spec, args)
+    spec = _apply_backend_overrides(spec, args)
+    store = ArtifactStore(args.cache_dir) if args.cache_dir is not None else None
+    session = spec.session(group_size=args.group_size, store=store)
+    return spec, session, store
+
+
+def _build_service(args: argparse.Namespace, spec, session):
+    """The :class:`DetectionService` a serve/loadgen invocation asked for."""
+    from repro.serving import DetectionService
+
+    return DetectionService.from_session(
+        session,
+        metrics=tuple(args.metric) if args.metric else spec.metrics,
+        false_positive_rate=(
+            spec.false_positive_rate if args.fp_rate is None else args.fp_rate
+        ),
+        require_warm=args.warm,
+    )
+
+
+def _serving_config(args: argparse.Namespace):
+    """The :class:`ServingConfig` from the micro-batching parent's flags."""
+    from repro.serving import ServingConfig
+
+    return ServingConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        queue_size=args.queue_size,
+        overflow=args.overflow,
+        retry_after_ms=args.retry_after_ms,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serving import ServiceRuntime, serve_stdio, serve_tcp
+
+    spec, session, _ = _build_service_session(args)
+    service = _build_service(args, spec, session)
+    config = _serving_config(args)
+
+    async def run() -> None:
+        runtime = ServiceRuntime(service, config)
+        await runtime.start()
+        try:
+            if args.port is not None:
+                server = await serve_tcp(
+                    runtime,
+                    host=args.host,
+                    port=args.port,
+                    announce=lambda host, port: print(
+                        f"listening on {host}:{port}", flush=True
+                    ),
+                )
+                async with server:
+                    await server.serve_forever()
+            else:
+                served = await serve_stdio(runtime)
+                print(
+                    f"served {served} request line(s); "
+                    f"runtime: {runtime.stats.as_dict()}",
+                    file=sys.stderr,
+                )
+        finally:
+            await runtime.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serving import (
+        ServiceRuntime,
+        claims_from_session,
+        run_load,
+        run_tcp_load,
+    )
+
+    spec, session, _ = _build_service_session(args)
+    claims = claims_from_session(
+        session,
+        count=args.claims,
+        localize=args.localize,
+        metric=args.metric[0] if args.metric else None,
+    )
+    if args.connect is not None:
+        host, _, port = args.connect.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(
+                f"--connect expects HOST:PORT, got {args.connect!r}"
+            )
+        report = asyncio.run(
+            run_tcp_load(
+                host,
+                int(port),
+                claims,
+                rate=args.rate,
+                connections=args.connections,
+            )
+        )
+        runtime_stats = None
+    else:
+        service = _build_service(args, spec, session)
+        config = _serving_config(args)
+
+        async def run():
+            async with ServiceRuntime(service, config) as runtime:
+                report = await run_load(runtime, claims, rate=args.rate)
+            return report, runtime.stats.as_dict()
+
+        report, runtime_stats = asyncio.run(run())
+    print(report.summary())
+    if runtime_stats is not None:
+        print(f"runtime: {runtime_stats}")
+    if args.json is not None:
+        payload = {"report": report.as_dict(), "runtime": runtime_stats}
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"[written] {args.json}")
     return 0
 
 
@@ -526,11 +884,18 @@ def _cmd_backends(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    """End-to-end demo through the streaming service's batch-of-one path.
+
+    Trains a small session, builds its :class:`DetectionService`, then
+    verifies every evaluation victim twice — once with its honest claim,
+    once with its attacked claim — exactly as an online claimant would be
+    verified, one claim at a time.
+    """
     import numpy as np
 
-    from repro.core.evaluation import evaluate_detection
     from repro.experiments.config import SimulationConfig
     from repro.experiments.session import LadSession
+    from repro.serving.claims import LocationClaim
 
     config = SimulationConfig(
         group_size=args.group_size,
@@ -539,14 +904,32 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     session = LadSession(config)
-    benign = session.benign_scores(args.metric)
-    attacked = session.attacked_scores(
-        args.metric,
-        args.attack,
-        degree_of_damage=args.degree,
-        compromised_fraction=args.fraction,
+    service = session.service(metrics=(args.metric,))
+    victims = session.victims()
+    honest = [
+        service.verify(
+            LocationClaim(
+                observation=victims.observations[i],
+                claimed_location=victims.actual_locations[i],
+                claim_id=f"honest-{i}",
+            )
+        )
+        for i in range(victims.observations.shape[0])
+    ]
+    attacked = [
+        service.verify(claim)
+        for claim in session.attacked_claims(
+            args.metric,
+            args.attack,
+            degree_of_damage=args.degree,
+            compromised_fraction=args.fraction,
+        )
+    ]
+    flagged_honest = sum(1 for verdict in honest if verdict.anomalous)
+    flagged_attacked = sum(1 for verdict in attacked if verdict.anomalous)
+    latencies = np.asarray(
+        [verdict.latency_ms for verdict in honest + attacked]
     )
-    outcome = evaluate_detection(benign, attacked, false_positive_rate=0.01)
     print(
         f"metric={args.metric}  attack={args.attack}  "
         f"D={args.degree:g}  x={args.fraction:.0%}"
@@ -556,15 +939,23 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         f"{session.benign_localization_error():.2f} m"
     )
     print(
-        f"benign score p50/p99: "
-        f"{np.median(benign):.2f} / {np.quantile(benign, 0.99):.2f}"
+        f"trained threshold: {service.threshold(args.metric):.2f} "
+        f"(FP budget {service.false_positive_rate:.0%})"
     )
-    print(f"attacked score p50:   {np.median(attacked):.2f}")
     print(
-        f"detection rate @ 1% FP: {outcome.detection_rate:.3f} "
-        f"(threshold {outcome.threshold:.2f})"
+        f"honest claims flagged:   {flagged_honest}/{len(honest)} "
+        f"({flagged_honest / len(honest):.1%} observed FP)"
     )
-    print(f"ROC AUC: {outcome.roc.auc():.4f}")
+    print(
+        f"detection rate @ 1% FP: "
+        f"{flagged_attacked / len(attacked):.3f} "
+        f"({flagged_attacked}/{len(attacked)} attacked claims flagged)"
+    )
+    print(
+        f"service latency p50/p99 (batch of one): "
+        f"{np.percentile(latencies, 50):.2f} / "
+        f"{np.percentile(latencies, 99):.2f} ms"
+    )
     return 0
 
 

@@ -27,6 +27,7 @@ from repro.core.metrics import (
     ALL_METRICS,
 )
 from repro.core.thresholds import derive_threshold, ThresholdTable
+from repro.core.verdict import Verdict, verdicts_from_scores
 from repro.core.training import TrainingData, collect_training_data, benign_scores
 from repro.core.detector import LADDetector, DetectionReport
 from repro.core.roc import RocCurve, compute_roc
@@ -50,6 +51,8 @@ __all__ = [
     "ALL_METRICS",
     "derive_threshold",
     "ThresholdTable",
+    "Verdict",
+    "verdicts_from_scores",
     "TrainingData",
     "collect_training_data",
     "benign_scores",

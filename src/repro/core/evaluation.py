@@ -20,12 +20,14 @@ false-positive budget.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence, Union
+from functools import cached_property
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.metrics import AnomalyMetric, resolve_metric
 from repro.core.roc import RocCurve, compute_roc
+from repro.core.verdict import Verdict, verdicts_from_scores
 from repro.deployment.knowledge import DeploymentKnowledge
 from repro.network.neighbors import NeighborIndex
 from repro.network.network import SensorNetwork
@@ -37,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - imported for type checkers only
 
 __all__ = [
     "DetectionOutcome",
+    "attack_observations",
     "attacked_scores_from_observations",
     "attacked_scores_for_victims",
     "detection_rate_at_false_positive",
@@ -44,14 +47,21 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class DetectionOutcome:
-    """Summary of one evaluation run.
+    """Full result of one detection evaluation — the batch-path verdict type.
+
+    This is what :meth:`LadSession.outcome` and
+    :meth:`LadSession.detection_rate` return, and what
+    :meth:`SweepRunner.detection_rates` maps every sweep point to.  It
+    carries the operating point (detection rate, threshold, false-positive
+    budget), the underlying score samples, and — via :meth:`verdicts` —
+    the same per-decision :class:`~repro.core.verdict.Verdict` objects the
+    online :class:`~repro.serving.DetectionService` emits, so offline and
+    online decisions are comparable by construction.
 
     Attributes
     ----------
-    roc:
-        The full ROC curve over the benign and attacked score samples.
     benign_scores, attacked_scores:
         The underlying score samples.
     detection_rate:
@@ -60,14 +70,62 @@ class DetectionOutcome:
         The false-positive budget the detection rate was read at.
     threshold:
         The threshold realising that operating point.
+    metric:
+        Canonical name of the metric that produced the scores (``""`` when
+        the caller scored raw arrays without naming the metric).
     """
 
-    roc: RocCurve
     benign_scores: np.ndarray
     attacked_scores: np.ndarray
     detection_rate: float
     false_positive_rate: float
     threshold: float
+    metric: str = ""
+
+    @cached_property
+    def roc(self) -> RocCurve:
+        """The full ROC curve over the score samples (computed lazily)."""
+        return compute_roc(self.benign_scores, self.attacked_scores)
+
+    def verdicts(self) -> List[Verdict]:
+        """One :class:`Verdict` per attacked sample at this operating point.
+
+        These are the batch path's per-decision records: the same dataclass
+        (and the same ``score > threshold`` rule) the streaming
+        :class:`~repro.serving.DetectionService` returns per claim.
+        """
+        return verdicts_from_scores(
+            self.attacked_scores,
+            threshold=self.threshold,
+            metric=self.metric,
+            false_positive_rate=self.false_positive_rate,
+        )
+
+    def __iter__(self):
+        """Unpack as ``(detection_rate, threshold)``.
+
+        Kept so the historical tuple idiom ``rate, thr = outcome`` keeps
+        reading the documented operating point.
+        """
+        return iter((self.detection_rate, self.threshold))
+
+    def __eq__(self, other):
+        """Value equality, with the score arrays compared elementwise.
+
+        The resumability tests compare whole ``{point: outcome}`` maps
+        across warm/cold runs, so equality must be well-defined for the
+        array fields (the generated dataclass ``==`` would raise on them).
+        """
+        if not isinstance(other, DetectionOutcome):
+            return NotImplemented
+        return (
+            self.detection_rate == other.detection_rate
+            and self.false_positive_rate == other.false_positive_rate
+            and self.threshold == other.threshold
+            and self.metric == other.metric
+            and np.array_equal(self.benign_scores, other.benign_scores)
+            and np.array_equal(self.attacked_scores, other.attacked_scores)
+        )
 
 
 def attacked_scores_from_observations(
@@ -99,6 +157,43 @@ def attacked_scores_from_observations(
     metric, attack_class, degree_of_damage, compromised_fraction, rng:
         As in :func:`attacked_scores_for_victims`.
     """
+    metric = resolve_metric(metric)
+    tainted, spoofed, expected = attack_observations(
+        knowledge,
+        honest_observations,
+        actual_locations,
+        metric=metric,
+        attack_class=attack_class,
+        degree_of_damage=degree_of_damage,
+        compromised_fraction=compromised_fraction,
+        rng=rng,
+    )
+    scores = metric.compute(tainted, expected, group_size=knowledge.group_size)
+    return np.asarray(scores, dtype=np.float64)
+
+
+def attack_observations(
+    knowledge: DeploymentKnowledge,
+    honest_observations: np.ndarray,
+    actual_locations: np.ndarray,
+    *,
+    metric: Union[str, AnomalyMetric],
+    attack_class: Union[str, "AttackClass"] = "dec_bounded",
+    degree_of_damage: float = 120.0,
+    compromised_fraction: float = 0.10,
+    rng=None,
+):
+    """Run one attack and return its raw claim material.
+
+    Steps 2–3 of the evaluation procedure without the scoring step:
+    spoof each victim's location at distance ``D`` and taint its
+    observation with the greedy adversary.  Returns the triple
+    ``(tainted_observations, spoofed_locations, expected_observations)``
+    — the first two are exactly what a compromised node would submit to
+    the online detector (see :meth:`LadSession.attacked_claims
+    <repro.experiments.session.LadSession.attacked_claims>`), the third
+    is the ``µ`` at the spoofed locations that scoring reuses.
+    """
     from repro.attacks.base import AttackBudget
     from repro.attacks.constraints import resolve_attack_class
     from repro.attacks.greedy import GreedyMetricMinimizer
@@ -128,8 +223,7 @@ def attacked_scores_from_observations(
     tainted = adversary.taint_batch(
         honest, expected, budgets, group_size=knowledge.group_size
     )
-    scores = metric.compute(tainted, expected, group_size=knowledge.group_size)
-    return np.asarray(scores, dtype=np.float64)
+    return tainted, spoofed, expected
 
 
 def attacked_scores_for_victims(
@@ -211,20 +305,19 @@ def evaluate_detection(
     attacked_scores: np.ndarray,
     *,
     false_positive_rate: float = 0.01,
-    num_thresholds: Optional[int] = None,
+    metric: Union[str, AnomalyMetric, None] = None,
 ) -> DetectionOutcome:
-    """Bundle the ROC curve and a fixed-FP operating point into one outcome."""
+    """Bundle a fixed-FP operating point (plus a lazy ROC) into one outcome."""
     benign_scores = np.asarray(benign_scores, dtype=np.float64)
     attacked_scores = np.asarray(attacked_scores, dtype=np.float64)
-    roc = compute_roc(benign_scores, attacked_scores, num_thresholds=num_thresholds)
     detection_rate, threshold = detection_rate_at_false_positive(
         benign_scores, attacked_scores, false_positive_rate
     )
     return DetectionOutcome(
-        roc=roc,
         benign_scores=benign_scores,
         attacked_scores=attacked_scores,
         detection_rate=detection_rate,
         false_positive_rate=false_positive_rate,
         threshold=threshold,
+        metric="" if metric is None else resolve_metric(metric).name,
     )

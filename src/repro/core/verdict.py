@@ -1,0 +1,124 @@
+"""Per-decision verdicts — the shared currency of offline and online LAD.
+
+A :class:`Verdict` is the answer to one location-verification question:
+"is this (claimed location, observation) pair consistent with the
+deployment knowledge?"  It carries the metric score, the threshold in
+force, the resulting decision and the false-positive budget the threshold
+was trained at — everything needed to audit the decision later.
+
+Both evaluation paths produce the *same* type:
+
+* the batch path — :meth:`repro.experiments.session.LadSession.outcome`
+  wraps its score samples in a :class:`DetectionOutcome
+  <repro.core.evaluation.DetectionOutcome>` whose :meth:`verdicts` method
+  yields one ``Verdict`` per victim;
+* the serving path — :class:`repro.serving.DetectionService` returns one
+  ``Verdict`` per :class:`~repro.serving.LocationClaim`, with the claim id
+  and the observed service latency attached.
+
+Because the two paths share the dataclass (and derive thresholds with the
+same :func:`repro.core.thresholds.derive_threshold` rule), offline and
+online decisions are comparable by construction: a claim scored online
+flags if and only if the same score would have counted as detected in the
+offline sweep at the same false-positive budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Verdict", "verdicts_from_scores"]
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One location-verification decision.
+
+    Attributes
+    ----------
+    score:
+        The anomaly-metric value (larger = more anomalous).
+    threshold:
+        The detection threshold in force when the decision was made.
+    anomalous:
+        ``True`` when ``score > threshold`` — the claim is flagged.
+    metric:
+        Canonical name of the metric that produced the score.
+    false_positive_rate:
+        The nominal false-positive budget the threshold was trained at.
+    claim_id:
+        Identifier of the claim this verdict answers (serving path only;
+        ``None`` for batch-evaluation verdicts).
+    latency_ms:
+        Wall-clock milliseconds from claim admission to verdict (serving
+        path only; ``None`` for batch-evaluation verdicts).
+    """
+
+    score: float
+    threshold: float
+    anomalous: bool
+    metric: str
+    false_positive_rate: float
+    claim_id: Optional[str] = None
+    latency_ms: Optional[float] = None
+
+    @property
+    def decision(self) -> str:
+        """``"flag"`` for anomalous claims, ``"accept"`` otherwise."""
+        return "flag" if self.anomalous else "accept"
+
+    def with_latency(self, latency_ms: float) -> "Verdict":
+        """A copy of the verdict with the observed service latency set."""
+        return replace(self, latency_ms=float(latency_ms))
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-serialisable rendering (used by the JSONL transport)."""
+        payload: Dict[str, object] = {
+            "decision": self.decision,
+            "score": self.score,
+            "threshold": self.threshold,
+            "metric": self.metric,
+            "false_positive_rate": self.false_positive_rate,
+        }
+        if self.claim_id is not None:
+            payload["id"] = self.claim_id
+        if self.latency_ms is not None:
+            payload["latency_ms"] = self.latency_ms
+        return payload
+
+
+def verdicts_from_scores(
+    scores: np.ndarray,
+    *,
+    threshold: float,
+    metric: str,
+    false_positive_rate: float,
+    claim_ids: Optional[Sequence[Optional[str]]] = None,
+) -> List[Verdict]:
+    """One :class:`Verdict` per score under a single trained threshold.
+
+    The decision rule is the uniform LAD one — flag when
+    ``score > threshold`` — applied elementwise, so a batch of verdicts is
+    exactly the per-element decisions of the vectorised evaluation path.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError(f"expected a 1-D score sample, got shape {scores.shape}")
+    if claim_ids is not None and len(claim_ids) != scores.shape[0]:
+        raise ValueError("claim_ids and scores disagree in length")
+    threshold = float(threshold)
+    flags = scores > threshold
+    return [
+        Verdict(
+            score=float(score),
+            threshold=threshold,
+            anomalous=bool(flag),
+            metric=metric,
+            false_positive_rate=float(false_positive_rate),
+            claim_id=None if claim_ids is None else claim_ids[i],
+        )
+        for i, (score, flag) in enumerate(zip(scores, flags))
+    ]

@@ -253,7 +253,7 @@ def run_rate_figure(
                         axis_kw[x_axis]: x_value,
                     },
                 )
-            ][0]
+            ].detection_rate
             for x_value in getattr(spec, x_axis)
         ]
         panel.add_series(

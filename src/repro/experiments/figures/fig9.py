@@ -24,6 +24,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.evaluation import DetectionOutcome
 from repro.experiments.config import SimulationConfig
 from repro.experiments.figures.common import resolve_store_root
 from repro.experiments.results import FigureResult, PanelResult, SeriesResult
@@ -85,7 +86,7 @@ def spec(
 
 def _density_rates(
     args: Tuple[ScenarioSpec, int, Optional[str]],
-) -> Tuple[int, Dict[SweepPoint, tuple]]:
+) -> Tuple[int, Dict[SweepPoint, DetectionOutcome]]:
     """Detection rates of one density value (its own training pass).
 
     Module-level so the density fan-out can ship it to worker processes;
@@ -147,7 +148,7 @@ def render(
     # ``density_workers`` the densities themselves fan out across worker
     # processes (the training pass is the expensive part, and each density
     # needs its own).
-    rates_at: Dict[int, Dict[SweepPoint, tuple]] = {}
+    rates_at: Dict[int, Dict[SweepPoint, DetectionOutcome]] = {}
     store_root = resolve_store_root(store)
     tasks = [(scenario, m, store_root) for m in scenario.density_values()]
     if density_workers > 1:
@@ -187,7 +188,7 @@ def render(
                         float(degree),
                         float(fraction),
                     )
-                ][0]
+                ].detection_rate
                 for m in scenario.density_values()
             ]
             panel.add_series(

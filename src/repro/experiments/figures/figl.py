@@ -28,6 +28,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.evaluation import DetectionOutcome
 from repro.experiments.config import SimulationConfig
 from repro.experiments.figures.common import resolve_store_root
 from repro.localization.base import LOCALIZERS
@@ -113,7 +114,7 @@ def _effective_beacons(scenario: ScenarioSpec) -> Optional[dict]:
 
 def _localizer_rates(
     args: Tuple[ScenarioSpec, str, Optional[str]],
-) -> Tuple[str, Dict[SweepPoint, tuple]]:
+) -> Tuple[str, Dict[SweepPoint, DetectionOutcome]]:
     """Detection rates of one localization scheme (its own training pass).
 
     Module-level so the localizer fan-out can ship it to worker processes;
@@ -169,7 +170,7 @@ def render(
         },
     )
 
-    rates_at: Dict[str, Dict[SweepPoint, tuple]] = {}
+    rates_at: Dict[str, Dict[SweepPoint, DetectionOutcome]] = {}
     store_root = resolve_store_root(store)
     tasks = [
         (scenario, localizer, store_root)
@@ -212,7 +213,7 @@ def render(
                         float(degree),
                         float(fraction),
                     )
-                ][0]
+                ].detection_rate
                 for degree in scenario.degrees
             ]
             panel.add_series(

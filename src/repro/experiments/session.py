@@ -46,13 +46,13 @@ beacon fingerprint so warm caches never alias across schemes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.evaluation import (
+    DetectionOutcome,
     attacked_scores_from_observations,
-    detection_rate_at_false_positive,
     evaluate_detection,
 )
 from repro.core.metrics import AnomalyMetric, resolve_metric
@@ -122,10 +122,12 @@ class LadSession:
     --------
     >>> session = LadSession(SimulationConfig(num_training_samples=50,
     ...                                       num_victims=50))
-    >>> dr, thr = session.detection_rate("diff", "dec_bounded",
+    >>> outcome = session.detection_rate("diff", "dec_bounded",
     ...                                  degree_of_damage=160,
     ...                                  compromised_fraction=0.1,
     ...                                  false_positive_rate=0.01)
+    >>> outcome.detection_rate, outcome.threshold  # doctest: +SKIP
+    (0.94, 27.0)
     """
 
     def __init__(
@@ -428,6 +430,21 @@ class LadSession:
             )
         return self._training
 
+    def benign_scores_key(self, metric: Union[str, AnomalyMetric]) -> str:
+        """Artifact-store key of one metric's trained benign scores.
+
+        The training fingerprint plus the metric name and implementation
+        identity: a re-registered or customised metric under the same name
+        must not hit the scores the stock implementation produced.  The
+        serving layer probes this key to decide whether a store is warm
+        enough to start without a training pass.
+        """
+        metric = resolve_metric(metric)
+        fingerprint = self.training_fingerprint()
+        fingerprint["metric"] = metric.name
+        fingerprint["metric_impl"] = self._impl_identity(metric)
+        return fingerprint_key(fingerprint)
+
     def benign_scores(self, metric: Union[str, AnomalyMetric]) -> np.ndarray:
         """Benign metric scores used for threshold training.
 
@@ -439,13 +456,7 @@ class LadSession:
         if metric.name not in self._benign_scores:
             key = None
             if self._store is not None:
-                fingerprint = self.training_fingerprint()
-                fingerprint["metric"] = metric.name
-                # The implementation identity too: a re-registered or
-                # customised metric under the same name must not hit the
-                # scores the stock implementation produced.
-                fingerprint["metric_impl"] = self._impl_identity(metric)
-                key = fingerprint_key(fingerprint)
+                key = self.benign_scores_key(metric)
                 cached = self._store.load("benign_scores", key)
                 if cached is not None:
                     self._benign_scores[metric.name] = cached["scores"]
@@ -571,6 +582,56 @@ class LadSession:
             rng=rng,
         )
 
+    def attacked_claims(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+    ) -> list:
+        """The victims' attacked claims for the serving path.
+
+        One :class:`~repro.serving.LocationClaim` per evaluation victim:
+        the tainted observation plus the spoofed claimed location the
+        compromised node would submit.  Drawn from the *same* random
+        stream as :meth:`attacked_scores`, so a
+        :class:`~repro.serving.DetectionService` built from this session
+        scores these claims bit-identically to the offline attacked
+        scores — ``lad-repro demo`` and the serving equivalence tests
+        rely on this.
+        """
+        from repro.core.evaluation import attack_observations
+        from repro.experiments.sweep import attack_stream_name
+        from repro.serving.claims import LocationClaim
+
+        metric = resolve_metric(metric)
+        sample = self.victims()
+        rng = self._random.stream(
+            attack_stream_name(
+                metric, attack_class, degree_of_damage, compromised_fraction
+            )
+        )
+        tainted, spoofed, _ = attack_observations(
+            self.knowledge,
+            sample.observations,
+            sample.actual_locations,
+            metric=metric,
+            attack_class=attack_class,
+            degree_of_damage=degree_of_damage,
+            compromised_fraction=compromised_fraction,
+            rng=rng,
+        )
+        return [
+            LocationClaim(
+                observation=tainted[i],
+                claimed_location=spoofed[i],
+                claim_id=f"victim-{i}",
+                metric=metric.name,
+            )
+            for i in range(tainted.shape[0])
+        ]
+
     def roc(
         self,
         metric: Union[str, AnomalyMetric],
@@ -590,24 +651,25 @@ class LadSession:
         )
         return compute_roc(benign, attacked, num_thresholds=num_thresholds)
 
-    def detection_rate(
+    def threshold(
         self,
         metric: Union[str, AnomalyMetric],
-        attack_class: str,
         *,
-        degree_of_damage: float,
-        compromised_fraction: float,
         false_positive_rate: float = 0.01,
-    ) -> Tuple[float, float]:
-        """``(detection rate, threshold)`` at a false-positive budget (Figures 7–9)."""
-        benign = self.benign_scores(metric)
-        attacked = self.attacked_scores(
-            metric,
-            attack_class,
-            degree_of_damage=degree_of_damage,
-            compromised_fraction=compromised_fraction,
+    ) -> float:
+        """The trained detection threshold at a false-positive budget.
+
+        This is the exact threshold every evaluation path applies — the
+        tightest value whose benign false-positive rate does not exceed
+        the budget (Section 5.5) — and the one a
+        :class:`~repro.serving.DetectionService` built from this session
+        serves claims against.
+        """
+        from repro.core.thresholds import derive_threshold
+
+        return derive_threshold(
+            self.benign_scores(metric), 1.0 - false_positive_rate
         )
-        return detection_rate_at_false_positive(benign, attacked, false_positive_rate)
 
     def outcome(
         self,
@@ -617,8 +679,16 @@ class LadSession:
         degree_of_damage: float,
         compromised_fraction: float,
         false_positive_rate: float = 0.01,
-    ):
-        """Full :class:`~repro.core.evaluation.DetectionOutcome` for one combination."""
+    ) -> DetectionOutcome:
+        """Full :class:`~repro.core.evaluation.DetectionOutcome` for one combination.
+
+        The outcome carries the operating point (detection rate, trained
+        threshold, false-positive budget), the score samples, a lazily
+        computed ROC curve, and per-victim
+        :class:`~repro.core.verdict.Verdict` objects via
+        :meth:`DetectionOutcome.verdicts` — the same per-decision type the
+        streaming service emits.
+        """
         benign = self.benign_scores(metric)
         attacked = self.attacked_scores(
             metric,
@@ -627,7 +697,59 @@ class LadSession:
             compromised_fraction=compromised_fraction,
         )
         return evaluate_detection(
-            benign, attacked, false_positive_rate=false_positive_rate
+            benign,
+            attacked,
+            false_positive_rate=false_positive_rate,
+            metric=metric,
+        )
+
+    def detection_rate(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+        false_positive_rate: float = 0.01,
+    ) -> DetectionOutcome:
+        """Detection outcome at a false-positive budget (Figures 7–9).
+
+        Returns the same :class:`~repro.core.evaluation.DetectionOutcome`
+        as :meth:`outcome` — read ``.detection_rate`` and ``.threshold``
+        for the figures' operating point (the historical
+        ``rate, threshold = ...`` unpacking still works).
+        """
+        return self.outcome(
+            metric,
+            attack_class,
+            degree_of_damage=degree_of_damage,
+            compromised_fraction=compromised_fraction,
+            false_positive_rate=false_positive_rate,
+        )
+
+    def service(
+        self,
+        *,
+        metrics: Sequence[Union[str, AnomalyMetric]] = ("diff",),
+        false_positive_rate: float = 0.01,
+        require_warm: bool = False,
+    ):
+        """A :class:`~repro.serving.DetectionService` over this session's state.
+
+        Trains (or loads from the artifact store) one threshold per metric
+        and hands the knowledge, localizer and beacon infrastructure to the
+        streaming verifier.  With ``require_warm=True`` the session must
+        have a store already holding every needed artifact — startup then
+        performs zero training (see
+        :meth:`~repro.serving.DetectionService.from_session`).
+        """
+        from repro.serving import DetectionService
+
+        return DetectionService.from_session(
+            self,
+            metrics=metrics,
+            false_positive_rate=false_positive_rate,
+            require_warm=require_warm,
         )
 
     def sweep(self, *, workers: int = 0) -> "SweepRunner":

@@ -143,6 +143,24 @@ class ArtifactStore:
         self.hit_counts[category] += 1
         return arrays
 
+    def load_required(self, category: str, key: str) -> Dict[str, np.ndarray]:
+        """Like :meth:`load`, but a miss raises instead of returning ``None``.
+
+        Used by warm-start paths (a :class:`~repro.serving.DetectionService`
+        booting with ``require_warm=True``) that must *never* fall back to
+        recomputation: the raised ``KeyError`` names the missing artifact so
+        the operator can run the training pass once, explicitly, instead of
+        discovering an accidental cold start from its latency.
+        """
+        arrays = self.load(category, key)
+        if arrays is None:
+            raise KeyError(
+                f"artifact {category}/{key} is not in the store at "
+                f"{self._root} (cold store: run the training pass once to "
+                "publish it)"
+            )
+        return arrays
+
     @staticmethod
     def _quarantine(path: Path) -> None:
         """Move a corrupt artifact aside (best effort, atomic rename)."""

@@ -56,8 +56,9 @@ from typing import (
 import numpy as np
 
 from repro.core.evaluation import (
+    DetectionOutcome,
     attacked_scores_from_observations,
-    detection_rate_at_false_positive,
+    evaluate_detection,
 )
 from repro.core.metrics import AnomalyMetric, resolve_metric
 from repro.core.roc import RocCurve, compute_roc
@@ -401,25 +402,26 @@ class SweepRunner:
         points: Sequence[SweepPoint],
         *,
         false_positive_rate: float = 0.01,
-    ) -> Dict[SweepPoint, Tuple[float, float]]:
-        """``(detection rate, threshold)`` per point at a FP budget (Figures 7–9)."""
-        attacked = self.attacked_scores(points)
-        return {
-            point: detection_rate_at_false_positive(
-                self._simulation.benign_scores(point.metric),
-                scores,
-                false_positive_rate,
+    ) -> Dict[SweepPoint, DetectionOutcome]:
+        """A :class:`DetectionOutcome` per point at a FP budget (Figures 7–9).
+
+        Each outcome carries the detection rate, the trained threshold and
+        the score samples; per-victim :class:`~repro.core.verdict.Verdict`
+        objects are one :meth:`DetectionOutcome.verdicts` call away.
+        """
+        return dict(
+            self.iter_detection_rates(
+                points, false_positive_rate=false_positive_rate
             )
-            for point, scores in attacked.items()
-        }
+        )
 
     def iter_detection_rates(
         self,
         points: Sequence[SweepPoint],
         *,
         false_positive_rate: float = 0.01,
-    ) -> Iterator[Tuple[SweepPoint, Tuple[float, float]]]:
-        """Stream ``(point, (detection rate, threshold))`` pairs in grid order.
+    ) -> Iterator[Tuple[SweepPoint, DetectionOutcome]]:
+        """Stream ``(point, DetectionOutcome)`` pairs in grid order.
 
         The streaming form of :meth:`detection_rates` used by the CLI
         ``sweep`` subcommand; thresholds are trained (or served from the
@@ -428,10 +430,11 @@ class SweepRunner:
         for point, scores in self.iter_attacked_scores(points):
             yield (
                 point,
-                detection_rate_at_false_positive(
+                evaluate_detection(
                     self._simulation.benign_scores(point.metric),
                     scores,
-                    false_positive_rate,
+                    false_positive_rate=false_positive_rate,
+                    metric=point.metric,
                 ),
             )
 

@@ -1,0 +1,70 @@
+"""Streaming detection service — online LAD claim verification.
+
+The offline pipeline answers "what detection rate does this configuration
+achieve?"; this package answers the operational question: "is *this*
+node's location claim consistent with the deployment, right now, and how
+many such claims per second can the detector sustain?"
+
+Layers, bottom up:
+
+* :mod:`~repro.serving.claims` — :class:`LocationClaim`, the request type
+  and its JSONL wire form;
+* :mod:`~repro.serving.service` — :class:`DetectionService`, the
+  vectorised verifier holding trained session state (bit-identical to
+  offline :class:`~repro.experiments.session.LadSession` scoring);
+* :mod:`~repro.serving.runtime` — :class:`ServiceRuntime`, the asyncio
+  micro-batching front with bounded-queue backpressure and draining
+  shutdown;
+* :mod:`~repro.serving.transport` — the JSONL TCP / stdio transports of
+  ``lad-repro serve`` and the matching :class:`ClaimClient`;
+* :mod:`~repro.serving.loadgen` — the open-loop load generator behind
+  ``lad-repro loadgen`` and the serving throughput benchmark.
+"""
+
+from repro.serving.claims import (
+    ClaimError,
+    LocationClaim,
+    claim_from_dict,
+    claim_to_dict,
+)
+from repro.serving.loadgen import (
+    LoadReport,
+    claims_from_session,
+    run_load,
+    run_tcp_load,
+)
+from repro.serving.runtime import (
+    ServiceClosed,
+    ServiceOverloaded,
+    ServiceRuntime,
+    ServiceStats,
+    ServingConfig,
+)
+from repro.serving.service import DetectionService
+from repro.serving.transport import (
+    ClaimClient,
+    RemoteClaimError,
+    serve_stdio,
+    serve_tcp,
+)
+
+__all__ = [
+    "ClaimClient",
+    "ClaimError",
+    "DetectionService",
+    "LoadReport",
+    "LocationClaim",
+    "RemoteClaimError",
+    "ServiceClosed",
+    "ServiceOverloaded",
+    "ServiceRuntime",
+    "ServiceStats",
+    "ServingConfig",
+    "claim_from_dict",
+    "claim_to_dict",
+    "claims_from_session",
+    "run_load",
+    "run_tcp_load",
+    "serve_stdio",
+    "serve_tcp",
+]

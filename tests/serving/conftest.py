@@ -1,0 +1,34 @@
+"""Shared fixtures for the serving tests — one tiny trained session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import SimulationConfig
+from repro.experiments.session import LadSession
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    """A fast configuration: real physics, few Monte-Carlo samples."""
+    return SimulationConfig(
+        group_size=40,
+        num_training_samples=30,
+        training_samples_per_network=15,
+        num_victims=30,
+        victims_per_network=15,
+        gz_omega=300,
+        seed=4242,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_session(tiny_config):
+    """A beaconless session over the tiny configuration."""
+    return LadSession(tiny_config)
+
+
+@pytest.fixture(scope="module")
+def tiny_service(tiny_session):
+    """A two-metric service trained from the tiny session."""
+    return tiny_session.service(metrics=("diff", "add_all"))

@@ -1,0 +1,271 @@
+"""Tests for :class:`repro.serving.DetectionService`.
+
+The load-bearing guarantees:
+
+* service verdicts are **bit-identical** to offline ``LadSession`` scoring
+  for the same claims — across every registered localizer;
+* batch composition never changes a verdict (batched == sequential,
+  bit for bit);
+* warm startup from an :class:`ArtifactStore` performs zero training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.session import LadSession
+from repro.experiments.store import ArtifactStore
+from repro.localization.base import LOCALIZERS
+from repro.serving import DetectionService, LocationClaim
+from repro.serving.claims import ClaimError
+
+
+def _training_claims(session, metric=None):
+    """One claim per training sample: the offline benign-score inputs.
+
+    ``benign_scores`` scores each training observation against the
+    expectation at its *estimated* location, so claims built from the
+    same ``(observation, estimated location)`` pairs must score
+    bit-identically through the service.
+    """
+    training = session.training_data
+    return [
+        LocationClaim(
+            observation=training.observations[i],
+            claimed_location=training.estimated_locations[i],
+            claim_id=f"t-{i}",
+            metric=metric,
+        )
+        for i in range(training.observations.shape[0])
+    ]
+
+
+class TestOfflineEquivalence:
+    @pytest.mark.parametrize("localizer", sorted(LOCALIZERS.available()))
+    def test_scores_bit_identical_across_localizers(
+        self, tiny_config, localizer
+    ):
+        """The acceptance criterion: online == offline, every localizer."""
+        session = LadSession(tiny_config, localizer=localizer)
+        service = DetectionService.from_session(
+            session, metrics=("diff",), false_positive_rate=0.05
+        )
+        verdicts = service.verify_batch(_training_claims(session))
+        scores = np.array([verdict.score for verdict in verdicts])
+        assert np.array_equal(scores, session.benign_scores("diff"))
+        assert service.threshold("diff") == session.threshold(
+            "diff", false_positive_rate=0.05
+        )
+
+    def test_attacked_claims_score_like_offline_sweep(self, tiny_session):
+        """Attacked serving claims reproduce the offline attacked scores."""
+        service = tiny_session.service(metrics=("diff",))
+        claims = tiny_session.attacked_claims(
+            "diff",
+            "dec_bounded",
+            degree_of_damage=120.0,
+            compromised_fraction=0.1,
+        )
+        scores = np.array(
+            [verdict.score for verdict in service.verify_batch(claims)]
+        )
+        offline = tiny_session.attacked_scores(
+            "diff",
+            "dec_bounded",
+            degree_of_damage=120.0,
+            compromised_fraction=0.1,
+        )
+        assert np.array_equal(scores, offline)
+        outcome = tiny_session.outcome(
+            "diff",
+            "dec_bounded",
+            degree_of_damage=120.0,
+            compromised_fraction=0.1,
+        )
+        online_rate = np.mean(scores > service.threshold("diff"))
+        assert online_rate == outcome.detection_rate
+
+    def test_flag_rule_matches_verdict_type(self, tiny_service, tiny_session):
+        verdict = tiny_service.verify_batch(
+            _training_claims(tiny_session)[:1]
+        )[0]
+        assert verdict.anomalous == (
+            verdict.score > tiny_service.threshold("diff")
+        )
+        assert verdict.decision in ("accept", "flag")
+
+
+class TestBatchInvariance:
+    def test_batched_equals_sequential_bit_for_bit(
+        self, tiny_service, tiny_session
+    ):
+        claims = _training_claims(tiny_session)
+        batched = tiny_service.verify_batch(claims)
+        sequential = [tiny_service.verify_batch([claim])[0] for claim in claims]
+        for together, alone in zip(batched, sequential):
+            assert together.score == alone.score
+            assert together.anomalous == alone.anomalous
+
+    def test_batch_composition_irrelevant(self, tiny_service, tiny_session):
+        claims = _training_claims(tiny_session)
+        full = {
+            verdict.claim_id: verdict.score
+            for verdict in tiny_service.verify_batch(claims)
+        }
+        shuffled = list(reversed(claims))
+        for verdict in tiny_service.verify_batch(shuffled[:7]):
+            assert verdict.score == full[verdict.claim_id]
+
+    def test_mixed_metrics_in_one_batch(self, tiny_service, tiny_session):
+        claims = _training_claims(tiny_session)[:6]
+        mixed = [
+            LocationClaim(
+                observation=claim.observation,
+                claimed_location=claim.claimed_location,
+                claim_id=claim.claim_id,
+                metric="diff" if i % 2 == 0 else "add_all",
+            )
+            for i, claim in enumerate(claims)
+        ]
+        verdicts = tiny_service.verify_batch(mixed)
+        for i, verdict in enumerate(verdicts):
+            name = "diff" if i % 2 == 0 else "add_all"
+            pure = tiny_service.verify_batch(
+                [
+                    LocationClaim(
+                        observation=mixed[i].observation,
+                        claimed_location=mixed[i].claimed_location,
+                        metric=name,
+                    )
+                ]
+            )[0]
+            assert verdict.metric == name
+            assert verdict.score == pure.score
+
+    def test_empty_batch(self, tiny_service):
+        assert tiny_service.verify_batch([]) == []
+
+
+class TestLocalization:
+    def test_localize_then_verify_matches_manual_pipeline(
+        self, tiny_service, tiny_session
+    ):
+        training = tiny_session.training_data
+        claims = [
+            LocationClaim(observation=training.observations[i])
+            for i in range(5)
+        ]
+        verdicts = tiny_service.verify_batch(claims)
+        estimates = tiny_session.localizer.localize_observations(
+            tiny_session.knowledge, training.observations[:5]
+        )
+        expected = tiny_session.knowledge.expected_observation(estimates)
+        from repro.core.metrics import resolve_metric
+
+        scores = resolve_metric("diff").compute(
+            training.observations[:5],
+            expected,
+            group_size=tiny_session.knowledge.group_size,
+        )
+        assert np.array_equal(
+            np.array([verdict.score for verdict in verdicts]), scores
+        )
+
+    def test_beacon_scheme_rejects_locationless_claims(self, tiny_config):
+        session = LadSession(tiny_config, localizer="centroid")
+        service = DetectionService.from_session(session, metrics=("diff",))
+        training = session.training_data
+        with pytest.raises(ClaimError, match="localize"):
+            service.verify_batch(
+                [LocationClaim(observation=training.observations[0])]
+            )
+
+
+class TestValidation:
+    def test_wrong_observation_length_rejected(self, tiny_service):
+        with pytest.raises(ClaimError, match="group"):
+            tiny_service.validate(
+                LocationClaim(
+                    observation=[1.0, 2.0], claimed_location=[0.0, 0.0]
+                )
+            )
+
+    def test_unthresholded_metric_rejected(self, tiny_service):
+        claim = LocationClaim(
+            observation=np.zeros(tiny_service.n_groups),
+            claimed_location=[0.0, 0.0],
+            metric="probability",
+        )
+        with pytest.raises(ClaimError, match="threshold"):
+            tiny_service.validate(claim)
+
+    def test_needs_at_least_one_threshold(self, tiny_session):
+        with pytest.raises(ValueError, match="at least one"):
+            DetectionService(tiny_session.knowledge, thresholds={})
+
+    def test_default_metric_must_be_thresholded(self, tiny_session):
+        with pytest.raises(ValueError, match="no trained"):
+            DetectionService(
+                tiny_session.knowledge,
+                thresholds={"diff": 1.0},
+                metric="add_all",
+            )
+
+
+class TestWarmStartup:
+    METRICS = ("diff", "add_all")
+
+    def test_warm_startup_needs_a_store(self, tiny_session):
+        with pytest.raises(ValueError, match="store"):
+            DetectionService.from_session(tiny_session, require_warm=True)
+
+    def test_cold_store_refuses_instead_of_training(
+        self, tiny_config, tmp_path
+    ):
+        session = LadSession(tiny_config, store=ArtifactStore(tmp_path))
+        with pytest.raises(KeyError, match="cold store"):
+            DetectionService.from_session(
+                session, metrics=self.METRICS, require_warm=True
+            )
+
+    def test_warm_startup_trains_nothing(
+        self, tiny_config, tmp_path, monkeypatch
+    ):
+        """A warm service boots purely from store hits — zero training."""
+        store = ArtifactStore(tmp_path)
+        live = LadSession(tiny_config, store=store)
+        expected = {
+            name: live.threshold(name, false_positive_rate=0.02)
+            for name in self.METRICS
+        }
+
+        import repro.experiments.session as session_module
+
+        def refuse(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("training ran during a warm startup")
+
+        monkeypatch.setattr(session_module, "collect_training_data", refuse)
+        warm_store = ArtifactStore(tmp_path)
+        warm_session = LadSession(tiny_config, store=warm_store)
+        service = DetectionService.from_session(
+            warm_session,
+            metrics=self.METRICS,
+            false_positive_rate=0.02,
+            require_warm=True,
+        )
+        assert warm_store.hit_counts["benign_scores"] == len(self.METRICS)
+        assert warm_store.misses == 0
+        for name in self.METRICS:
+            assert service.threshold(name) == expected[name]
+
+
+class TestFromSpec:
+    def test_from_spec_file(self):
+        from pathlib import Path
+
+        spec_path = (
+            Path(__file__).parents[2] / "examples" / "specs" / "tiny_sweep.toml"
+        )
+        service = DetectionService.from_spec(spec_path)
+        # The spec's metric list and FP budget become the service's.
+        assert service.metrics == ["diff", "probability"]
+        assert service.false_positive_rate == 0.05

@@ -54,6 +54,8 @@ class TestParser:
         for argv in (
             ["figure", "fig4"],
             ["sweep", "spec.toml"],
+            ["serve", "spec.toml"],
+            ["loadgen", "spec.toml"],
             ["demo"],
             ["gz-table"],
         ):
@@ -268,6 +270,111 @@ class TestBackendsCommand:
         spec_path.write_text(TINY_SPEC)
         with pytest.raises(ValueError, match="unknown backend"):
             main(["sweep", str(spec_path), "--backend", "fortran"])
+
+
+class TestServingCli:
+    def test_serve_and_loadgen_share_parent_flags(self):
+        """The service-source and micro-batching flag groups come from
+        shared parent parsers, so both subcommands accept them all."""
+        parser = build_parser()
+        shared = [
+            "spec.toml",
+            "--metric",
+            "diff",
+            "--metric",
+            "add_all",
+            "--fp-rate",
+            "0.02",
+            "--group-size",
+            "50",
+            "--max-batch-size",
+            "16",
+            "--max-wait-ms",
+            "1.5",
+            "--queue-size",
+            "64",
+            "--overflow",
+            "block",
+            "--retry-after-ms",
+            "33",
+            "--warm",
+        ]
+        for command in ("serve", "loadgen"):
+            args = parser.parse_args([command, *shared])
+            assert args.metric == ["diff", "add_all"]
+            assert args.fp_rate == 0.02
+            assert args.group_size == 50
+            assert args.max_batch_size == 16
+            assert args.max_wait_ms == 1.5
+            assert args.queue_size == 64
+            assert args.overflow == "block"
+            assert args.retry_after_ms == 33.0
+            assert args.warm
+
+    def test_serve_specific_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "spec.toml", "--port", "0", "--host", "0.0.0.0"]
+        )
+        assert args.port == 0
+        assert args.host == "0.0.0.0"
+        # Default transport is stdin (no port).
+        assert build_parser().parse_args(["serve", "spec.toml"]).port is None
+
+    def test_loadgen_in_process_smoke(self, capsys, tmp_path):
+        """`loadgen` against an in-process runtime reports latency
+        percentiles, throughput, and runtime batching stats."""
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        json_path = tmp_path / "load.json"
+        code = main(
+            [
+                "loadgen",
+                str(spec_path),
+                "--claims",
+                "60",
+                "--max-wait-ms",
+                "1",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "60/60 verdicts" in out
+        assert "p50" in out and "p99" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["report"]["completed"] == 60
+        assert payload["report"]["p99_ms"] >= payload["report"]["p50_ms"]
+        assert payload["runtime"]["completed"] == 60
+
+    def test_serve_stdio_round_trip(self, capsys, tmp_path, monkeypatch):
+        """`serve` without --port answers JSONL claims from stdin."""
+        import io
+
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        requests = "\n".join(
+            [
+                json.dumps({"id": "good", "observation": [0.0] * 100}),
+                json.dumps({"id": "short", "observation": [1.0]}),
+            ]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(requests + "\n"))
+        code = main(["serve", str(spec_path), "--group-size", "40"])
+        assert code == 0
+        responses = [
+            json.loads(line)
+            for line in capsys.readouterr().out.strip().splitlines()
+        ]
+        by_id = {response["id"]: response for response in responses}
+        assert by_id["good"]["decision"] in ("accept", "flag")
+        assert "group" in by_id["short"]["error"]
+
+    def test_loadgen_rejects_bad_connect_address(self, tmp_path):
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            main(["loadgen", str(spec_path), "--connect", "nocolon"])
 
 
 class TestSweepFiguresMode:
