@@ -1,0 +1,181 @@
+"""Epoch throughput of the temporal engine vs per-claim re-scoring.
+
+The discrete-event engine's design claim (see ``repro/events/temporal.py``)
+is that an ``E``-epoch run costs ``E`` amortised *batch* passes — each
+epoch re-observes the evolved network once and scores the whole victim
+batch with one ``expected_observation`` + ``metric.compute`` call — rather
+than the ``E * V`` per-claim Python loop an online deployment would
+naively run.  This benchmark drives the identical timeline (per-epoch
+jitter over a mobile network) through both implementations, asserts the
+scores are bit-identical, and tracks epochs/sec as the speedup ratio.
+
+The measurement lands in ``BENCH_pr.json`` (``temporal_epoch_batch``
+record) and CI fails when the ratio drops below the floor committed in
+``benchmarks/BENCH_baseline.json``.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.bench_records import record_benchmark
+from benchmarks.conftest import BENCH_SEED
+from repro.events import EventSpec, TimelineSpec
+from repro.events.temporal import TemporalWorld, _simulate_point
+from repro.experiments.config import SimulationConfig
+from repro.experiments.session import LadSession
+from repro.experiments.sweep import SweepPoint
+from repro.utils.rng import RandomState
+
+#: Scoring epochs of the benchmark timeline.
+EPOCHS = 8
+
+#: Timed rounds per implementation; the best round counts.
+ROUNDS = 3
+
+#: The sweep point both implementations run (parameters only matter for the
+#: stream name here — the timeline keeps every epoch benign, see below).
+POINT = SweepPoint(
+    metric="diff",
+    attack="dec_bounded",
+    degree_of_damage=120.0,
+    compromised_fraction=0.1,
+)
+
+
+def _bench_session() -> LadSession:
+    config = SimulationConfig(
+        group_size=100,
+        num_training_samples=40,
+        training_samples_per_network=20,
+        num_victims=240,
+        victims_per_network=60,
+        gz_omega=500,
+        seed=BENCH_SEED,
+    )
+    return LadSession(config)
+
+
+def _bench_timeline() -> TimelineSpec:
+    """Per-epoch jitter; the attack-on event sits beyond the horizon.
+
+    Scheduling the switch-on after the last epoch keeps every epoch on the
+    benign scoring path (``starts_attacked`` is False), which is the path
+    the naive per-claim reference below can replicate exactly.
+    """
+    return TimelineSpec(
+        epochs=EPOCHS,
+        events=(
+            EventSpec(
+                kind="mobility",
+                action="jitter",
+                period=1.0,
+                start=1.0,
+                fraction=0.5,
+                amplitude=5.0,
+            ),
+            EventSpec(kind="attack", action="on", at=(float(EPOCHS + 10),)),
+        ),
+    )
+
+
+def _run_engine(session, timeline):
+    """The vectorised engine: one batch pass per epoch."""
+    world = TemporalWorld.from_session(session)
+    return _simulate_point(
+        world, session.knowledge, session.config.seed, timeline, POINT
+    )["scores"]
+
+
+def _run_naive(session, timeline):
+    """Reference: identical world evolution, but one claim handled at a time.
+
+    This is the online deployment the engine replaces: per epoch every
+    victim's observation is collected with the per-node reference query
+    (``batched=False`` — guaranteed bit-identical to the one-pass kernel
+    for deterministic radios) and each claim is scored individually.
+    """
+    from repro.core.metrics import resolve_metric
+    from repro.events.engine import EventEngine
+    from repro.network.neighbors import NeighborIndex
+
+    metric = resolve_metric(POINT.metric)
+    knowledge = session.knowledge
+    seed = session.config.seed
+    world = TemporalWorld.from_session(session)
+    engine = EventEngine()
+    for firing in timeline.compile(seed):
+        engine.push(firing.time, firing)
+    scores = np.full((timeline.epochs, world.num_victims), np.nan)
+    for epoch, now in enumerate(timeline.epoch_times()):
+        for firing in engine.pop_due(now):
+            rng = RandomState(seed).stream(firing.stream_name())
+            world.apply_mobility(
+                firing.spec.action,
+                firing.spec.fraction,
+                firing.spec.amplitude,
+                rng,
+            )
+        observation_rows = []
+        position_rows = []
+        for cell in world._cells:
+            index = NeighborIndex(cell.network)
+            observation_rows.append(
+                index.observations_of_nodes(cell.victims, batched=False)
+            )
+            position_rows.append(cell.network.positions[cell.victims])
+        observations = np.vstack(observation_rows)
+        actual = np.vstack(position_rows)
+        for victim in range(world.num_victims):
+            expected = knowledge.expected_observation(actual[victim : victim + 1])
+            scores[epoch, victim] = np.asarray(
+                metric.compute(
+                    observations[victim : victim + 1],
+                    expected,
+                    group_size=knowledge.group_size,
+                ),
+                dtype=np.float64,
+            )[0]
+    return scores
+
+
+def test_temporal_epoch_throughput():
+    """Batched epoch scoring must beat the per-claim loop, bit-identically."""
+    session = _bench_session()
+    timeline = _bench_timeline()
+
+    # Warm both paths (g(z) table, neighbour kernels, numpy caches).
+    engine_scores = _run_engine(session, timeline)
+    naive_scores = _run_naive(session, timeline)
+    np.testing.assert_array_equal(engine_scores, naive_scores)
+
+    def best_of(runner):
+        best = None
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            scores = runner(session, timeline)
+            elapsed = time.perf_counter() - start
+            np.testing.assert_array_equal(scores, engine_scores)
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    engine_time = best_of(_run_engine)
+    naive_time = best_of(_run_naive)
+
+    speedup = naive_time / engine_time
+    engine_eps = EPOCHS / engine_time
+    naive_eps = EPOCHS / naive_time
+    record_benchmark(
+        "temporal_epoch_batch",
+        speedup=speedup,
+        engine_epochs_per_sec=engine_eps,
+        naive_epochs_per_sec=naive_eps,
+        epochs=EPOCHS,
+        victims=session.config.num_victims,
+    )
+    print(
+        f"\ntemporal epochs: engine {engine_eps:.1f} epochs/s vs per-claim "
+        f"{naive_eps:.1f} epochs/s over {session.config.num_victims} victims: "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup > 1.0

@@ -19,6 +19,9 @@ The package is organised bottom-up:
 * :mod:`repro.experiments` — the scenario API (``LadSession`` cached
   evaluation state, declarative ``ScenarioSpec`` sweeps, the artifact
   store) that regenerates every figure of the paper's evaluation section;
+* :mod:`repro.events` — the discrete-event temporal engine (timelines of
+  mobility, churn, beacon failures and mid-run attacks replayed through
+  per-epoch re-localization, with online detection-latency metrics);
 * :mod:`repro.serving` — the streaming detection service
   (``DetectionService`` vectorised claim verification, the asyncio
   micro-batching runtime with backpressure, JSONL transports and the
@@ -133,6 +136,13 @@ _LAZY_EXPORTS = {
     "FigureResult": "repro.experiments.results",
     "run_figure": "repro.experiments.figures",
     "run_figure_spec": "repro.experiments.figures.common",
+    # events (lazy: the temporal engine pulls in the sweep machinery)
+    "EventEngine": "repro.events",
+    "EventSpec": "repro.events",
+    "TimelineSpec": "repro.events",
+    "TemporalOutcome": "repro.events",
+    "TemporalRunner": "repro.events",
+    "TemporalWorld": "repro.events",
     # serving (lazy for the same reason: asyncio machinery on demand)
     "DetectionService": "repro.serving",
     "LocationClaim": "repro.serving",
@@ -244,6 +254,13 @@ __all__ = [
     "FigureResult",
     "run_figure",
     "run_figure_spec",
+    # events (lazy)
+    "EventEngine",
+    "EventSpec",
+    "TimelineSpec",
+    "TemporalOutcome",
+    "TemporalRunner",
+    "TemporalWorld",
     # serving (lazy)
     "DetectionService",
     "LocationClaim",

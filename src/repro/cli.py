@@ -134,6 +134,39 @@ def _localizer_parent() -> argparse.ArgumentParser:
     return parent
 
 
+def _timeline_parent() -> argparse.ArgumentParser:
+    """Parent parser: the ``--epochs`` / ``--attack-epoch`` timeline group."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group(
+        "timeline",
+        "override the spec's [timeline] table (temporal scenarios: "
+        "mobility, churn, mid-run attacks with detection latency)",
+    )
+    group.add_argument(
+        "--epochs",
+        type=int,
+        default=None,
+        help="number of scoring epochs of the timeline",
+    )
+    group.add_argument(
+        "--epoch-duration",
+        type=float,
+        default=None,
+        help="time units between consecutive epochs",
+    )
+    group.add_argument(
+        "--attack-epoch",
+        type=float,
+        default=None,
+        help=(
+            "replace the timeline's attack events with a single full "
+            "attack switching on at this time (creates a timeline when "
+            "the spec has none)"
+        ),
+    )
+    return parent
+
+
 def _backend_parent() -> argparse.ArgumentParser:
     """Parent parser: the ``--backend*`` override group."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -352,6 +385,38 @@ def _apply_backend_overrides(spec, args):
     )
 
 
+def _apply_timeline_overrides(spec, args):
+    """Fold the ``--epochs`` / ``--attack-epoch`` flags into a spec."""
+    if (
+        args.epochs is None
+        and args.epoch_duration is None
+        and args.attack_epoch is None
+    ):
+        return spec
+    import math
+    from dataclasses import replace
+
+    from repro.events.timeline import EventSpec, TimelineSpec
+
+    timeline = spec.timeline if spec.timeline is not None else TimelineSpec()
+    if args.epoch_duration is not None:
+        timeline = replace(timeline, epoch_duration=args.epoch_duration)
+    if args.attack_epoch is not None:
+        # Replace any attack events with a single full switch-on, and keep
+        # enough epochs after it to observe the detection latency.
+        events = tuple(
+            event for event in timeline.events if event.kind != "attack"
+        ) + (EventSpec(kind="attack", action="on", at=(args.attack_epoch,)),)
+        epochs = max(
+            timeline.epochs,
+            math.ceil(args.attack_epoch / timeline.epoch_duration) + 4,
+        )
+        timeline = replace(timeline, events=events, epochs=epochs)
+    if args.epochs is not None:
+        timeline = replace(timeline, epochs=args.epochs)
+    return replace(spec, timeline=timeline)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Create the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -377,6 +442,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_config_parent = _figure_config_parent()
     localizer_parent = _localizer_parent()
     backend_parent = _backend_parent()
+    timeline_parent = _timeline_parent()
 
     fig = sub.add_parser(
         "figure",
@@ -388,12 +454,13 @@ def build_parser() -> argparse.ArgumentParser:
             output_parent,
             localizer_parent,
             backend_parent,
+            timeline_parent,
         ],
     )
     fig.set_defaults(func=_cmd_figure)
     fig.add_argument(
         "figure_id",
-        choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figl"],
+        choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figl", "figt"],
     )
 
     sweep = sub.add_parser(
@@ -406,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
             output_parent,
             localizer_parent,
             backend_parent,
+            timeline_parent,
         ],
     )
     sweep.set_defaults(func=_cmd_sweep)
@@ -566,6 +634,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     spec = FIGURE_SPECS[args.figure_id](config=config, scale=args.scale)
     spec = _apply_localizer_overrides(spec, args)
     spec = _apply_backend_overrides(spec, args)
+    spec = _apply_timeline_overrides(spec, args)
     result = run_figure_spec(
         spec,
         figure_id=args.figure_id,
@@ -597,6 +666,13 @@ def _print_cache_stats(store) -> None:
             f"cache: attacked scores for {point_hits}/{scored} point(s) "
             "served from cache"
         )
+    temporal_hits = store.hit_counts["temporal"]
+    temporal_total = temporal_hits + store.miss_counts["temporal"]
+    if temporal_total:
+        print(
+            f"cache: temporal outcomes for {temporal_hits}/{temporal_total} "
+            "point(s) served from cache"
+        )
 
 
 def _cmd_sweep_figures(args: argparse.Namespace) -> int:
@@ -627,6 +703,7 @@ def _cmd_sweep_figures(args: argparse.Namespace) -> int:
         )
     spec = _apply_localizer_overrides(spec, args)
     spec = _apply_backend_overrides(spec, args)
+    spec = _apply_timeline_overrides(spec, args)
     result = run_figure_spec(spec, workers=args.workers, store=store)
     print(format_figure(result))
     _print_cache_stats(store)
@@ -652,6 +729,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = ScenarioSpec.from_file(args.spec).scaled(args.scale)
     spec = _apply_localizer_overrides(spec, args)
     spec = _apply_backend_overrides(spec, args)
+    spec = _apply_timeline_overrides(spec, args)
     store = ArtifactStore(args.cache_dir) if args.cache_dir is not None else None
     points = spec.points()
     densities = spec.density_values()
@@ -663,12 +741,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{len(localizers)} localizer(s) [{', '.join(localizers)}], "
         f"FP budget {spec.false_positive_rate:.2%}"
     )
+    if spec.timeline is not None:
+        print(
+            f"timeline: {spec.timeline.epochs} epoch(s) x "
+            f"{spec.timeline.epoch_duration:g} time unit(s), "
+            f"{len(spec.timeline.events)} event source(s)"
+        )
     header = (
         f"{'m':>6} {'localizer':>10} {'metric':>12} {'attack':>12} "
         f"{'D':>8} {'x':>6} {'DR':>8} {'threshold':>10}"
     )
     print(header)
     rows = []
+    temporal_rows = []
     done = 0
     for localizer in localizers:
         for group_size in densities:
@@ -702,9 +787,52 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                         "threshold": outcome.threshold,
                     }
                 )
+            if spec.timeline is None:
+                continue
+            # The spec carries a [timeline]: re-run every point through the
+            # discrete-event engine and report the online metric family.
+            temporal = session.temporal(spec.timeline, workers=args.workers)
+            for point, outcome in temporal.iter_outcomes(
+                points, false_positive_rate=spec.false_positive_rate
+            ):
+                latency = outcome.detection_latency
+                first_fp = outcome.first_false_positive
+                print(
+                    f"{group_size:>6} {localizer:>10} "
+                    f"{point.metric:>12} {point.attack:>12} "
+                    f"{point.degree_of_damage:>8g} "
+                    f"{point.compromised_fraction:>6g} "
+                    f"latency={'-' if latency is None else latency} "
+                    f"first_fp={'-' if first_fp is None else first_fp} "
+                    f"drift={outcome.detection_drift:+.3f}",
+                    flush=True,
+                )
+                temporal_rows.append(
+                    {
+                        "group_size": int(group_size),
+                        "localizer": localizer,
+                        "metric": point.metric,
+                        "attack": point.attack,
+                        "degree_of_damage": point.degree_of_damage,
+                        "compromised_fraction": point.compromised_fraction,
+                        "detection_latency": latency,
+                        "detection_time": outcome.detection_time,
+                        "first_false_positive": first_fp,
+                        "detection_drift": outcome.detection_drift,
+                        "threshold": outcome.threshold,
+                        "detection_rates": [
+                            float(rate) for rate in outcome.detection_rates()
+                        ],
+                        "delivery_rates": [
+                            float(rate) for rate in outcome.delivery_rates()
+                        ],
+                    }
+                )
     _print_cache_stats(store)
     if args.json is not None:
         payload = {"spec": spec.as_dict(), "results": rows}
+        if temporal_rows:
+            payload["temporal"] = temporal_rows
         Path(args.json).write_text(
             json.dumps(payload, indent=2) + "\n", encoding="utf-8"
         )
@@ -765,6 +893,8 @@ def _serving_config(args: argparse.Namespace):
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import contextlib
+    import signal
 
     from repro.serving import ServiceRuntime, serve_stdio, serve_tcp
 
@@ -772,21 +902,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = _build_service(args, spec, session)
     config = _serving_config(args)
 
+    async def run_tcp(runtime: "ServiceRuntime") -> None:
+        """Serve TCP until SIGINT/SIGTERM, then drain gracefully.
+
+        On a signal the listening sockets close *first* (no new claims are
+        admitted), then the caller's ``runtime.close()`` drains everything
+        already sitting in the admission queue before the process exits 0.
+        """
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed = []
+        # Handlers go in *before* the socket is announced, so a signal
+        # arriving the instant a client can connect is already graceful.
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError, ValueError):
+                continue  # platforms / loops without signal-handler support
+            installed.append(signum)
+        try:
+            server = await serve_tcp(
+                runtime,
+                host=args.host,
+                port=args.port,
+                announce=lambda host, port: print(
+                    f"listening on {host}:{port}", flush=True
+                ),
+            )
+            async with server:
+                serving = asyncio.ensure_future(server.serve_forever())
+                stopping = asyncio.ensure_future(stop.wait())
+                await asyncio.wait(
+                    {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+                )
+                # Stop accepting connections before the drain, so nothing
+                # admitted after the signal slips past the shutdown.
+                server.close()
+                await server.wait_closed()
+                for task in (serving, stopping):
+                    task.cancel()
+                    with contextlib.suppress(asyncio.CancelledError):
+                        await task
+            if stop.is_set():
+                print(
+                    "signal received: draining admitted claims",
+                    file=sys.stderr,
+                    flush=True,
+                )
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+
     async def run() -> None:
         runtime = ServiceRuntime(service, config)
         await runtime.start()
         try:
             if args.port is not None:
-                server = await serve_tcp(
-                    runtime,
-                    host=args.host,
-                    port=args.port,
-                    announce=lambda host, port: print(
-                        f"listening on {host}:{port}", flush=True
-                    ),
-                )
-                async with server:
-                    await server.serve_forever()
+                await run_tcp(runtime)
             else:
                 served = await serve_stdio(runtime)
                 print(
@@ -796,6 +968,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 )
         finally:
             await runtime.close()
+        if args.port is not None:
+            print(
+                f"drained; runtime: {runtime.stats.as_dict()}",
+                file=sys.stderr,
+                flush=True,
+            )
 
     try:
         asyncio.run(run())

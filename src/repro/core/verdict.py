@@ -55,6 +55,10 @@ class Verdict:
     latency_ms:
         Wall-clock milliseconds from claim admission to verdict (serving
         path only; ``None`` for batch-evaluation verdicts).
+    error:
+        Why the claim could not be scored (e.g. non-finite coordinates).
+        An error verdict is always treated as anomalous — a malformed
+        claim must never be accepted — but carries no meaningful score.
     """
 
     score: float
@@ -64,10 +68,13 @@ class Verdict:
     false_positive_rate: float
     claim_id: Optional[str] = None
     latency_ms: Optional[float] = None
+    error: Optional[str] = None
 
     @property
     def decision(self) -> str:
-        """``"flag"`` for anomalous claims, ``"accept"`` otherwise."""
+        """``"flag"``/``"accept"``, or ``"error"`` for unscorable claims."""
+        if self.error is not None:
+            return "error"
         return "flag" if self.anomalous else "accept"
 
     def with_latency(self, latency_ms: float) -> "Verdict":
@@ -78,15 +85,18 @@ class Verdict:
         """JSON-serialisable rendering (used by the JSONL transport)."""
         payload: Dict[str, object] = {
             "decision": self.decision,
-            "score": self.score,
             "threshold": self.threshold,
             "metric": self.metric,
             "false_positive_rate": self.false_positive_rate,
         }
+        if np.isfinite(self.score):
+            payload["score"] = self.score
         if self.claim_id is not None:
             payload["id"] = self.claim_id
         if self.latency_ms is not None:
             payload["latency_ms"] = self.latency_ms
+        if self.error is not None:
+            payload["error"] = self.error
         return payload
 
 

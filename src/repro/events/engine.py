@@ -1,0 +1,56 @@
+"""A deterministic heap-based discrete-event loop.
+
+:class:`EventEngine` is deliberately tiny: a priority queue of
+``(time, sequence, item)`` triples where the monotonically increasing
+sequence number makes ordering *total* — two items pushed for the same
+time pop in push order, never in an id- or hash-dependent one.  That
+tie-stability is what lets the temporal runner promise bit-identical
+results between serial and fan-out execution: the compiled timeline is
+pushed in declaration order everywhere, so same-time firings always
+apply in the same order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Generic, Iterable, List, Optional, Tuple, TypeVar
+
+__all__ = ["EventEngine"]
+
+T = TypeVar("T")
+
+
+class EventEngine(Generic[T]):
+    """Priority queue of timed items with tie-stable (push-order) ordering."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, T]] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, item: T) -> None:
+        """Schedule *item* at *time* (must be finite and non-negative)."""
+        time = float(time)
+        if not (math.isfinite(time) and time >= 0.0):
+            raise ValueError(f"event time must be finite and >= 0, got {time}")
+        heapq.heappush(self._heap, (time, self._sequence, item))
+        self._sequence += 1
+
+    def push_all(self, items: Iterable[Tuple[float, T]]) -> None:
+        """Schedule many ``(time, item)`` pairs in iteration order."""
+        for time, item in items:
+            self.push(time, item)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next item, or ``None`` when the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, now: float) -> List[T]:
+        """Pop every item scheduled at or before *now*, in order."""
+        due: List[T] = []
+        while self._heap and self._heap[0][0] <= now:
+            due.append(heapq.heappop(self._heap)[2])
+        return due

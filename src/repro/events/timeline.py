@@ -1,0 +1,367 @@
+"""Declarative timelines — the ``[timeline]`` table of a scenario spec.
+
+A :class:`TimelineSpec` scripts how a deployed network evolves while the
+detector watches it: an epoch grid (``epochs`` scoring passes, one every
+``epoch_duration`` time units) plus a list of :class:`EventSpec` sources.
+Each source describes *when* it fires (explicit ``at`` times, a periodic
+schedule, or a Poisson ``rate``) and *what* happens when it does:
+
+``attack``
+    Switch the sweep point's attack ``on`` over a fraction of the victims
+    (cumulative — a periodic ``on`` event models an attack spreading
+    through the network) or ``off`` again.  A timeline with no ``on``
+    event starts fully attacked, so an *empty* timeline degenerates to
+    the static evaluation exactly.
+``mobility``
+    Move a fraction of nodes: ``jitter`` adds a Gaussian step of std
+    ``amplitude`` metres; ``waypoint`` walks each node ``amplitude``
+    metres towards a persistent random waypoint (redrawn on arrival).
+``churn``
+    ``leave`` silences a fraction of the live nodes (they stop claiming
+    and stop being heard); ``join`` brings a fraction of the departed
+    nodes back.
+``beacons``
+    Degrade the benign nodes' self-localization: ``fail`` adds
+    ``fraction * amplitude`` metres of Gaussian noise to benign claimed
+    locations (anchors lost, estimates blur), ``compromise`` adds a
+    coherent per-epoch bias of the same magnitude (lying anchors drag
+    estimates), ``restore`` repairs both.
+
+Everything here follows the repository's rng-stream discipline: Poisson
+schedules draw from the name-derived stream ``timeline/{source}/schedule``
+and each firing's effect from ``timeline/{source}/fire/{ordinal}``, so a
+timeline compiled in a worker process reproduces the serial one bit for
+bit, and :meth:`TimelineSpec.fingerprint` puts the whole table into the
+artifact-cache keys of temporal outcomes — any schedule change invalidates
+exactly the points it affects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.utils.rng import RandomState
+from repro.utils.validation import check_fraction, check_positive
+
+__all__ = ["EventSpec", "Firing", "TimelineSpec"]
+
+#: Allowed actions per event kind (the first one is the kind's default).
+EVENT_ACTIONS: Dict[str, Tuple[str, ...]] = {
+    "attack": ("on", "off"),
+    "mobility": ("jitter", "waypoint"),
+    "churn": ("leave", "join"),
+    "beacons": ("fail", "compromise", "restore"),
+}
+
+#: Default affected fraction per event kind.
+_DEFAULT_FRACTIONS: Dict[str, float] = {
+    "attack": 1.0,
+    "mobility": 1.0,
+    "churn": 0.05,
+    "beacons": 0.25,
+}
+
+#: Default amplitude (metres) per event kind; unused kinds keep 0.
+_DEFAULT_AMPLITUDES: Dict[str, float] = {
+    "attack": 0.0,
+    "mobility": 25.0,
+    "churn": 0.0,
+    "beacons": 30.0,
+}
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One event source of a timeline.
+
+    Attributes
+    ----------
+    kind:
+        ``"attack"``, ``"mobility"``, ``"churn"`` or ``"beacons"``.
+    action:
+        What a firing does; see :data:`EVENT_ACTIONS` (defaults to the
+        kind's first action).
+    at:
+        Explicit fire times.  Exactly one of ``at`` / ``period`` /
+        ``rate`` must be given.
+    period:
+        Fire every ``period`` time units, starting at ``start``.
+    rate:
+        Expected firings per time unit of a Poisson schedule whose
+        inter-arrival times come from the source's name-derived stream.
+    start, until:
+        Schedule window for ``period`` / ``rate`` sources (``until`` is
+        inclusive; ``None`` = the timeline horizon).
+    fraction:
+        Fraction of the eligible population affected per firing
+        (kind-specific default, see :data:`_DEFAULT_FRACTIONS`).
+    amplitude:
+        Effect magnitude in metres — the mobility step / noise scale
+        (kind-specific default).
+    label:
+        Display label (defaults to ``"kind:action"``).
+    """
+
+    kind: str = "attack"
+    action: str = ""
+    at: Tuple[float, ...] = ()
+    period: Optional[float] = None
+    rate: Optional[float] = None
+    start: float = 0.0
+    until: Optional[float] = None
+    fraction: Optional[float] = None
+    amplitude: Optional[float] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__
+        kind = str(self.kind).strip().lower()
+        if kind not in EVENT_ACTIONS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; "
+                f"expected one of {sorted(EVENT_ACTIONS)}"
+            )
+        set_(self, "kind", kind)
+        action = str(self.action).strip().lower() or EVENT_ACTIONS[kind][0]
+        if action not in EVENT_ACTIONS[kind]:
+            raise ValueError(
+                f"event kind {kind!r} has no action {self.action!r}; "
+                f"expected one of {list(EVENT_ACTIONS[kind])}"
+            )
+        set_(self, "action", action)
+        set_(self, "at", tuple(sorted(float(t) for t in self.at)))
+        for t in self.at:
+            check_positive("event time", t, strict=False)
+        schedules = sum((bool(self.at), self.period is not None, self.rate is not None))
+        if schedules != 1:
+            raise ValueError(
+                "an event needs exactly one schedule: at-times, a period, "
+                "or a rate"
+            )
+        if self.period is not None:
+            set_(self, "period", float(self.period))
+            check_positive("event period", self.period)
+        if self.rate is not None:
+            set_(self, "rate", float(self.rate))
+            check_positive("event rate", self.rate)
+        set_(self, "start", float(self.start))
+        check_positive("event start", self.start, strict=False)
+        if self.until is not None:
+            set_(self, "until", float(self.until))
+            if self.until < self.start:
+                raise ValueError("event until must not precede its start")
+        fraction = (
+            _DEFAULT_FRACTIONS[kind] if self.fraction is None else float(self.fraction)
+        )
+        check_fraction("event fraction", fraction)
+        set_(self, "fraction", fraction)
+        amplitude = (
+            _DEFAULT_AMPLITUDES[kind]
+            if self.amplitude is None
+            else float(self.amplitude)
+        )
+        check_positive("event amplitude", amplitude, strict=False)
+        set_(self, "amplitude", amplitude)
+        set_(self, "label", str(self.label) or f"{kind}:{action}")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (TOML/JSON-ready; lossless round trip)."""
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "action": self.action,
+            "fraction": self.fraction,
+            "amplitude": self.amplitude,
+            "label": self.label,
+        }
+        if self.at:
+            data["at"] = list(self.at)
+        if self.period is not None:
+            data["period"] = self.period
+        if self.rate is not None:
+            data["rate"] = self.rate
+        if self.start != 0.0:
+            data["start"] = self.start
+        if self.until is not None:
+            data["until"] = self.until
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EventSpec":
+        """Rebuild an event from its :meth:`as_dict` form (typos raise)."""
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown event field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+    def fire_times(self, horizon: float, *, rng=None) -> List[float]:
+        """The source's fire times within ``[0, horizon]``, ascending.
+
+        Poisson (``rate``) schedules require *rng* — the caller passes the
+        source's name-derived stream so the schedule is a pure function of
+        the session seed and the source's index.
+        """
+        limit = horizon if self.until is None else min(self.until, horizon)
+        if self.at:
+            return [t for t in self.at if t <= horizon]
+        times: List[float] = []
+        if self.period is not None:
+            t = self.start
+            while t <= limit:
+                times.append(t)
+                t += self.period
+            return times
+        if rng is None:
+            raise ValueError("a rate-scheduled event needs a random stream")
+        t = self.start + float(rng.exponential(1.0 / self.rate))
+        while t <= limit:
+            times.append(t)
+            t += float(rng.exponential(1.0 / self.rate))
+        return times
+
+
+@dataclass(frozen=True)
+class Firing:
+    """One scheduled firing of an event source.
+
+    ``ordinal`` counts the source's firings in time order; the firing's
+    effect randomness is drawn from the stream
+    ``timeline/{source}/fire/{ordinal}``, so it depends only on the seed
+    and the firing's identity — never on which process applies it.
+    """
+
+    time: float
+    source: int
+    ordinal: int
+    spec: EventSpec
+
+    def stream_name(self) -> str:
+        """Name of the random stream driving this firing's effect."""
+        return f"timeline/{self.source}/fire/{self.ordinal}"
+
+
+@dataclass(frozen=True)
+class TimelineSpec:
+    """The temporal axis of a scenario: an epoch grid plus event sources.
+
+    Attributes
+    ----------
+    epochs:
+        Number of scoring passes; epoch ``e`` happens at time
+        ``e * epoch_duration`` (so the horizon is
+        ``(epochs - 1) * epoch_duration``).
+    epoch_duration:
+        Time units between consecutive epochs.
+    events:
+        The event sources (see :class:`EventSpec`); an empty tuple means
+        the network never changes and every epoch reproduces the static
+        evaluation bit for bit.
+    """
+
+    epochs: int = 1
+    epoch_duration: float = 1.0
+    events: Tuple[EventSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__
+        set_(self, "epochs", int(self.epochs))
+        if self.epochs < 1:
+            raise ValueError("a timeline needs at least one epoch")
+        set_(self, "epoch_duration", float(self.epoch_duration))
+        check_positive("epoch_duration", self.epoch_duration)
+        set_(
+            self,
+            "events",
+            tuple(
+                event
+                if isinstance(event, EventSpec)
+                else EventSpec.from_dict(dict(event))
+                for event in self.events
+            ),
+        )
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last epoch (events beyond it never fire)."""
+        return (self.epochs - 1) * self.epoch_duration
+
+    @property
+    def starts_attacked(self) -> bool:
+        """Whether the run begins with every victim under attack.
+
+        A timeline that never switches an attack ``on`` evaluates the
+        sweep point's attack from epoch 0 over all victims — the static
+        evaluation's shape — so an empty timeline degenerates exactly.
+        """
+        return not any(
+            event.kind == "attack" and event.action == "on"
+            for event in self.events
+        )
+
+    def epoch_times(self) -> List[float]:
+        """The scoring times, ``[0, d, 2d, ...]``."""
+        return [e * self.epoch_duration for e in range(self.epochs)]
+
+    def compile(self, seed: int) -> List[Firing]:
+        """Every firing within the horizon, as :class:`Firing` records.
+
+        Poisson schedules draw their inter-arrival times from the
+        name-derived stream ``timeline/{source}/schedule`` of *seed*, so
+        the compiled schedule is reproducible across processes.  The
+        result is ordered by source (the event engine orders by time and
+        breaks ties by insertion, i.e. declaration order).
+        """
+        random_state = RandomState(seed)
+        firings: List[Firing] = []
+        for source, event in enumerate(self.events):
+            rng = None
+            if event.rate is not None:
+                rng = random_state.stream(f"timeline/{source}/schedule")
+            for ordinal, time in enumerate(event.fire_times(self.horizon, rng=rng)):
+                firings.append(
+                    Firing(time=time, source=source, ordinal=ordinal, spec=event)
+                )
+        return firings
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (TOML/JSON-ready; lossless round trip)."""
+        return {
+            "epochs": self.epochs,
+            "epoch_duration": self.epoch_duration,
+            "events": [event.as_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TimelineSpec":
+        """Rebuild a timeline from its :meth:`as_dict` form (typos raise)."""
+        data = dict(data)
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown timeline field(s) {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return cls(**data)
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """The timeline's contribution to temporal artifact-cache keys.
+
+        The *entire* table — epoch grid plus every source's schedule and
+        effect parameters — so any change to a timeline invalidates the
+        cached temporal outcomes it produced, while leaving the static
+        per-point attacked scores (a different artifact category)
+        untouched.
+        """
+        return {"version": 1, **self.as_dict()}
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TimelineSpec({self.epochs} epoch(s) x {self.epoch_duration:g}, "
+            f"{len(self.events)} event source(s))"
+        )

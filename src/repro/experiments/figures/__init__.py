@@ -15,7 +15,8 @@ statistical quality).
 
 Use :func:`get_figure` / :func:`run_figure` to look figures up by id
 (``"fig4"`` … ``"fig9"``, plus ``"figl"`` — this reproduction's own
-cross-localizer comparison); :data:`FIGURE_SPECS` maps ids to their spec
+cross-localizer comparison — and ``"figt"`` — the temporal
+delivery/detection-rate-over-time figure); :data:`FIGURE_SPECS` maps ids to their spec
 builders (e.g. to write them out as TOML files for ``lad-repro sweep``)
 and :data:`FIGURE_RENDERERS` to their ``render(spec, ...)`` functions —
 :func:`repro.experiments.figures.common.run_figure_spec` (the engine
@@ -26,7 +27,16 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.experiments.figures import fig4, fig5, fig6, fig7, fig8, fig9, figl
+from repro.experiments.figures import (
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    figl,
+    figt,
+)
 from repro.experiments.figures.common import run_figure_spec
 from repro.experiments.results import FigureResult
 from repro.experiments.scenario import ScenarioSpec
@@ -39,6 +49,7 @@ __all__ = [
     "fig8",
     "fig9",
     "figl",
+    "figt",
     "FIGURES",
     "FIGURE_SPECS",
     "FIGURE_RENDERERS",
@@ -56,6 +67,7 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig8": fig8.run,
     "fig9": fig9.run,
     "figl": figl.run,
+    "figt": figt.run,
 }
 
 #: Registry mapping figure ids to their declarative spec builders.
@@ -67,6 +79,7 @@ FIGURE_SPECS: Dict[str, Callable[..., ScenarioSpec]] = {
     "fig8": fig8.spec,
     "fig9": fig9.spec,
     "figl": figl.spec,
+    "figt": figt.spec,
 }
 
 #: Registry mapping figure ids to their spec renderers
@@ -80,6 +93,7 @@ FIGURE_RENDERERS: Dict[str, Callable[..., FigureResult]] = {
     "fig8": fig8.render,
     "fig9": fig9.render,
     "figl": figl.render,
+    "figt": figt.render,
 }
 
 

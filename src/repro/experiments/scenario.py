@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.attacks.constraints import ATTACKS
 from repro.backend import BackendSpec
 from repro.core.metrics import METRICS
+from repro.events.timeline import TimelineSpec
 from repro.experiments.config import SimulationConfig
 from repro.experiments.session import LadSession
 from repro.experiments.store import ArtifactStore
@@ -96,6 +97,13 @@ class ScenarioSpec:
         when empty the single ``localizer`` is used.
     false_positive_rate:
         The false-positive budget detection rates are read at.
+    timeline:
+        Optional :class:`~repro.events.timeline.TimelineSpec` — the
+        ``[timeline]`` table of spec files.  When present the scenario is
+        *temporal*: every sweep point is additionally run through the
+        epoch-stepped engine (mobility, churn, mid-run attacks) and
+        reports the online metric family (detection latency, time to
+        first false positive, detection-rate drift).
     config:
         The underlying :class:`SimulationConfig` (its optional ``beacons``
         and ``backend`` specs serialise as the ``[beacons]`` and
@@ -112,6 +120,7 @@ class ScenarioSpec:
     localizer: str = "beaconless"
     localizers: Tuple[str, ...] = ()
     false_positive_rate: float = 0.01
+    timeline: Optional[TimelineSpec] = None
     config: SimulationConfig = field(default_factory=SimulationConfig)
 
     def __post_init__(self) -> None:
@@ -141,6 +150,8 @@ class ScenarioSpec:
         )
         set_(self, "false_positive_rate", float(self.false_positive_rate))
         check_fraction("false_positive_rate", self.false_positive_rate)
+        if self.timeline is not None and not isinstance(self.timeline, TimelineSpec):
+            set_(self, "timeline", TimelineSpec.from_dict(dict(self.timeline)))
         if not (self.metrics and self.attacks and self.degrees and self.fractions):
             raise ValueError("every scenario axis needs at least one value")
         for fraction in self.fractions:
@@ -283,6 +294,8 @@ class ScenarioSpec:
                 if f.name not in ("beacons", "backend")
             },
         }
+        if self.timeline is not None:
+            data["timeline"] = self.timeline.as_dict()
         if self.config.beacons is not None:
             data["beacons"] = self.config.beacons.as_dict()
         if self.config.backend is not None:
@@ -359,6 +372,7 @@ class ScenarioSpec:
         config_data = data.pop("config")
         beacon_data = data.pop("beacons", None)
         backend_data = data.pop("backend", None)
+        timeline_data = data.pop("timeline", None)
         lines = [f"{key} = {_toml_value(value)}" for key, value in data.items()]
         if beacon_data is not None:
             lines += ["", "[beacons]"]
@@ -372,6 +386,19 @@ class ScenarioSpec:
                 f"{key} = {_toml_value(value)}"
                 for key, value in backend_data.items()
             ]
+        if timeline_data is not None:
+            event_tables = timeline_data.pop("events", [])
+            lines += ["", "[timeline]"]
+            lines += [
+                f"{key} = {_toml_value(value)}"
+                for key, value in timeline_data.items()
+            ]
+            for event in event_tables:
+                lines += ["", "[[timeline.events]]"]
+                lines += [
+                    f"{key} = {_toml_value(value)}"
+                    for key, value in event.items()
+                ]
         lines += ["", "[config]"]
         lines += [
             f"{key} = {_toml_value(value)}" for key, value in config_data.items()

@@ -404,6 +404,56 @@ class LadSession:
             )
         )
 
+    def temporal_fingerprint(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+        timeline,
+    ) -> Dict[str, object]:
+        """Everything one point's temporal epoch record depends on.
+
+        The attacked fingerprint (victims, metric/attack identities,
+        parameters, localizer, beacons, backend) plus the *entire*
+        timeline table via
+        :meth:`~repro.events.timeline.TimelineSpec.fingerprint` — any
+        change to the epoch grid or any event's schedule or effect
+        parameters keys a fresh artifact.  The false-positive budget is
+        deliberately excluded: the stored record is the raw per-epoch
+        score matrix, and thresholds are applied at load time.
+        """
+        fingerprint = self.attacked_fingerprint(
+            metric,
+            attack_class,
+            degree_of_damage=degree_of_damage,
+            compromised_fraction=compromised_fraction,
+        )
+        fingerprint["temporal_version"] = 1
+        fingerprint["timeline"] = timeline.fingerprint()
+        return fingerprint
+
+    def temporal_key(
+        self,
+        metric: Union[str, AnomalyMetric],
+        attack_class: str,
+        *,
+        degree_of_damage: float,
+        compromised_fraction: float,
+        timeline,
+    ) -> str:
+        """Content key of one point's temporal epoch record."""
+        return fingerprint_key(
+            self.temporal_fingerprint(
+                metric,
+                attack_class,
+                degree_of_damage=degree_of_damage,
+                compromised_fraction=compromised_fraction,
+                timeline=timeline,
+            )
+        )
+
     @property
     def training_data(self) -> TrainingData:
         """Benign training samples (cached; Section 5.5 step 1)."""
@@ -764,6 +814,24 @@ class LadSession:
         from repro.experiments.sweep import SweepRunner
 
         return SweepRunner(self, workers=workers)
+
+    def temporal(self, timeline=None, *, workers: int = 0):
+        """A :class:`~repro.events.temporal.TemporalRunner` over this session.
+
+        Parameters
+        ----------
+        timeline:
+            The :class:`~repro.events.timeline.TimelineSpec` to run every
+            point through.  ``None`` means the trivial single-epoch
+            timeline — the temporal engine then reproduces the static
+            attacked scores bit for bit.
+        workers:
+            Worker processes for the per-point simulation; ``0``/``1``
+            runs serially with identical results.
+        """
+        from repro.events.temporal import TemporalRunner
+
+        return TemporalRunner(self, timeline, workers=workers)
 
     def benign_localization_error(self) -> float:
         """Mean benign localization error of the training samples (metres)."""

@@ -290,6 +290,12 @@ class DetectionService:
         with one vectorised ``compute``.  Every kernel is row-elementwise,
         so verdicts are bit-identical whether a claim is verified alone or
         inside any batch.
+
+        Claims carrying non-finite values (``NaN``/``inf`` in the
+        observation or the claimed location) get a per-claim *error*
+        verdict — ``decision == "error"``, treated as anomalous — instead
+        of poisoning the batch matmul: one bad claim never perturbs its
+        batch-mates' scores.
         """
         claims = list(claims)
         if not claims:
@@ -297,52 +303,79 @@ class DetectionService:
         for claim in claims:
             self.validate(claim)
 
-        observations = np.stack([claim.observation for claim in claims])
-        locations = np.empty((len(claims), 2), dtype=np.float64)
-        localize_rows = [
-            row for row, claim in enumerate(claims) if claim.needs_localization
-        ]
+        verdicts: List[Optional[Verdict]] = [None] * len(claims)
+        ok_rows: List[int] = []
         for row, claim in enumerate(claims):
-            if claim.claimed_location is not None:
-                locations[row] = claim.claimed_location
-        if localize_rows:
-            estimates = self._localizer.localize_observations(
-                self._knowledge, observations[localize_rows]
+            message = None
+            if not np.isfinite(claim.observation).all():
+                message = "claim observation contains non-finite values"
+            elif claim.claimed_location is not None and not np.isfinite(
+                claim.claimed_location
+            ).all():
+                message = "claimed location contains non-finite coordinates"
+            if message is None:
+                ok_rows.append(row)
+                continue
+            name = resolve_metric(claim.metric or self._default_metric).name
+            verdicts[row] = Verdict(
+                score=float("nan"),
+                threshold=self._thresholds[name],
+                anomalous=True,
+                metric=name,
+                false_positive_rate=self._false_positive_rate,
+                claim_id=claim.claim_id,
+                error=message,
             )
-            locations[localize_rows] = estimates
+        if not ok_rows:
+            return verdicts  # type: ignore[return-value]
+
+        observations = np.stack([claims[row].observation for row in ok_rows])
+        locations = np.empty((len(ok_rows), 2), dtype=np.float64)
+        localize_positions = [
+            pos
+            for pos, row in enumerate(ok_rows)
+            if claims[row].needs_localization
+        ]
+        for pos, row in enumerate(ok_rows):
+            if claims[row].claimed_location is not None:
+                locations[pos] = claims[row].claimed_location
+        if localize_positions:
+            estimates = self._localizer.localize_observations(
+                self._knowledge, observations[localize_positions]
+            )
+            locations[localize_positions] = estimates
 
         expected = self._knowledge.expected_observation(locations)
 
         # Group rows by metric so each metric runs one vectorised compute;
         # compute is row-elementwise, so grouping cannot change any score.
         by_metric: Dict[str, List[int]] = {}
-        for row, claim in enumerate(claims):
-            name = resolve_metric(claim.metric or self._default_metric).name
-            by_metric.setdefault(name, []).append(row)
+        for pos, row in enumerate(ok_rows):
+            name = resolve_metric(claims[row].metric or self._default_metric).name
+            by_metric.setdefault(name, []).append(pos)
 
-        verdicts: List[Optional[Verdict]] = [None] * len(claims)
-        for name, rows in by_metric.items():
+        for name, positions in by_metric.items():
             metric = resolve_metric(name)
             scores = np.atleast_1d(
                 np.asarray(
                     metric.compute(
-                        observations[rows],
-                        expected[rows],
+                        observations[positions],
+                        expected[positions],
                         group_size=self._knowledge.group_size,
                     ),
                     dtype=np.float64,
                 )
             )
             threshold = self._thresholds[name]
-            for row, score in zip(rows, scores):
+            for pos, score in zip(positions, scores):
                 value = float(score)
-                verdicts[row] = Verdict(
+                verdicts[ok_rows[pos]] = Verdict(
                     score=value,
                     threshold=threshold,
                     anomalous=value > threshold,
                     metric=name,
                     false_positive_rate=self._false_positive_rate,
-                    claim_id=claims[row].claim_id,
+                    claim_id=claims[ok_rows[pos]].claim_id,
                 )
         return verdicts  # type: ignore[return-value]
 

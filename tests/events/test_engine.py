@@ -1,0 +1,53 @@
+"""Tests for :mod:`repro.events.engine` — the deterministic event heap."""
+
+import pytest
+
+from repro.events import EventEngine
+
+
+class TestEventEngine:
+    def test_pops_in_time_order(self):
+        engine = EventEngine()
+        engine.push(3.0, "c")
+        engine.push(1.0, "a")
+        engine.push(2.0, "b")
+        assert engine.pop_due(10.0) == ["a", "b", "c"]
+        assert len(engine) == 0
+
+    def test_ties_pop_in_push_order(self):
+        """Equal timestamps resolve by insertion order, never by payload."""
+        engine = EventEngine()
+        for item in ("first", "second", "third"):
+            engine.push(5.0, item)
+        assert engine.pop_due(5.0) == ["first", "second", "third"]
+
+    def test_pop_due_leaves_future_events(self):
+        engine = EventEngine()
+        engine.push_all([(1.0, "now"), (2.0, "later")])
+        assert engine.pop_due(1.5) == ["now"]
+        assert len(engine) == 1
+        assert engine.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert EventEngine().peek_time() is None
+
+    def test_pop_due_empty(self):
+        assert EventEngine().pop_due(100.0) == []
+
+    def test_rejects_invalid_times(self):
+        engine = EventEngine()
+        with pytest.raises(ValueError):
+            engine.push(-1.0, "x")
+        with pytest.raises(ValueError):
+            engine.push(float("nan"), "x")
+        with pytest.raises(ValueError):
+            engine.push(float("inf"), "x")
+
+    def test_interleaved_push_pop_stays_ordered(self):
+        engine = EventEngine()
+        engine.push(4.0, "d")
+        engine.push(1.0, "a")
+        assert engine.pop_due(1.0) == ["a"]
+        engine.push(2.0, "b")
+        engine.push(3.0, "c")
+        assert engine.pop_due(4.0) == ["b", "c", "d"]

@@ -1,0 +1,170 @@
+"""Tests for :mod:`repro.events.timeline` — the ``[timeline]`` table."""
+
+import pytest
+
+from repro.events import EventSpec, TimelineSpec
+from repro.utils.rng import RandomState
+
+
+class TestEventSpec:
+    def test_defaults_fill_per_kind(self):
+        event = EventSpec(kind="churn", at=(1.0,))
+        assert event.action == "leave"
+        assert event.fraction == 0.05
+        assert event.label == "churn:leave"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventSpec(kind="earthquake", at=(1.0,))
+
+    def test_action_must_match_kind(self):
+        with pytest.raises(ValueError, match="no action"):
+            EventSpec(kind="attack", action="jitter", at=(1.0,))
+
+    def test_exactly_one_schedule_required(self):
+        with pytest.raises(ValueError, match="exactly one schedule"):
+            EventSpec(kind="attack")
+        with pytest.raises(ValueError, match="exactly one schedule"):
+            EventSpec(kind="attack", at=(1.0,), period=2.0)
+
+    def test_at_times_sorted_and_validated(self):
+        event = EventSpec(kind="attack", at=(3.0, 1.0, 2.0))
+        assert event.at == (1.0, 2.0, 3.0)
+        with pytest.raises(ValueError):
+            EventSpec(kind="attack", at=(-1.0,))
+
+    def test_until_must_follow_start(self):
+        with pytest.raises(ValueError, match="until"):
+            EventSpec(kind="attack", period=1.0, start=5.0, until=2.0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            EventSpec(kind="attack", at=(1.0,), fraction=1.5)
+
+    def test_round_trip(self):
+        event = EventSpec(
+            kind="mobility",
+            action="waypoint",
+            period=2.0,
+            start=1.0,
+            until=9.0,
+            fraction=0.5,
+            amplitude=10.0,
+        )
+        assert EventSpec.from_dict(event.as_dict()) == event
+
+    def test_from_dict_rejects_typos(self):
+        with pytest.raises(ValueError, match="unknown event field"):
+            EventSpec.from_dict({"kind": "attack", "att": [1.0]})
+
+    def test_fire_times_at_filters_horizon(self):
+        event = EventSpec(kind="attack", at=(1.0, 4.0, 9.0))
+        assert event.fire_times(5.0) == [1.0, 4.0]
+
+    def test_fire_times_periodic_window(self):
+        event = EventSpec(kind="attack", period=2.0, start=1.0, until=6.0)
+        assert event.fire_times(100.0) == [1.0, 3.0, 5.0]
+        # the horizon clips a window that extends beyond it
+        assert event.fire_times(4.0) == [1.0, 3.0]
+
+    def test_fire_times_rate_needs_rng_and_is_deterministic(self):
+        event = EventSpec(kind="churn", rate=0.8)
+        with pytest.raises(ValueError, match="random stream"):
+            event.fire_times(10.0)
+        stream = lambda: RandomState(11).stream("timeline/0/schedule")  # noqa: E731
+        first = event.fire_times(50.0, rng=stream())
+        again = event.fire_times(50.0, rng=stream())
+        assert first == again
+        assert all(t <= 50.0 for t in first)
+        assert first == sorted(first)
+
+
+class TestTimelineSpec:
+    def test_defaults_are_static(self):
+        timeline = TimelineSpec()
+        assert timeline.epochs == 1
+        assert timeline.horizon == 0.0
+        assert timeline.starts_attacked
+        assert timeline.epoch_times() == [0.0]
+        assert timeline.compile(seed=7) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one epoch"):
+            TimelineSpec(epochs=0)
+        with pytest.raises(ValueError):
+            TimelineSpec(epoch_duration=0.0)
+
+    def test_starts_attacked_only_without_attack_on(self):
+        on = EventSpec(kind="attack", action="on", at=(2.0,))
+        off = EventSpec(kind="attack", action="off", at=(2.0,))
+        assert TimelineSpec(epochs=3, events=(off,)).starts_attacked
+        assert not TimelineSpec(epochs=3, events=(on,)).starts_attacked
+
+    def test_compile_orders_and_numbers_firings(self):
+        timeline = TimelineSpec(
+            epochs=5,
+            events=(
+                EventSpec(kind="attack", action="on", at=(2.0,)),
+                EventSpec(kind="mobility", period=1.0, start=1.0),
+            ),
+        )
+        firings = timeline.compile(seed=3)
+        mobility = [f for f in firings if f.source == 1]
+        assert [f.time for f in mobility] == [1.0, 2.0, 3.0, 4.0]
+        assert [f.ordinal for f in mobility] == [0, 1, 2, 3]
+        assert mobility[2].stream_name() == "timeline/1/fire/2"
+
+    def test_compile_poisson_depends_only_on_seed_and_source(self):
+        timeline = TimelineSpec(epochs=20, events=(EventSpec(kind="churn", rate=0.5),))
+        a = [(f.time, f.ordinal) for f in timeline.compile(seed=42)]
+        b = [(f.time, f.ordinal) for f in timeline.compile(seed=42)]
+        c = [(f.time, f.ordinal) for f in timeline.compile(seed=43)]
+        assert a == b
+        assert a != c
+
+    def test_round_trip_and_event_coercion(self):
+        timeline = TimelineSpec(
+            epochs=6,
+            epoch_duration=0.5,
+            events=(
+                {"kind": "attack", "action": "on", "at": [1.0]},
+                EventSpec(kind="beacons", action="fail", period=1.0),
+            ),
+        )
+        assert all(isinstance(e, EventSpec) for e in timeline.events)
+        assert TimelineSpec.from_dict(timeline.as_dict()) == timeline
+
+    def test_from_dict_rejects_typos(self):
+        with pytest.raises(ValueError, match="unknown timeline field"):
+            TimelineSpec.from_dict({"epochs": 2, "epoch": 3})
+
+    def test_fingerprint_changes_with_any_field(self):
+        base = TimelineSpec(
+            epochs=4, events=(EventSpec(kind="attack", action="on", at=(1.0,)),)
+        )
+        variants = (
+            TimelineSpec(
+                epochs=5,
+                events=(EventSpec(kind="attack", action="on", at=(1.0,)),),
+            ),
+            TimelineSpec(
+                epochs=4,
+                epoch_duration=2.0,
+                events=(EventSpec(kind="attack", action="on", at=(1.0,)),),
+            ),
+            TimelineSpec(
+                epochs=4,
+                events=(EventSpec(kind="attack", action="on", at=(2.0,)),),
+            ),
+            TimelineSpec(
+                epochs=4,
+                events=(
+                    EventSpec(kind="attack", action="on", at=(1.0,), fraction=0.5),
+                ),
+            ),
+        )
+        for variant in variants:
+            assert variant.fingerprint() != base.fingerprint()
+        assert base.fingerprint() == TimelineSpec.from_dict(
+            base.as_dict()
+        ).fingerprint()

@@ -43,6 +43,7 @@ class TestRegistry:
             "fig8",
             "fig9",
             "figl",
+            "figt",
         }
 
     def test_get_figure_lookup(self):
@@ -228,6 +229,42 @@ class TestFigL:
             for a, b in zip(panel_serial.series, panel_parallel.series):
                 assert a.label == b.label
                 assert a.y == b.y
+
+
+class TestFigT:
+    def test_structure_and_online_metrics(self, tiny_config):
+        from repro.events import EventSpec, TimelineSpec
+        from repro.experiments.figures import figt
+
+        timeline = TimelineSpec(
+            epochs=4,
+            events=(EventSpec(kind="attack", action="on", at=(2.0,)),),
+        )
+        result = figt.run(
+            config=tiny_config,
+            timeline=timeline,
+            degrees=(160.0,),
+            fractions=(0.1,),
+            false_positive_rate=0.05,
+        )
+        assert result.figure_id == "figt"
+        assert len(result.panels) == 1
+        panel = result.panels[0]
+        assert [s.label for s in panel.series] == [
+            "detection rate",
+            "delivery rate",
+            "false positives",
+        ]
+        for series in panel.series:
+            assert series.x == [0.0, 1.0, 2.0, 3.0]
+            assert all(0.0 <= y <= 1.0 for y in series.y)
+        # Nothing is attacked before epoch 2, so nothing can be detected;
+        # once the attack switches on the latency must record epoch 2.
+        detection = panel.series[0]
+        assert detection.y[0] == 0.0 and detection.y[1] == 0.0
+        (point,) = result.parameters["points"]
+        assert point["detection_latency"] == 2
+        assert result.parameters["epochs"] == 4
 
 
 class TestRunFigureDispatch:

@@ -133,6 +133,69 @@ class TestRoundTrip:
         assert "beacons" not in spec.as_dict()
         assert "[beacons]" not in spec.to_toml()
 
+    def test_timeline_table_round_trips(self, tiny_config):
+        from repro.events import EventSpec, TimelineSpec
+
+        spec = ScenarioSpec(
+            name="temporal",
+            config=tiny_config,
+            timeline=TimelineSpec(
+                epochs=8,
+                epoch_duration=0.5,
+                events=(
+                    EventSpec(kind="attack", action="on", at=(2.0,)),
+                    EventSpec(
+                        kind="mobility",
+                        action="jitter",
+                        period=1.0,
+                        start=1.0,
+                        fraction=0.25,
+                        amplitude=5.0,
+                    ),
+                ),
+            ),
+        )
+        text = spec.to_toml()
+        assert "[timeline]" in text
+        assert text.count("[[timeline.events]]") == 2
+        loaded = ScenarioSpec.from_toml(text)
+        assert loaded == spec
+        assert loaded.timeline == spec.timeline
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_timeline_coerced_from_plain_dict(self, tiny_config):
+        from repro.events import TimelineSpec
+
+        spec = ScenarioSpec(
+            name="temporal",
+            config=tiny_config,
+            timeline={
+                "epochs": 4,
+                "events": [{"kind": "attack", "action": "on", "at": [1.0]}],
+            },
+        )
+        assert isinstance(spec.timeline, TimelineSpec)
+        assert spec.timeline.epochs == 4
+        assert spec.timeline.events[0].kind == "attack"
+
+    def test_timeline_survives_scaling(self, tiny_config):
+        from repro.events import TimelineSpec
+
+        spec = ScenarioSpec(
+            name="temporal",
+            config=tiny_config,
+            timeline=TimelineSpec(epochs=3),
+        )
+        assert spec.scaled(0.5).timeline == spec.timeline
+
+    def test_timeline_omitted_when_not_configured(self, spec):
+        assert "timeline" not in spec.as_dict()
+        assert "[timeline]" not in spec.to_toml()
+
+    def test_unknown_timeline_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown timeline field"):
+            ScenarioSpec.from_toml('name = "x"\n[timeline]\ntypo = 1\n')
+
     def test_unknown_beacon_field_rejected(self):
         with pytest.raises(ValueError, match="unknown beacon field"):
             ScenarioSpec.from_toml('name = "x"\n[beacons]\ntypo = 1\n')

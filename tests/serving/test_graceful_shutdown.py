@@ -1,0 +1,93 @@
+"""``lad-repro serve`` drains the admission queue on SIGINT/SIGTERM.
+
+The contract under test: a signal closes the listening socket *first*
+(no new claims admitted), the runtime's ``close()`` then drains whatever
+was already queued, and the process exits 0 — a graceful shutdown, not a
+crash with exit 130/-15.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+TINY_SPEC = """\
+name = "shutdown_tiny"
+metrics = ["diff"]
+attacks = ["dec_bounded"]
+degrees = [80.0]
+fractions = [0.1]
+false_positive_rate = 0.05
+
+[config]
+group_size = 40
+num_training_samples = 30
+training_samples_per_network = 15
+num_victims = 30
+victims_per_network = 15
+gz_omega = 300
+seed = 777
+"""
+
+
+def _spawn_server(tmp_path):
+    spec_path = tmp_path / "tiny.toml"
+    spec_path.write_text(TINY_SPEC)
+    repo_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            str(spec_path),
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+        start_new_session=True,  # isolate the signal from the test runner
+    )
+    # Wait for the training pass to finish and the socket to be announced.
+    address = None
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line.startswith("listening on "):
+            address = line.split("listening on ", 1)[1].strip()
+            break
+        if process.poll() is not None:  # pragma: no cover - diagnostics
+            raise AssertionError(f"server died during startup: {process.stderr.read()}")
+    assert address, "server never announced its address"
+    host, _, port = address.rpartition(":")
+    return process, host, int(port)
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_signal_drains_and_exits_zero(tmp_path, signum):
+    process, host, port = _spawn_server(tmp_path)
+    try:
+        # Prove the server is actually accepting before the signal.
+        with socket.create_connection((host, port), timeout=10.0):
+            pass
+        process.send_signal(signum)
+        stdout, stderr = process.communicate(timeout=60.0)
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup on failure
+            process.kill()
+            process.communicate()
+    assert process.returncode == 0, stderr
+    assert "signal received: draining admitted claims" in stderr
+    assert "drained; runtime:" in stderr
+    # Once drained, the listening socket must be gone.
+    with pytest.raises(OSError):
+        socket.create_connection((host, port), timeout=2.0)

@@ -1,0 +1,99 @@
+"""Non-finite claim rejection in :meth:`DetectionService.verify_batch`.
+
+:class:`LocationClaim` already rejects NaN/inf at construction, but claim
+arrays are shared references — a transport or caller can mutate them after
+validation.  The service must therefore re-check finiteness per claim and
+answer with a per-claim *error verdict* (anomalous, no score) instead of
+letting one poisoned row corrupt the whole batch's localization and
+scoring.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import LocationClaim
+from repro.serving.claims import ClaimError
+
+
+def _claims(session, count):
+    training = session.training_data
+    return [
+        LocationClaim(
+            observation=training.observations[i].copy(),
+            claimed_location=training.estimated_locations[i].copy(),
+            claim_id=f"c-{i}",
+        )
+        for i in range(count)
+    ]
+
+
+class TestConstructionStillRejects:
+    def test_nan_observation_rejected_at_construction(self):
+        with pytest.raises(ClaimError, match="non-finite"):
+            LocationClaim(observation=np.array([1.0, np.nan, 3.0]))
+
+    def test_inf_location_rejected_at_construction(self):
+        with pytest.raises(ClaimError, match="non-finite"):
+            LocationClaim(
+                observation=np.ones(5),
+                claimed_location=np.array([np.inf, 0.0]),
+            )
+
+
+class TestNonFiniteBatchRows:
+    def test_poisoned_observation_gets_error_verdict(self, tiny_session):
+        service = tiny_session.service(metrics=("diff",))
+        claims = _claims(tiny_session, 5)
+        claims[2].observation[0] = np.nan
+        verdicts = service.verify_batch(claims)
+        bad = verdicts[2]
+        assert bad.decision == "error"
+        assert bad.anomalous
+        assert bad.error is not None and "observation" in bad.error
+        assert np.isnan(bad.score)
+        assert bad.claim_id == "c-2"
+
+    def test_poisoned_location_gets_error_verdict(self, tiny_session):
+        service = tiny_session.service(metrics=("diff",))
+        claims = _claims(tiny_session, 4)
+        claims[1].claimed_location[1] = np.inf
+        verdicts = service.verify_batch(claims)
+        bad = verdicts[1]
+        assert bad.decision == "error"
+        assert bad.anomalous
+        assert "location" in bad.error
+
+    def test_clean_rows_unaffected_by_poisoned_neighbours(self, tiny_session):
+        """The batch guarantee: error rows never shift or change the rest."""
+        service = tiny_session.service(metrics=("diff",))
+        clean = _claims(tiny_session, 6)
+        baseline = service.verify_batch(clean)
+        poisoned = _claims(tiny_session, 6)
+        poisoned[0].observation[:] = np.nan
+        poisoned[3].claimed_location[0] = -np.inf
+        mixed = service.verify_batch(poisoned)
+        assert len(mixed) == len(baseline)
+        for row, (before, after) in enumerate(zip(baseline, mixed)):
+            if row in (0, 3):
+                assert after.decision == "error"
+            else:
+                assert after.score == before.score
+                assert after.anomalous == before.anomalous
+                assert after.claim_id == before.claim_id
+
+    def test_all_rows_poisoned(self, tiny_session):
+        service = tiny_session.service(metrics=("diff",))
+        claims = _claims(tiny_session, 3)
+        for claim in claims:
+            claim.observation[0] = np.nan
+        verdicts = service.verify_batch(claims)
+        assert all(verdict.decision == "error" for verdict in verdicts)
+
+    def test_error_verdict_as_dict_carries_error_not_score(self, tiny_session):
+        service = tiny_session.service(metrics=("diff",))
+        claims = _claims(tiny_session, 2)
+        claims[0].observation[0] = np.inf
+        payload = service.verify_batch(claims)[0].as_dict()
+        assert payload["decision"] == "error"
+        assert "error" in payload
+        assert "score" not in payload

@@ -215,6 +215,103 @@ class TestSweepCommand:
         }
 
 
+TEMPORAL_SPEC = (
+    TINY_SPEC.replace('name = "cli_tiny"', 'name = "cli_temporal"').replace(
+        "degrees = [80.0, 160.0]", "degrees = [120.0]"
+    )
+    + """
+[timeline]
+epochs = 6
+
+[[timeline.events]]
+kind = "attack"
+action = "on"
+at = [3.0]
+"""
+)
+
+
+class TestTemporalCli:
+    def test_figt_is_a_registered_figure_choice(self):
+        args = build_parser().parse_args(["figure", "figt"])
+        assert args.figure_id == "figt"
+
+    def test_timeline_flags_parse_on_figure_and_sweep(self):
+        for command in (["figure", "figt"], ["sweep", "spec.toml"]):
+            args = build_parser().parse_args(
+                [
+                    *command,
+                    "--epochs",
+                    "6",
+                    "--epoch-duration",
+                    "0.5",
+                    "--attack-epoch",
+                    "2",
+                ]
+            )
+            assert args.epochs == 6
+            assert args.epoch_duration == 0.5
+            assert args.attack_epoch == 2.0
+
+    def test_sweep_with_timeline_reports_online_metrics(self, capsys, tmp_path):
+        spec_path = tmp_path / "temporal.toml"
+        spec_path.write_text(TEMPORAL_SPEC)
+        json_path = tmp_path / "out.json"
+        assert main(["sweep", str(spec_path), "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "timeline: 6 epoch(s)" in out
+        assert "latency=3" in out
+        payload = json.loads(json_path.read_text())
+        row = payload["temporal"][0]
+        assert row["detection_latency"] == 3
+        assert len(row["detection_rates"]) == 6
+        assert payload["spec"]["timeline"]["epochs"] == 6
+
+    def test_sweep_temporal_cache_cold_then_warm_identical(self, capsys, tmp_path):
+        spec_path = tmp_path / "temporal.toml"
+        spec_path.write_text(TEMPORAL_SPEC)
+        cache = tmp_path / "cache"
+        assert main(["sweep", str(spec_path), "--cache-dir", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        assert "temporal outcomes for 0/1 point(s) served from cache" in cold
+        assert main(["sweep", str(spec_path), "--cache-dir", str(cache)]) == 0
+        warm = capsys.readouterr().out
+        assert ", 0 miss(es)" in warm
+        assert "temporal outcomes for 1/1 point(s) served from cache" in warm
+
+        def rows(text):
+            return [
+                line
+                for line in text.splitlines()
+                if not line.startswith(("cache:", "scenario", "timeline"))
+            ]
+
+        assert rows(cold) == rows(warm)
+
+    def test_attack_epoch_flag_builds_a_timeline(self, capsys, tmp_path):
+        """--attack-epoch turns a static spec temporal (enough epochs to
+        observe the latency, attack events replaced by one switch-on)."""
+        spec_path = tmp_path / "tiny.toml"
+        spec_path.write_text(TINY_SPEC)
+        json_path = tmp_path / "out.json"
+        code = main(
+            [
+                "sweep",
+                str(spec_path),
+                "--attack-epoch",
+                "2",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        timeline = payload["spec"]["timeline"]
+        assert timeline["epochs"] == 6  # ceil(2/1) + 4
+        assert timeline["events"][0]["at"] == [2.0]
+        assert all(row["detection_latency"] == 2 for row in payload["temporal"])
+
+
 class TestBackendsCommand:
     def test_backends_lists_and_probes(self, capsys):
         assert main(["backends"]) == 0

@@ -173,7 +173,10 @@ class TestBuiltinRegistries:
         resolves in its registry (the specs validate at construction)."""
         from repro.experiments.figures import FIGURE_SPECS
 
-        assert set(FIGURE_SPECS) == {f"fig{i}" for i in range(4, 10)} | {"figl"}
+        assert set(FIGURE_SPECS) == {f"fig{i}" for i in range(4, 10)} | {
+            "figl",
+            "figt",
+        }
         for figure_id, build in FIGURE_SPECS.items():
             spec = build()
             for metric in spec.metrics:
