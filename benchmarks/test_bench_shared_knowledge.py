@@ -1,0 +1,83 @@
+"""Per-worker memory cost of the sweep pool's initializer payload.
+
+Before the shared-knowledge transport, every pool worker received a pickled
+copy of the full :class:`~repro.deployment.knowledge.DeploymentKnowledge` —
+the deployment lattice plus the tabulated g(z) spline — so memory per
+worker grew with the knowledge tables, O(knowledge).  The transport moves
+those arrays into ``multiprocessing.shared_memory`` segments mapped by all
+workers and ships only a metadata skeleton through pickle, so the per-worker
+payload is O(victims).
+
+This benchmark measures the compression directly: the ratio of the pickled
+full-knowledge bytes to the pickled pool-payload bytes at the paper's
+g(z) resolution (``gz_omega=4000``).  The ratio lands in ``BENCH_pr.json``
+as the ``shared_knowledge_payload`` record and CI fails below the floor in
+``benchmarks/BENCH_baseline.json`` — losing the metadata-only property
+(e.g. a refactor that drags an array back into the payload) collapses the
+ratio far below any noise margin.  The rebuilt worker state must stay
+bit-identical, so the saving is for identical results.
+"""
+
+import pickle
+
+import numpy as np
+
+from benchmarks.bench_records import record_benchmark
+from benchmarks.conftest import BENCH_SEED
+from repro.deployment.knowledge import DeploymentKnowledge
+from repro.experiments.config import SimulationConfig
+from repro.experiments.session import LadSession
+
+
+def test_pool_payload_is_small_and_faithful():
+    """The pickled pool payload must undercut pickled knowledge by >= 5x."""
+    session = LadSession(
+        SimulationConfig(
+            group_size=100,
+            num_training_samples=40,
+            training_samples_per_network=20,
+            num_victims=40,
+            victims_per_network=20,
+            gz_omega=4000,
+            seed=BENCH_SEED,
+        )
+    )
+    runner = session.sweep(workers=2)
+    segments, payload = runner._pool_payload()
+    try:
+        payload_bytes = len(pickle.dumps(payload))
+        knowledge_bytes = len(pickle.dumps(session.knowledge))
+        ratio = knowledge_bytes / payload_bytes
+
+        # The saving is only meaningful if the worker-side rebuild is
+        # faithful: same scores from the shared arrays, bit for bit.
+        arrays, skeleton = session.knowledge.share_parts()
+        rebuilt = DeploymentKnowledge.from_share_parts(skeleton, arrays)
+        sample = session.victims()
+        np.testing.assert_array_equal(
+            rebuilt.log_likelihood_batch(
+                sample.actual_locations[:8], sample.observations[:8], prune=True
+            ),
+            session.knowledge.log_likelihood_batch(
+                sample.actual_locations[:8], sample.observations[:8], prune=True
+            ),
+        )
+    finally:
+        for segment in segments:
+            segment.close()
+            segment.unlink()
+
+    print(
+        f"\npool payload: {payload_bytes / 1024.0:.1f} KiB pickled vs "
+        f"{knowledge_bytes / 1024.0:.1f} KiB full knowledge "
+        f"({ratio:.1f}x smaller, gz_omega=4000)"
+    )
+    record_benchmark(
+        "shared_knowledge_payload",
+        speedup=round(ratio, 2),
+        payload_bytes=payload_bytes,
+        knowledge_bytes=knowledge_bytes,
+        gz_omega=4000,
+        group_size=100,
+    )
+    assert ratio >= 5.0

@@ -133,6 +133,10 @@ _LAZY_EXPORTS = {
     "ArtifactStore": "repro.experiments.store",
     "SweepPoint": "repro.experiments.sweep",
     "SweepRunner": "repro.experiments.sweep",
+    "SweepManifest": "repro.experiments.manifest",
+    "SweepProgress": "repro.experiments.manifest",
+    "shard_of_point": "repro.experiments.sweep",
+    "shard_points": "repro.experiments.sweep",
     "FigureResult": "repro.experiments.results",
     "run_figure": "repro.experiments.figures",
     "run_figure_spec": "repro.experiments.figures.common",
@@ -251,6 +255,10 @@ __all__ = [
     "ArtifactStore",
     "SweepPoint",
     "SweepRunner",
+    "SweepManifest",
+    "SweepProgress",
+    "shard_of_point",
+    "shard_points",
     "FigureResult",
     "run_figure",
     "run_figure_spec",

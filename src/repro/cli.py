@@ -10,6 +10,8 @@ command line::
     lad-repro sweep scenario.toml --localizer centroid --beacon-layout grid
     lad-repro sweep --figures fig4 --json results/fig4.json
     lad-repro sweep scenario.toml --backend torch --backend-device cuda
+    lad-repro sweep scenario.toml --shard 0/4 --cache-dir /shared/lad
+    lad-repro sweep scenario.toml --status --cache-dir /shared/lad
     lad-repro backends
     lad-repro serve scenario.toml --port 0 --cache-dir ~/.cache/lad --warm
     lad-repro loadgen scenario.toml --claims 500 --rate 2000
@@ -494,6 +496,25 @@ def build_parser() -> argparse.ArgumentParser:
             "FigureResult series as `lad-repro figure`"
         ),
     )
+    sweep.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/N",
+        help=(
+            "compute only slice I of an N-way deterministic partition of "
+            "the point grid (requires --cache-dir; several hosts pointed "
+            "at one shared cache dir cover the grid together, and the "
+            "shard that completes it renders the aggregate outputs)"
+        ),
+    )
+    sweep.add_argument(
+        "--status",
+        action="store_true",
+        help=(
+            "report manifest-backed sweep progress (k/n points done, "
+            "requires --cache-dir) and exit without computing anything"
+        ),
+    )
 
     service_source_parent = _service_source_parent()
     serving_parent = _serving_parent()
@@ -675,6 +696,59 @@ def _print_cache_stats(store) -> None:
         )
 
 
+def _parse_shard(text: Optional[str]):
+    """Parse a ``--shard I/N`` selector into ``(index, count)``."""
+    if text is None:
+        return None
+    index_text, sep, count_text = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError(text)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"--shard expects I/N (e.g. 0/4), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"--shard index must satisfy 0 <= I < N, got {text!r}"
+        )
+    return index, count
+
+
+def _sweep_status(spec, store, points, densities, localizers) -> int:
+    """The ``sweep --status`` mode: manifest-backed progress, no compute.
+
+    One manifest read per (density, localizer) session — no ``.npz`` is
+    opened and the cache counters stay untouched.  Stale manifests are
+    reconciled against the store (and republished healed) as a side
+    effect, so a deleted artifact shows up as pending immediately.
+    """
+    total_done = total_points = total_healed = 0
+    for localizer in localizers:
+        for group_size in densities:
+            session = spec.session(
+                group_size=group_size, localizer=localizer, store=store
+            )
+            progress = session.sweep().progress(points)
+            healed = f", {progress.healed} healed" if progress.healed else ""
+            print(
+                f"status m={group_size} localizer={localizer}: "
+                f"{progress.done}/{progress.total} point(s) done{healed}"
+            )
+            total_done += progress.done
+            total_points += progress.total
+            total_healed += progress.healed
+    suffix = (
+        f" ({total_healed} stale manifest entr"
+        f"{'y' if total_healed == 1 else 'ies'} healed)"
+        if total_healed
+        else ""
+    )
+    print(f"status: {total_done}/{total_points} point(s) done{suffix}")
+    return 0
+
+
 def _cmd_sweep_figures(args: argparse.Namespace) -> int:
     """The ``sweep --figures`` mode: evaluate a figure spec end to end."""
     from repro.experiments.config import SimulationConfig
@@ -724,6 +798,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.store import ArtifactStore
 
     if args.figures:
+        if args.shard is not None or args.status:
+            raise ValueError(
+                "--shard/--status apply to scenario sweeps, not --figures"
+            )
         return _cmd_sweep_figures(args)
 
     spec = ScenarioSpec.from_file(args.spec).scaled(args.scale)
@@ -731,10 +809,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = _apply_backend_overrides(spec, args)
     spec = _apply_timeline_overrides(spec, args)
     store = ArtifactStore(args.cache_dir) if args.cache_dir is not None else None
+    shard = _parse_shard(args.shard)
+    if (shard is not None or args.status) and store is None:
+        raise ValueError(
+            "--shard and --status require --cache-dir (shards and progress "
+            "reports meet in one shared artifact store)"
+        )
     points = spec.points()
     densities = spec.density_values()
     localizers = spec.localizer_values()
-    total = len(points) * len(densities) * len(localizers)
     print(
         f"scenario {spec.name!r}: {len(points)} point(s) x "
         f"{len(densities)} density value(s) x "
@@ -747,87 +830,134 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{spec.timeline.epoch_duration:g} time unit(s), "
             f"{len(spec.timeline.events)} event source(s)"
         )
+    if args.status:
+        return _sweep_status(spec, store, points, densities, localizers)
     header = (
         f"{'m':>6} {'localizer':>10} {'metric':>12} {'attack':>12} "
         f"{'D':>8} {'x':>6} {'DR':>8} {'threshold':>10}"
     )
-    print(header)
-    rows = []
-    temporal_rows = []
-    done = 0
-    for localizer in localizers:
-        for group_size in densities:
-            session = spec.session(
-                group_size=group_size, localizer=localizer, store=store
+
+    def run_pass(shard_arg):
+        """One full (or one-shard) sweep pass; returns (rows, temporal rows)."""
+        slice_points = (
+            points if shard_arg is None else spec.points(shard=shard_arg)
+        )
+        total = len(slice_points) * len(densities) * len(localizers)
+        print(header)
+        rows = []
+        temporal_rows = []
+        done = 0
+        for localizer in localizers:
+            for group_size in densities:
+                session = spec.session(
+                    group_size=group_size, localizer=localizer, store=store
+                )
+                runner = session.sweep(workers=args.workers)
+                for point, outcome in runner.iter_detection_rates(
+                    points,
+                    false_positive_rate=spec.false_positive_rate,
+                    shard=shard_arg,
+                ):
+                    done += 1
+                    print(
+                        f"{group_size:>6} {localizer:>10} "
+                        f"{point.metric:>12} {point.attack:>12} "
+                        f"{point.degree_of_damage:>8g} "
+                        f"{point.compromised_fraction:>6g} "
+                        f"{outcome.detection_rate:>8.3f} "
+                        f"{outcome.threshold:>10.2f}"
+                        f"    [{done}/{total}]",
+                        flush=True,
+                    )
+                    rows.append(
+                        {
+                            "group_size": int(group_size),
+                            "localizer": localizer,
+                            "metric": point.metric,
+                            "attack": point.attack,
+                            "degree_of_damage": point.degree_of_damage,
+                            "compromised_fraction": point.compromised_fraction,
+                            "detection_rate": outcome.detection_rate,
+                            "threshold": outcome.threshold,
+                        }
+                    )
+                if spec.timeline is None:
+                    continue
+                # The spec carries a [timeline]: re-run every point through
+                # the discrete-event engine and report the online metric
+                # family.
+                temporal = session.temporal(spec.timeline, workers=args.workers)
+                for point, outcome in temporal.iter_outcomes(
+                    slice_points, false_positive_rate=spec.false_positive_rate
+                ):
+                    latency = outcome.detection_latency
+                    first_fp = outcome.first_false_positive
+                    print(
+                        f"{group_size:>6} {localizer:>10} "
+                        f"{point.metric:>12} {point.attack:>12} "
+                        f"{point.degree_of_damage:>8g} "
+                        f"{point.compromised_fraction:>6g} "
+                        f"latency={'-' if latency is None else latency} "
+                        f"first_fp={'-' if first_fp is None else first_fp} "
+                        f"drift={outcome.detection_drift:+.3f}",
+                        flush=True,
+                    )
+                    temporal_rows.append(
+                        {
+                            "group_size": int(group_size),
+                            "localizer": localizer,
+                            "metric": point.metric,
+                            "attack": point.attack,
+                            "degree_of_damage": point.degree_of_damage,
+                            "compromised_fraction": point.compromised_fraction,
+                            "detection_latency": latency,
+                            "detection_time": outcome.detection_time,
+                            "first_false_positive": first_fp,
+                            "detection_drift": outcome.detection_drift,
+                            "threshold": outcome.threshold,
+                            "detection_rates": [
+                                float(rate)
+                                for rate in outcome.detection_rates()
+                            ],
+                            "delivery_rates": [
+                                float(rate)
+                                for rate in outcome.delivery_rates()
+                            ],
+                        }
+                    )
+        return rows, temporal_rows
+
+    rows, temporal_rows = run_pass(shard)
+    if shard is not None:
+        # The finishing shard renders the aggregate outputs: if every grid
+        # point of every session is now in the shared store, re-run the
+        # full grid warm (all cache hits, byte-identical to a single serial
+        # run); otherwise report this slice and leave aggregation to
+        # whichever shard completes the grid.
+        index, count = shard
+        grid_keys = []
+        for localizer in localizers:
+            for group_size in densities:
+                session = spec.session(
+                    group_size=group_size, localizer=localizer, store=store
+                )
+                grid_keys.extend(session.attacked_scores_keys(points))
+        present = sum(
+            1 for key in grid_keys if store.contains("attacked_scores", key)
+        )
+        if present < len(grid_keys):
+            print(
+                f"shard {index}/{count}: slice done; {present}/"
+                f"{len(grid_keys)} grid point(s) in cache — waiting on "
+                "other shard(s) for aggregate outputs"
             )
-            runner = session.sweep(workers=args.workers)
-            for point, outcome in runner.iter_detection_rates(
-                points, false_positive_rate=spec.false_positive_rate
-            ):
-                done += 1
-                print(
-                    f"{group_size:>6} {localizer:>10} "
-                    f"{point.metric:>12} {point.attack:>12} "
-                    f"{point.degree_of_damage:>8g} "
-                    f"{point.compromised_fraction:>6g} "
-                    f"{outcome.detection_rate:>8.3f} "
-                    f"{outcome.threshold:>10.2f}"
-                    f"    [{done}/{total}]",
-                    flush=True,
-                )
-                rows.append(
-                    {
-                        "group_size": int(group_size),
-                        "localizer": localizer,
-                        "metric": point.metric,
-                        "attack": point.attack,
-                        "degree_of_damage": point.degree_of_damage,
-                        "compromised_fraction": point.compromised_fraction,
-                        "detection_rate": outcome.detection_rate,
-                        "threshold": outcome.threshold,
-                    }
-                )
-            if spec.timeline is None:
-                continue
-            # The spec carries a [timeline]: re-run every point through the
-            # discrete-event engine and report the online metric family.
-            temporal = session.temporal(spec.timeline, workers=args.workers)
-            for point, outcome in temporal.iter_outcomes(
-                points, false_positive_rate=spec.false_positive_rate
-            ):
-                latency = outcome.detection_latency
-                first_fp = outcome.first_false_positive
-                print(
-                    f"{group_size:>6} {localizer:>10} "
-                    f"{point.metric:>12} {point.attack:>12} "
-                    f"{point.degree_of_damage:>8g} "
-                    f"{point.compromised_fraction:>6g} "
-                    f"latency={'-' if latency is None else latency} "
-                    f"first_fp={'-' if first_fp is None else first_fp} "
-                    f"drift={outcome.detection_drift:+.3f}",
-                    flush=True,
-                )
-                temporal_rows.append(
-                    {
-                        "group_size": int(group_size),
-                        "localizer": localizer,
-                        "metric": point.metric,
-                        "attack": point.attack,
-                        "degree_of_damage": point.degree_of_damage,
-                        "compromised_fraction": point.compromised_fraction,
-                        "detection_latency": latency,
-                        "detection_time": outcome.detection_time,
-                        "first_false_positive": first_fp,
-                        "detection_drift": outcome.detection_drift,
-                        "threshold": outcome.threshold,
-                        "detection_rates": [
-                            float(rate) for rate in outcome.detection_rates()
-                        ],
-                        "delivery_rates": [
-                            float(rate) for rate in outcome.delivery_rates()
-                        ],
-                    }
-                )
+            _print_cache_stats(store)
+            return 0
+        print(
+            f"shard {index}/{count}: all {len(grid_keys)} grid point(s) "
+            "in cache — rendering merged results"
+        )
+        rows, temporal_rows = run_pass(None)
     _print_cache_stats(store)
     if args.json is not None:
         payload = {"spec": spec.as_dict(), "results": rows}
@@ -839,7 +969,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"[written] {args.json}")
     if args.csv is not None:
         with Path(args.csv).open("w", newline="", encoding="utf-8") as handle:
-            writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+            fieldnames = list(rows[0]) if rows else [
+                "group_size",
+                "localizer",
+                "metric",
+                "attack",
+                "degree_of_damage",
+                "compromised_fraction",
+                "detection_rate",
+                "threshold",
+            ]
+            writer = csv.DictWriter(handle, fieldnames=fieldnames)
             writer.writeheader()
             writer.writerows(rows)
         print(f"[written] {args.csv}")

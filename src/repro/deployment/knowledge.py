@@ -96,6 +96,73 @@ class DeploymentKnowledge:
         self._group_tree: Optional[cKDTree] = None
         self._support_radius: Optional[float] = None
 
+    # -- transport ---------------------------------------------------------
+
+    def share_parts(self) -> tuple[dict, dict]:
+        """Split the knowledge into flat arrays plus a small skeleton.
+
+        Returns ``(arrays, skeleton)``: the arrays hold everything with
+        O(n_groups) or O(ω) footprint (the deployment lattice and the
+        tabulated ``g(z)`` knots/values, contiguous ``float64`` so they can
+        travel through ``multiprocessing.shared_memory`` zero-copy); the
+        skeleton holds only scalars plus the tiny landing-distribution
+        object.  :meth:`from_share_parts` rebuilds an equivalent knowledge
+        object whose likelihood kernels are bit-identical: distances come
+        from ``cdist`` over the identical points and probabilities from
+        interpolation over the identical knots.
+        """
+        gz = self._gz
+        arrays = {
+            "deployment_points": np.ascontiguousarray(
+                self.deployment_points, dtype=np.float64
+            ),
+            "gz_knots": np.ascontiguousarray(gz.table.knots, dtype=np.float64),
+            "gz_values": np.ascontiguousarray(gz.table.values, dtype=np.float64),
+        }
+        region = self.region
+        skeleton = {
+            "version": 1,
+            "region": (region.x_min, region.y_min, region.x_max, region.y_max),
+            "distribution": self._model.distribution,
+            "group_size": self._group_size,
+            "radio_range": self._radio_range,
+            "gz_radio_range": gz.radio_range,
+            "gz_sigma": gz.sigma,
+            "dense_fallback_fraction": self._dense_fallback,
+        }
+        return arrays, skeleton
+
+    @classmethod
+    def from_share_parts(
+        cls, skeleton: dict, arrays: dict, *, backend=None
+    ) -> "DeploymentKnowledge":
+        """Rebuild knowledge from :meth:`share_parts` output.
+
+        *backend* is resolved locally (backends hold process-local state and
+        are rebuilt from their spec on the receiving side, not shipped).
+        """
+        from repro.deployment.models import PrebuiltDeploymentModel
+
+        table = GzTable.from_tabulated(
+            skeleton["gz_radio_range"],
+            skeleton["gz_sigma"],
+            arrays["gz_knots"],
+            arrays["gz_values"],
+        )
+        model = PrebuiltDeploymentModel(
+            Region(*skeleton["region"]),
+            arrays["deployment_points"],
+            distribution=skeleton["distribution"],
+        )
+        return cls(
+            model,
+            skeleton["group_size"],
+            skeleton["radio_range"],
+            gz_table=table,
+            backend=backend,
+            dense_fallback_fraction=skeleton["dense_fallback_fraction"],
+        )
+
     # -- properties --------------------------------------------------------
 
     @property

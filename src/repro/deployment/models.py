@@ -28,6 +28,7 @@ __all__ = [
     "GridDeploymentModel",
     "HexDeploymentModel",
     "RandomDeploymentModel",
+    "PrebuiltDeploymentModel",
     "DEPLOYMENTS",
     "resolve_deployment_model",
     "paper_deployment_model",
@@ -268,6 +269,41 @@ class RandomDeploymentModel(DeploymentModel):
         check_int("n_groups", n_groups, minimum=1)
         generator = as_generator(rng)
         self._points = region.sample_uniform(generator, n_groups)
+
+    @property
+    def deployment_points(self) -> np.ndarray:
+        view = self._points.view()
+        view.flags.writeable = False
+        return view
+
+
+class PrebuiltDeploymentModel(DeploymentModel):
+    """A deployment model over externally supplied deployment points.
+
+    The transport-side counterpart of the layout-generating models above:
+    rebuilds a model from an existing points array (possibly a read-only
+    shared-memory view) without re-deriving any layout.  All concrete
+    :class:`DeploymentModel` behaviour works off the points array, so
+    distances — and therefore likelihoods — are bit-identical to the model
+    the points came from.  Used by
+    :meth:`repro.deployment.knowledge.DeploymentKnowledge.from_share_parts`;
+    deliberately not registered in :data:`DEPLOYMENTS` (it cannot be built
+    from a name alone).
+    """
+
+    name = "prebuilt"
+
+    def __init__(
+        self,
+        region: Region,
+        deployment_points,
+        distribution: Optional[ResidentPointDistribution] = None,
+    ):
+        super().__init__(region, distribution or GaussianResidentDistribution(50.0))
+        points = as_points(deployment_points)
+        if points.shape[0] == 0:
+            raise ValueError("deployment_points must contain at least one point")
+        self._points = points
 
     @property
     def deployment_points(self) -> np.ndarray:

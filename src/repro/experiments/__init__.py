@@ -20,7 +20,13 @@ from repro.experiments.scenario import ScenarioSpec
 from repro.experiments.store import ArtifactStore, fingerprint_key
 from repro.experiments.results import SeriesResult, PanelResult, FigureResult
 from repro.experiments.reporting import format_figure, format_panel
-from repro.experiments.sweep import SweepPoint, SweepRunner
+from repro.experiments.manifest import SweepManifest, SweepProgress
+from repro.experiments.sweep import (
+    SweepPoint,
+    SweepRunner,
+    shard_of_point,
+    shard_points,
+)
 from repro.experiments import figures
 
 __all__ = [
@@ -34,6 +40,10 @@ __all__ = [
     "FigureResult",
     "SweepPoint",
     "SweepRunner",
+    "SweepManifest",
+    "SweepProgress",
+    "shard_of_point",
+    "shard_points",
     "format_figure",
     "format_panel",
     "figures",

@@ -404,6 +404,23 @@ class LadSession:
             )
         )
 
+    def attacked_scores_keys(self, points) -> List[str]:
+        """Content keys of a whole grid of sweep points, in grid order.
+
+        One :meth:`attacked_scores_key` per point — the sweep runner, the
+        manifest progress pre-scan and the finishing-shard completeness
+        check all derive point identity through this single path.
+        """
+        return [
+            self.attacked_scores_key(
+                point.metric,
+                point.attack,
+                degree_of_damage=point.degree_of_damage,
+                compromised_fraction=point.compromised_fraction,
+            )
+            for point in points
+        ]
+
     def temporal_fingerprint(
         self,
         metric: Union[str, AnomalyMetric],

@@ -195,6 +195,60 @@ class ArtifactStore:
             raise
         return path
 
+    # -- advisory JSON sidecars --------------------------------------------
+    #
+    # Small JSON artifacts (sweep manifests) living next to the ``.npz``
+    # categories.  They are advisory metadata, not cached computation: their
+    # I/O deliberately never touches the hit/miss counters, so progress
+    # pre-scans cannot perturb the cache accounting that tests and operators
+    # assert on.
+
+    def json_path_for(self, category: str, key: str) -> Path:
+        """Filesystem path of the JSON sidecar for ``(category, key)``."""
+        return self._root / category / f"{key}.json"
+
+    def load_json(self, category: str, key: str) -> Optional[dict]:
+        """The stored JSON payload, or ``None`` when absent or unreadable.
+
+        A corrupt sidecar is quarantined (renamed to ``.json.corrupt``) and
+        treated as absent — advisory metadata is always rebuildable from the
+        ``.npz`` artifacts, which stay the source of truth.
+        """
+        path = self.json_path_for(category, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            self._quarantine(path)
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def save_json(self, category: str, key: str, payload: Mapping) -> Path:
+        """Persist a JSON payload under ``(category, key)`` atomically.
+
+        Same tempfile + rename discipline as :meth:`save`: a reader never
+        sees a torn file, and concurrent writers race to publish whole
+        documents (last rename wins).
+        """
+        path = self.json_path_for(category, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:12]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except FileNotFoundError:
+                pass
+            raise
+        return path
+
     def stats(self) -> Dict[str, int]:
         """Counter snapshot (``hits``, ``misses``)."""
         return {"hits": self.hits, "misses": self.misses}

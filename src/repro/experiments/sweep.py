@@ -36,6 +36,7 @@ parameter grids through this runner.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -62,12 +63,19 @@ from repro.core.evaluation import (
 )
 from repro.core.metrics import AnomalyMetric, resolve_metric
 from repro.core.roc import RocCurve, compute_roc
+from repro.experiments.manifest import SweepManifest, SweepProgress
 from repro.utils.rng import RandomState
 
 if TYPE_CHECKING:  # pragma: no cover - imported for type checkers only
     from repro.experiments.session import LadSession
 
-__all__ = ["SweepPoint", "SweepRunner", "attack_stream_name"]
+__all__ = [
+    "SweepPoint",
+    "SweepRunner",
+    "attack_stream_name",
+    "shard_of_point",
+    "shard_points",
+]
 
 
 def attack_stream_name(
@@ -103,6 +111,45 @@ class SweepPoint:
         return attack_stream_name(
             self.metric, self.attack, self.degree_of_damage, self.compromised_fraction
         )
+
+
+def shard_of_point(point: SweepPoint, shard_count: int) -> int:
+    """Deterministic shard index of *point* under *shard_count*-way sharding.
+
+    Derived from the SHA-256 of the point's random-stream name — a pure
+    function of the point's parameters, independent of grid order, Python's
+    per-process hash randomisation, and the host computing it.  Every host
+    of a fleet therefore agrees on the partition without coordination.
+    """
+    count = int(shard_count)
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    digest = hashlib.sha256(point.stream_name().encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % count
+
+
+def _validate_shard(shard: Tuple[int, int]) -> Tuple[int, int]:
+    """Normalise and validate an ``(index, count)`` shard selector."""
+    index, count = int(shard[0]), int(shard[1])
+    if count < 1:
+        raise ValueError("shard count must be >= 1")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index must be in [0, {count}), got {index}")
+    return index, count
+
+
+def shard_points(
+    points: Iterable[SweepPoint], shard_index: int, shard_count: int
+) -> List[SweepPoint]:
+    """The slice of *points* owned by shard ``shard_index`` of ``shard_count``.
+
+    The partition is stable (a point's shard depends only on its own
+    parameters), so the slices of a given grid are pairwise disjoint and
+    their union is exactly the full grid — regardless of grid ordering,
+    re-runs, or which host evaluates the assignment.
+    """
+    index, count = _validate_shard((shard_index, shard_count))
+    return [p for p in points if shard_of_point(p, count) == index]
 
 
 #: Shared per-worker state, installed once by the pool initializer.
@@ -168,6 +215,26 @@ def _init_worker(payload: dict) -> None:
         # Keep the segments referenced for the worker's lifetime: the numpy
         # views borrow their buffers.
         state["_shared_segments"] = segments
+    skeleton = state.pop("knowledge_skeleton", None)
+    if skeleton is not None:
+        # Rebuild the deployment knowledge from its shared-memory arrays
+        # plus the pickled skeleton: the lattice and the tabulated g(z)
+        # knots are mapped zero-copy, so per-worker memory stays
+        # O(victims), not O(knowledge).  Backends hold process-local state
+        # and are rebuilt from their spec.
+        from repro.deployment.knowledge import DeploymentKnowledge
+
+        backend_spec = state.pop("backend_spec", None)
+        backend = None if backend_spec is None else backend_spec.build()
+        state["knowledge"] = DeploymentKnowledge.from_share_parts(
+            skeleton,
+            {
+                "deployment_points": state.pop("knowledge_points"),
+                "gz_knots": state.pop("knowledge_gz_knots"),
+                "gz_values": state.pop("knowledge_gz_values"),
+            },
+            backend=backend,
+        )
     _WORKER_STATE.update(state)
 
 
@@ -239,7 +306,10 @@ class SweepRunner:
         ]
 
     def attacked_scores(
-        self, points: Sequence[SweepPoint]
+        self,
+        points: Sequence[SweepPoint],
+        *,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> Dict[SweepPoint, np.ndarray]:
         """Attacked score samples for every sweep point.
 
@@ -248,10 +318,42 @@ class SweepRunner:
         where that is impossible the sweep falls back to the serial path
         (identical results) with a :class:`RuntimeWarning`.
         """
-        return dict(self.iter_attacked_scores(points))
+        return dict(self.iter_attacked_scores(points, shard=shard))
+
+    def progress(self, points: Sequence[SweepPoint]) -> SweepProgress:
+        """Manifest-backed progress of the sweep over *points*.
+
+        Loads the grid's manifest (merging any on-disk copy another shard
+        published), reconciles it against the store — the ``.npz``
+        artifacts stay the source of truth, so phantom "done" entries whose
+        artifact vanished are healed back to pending — republishes the
+        healed manifest, and returns the counts.  Never opens an ``.npz``
+        and never touches the store's hit/miss counters.
+        """
+        points = list(points)
+        session = self._simulation
+        store = session.store
+        if store is None:
+            raise ValueError("sweep progress requires a session artifact store")
+        keys = session.attacked_scores_keys(points)
+        manifest = SweepManifest.for_points(points, keys)
+        disk = SweepManifest.load(store, manifest.key)
+        if disk is not None:
+            manifest.absorb_done(disk)
+        healed = manifest.reconcile(store, "attacked_scores")
+        manifest.publish(store)
+        return SweepProgress(
+            total=manifest.total,
+            done=manifest.done_count,
+            healed=healed,
+            key=manifest.key,
+        )
 
     def iter_attacked_scores(
-        self, points: Sequence[SweepPoint]
+        self,
+        points: Sequence[SweepPoint],
+        *,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> Iterator[Tuple[SweepPoint, np.ndarray]]:
         """Yield ``(point, attacked scores)`` pairs as they complete.
 
@@ -273,30 +375,53 @@ class SweepRunner:
         so scoring and downstream reporting overlap; when fan-out is
         unavailable (or a pool dies mid-sweep) the remaining points continue
         on the bit-identical serial path after a :class:`RuntimeWarning`.
+
+        *shard* restricts the iteration to one deterministic slice of the
+        grid (``(index, count)``, see :func:`shard_points`) while the
+        manifest written alongside still covers the *full* grid — several
+        hosts pointing at the same store each compute their own slice and
+        converge on one shared progress record.
         """
         points = list(points)
         session = self._simulation
         store = session.store
+        selected = list(range(len(points)))
+        if shard is not None:
+            index, count = _validate_shard(shard)
+            selected = [
+                i for i, p in enumerate(points) if shard_of_point(p, count) == index
+            ]
         # Partition warm/cold with existence probes only (the pre-scan
         # must not read N arrays up front: warm artifacts are loaded one
         # at a time at yield time, keeping the generator O(1) in memory
         # for arbitrarily long resumed sweeps).
         keys: List[Optional[str]] = [None] * len(points)
         warm_indices: set = set()
+        manifest: Optional[SweepManifest] = None
         if store is not None:
-            for i, point in enumerate(points):
-                keys[i] = session.attacked_scores_key(
-                    point.metric,
-                    point.attack,
-                    degree_of_damage=point.degree_of_damage,
-                    compromised_fraction=point.compromised_fraction,
-                )
-                if store.probe("attacked_scores", keys[i]):
-                    warm_indices.add(i)
+            selected_set = set(selected)
+            done_keys = []
+            keys = session.attacked_scores_keys(points)
+            for i in range(len(points)):
+                if i in selected_set:
+                    # Misses are only counted for points this run will have
+                    # to compute and publish — our own slice.
+                    if store.probe("attacked_scores", keys[i]):
+                        warm_indices.add(i)
+                        done_keys.append(keys[i])
+                elif store.contains("attacked_scores", keys[i]):
+                    done_keys.append(keys[i])
+            # The scan above checked every point against the store, so the
+            # fresh manifest *is* the reconciled truth at this instant —
+            # merging the disk copy could only resurrect phantom "done"s.
+            # Publishing it heals a stale manifest as a side effect.
+            manifest = SweepManifest.for_points(points, keys, done=done_keys)
+            manifest.publish(store)
         cold_scores = self._iter_cold_scores(
-            [points[i] for i in range(len(points)) if i not in warm_indices]
+            [points[i] for i in selected if i not in warm_indices]
         )
-        for i, point in enumerate(points):
+        for i in selected:
+            point = points[i]
             if i in warm_indices:
                 cached = store.load("attacked_scores", keys[i])
                 if cached is not None:
@@ -314,6 +439,8 @@ class SweepRunner:
                 scores = next(cold_scores)
             if store is not None and keys[i] is not None:
                 store.save("attacked_scores", keys[i], scores=scores)
+                if manifest is not None:
+                    manifest.record_done(store, keys[i])
             yield point, scores
 
     def _iter_cold_scores(
@@ -346,26 +473,56 @@ class SweepRunner:
                 compromised_fraction=point.compromised_fraction,
             )
 
-    def _iter_parallel(
-        self, points: List[SweepPoint]
-    ) -> Iterator[Tuple[SweepPoint, np.ndarray]]:
-        """Fan the grid over a pool; victim arrays travel via shared memory."""
-        sample = self._simulation.victims()
+    def _pool_payload(self):
+        """Shared segments plus the metadata-only pool initializer payload.
+
+        Everything with a real footprint — the victims' observation arrays
+        and the deployment knowledge's lattice and tabulated ``g(z)`` —
+        travels through shared memory; the pickled payload carries only
+        segment metadata and a small knowledge skeleton
+        (:meth:`~repro.deployment.knowledge.DeploymentKnowledge.share_parts`),
+        so per-worker memory is O(victims' views), not O(knowledge) per
+        process.  The caller owns the returned segments and must
+        close/unlink them once the pool is done.
+        """
+        session = self._simulation
+        sample = session.victims()
+        knowledge_arrays, knowledge_skeleton = session.knowledge.share_parts()
         segments = []
+        shared_arrays = {}
         try:
-            shared_arrays = {}
             for key, array in (
                 ("observations", sample.observations),
                 ("locations", sample.actual_locations),
+                ("knowledge_points", knowledge_arrays["deployment_points"]),
+                ("knowledge_gz_knots", knowledge_arrays["gz_knots"]),
+                ("knowledge_gz_values", knowledge_arrays["gz_values"]),
             ):
                 segment, meta = _share_array(array)
                 segments.append(segment)
                 shared_arrays[key] = meta
-            payload = {
-                "knowledge": self._simulation.knowledge,
-                "seed": self._simulation.config.seed,
-                "shared_arrays": shared_arrays,
-            }
+        except BaseException:
+            for segment in segments:
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+            raise
+        payload = {
+            "seed": session.config.seed,
+            "knowledge_skeleton": knowledge_skeleton,
+            "backend_spec": session.backend_spec,
+            "shared_arrays": shared_arrays,
+        }
+        return segments, payload
+
+    def _iter_parallel(
+        self, points: List[SweepPoint]
+    ) -> Iterator[Tuple[SweepPoint, np.ndarray]]:
+        """Fan the grid over a pool; the shared state travels via shared memory."""
+        segments, payload = self._pool_payload()
+        try:
             with ProcessPoolExecutor(
                 max_workers=self._workers,
                 initializer=_init_worker,
@@ -402,6 +559,7 @@ class SweepRunner:
         points: Sequence[SweepPoint],
         *,
         false_positive_rate: float = 0.01,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> Dict[SweepPoint, DetectionOutcome]:
         """A :class:`DetectionOutcome` per point at a FP budget (Figures 7–9).
 
@@ -411,7 +569,7 @@ class SweepRunner:
         """
         return dict(
             self.iter_detection_rates(
-                points, false_positive_rate=false_positive_rate
+                points, false_positive_rate=false_positive_rate, shard=shard
             )
         )
 
@@ -420,14 +578,17 @@ class SweepRunner:
         points: Sequence[SweepPoint],
         *,
         false_positive_rate: float = 0.01,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> Iterator[Tuple[SweepPoint, DetectionOutcome]]:
         """Stream ``(point, DetectionOutcome)`` pairs in grid order.
 
         The streaming form of :meth:`detection_rates` used by the CLI
         ``sweep`` subcommand; thresholds are trained (or served from the
         session's artifact store) before the first point is scored.
+        *shard* restricts the stream to one slice of the grid (see
+        :meth:`iter_attacked_scores`).
         """
-        for point, scores in self.iter_attacked_scores(points):
+        for point, scores in self.iter_attacked_scores(points, shard=shard):
             yield (
                 point,
                 evaluate_detection(

@@ -131,10 +131,110 @@ class TestParallelSweep:
         monkeypatch.setattr(sweep_module, "_share_array", tracking_share)
         points = SweepRunner.grid(["diff"], ["dec_bounded"], [80.0], [0.1])
         tiny_simulation.sweep(workers=2).attacked_scores(points)
-        assert len(created) == 2  # observations + locations
+        # observations + locations + knowledge (lattice, g(z) knots, values)
+        assert len(created) == 5
         for segment in created:
             with pytest.raises(FileNotFoundError):
                 type(segment)(name=segment.name)
+
+
+class TestSharedKnowledge:
+    """The metadata-only pool payload and its worker-side rehydration."""
+
+    def test_share_parts_round_trip_is_bit_identical(self, tiny_simulation):
+        from repro.deployment.knowledge import DeploymentKnowledge
+
+        knowledge = tiny_simulation.knowledge
+        arrays, skeleton = knowledge.share_parts()
+        rebuilt = DeploymentKnowledge.from_share_parts(skeleton, arrays)
+        assert rebuilt.n_groups == knowledge.n_groups
+        assert rebuilt.group_size == knowledge.group_size
+        assert rebuilt.radio_range == knowledge.radio_range
+        assert rebuilt.support_radius == knowledge.support_radius
+        assert rebuilt.gz_table.omega == knowledge.gz_table.omega
+        assert rebuilt.gz_table.z_max == knowledge.gz_table.z_max
+        sample = tiny_simulation.victims()
+        locations = sample.actual_locations[:8]
+        np.testing.assert_array_equal(
+            rebuilt.expected_observation(locations),
+            knowledge.expected_observation(locations),
+        )
+        np.testing.assert_array_equal(
+            rebuilt.log_likelihood_batch(
+                locations, sample.observations[:8], prune=True
+            ),
+            knowledge.log_likelihood_batch(
+                locations, sample.observations[:8], prune=True
+            ),
+        )
+
+    def test_pool_payload_is_metadata_only(self, tiny_simulation):
+        """The pickled initializer payload must not carry the knowledge
+        arrays — they travel through shared memory."""
+        import pickle
+
+        runner = tiny_simulation.sweep(workers=2)
+        segments, payload = runner._pool_payload()
+        try:
+            assert "knowledge" not in payload
+            assert set(payload["shared_arrays"]) == {
+                "observations",
+                "locations",
+                "knowledge_points",
+                "knowledge_gz_knots",
+                "knowledge_gz_values",
+            }
+            payload_bytes = len(pickle.dumps(payload))
+            knowledge_bytes = len(pickle.dumps(tiny_simulation.knowledge))
+            assert payload_bytes < knowledge_bytes / 2
+        finally:
+            for segment in segments:
+                segment.close()
+                segment.unlink()
+
+    def test_worker_initializer_rebuilds_bit_identical_state(
+        self, tiny_simulation
+    ):
+        """Running the real initializer + scorer in-process (attach, rebuild
+        knowledge from the shared arrays, score) reproduces the session's
+        own attacked scores bit for bit."""
+        import contextlib
+        import pickle
+
+        from repro.experiments import sweep as sweep_module
+
+        runner = tiny_simulation.sweep(workers=2)
+        segments, payload = runner._pool_payload()
+        saved_state = dict(sweep_module._WORKER_STATE)
+        worker_segments = []
+        try:
+            sweep_module._WORKER_STATE.clear()
+            # Round-trip through pickle exactly as the pool initargs would.
+            sweep_module._init_worker(pickle.loads(pickle.dumps(payload)))
+            worker_segments = sweep_module._WORKER_STATE.get(
+                "_shared_segments", []
+            )
+            point = SweepPoint("diff", "dec_bounded", 80.0, 0.1)
+            scores = sweep_module._score_point(point)
+            expected = tiny_simulation.attacked_scores(
+                point.metric,
+                point.attack,
+                degree_of_damage=point.degree_of_damage,
+                compromised_fraction=point.compromised_fraction,
+            )
+            np.testing.assert_array_equal(scores, expected)
+        finally:
+            sweep_module._WORKER_STATE.clear()
+            sweep_module._WORKER_STATE.update(saved_state)
+            for segment in worker_segments:
+                # The attached views were dropped with the state dict; a
+                # lingering export would raise BufferError, which only
+                # means the GC has not collected them yet.
+                with contextlib.suppress(BufferError):
+                    segment.close()
+            for segment in segments:
+                segment.close()
+                segment.unlink()
 
 
 class TestFigureIntegration:
