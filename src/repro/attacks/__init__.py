@@ -31,6 +31,11 @@ from repro.attacks.primitives import (
     RangeChangeAttack,
 )
 from repro.attacks.greedy import GreedyMetricMinimizer, taint_observation
+from repro.attacks.modality import (
+    ModalityAttack,
+    RssiAmplificationAttack,
+    TdoaTimingSkewAttack,
+)
 from repro.attacks.localization_attacks import (
     DisplacementAttack,
     BeaconLieAttack,
@@ -69,6 +74,9 @@ __all__ = [
     "RangeChangeAttack",
     "GreedyMetricMinimizer",
     "taint_observation",
+    "ModalityAttack",
+    "RssiAmplificationAttack",
+    "TdoaTimingSkewAttack",
     "DisplacementAttack",
     "BeaconLieAttack",
     "replay_beacon_attack",

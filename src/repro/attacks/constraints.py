@@ -61,6 +61,31 @@ class AttackClass(abc.ABC):
     #: Whether this class allows observation entries to increase.
     allows_increase: bool = True
 
+    #: Whether the class manipulates the victim's observation vector.  The
+    #: paper's Dec-* classes do (the greedy adversary optimises within
+    #: :meth:`entry_bounds`); physical-layer modality attacks
+    #: (:mod:`repro.attacks.modality`) leave the neighbour counts honest
+    #: and instead displace the localization result itself.
+    taints_observation: bool = True
+
+    #: The measurement modality the class manipulates (``"rssi"``,
+    #: ``"tdoa"``, ...), or ``None`` for the paper's modality-agnostic
+    #: observation attacks.
+    modality: Union[str, None] = None
+
+    def effective_damage(self, degree_of_damage: float, localizer=None) -> float:
+        """The localization displacement this class realises against *localizer*.
+
+        The paper's observation attacks spoof the declared position
+        directly, so the requested degree of damage ``D`` is achieved
+        verbatim (the default).  Modality-targeted attacks override this:
+        their displacement is capped by the physics of the manipulated
+        channel, and collapses to ``0`` against a localizer whose
+        :attr:`~repro.localization.base.LocalizationScheme.modalities` do
+        not include the attacked one.
+        """
+        return float(degree_of_damage)
+
     @abc.abstractmethod
     def is_feasible(
         self,

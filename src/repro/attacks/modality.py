@@ -1,0 +1,182 @@
+"""Modality-aware physical-layer attacks.
+
+The paper's Dec-Bounded/Dec-Only adversaries manipulate the victim's
+*observation vector* — they assume the attacker already controls the
+declared position and optimise the neighbour counts around it.  The
+attacks in this module model the opposite end of the spectrum: an
+adversary that attacks the localization *measurement channel* itself
+(amplifying beacon signals, skewing arrival timestamps) and cannot touch
+the neighbour counts at all.
+
+Two properties follow and both are encoded on the class:
+
+* ``taints_observation = False`` — the victim's observation stays honest;
+  the evaluation pipeline skips the greedy taint entirely.  Detection is
+  therefore *easier* than against a Dec-* adversary at equal displacement
+  — the interesting question is the displacement itself.
+* :meth:`~repro.attacks.constraints.AttackClass.effective_damage` gates
+  on the localizer: an RSSI amplifier displaces an RSSI path-loss
+  estimate but does nothing to DV-Hop's hop counts, and the realised
+  displacement is capped by the physics of the channel (dB of gain, ns of
+  skew) rather than the requested ``D``.  Sweeping the same attack over
+  every registered localizer yields the localizer × attack robustness
+  matrix (``figM``).
+
+The constraint-set interface is still honoured so the classes drop into
+every existing sweep axis: feasibility admits only the *unchanged*
+observation, and :meth:`entry_bounds` pins each entry to its honest value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.constraints import _FEASIBILITY_TOL, ATTACKS, AttackClass
+from repro.utils.validation import check_positive
+
+__all__ = ["ModalityAttack", "RssiAmplificationAttack", "TdoaTimingSkewAttack"]
+
+#: Default radio propagation speed (metres/second) converting timing skew
+#: into equivalent range error.
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+class ModalityAttack(AttackClass):
+    """Base class of physical-layer attacks on one measurement modality.
+
+    Subclasses define :attr:`modality` plus the physical knobs and
+    implement :meth:`max_displacement` — the largest localization error
+    the channel manipulation can induce.  Everything else (no observation
+    tainting, modality gating) is shared.
+    """
+
+    taints_observation = False
+    allows_increase = False
+
+    def max_displacement(self) -> float:
+        """Largest localization displacement the channel physics allow."""
+        raise NotImplementedError
+
+    def effective_damage(self, degree_of_damage: float, localizer=None) -> float:
+        damage = float(degree_of_damage)
+        if localizer is not None and self.modality not in getattr(
+            localizer, "modalities", ()
+        ):
+            # The target scheme never reads the attacked channel: the
+            # manipulation displaces nothing.
+            return 0.0
+        return min(damage, self.max_displacement())
+
+    def is_feasible(
+        self,
+        honest_observation,
+        tainted_observation,
+        budget,
+        *,
+        group_size=None,
+    ):
+        a = np.asarray(honest_observation, dtype=np.float64)
+        o = np.asarray(tainted_observation, dtype=np.float64)
+        if a.shape != o.shape:
+            raise ValueError("observations must have the same shape")
+        # The channel attacker has no handle on neighbour counts: only the
+        # honest observation itself is reachable.
+        return bool(np.all(np.abs(a - o) <= _FEASIBILITY_TOL))
+
+    def entry_bounds(self, honest_observation, budget, *, group_size=None):
+        a = np.asarray(honest_observation, dtype=np.float64)
+        return a.copy(), a.copy()
+
+
+@ATTACKS.register("rssi_amplification")
+class RssiAmplificationAttack(ModalityAttack):
+    """Beacon-signal amplification against RSSI ranging.
+
+    An attacker re-radiating (or attenuating) beacon transmissions shifts
+    every reading by ``gain_db``; under the log-distance model a reading
+    off by ``G`` dB mis-ranges a beacon at distance ``d`` to
+    ``d * 10^(G / (10 eta))``.  Evaluated at the typical beacon distance
+    ``reference_range``, the inducible localization error is capped at
+    ``reference_range * (10^(gain_db / (10 * path_loss_exponent)) - 1)``.
+
+    Parameters
+    ----------
+    gain_db:
+        Magnitude of the signal-strength manipulation in dB.
+    path_loss_exponent:
+        Path-loss exponent ``eta`` of the attacked radio environment.
+    reference_range:
+        Typical beacon distance (metres) the gain is converted at —
+        usually the beacon transmit range.
+    """
+
+    name = "rssi_amp"
+    paper_name = "RSSI Amplification"
+    modality = "rssi"
+
+    def __init__(
+        self,
+        gain_db: float = 6.0,
+        path_loss_exponent: float = 2.0,
+        reference_range: float = 250.0,
+    ):
+        self.gain_db = check_positive("gain_db", gain_db)
+        self.path_loss_exponent = check_positive(
+            "path_loss_exponent", path_loss_exponent
+        )
+        self.reference_range = check_positive("reference_range", reference_range)
+
+    def max_displacement(self) -> float:
+        stretch = 10.0 ** (self.gain_db / (10.0 * self.path_loss_exponent)) - 1.0
+        return self.reference_range * stretch
+
+    def __repr__(self) -> str:
+        # Parameterised (unlike the stateless Dec-* classes): the knobs
+        # change results, so they must reach the artifact fingerprints.
+        return (
+            f"{type(self).__name__}(gain_db={self.gain_db!r}, "
+            f"path_loss_exponent={self.path_loss_exponent!r}, "
+            f"reference_range={self.reference_range!r})"
+        )
+
+
+@ATTACKS.register("tdoa_timing_skew")
+class TdoaTimingSkewAttack(ModalityAttack):
+    """Arrival-timestamp skew against TDOA ranging.
+
+    Delaying (or replaying) beacon transmissions by ``skew_ns``
+    nanoseconds shifts the corresponding range differences by
+    ``skew_ns * propagation_speed`` metres — the cap on the inducible
+    localization error.
+
+    Parameters
+    ----------
+    skew_ns:
+        Magnitude of the timing manipulation in nanoseconds.
+    propagation_speed:
+        Signal propagation speed in metres/second (RF defaults to the
+        speed of light; acoustic deployments pass ~343).
+    """
+
+    name = "tdoa_skew"
+    paper_name = "TDOA Timing Skew"
+    modality = "tdoa"
+
+    def __init__(
+        self,
+        skew_ns: float = 500.0,
+        propagation_speed: float = SPEED_OF_LIGHT,
+    ):
+        self.skew_ns = check_positive("skew_ns", skew_ns)
+        self.propagation_speed = check_positive(
+            "propagation_speed", propagation_speed
+        )
+
+    def max_displacement(self) -> float:
+        return self.skew_ns * 1e-9 * self.propagation_speed
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(skew_ns={self.skew_ns!r}, "
+            f"propagation_speed={self.propagation_speed!r})"
+        )

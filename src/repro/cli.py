@@ -282,8 +282,8 @@ def _add_localizer_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help=(
             "localization scheme used for threshold training "
-            "(e.g. beaconless, centroid, mmse, dvhop, apit); replaces any "
-            "localizer axis in the spec"
+            "(e.g. beaconless, centroid, mmse, dvhop, apit, rssi, tdoa); "
+            "replaces any localizer axis in the spec"
         ),
     )
     group.add_argument(
@@ -310,6 +310,30 @@ def _add_localizer_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--beacon-seed", type=int, default=None, help="beacon placement seed"
     )
+    group.add_argument(
+        "--beacon-tx-power",
+        type=float,
+        default=None,
+        help="beacon transmit power at 1 m (dBm) for the RSSI scheme",
+    )
+    group.add_argument(
+        "--beacon-path-loss",
+        type=float,
+        default=None,
+        help="path-loss exponent eta of the RSSI log-distance model",
+    )
+    group.add_argument(
+        "--beacon-compromised",
+        type=float,
+        default=None,
+        help="fraction of beacons declaring a false position",
+    )
+    group.add_argument(
+        "--beacon-compromise-displacement",
+        type=float,
+        default=None,
+        help="how far (m) each compromised beacon's declared position lies",
+    )
 
 
 def _apply_localizer_overrides(spec, args):
@@ -328,6 +352,10 @@ def _apply_localizer_overrides(spec, args):
             ("transmit_range", args.beacon_range),
             ("noise_std", args.beacon_noise),
             ("seed", args.beacon_seed),
+            ("tx_power_dbm", args.beacon_tx_power),
+            ("path_loss_exponent", args.beacon_path_loss),
+            ("compromised", args.beacon_compromised),
+            ("compromise_displacement", args.beacon_compromise_displacement),
         )
         if value is not None
     }
@@ -462,7 +490,17 @@ def build_parser() -> argparse.ArgumentParser:
     fig.set_defaults(func=_cmd_figure)
     fig.add_argument(
         "figure_id",
-        choices=["fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "figl", "figt"],
+        choices=[
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "figl",
+            "figm",
+            "figt",
+        ],
     )
 
     sweep = sub.add_parser(

@@ -138,6 +138,7 @@ def attacked_scores_from_observations(
     degree_of_damage: float = 120.0,
     compromised_fraction: float = 0.10,
     rng=None,
+    localizer=None,
 ) -> np.ndarray:
     """Attacked anomaly scores from pre-computed honest observations.
 
@@ -154,8 +155,9 @@ def attacked_scores_from_observations(
         Honest observation vectors ``a``, shape ``(k, n_groups)``.
     actual_locations:
         The victims' actual locations ``L_a``, shape ``(k, 2)``.
-    metric, attack_class, degree_of_damage, compromised_fraction, rng:
-        As in :func:`attacked_scores_for_victims`.
+    metric, attack_class, degree_of_damage, compromised_fraction, rng, localizer:
+        As in :func:`attacked_scores_for_victims` /
+        :func:`attack_observations`.
     """
     metric = resolve_metric(metric)
     tainted, spoofed, expected = attack_observations(
@@ -167,6 +169,7 @@ def attacked_scores_from_observations(
         degree_of_damage=degree_of_damage,
         compromised_fraction=compromised_fraction,
         rng=rng,
+        localizer=localizer,
     )
     scores = metric.compute(tainted, expected, group_size=knowledge.group_size)
     return np.asarray(scores, dtype=np.float64)
@@ -182,6 +185,7 @@ def attack_observations(
     degree_of_damage: float = 120.0,
     compromised_fraction: float = 0.10,
     rng=None,
+    localizer=None,
 ):
     """Run one attack and return its raw claim material.
 
@@ -193,6 +197,14 @@ def attack_observations(
     the online detector (see :meth:`LadSession.attacked_claims
     <repro.experiments.session.LadSession.attacked_claims>`), the third
     is the ``µ`` at the spoofed locations that scoring reuses.
+
+    *localizer* is the localization scheme under attack (or ``None`` for
+    the abstract D-attack).  The paper's Dec-* classes ignore it;
+    modality-targeted classes (:mod:`repro.attacks.modality`) use it to
+    gate their displacement — an RSSI amplifier displaces nothing under a
+    hop-count scheme — and, because they attack the measurement channel
+    rather than the neighbour protocol, skip the greedy observation taint
+    entirely (``taints_observation = False``).
     """
     from repro.attacks.base import AttackBudget
     from repro.attacks.constraints import resolve_attack_class
@@ -210,11 +222,15 @@ def attack_observations(
     if honest.ndim != 2 or actual.shape != (honest.shape[0], 2):
         raise ValueError("honest_observations and actual_locations shapes disagree")
 
-    displacement = DisplacementAttack(degree_of_damage)
+    damage = attack_class.effective_damage(degree_of_damage, localizer)
+    displacement = DisplacementAttack(damage)
     spoofed = displacement.spoof_locations(
         actual, generator, region=knowledge.region
     )
     expected = knowledge.expected_observation(spoofed)
+    if not attack_class.taints_observation:
+        # Physical-layer adversary: the neighbour counts stay honest.
+        return honest.copy(), spoofed, expected
     adversary = GreedyMetricMinimizer(metric=metric, attack_class=attack_class)
     budgets = [
         AttackBudget.from_fraction(int(round(count)), compromised_fraction)
@@ -237,6 +253,7 @@ def attacked_scores_for_victims(
     compromised_fraction: float = 0.10,
     index: Optional[NeighborIndex] = None,
     rng=None,
+    localizer=None,
 ) -> np.ndarray:
     """Anomaly scores of attacked victims (Section 7.1 procedure).
 
@@ -262,6 +279,10 @@ def attacked_scores_for_victims(
         Optional pre-built neighbour index for *network*.
     rng:
         Seed or generator.
+    localizer:
+        The localization scheme under attack (modality-targeted attack
+        classes gate their displacement on it; ``None`` = abstract
+        D-attack).
     """
     idx = index or NeighborIndex(network)
     victims = np.asarray(victims, dtype=np.int64)
@@ -276,6 +297,7 @@ def attacked_scores_for_victims(
         degree_of_damage=degree_of_damage,
         compromised_fraction=compromised_fraction,
         rng=rng,
+        localizer=localizer,
     )
 
 

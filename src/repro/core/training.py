@@ -167,6 +167,7 @@ def collect_training_data(
                     knowledge=knowledge,
                     noise_std=beacon_noise_std,
                     rng=generator_rng,
+                    nodes=nodes,
                 )
             else:
                 contexts = [

@@ -60,7 +60,7 @@ from repro.core.metrics import resolve_metric
 from repro.core.verdict import Verdict, verdicts_from_scores
 from repro.events.engine import EventEngine
 from repro.events.timeline import TimelineSpec
-from repro.experiments.sweep import FAN_OUT_ERRORS, SweepPoint
+from repro.experiments.sweep import FAN_OUT_ERRORS, LocalizerModalities, SweepPoint
 from repro.network.neighbors import NeighborIndex
 from repro.utils.rng import RandomState
 
@@ -288,6 +288,7 @@ def _simulate_point(
     seed: Optional[int],
     timeline: TimelineSpec,
     point: SweepPoint,
+    localizer=None,
 ) -> Dict[str, np.ndarray]:
     """Run one sweep point through the timeline; returns the raw epoch record.
 
@@ -366,6 +367,7 @@ def _simulate_point(
                 degree_of_damage=point.degree_of_damage,
                 compromised_fraction=point.compromised_fraction,
                 rng=rng_attack,
+                localizer=localizer,
             )
             attack_scores = np.asarray(
                 metric.compute(
@@ -652,6 +654,7 @@ def _simulate_point_worker(point: SweepPoint) -> Dict[str, np.ndarray]:
         state["seed"],
         state["timeline"],
         point,
+        localizer=state.get("localizer_view"),
     )
 
 
@@ -692,6 +695,18 @@ class TemporalRunner:
         if self._world is None:
             self._world = TemporalWorld.from_session(self._session)
         return self._world
+
+    def _localizer_view(self) -> LocalizerModalities:
+        """The session localizer's modality tag, in picklable form.
+
+        Modality-targeted attack classes gate their displacement on it;
+        serial and worker paths receive the same view so they stay
+        bit-identical.
+        """
+        localizer = self._session.localizer
+        return LocalizerModalities(
+            modalities=tuple(localizer.modalities), name=localizer.name
+        )
 
     def run(
         self, point: SweepPoint, *, false_positive_rate: float = 0.01
@@ -766,6 +781,7 @@ class TemporalRunner:
                         session.config.seed,
                         self._timeline,
                         point,
+                        localizer=self._localizer_view(),
                     )
                 if store is not None and keys[i] is not None:
                     store.save(
@@ -806,6 +822,7 @@ class TemporalRunner:
                 self._session.config.seed,
                 self._timeline,
                 point,
+                localizer=self._localizer_view(),
             )
 
     def _iter_parallel(
@@ -820,6 +837,7 @@ class TemporalRunner:
             "num_victims": session.config.num_victims,
             "victims_per_network": session.config.victims_per_network,
             "timeline": self._timeline,
+            "localizer_view": self._localizer_view(),
         }
         with ProcessPoolExecutor(
             max_workers=self._workers,

@@ -15,7 +15,8 @@ statistical quality).
 
 Use :func:`get_figure` / :func:`run_figure` to look figures up by id
 (``"fig4"`` … ``"fig9"``, plus ``"figl"`` — this reproduction's own
-cross-localizer comparison — and ``"figt"`` — the temporal
+cross-localizer comparison — ``"figm"`` — the localizer × attack
+robustness matrix — and ``"figt"`` — the temporal
 delivery/detection-rate-over-time figure); :data:`FIGURE_SPECS` maps ids to their spec
 builders (e.g. to write them out as TOML files for ``lad-repro sweep``)
 and :data:`FIGURE_RENDERERS` to their ``render(spec, ...)`` functions —
@@ -35,6 +36,7 @@ from repro.experiments.figures import (
     fig8,
     fig9,
     figl,
+    figm,
     figt,
 )
 from repro.experiments.figures.common import run_figure_spec
@@ -49,6 +51,7 @@ __all__ = [
     "fig8",
     "fig9",
     "figl",
+    "figm",
     "figt",
     "FIGURES",
     "FIGURE_SPECS",
@@ -67,6 +70,7 @@ FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig8": fig8.run,
     "fig9": fig9.run,
     "figl": figl.run,
+    "figm": figm.run,
     "figt": figt.run,
 }
 
@@ -79,6 +83,7 @@ FIGURE_SPECS: Dict[str, Callable[..., ScenarioSpec]] = {
     "fig8": fig8.spec,
     "fig9": fig9.spec,
     "figl": figl.spec,
+    "figm": figm.spec,
     "figt": figt.spec,
 }
 
@@ -93,6 +98,7 @@ FIGURE_RENDERERS: Dict[str, Callable[..., FigureResult]] = {
     "fig8": fig8.render,
     "fig9": fig9.render,
     "figl": figl.render,
+    "figm": figm.render,
     "figt": figt.render,
 }
 

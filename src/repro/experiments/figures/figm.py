@@ -1,25 +1,28 @@
-"""Figure L — Detection rate vs degree of damage per localization scheme.
+"""Figure M — The localizer × attack robustness matrix.
 
-A cross-localizer comparison that is not in the paper but directly supports
-its Section 7.2 discussion: LAD is agnostic to the localization scheme, and
-the trained thresholds absorb each scheme's own benign error.  This figure
-trains LAD behind every scheme on the ``localizers`` axis (beacon-based
-schemes get the scenario's ``[beacons]`` infrastructure) and reads the
-detection rate at a fixed false-positive budget across the degree of
-damage — one curve per scheme, one panel per compromise fraction.
+Figure L compares every localization scheme under the *one* abstract
+Dec-Bounded adversary.  This figure generalises that comparison into a
+full matrix: every scheme on the ``localizers`` axis is trained
+independently and then evaluated against every attack class on the
+``attacks`` axis — the paper's observation-tainting adversaries *and*
+the modality-targeted physical-layer attacks of
+:mod:`repro.attacks.modality`.  One panel per attack class, one curve
+per scheme, detection rate over the degree of damage.
 
-Each localizer needs its own threshold-training pass (that is what makes
-the comparison meaningful), so the localizer axis dominates the cost; with
-``density_workers`` it fans out across worker processes exactly like the
-density axis of Figure 9, and with an artifact store attached every
-scheme's trained state persists independently (the artifact keys carry the
-localizer identity and the beacon fingerprint, so the schemes never share
-warm artifacts).
+The matrix makes the modality gating visible: an RSSI amplifier read
+against DV-Hop produces a flat zero-displacement row (nothing to
+detect — the attack is futile against that scheme), while the same
+attack against the RSSI path-loss scheme displaces up to its physical
+cap and is caught essentially immediately because the victim's
+observation stays honest.  The Dec-* columns reproduce Figure L's
+ordering for every scheme including the new RSSI/TDOA localizers.
 
-Expected qualitative outcome: the coarser a scheme's benign localization
-error, the looser its trained thresholds and the lower its detection rate
-at small D — the beaconless MLE detects the earliest, the coarse range-free
-baselines the latest.
+Cost scales as ``len(localizers)`` training passes (each sweeping the
+full ``attacks × degrees × fractions`` grid); ``density_workers`` fans
+the localizer axis over worker processes exactly like Figure L, and an
+attached artifact store keeps every scheme's trained state under its
+own modality-aware beacon fingerprint — cross-scheme artifacts are
+never shared.
 """
 
 from __future__ import annotations
@@ -31,8 +34,7 @@ from typing import Dict, Optional, Sequence, Tuple
 from repro.core.evaluation import DetectionOutcome
 from repro.experiments.config import SimulationConfig
 from repro.experiments.figures.common import resolve_store_root
-from repro.localization.base import LOCALIZERS
-from repro.localization.beacons import BeaconSpec
+from repro.experiments.figures.figl import _effective_beacons
 from repro.experiments.results import FigureResult, PanelResult, SeriesResult
 from repro.experiments.scenario import ScenarioSpec
 from repro.experiments.session import LadSession
@@ -43,34 +45,40 @@ __all__ = [
     "render",
     "spec",
     "LOCALIZERS_COMPARED",
+    "ATTACKS_COMPARED",
     "DEGREES_OF_DAMAGE",
     "COMPROMISED_FRACTIONS",
     "FALSE_POSITIVE_RATE",
     "METRIC",
-    "ATTACK_CLASS",
 ]
 
-#: Localization schemes compared (one curve each).
+#: Localization schemes down the matrix (one curve each).
 LOCALIZERS_COMPARED: tuple[str, ...] = (
     "beaconless",
     "centroid",
     "mmse",
     "dvhop",
     "apit",
+    "rssi",
+    "tdoa",
 )
 
-#: Degrees of damage along the x axis.
-DEGREES_OF_DAMAGE: tuple[float, ...] = (40.0, 80.0, 120.0, 160.0)
+#: Attack classes across the matrix (one panel each): the paper's
+#: strongest observation-tainting adversary plus both modality attacks.
+ATTACKS_COMPARED: tuple[str, ...] = ("dec_bounded", "rssi_amp", "tdoa_skew")
 
-#: Compromise fractions (one panel each).
+#: Degrees of damage along the x axis.
+DEGREES_OF_DAMAGE: tuple[float, ...] = (80.0, 160.0)
+
+#: Compromise fractions (the detection-side ``x``; modality attacks
+#: ignore it — they never touch the observation).
 COMPROMISED_FRACTIONS: tuple[float, ...] = (0.10,)
 
 #: False-positive budget at which the detection rate is read.
 FALSE_POSITIVE_RATE: float = 0.01
 
-#: Detection metric and attack class of the figure.
+#: Detection metric of the matrix.
 METRIC: str = "diff"
-ATTACK_CLASS: str = "dec_bounded"
 
 
 def spec(
@@ -78,16 +86,17 @@ def spec(
     scale: float = 1.0,
     *,
     localizers: Sequence[str] = LOCALIZERS_COMPARED,
+    attacks: Sequence[str] = ATTACKS_COMPARED,
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     fractions: Sequence[float] = COMPROMISED_FRACTIONS,
     false_positive_rate: float = FALSE_POSITIVE_RATE,
 ) -> ScenarioSpec:
     """The figure's evaluation as a declarative scenario."""
     return ScenarioSpec(
-        name="figl",
-        description="Detection rate vs degree of damage per localization scheme",
+        name="figm",
+        description="Localizer x attack robustness matrix",
         metrics=(METRIC,),
-        attacks=(ATTACK_CLASS,),
+        attacks=tuple(attacks),
         degrees=tuple(degrees),
         fractions=tuple(fractions),
         localizers=tuple(localizers),
@@ -96,32 +105,16 @@ def spec(
     ).scaled(scale)
 
 
-def _effective_beacons(scenario: ScenarioSpec) -> Optional[dict]:
-    """The beacon spec the sessions will actually deploy (for reporting).
-
-    Sessions running a beacon-based scheme fall back to the
-    :class:`BeaconSpec` defaults when the scenario carries none, so the
-    figure parameters record that effective spec instead of ``None``.
-    """
-    if scenario.beacons is not None:
-        return scenario.beacons.as_dict()
-    needs_beacons = any(
-        LOCALIZERS.get(name).requires_beacons
-        for name in scenario.localizer_values()
-    )
-    return BeaconSpec().as_dict() if needs_beacons else None
-
-
 def _localizer_rates(
     args: Tuple[ScenarioSpec, str, Optional[str]],
 ) -> Tuple[str, Dict[SweepPoint, DetectionOutcome]]:
-    """Detection rates of one localization scheme (its own training pass).
+    """Detection rates of one scheme over the full attack grid.
 
-    Module-level so the localizer fan-out can ship it to worker processes;
-    every stream inside is derived from the config seed and parameter
-    names, so the result is independent of where the schemes run.  Workers
-    re-open the artifact store by path (counters stay per-process, content
-    is shared).
+    Module-level so the localizer fan-out can ship it to worker
+    processes; every stream inside is derived from the config seed and
+    parameter names, so the result is independent of where the schemes
+    run.  Workers re-open the artifact store by path (counters stay
+    per-process, content is shared).
     """
     scenario, localizer, store_root = args
     session = scenario.session(localizer=localizer, store=store_root)
@@ -139,33 +132,34 @@ def render(
     density_workers: int = 0,
     store=None,
 ) -> FigureResult:
-    """Render figure L from an already-built scenario spec.
+    """Render figure M from an already-built scenario spec.
 
     The *session* argument is ignored (each localizer needs its own
-    threshold training); it is accepted for interface uniformity with the
-    other figure renderers.
+    threshold training); it is accepted for interface uniformity with
+    the other figure renderers.
 
     Parameters
     ----------
     workers:
-        Worker processes for the per-scheme ``(D, x)`` sweep (only used
-        when ``density_workers`` is off).
+        Worker processes for the per-scheme attack-grid sweep (only
+        used when ``density_workers`` is off).
     density_workers:
         When ``> 1``, fan the *localizer axis* over this many worker
         processes instead — every scheme's training pass is independent,
-        which is the axis worth parallelising here.  Results are identical
-        to the serial run; platforms without process support fall back to
-        the serial path with a warning.
+        which is the axis worth parallelising here.  Results are
+        identical to the serial run; platforms without process support
+        fall back to the serial path with a warning.
     """
     del session
 
     figure = FigureResult(
-        figure_id="figl",
-        title="Detection rate vs degree of damage per localization scheme",
+        figure_id="figm",
+        title="Localizer x attack robustness matrix",
         parameters={
             "false_positive_rate": scenario.false_positive_rate,
             "metric": scenario.metrics[0],
-            "attack": scenario.attacks[0],
+            "attacks": list(scenario.attacks),
+            "localizers": list(scenario.localizer_values()),
             "beacons": _effective_beacons(scenario),
         },
     )
@@ -202,32 +196,36 @@ def render(
                 false_positive_rate=scenario.false_positive_rate,
             )
 
-    for fraction in scenario.fractions:
-        panel = PanelResult(
-            title=f"x={int(round(fraction * 100))}%",
-            x_label="D-Degree of Damage (m)",
-            y_label="DR-Detection Rate",
-        )
-        for localizer in scenario.localizer_values():
-            rates = [
-                rates_at[localizer][
-                    SweepPoint(
-                        scenario.metrics[0],
-                        scenario.attacks[0],
-                        float(degree),
-                        float(fraction),
-                    )
-                ].detection_rate
-                for degree in scenario.degrees
-            ]
-            panel.add_series(
-                SeriesResult(
-                    label=localizer,
-                    x=[float(degree) for degree in scenario.degrees],
-                    y=rates,
-                )
+    for attack in scenario.attacks:
+        for fraction in scenario.fractions:
+            title = f"attack={attack}"
+            if len(scenario.fractions) > 1:
+                title += f", x={int(round(fraction * 100))}%"
+            panel = PanelResult(
+                title=title,
+                x_label="D-Degree of Damage (m)",
+                y_label="DR-Detection Rate",
             )
-        figure.add_panel(panel)
+            for localizer in scenario.localizer_values():
+                rates = [
+                    rates_at[localizer][
+                        SweepPoint(
+                            scenario.metrics[0],
+                            attack,
+                            float(degree),
+                            float(fraction),
+                        )
+                    ].detection_rate
+                    for degree in scenario.degrees
+                ]
+                panel.add_series(
+                    SeriesResult(
+                        label=localizer,
+                        x=[float(degree) for degree in scenario.degrees],
+                        y=rates,
+                    )
+                )
+            figure.add_panel(panel)
     return figure
 
 
@@ -237,6 +235,7 @@ def run(
     scale: float = 1.0,
     *,
     localizers: Sequence[str] = LOCALIZERS_COMPARED,
+    attacks: Sequence[str] = ATTACKS_COMPARED,
     degrees: Sequence[float] = DEGREES_OF_DAMAGE,
     fractions: Sequence[float] = COMPROMISED_FRACTIONS,
     false_positive_rate: float = FALSE_POSITIVE_RATE,
@@ -244,12 +243,13 @@ def run(
     density_workers: int = 0,
     store=None,
 ) -> FigureResult:
-    """Reproduce figure L and return its series (see :func:`render`)."""
+    """Reproduce figure M and return its series (see :func:`render`)."""
     return render(
         spec(
             config,
             scale,
             localizers=localizers,
+            attacks=attacks,
             degrees=degrees,
             fractions=fractions,
             false_positive_rate=false_positive_rate,

@@ -285,7 +285,10 @@ class LadSession:
         """
         if not self._localizer.requires_beacons or self._beacon_spec is None:
             return None
-        return dict(self._beacon_spec.as_dict())
+        # Modality-aware: only the fields the localizer's modality consumes
+        # reach the keys, so e.g. re-tuning the RSSI radio model never
+        # invalidates a DV-Hop artifact (and legacy keys stay valid).
+        return dict(self._beacon_spec.fingerprint(self._localizer))
 
     def training_fingerprint(self) -> Dict[str, object]:
         """Everything the trained benign scores depend on.
@@ -647,6 +650,7 @@ class LadSession:
             degree_of_damage=degree_of_damage,
             compromised_fraction=compromised_fraction,
             rng=rng,
+            localizer=self._localizer,
         )
 
     def attacked_claims(
@@ -688,6 +692,7 @@ class LadSession:
             degree_of_damage=degree_of_damage,
             compromised_fraction=compromised_fraction,
             rng=rng,
+            localizer=self._localizer,
         )
         return [
             LocationClaim(

@@ -70,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover - imported for type checkers only
     from repro.experiments.session import LadSession
 
 __all__ = [
+    "LocalizerModalities",
     "SweepPoint",
     "SweepRunner",
     "attack_stream_name",
@@ -238,6 +239,22 @@ def _init_worker(payload: dict) -> None:
     _WORKER_STATE.update(state)
 
 
+@dataclass(frozen=True)
+class LocalizerModalities:
+    """Picklable stand-in for a localization scheme in the worker payload.
+
+    Modality-targeted attack classes only consult the scheme's
+    ``modalities`` tag (to decide whether the attacked channel feeds the
+    scheme at all), so the pool ships this two-field view instead of the
+    scheme itself — schemes may hold process-local backend state that must
+    not cross process boundaries.  Serial and parallel paths therefore see
+    the same modality decision, keeping them bit-identical.
+    """
+
+    modalities: tuple = ()
+    name: str = ""
+
+
 def _score_point(point: SweepPoint) -> np.ndarray:
     """Attacked scores for one combination, from the worker's shared state."""
     state = _WORKER_STATE
@@ -251,6 +268,7 @@ def _score_point(point: SweepPoint) -> np.ndarray:
         degree_of_damage=point.degree_of_damage,
         compromised_fraction=point.compromised_fraction,
         rng=rng,
+        localizer=state.get("localizer_view"),
     )
 
 
@@ -514,6 +532,10 @@ class SweepRunner:
             "knowledge_skeleton": knowledge_skeleton,
             "backend_spec": session.backend_spec,
             "shared_arrays": shared_arrays,
+            "localizer_view": LocalizerModalities(
+                modalities=tuple(session.localizer.modalities),
+                name=session.localizer.name,
+            ),
         }
         return segments, payload
 

@@ -21,6 +21,8 @@ from repro.localization.centroid import CentroidLocalizer
 from repro.localization.multilateration import MmseMultilaterationLocalizer
 from repro.localization.dvhop import DvHopLocalizer
 from repro.localization.apit import ApitLocalizer
+from repro.localization.rssi import RssiPathLossLocalizer
+from repro.localization.tdoa import TdoaMultilaterationLocalizer
 from repro.localization.beacons import BeaconSpec, beacon_contexts
 from repro.localization.errors import (
     localization_error,
@@ -57,6 +59,8 @@ __all__ = [
     "MmseMultilaterationLocalizer",
     "DvHopLocalizer",
     "ApitLocalizer",
+    "RssiPathLossLocalizer",
+    "TdoaMultilaterationLocalizer",
     "localization_error",
     "localization_errors",
     "is_anomaly",

@@ -54,6 +54,7 @@ class ApitLocalizer(LocalizationScheme):
     max_triangles: int = 120
     name: str = "apit"
     requires_beacons = True
+    modalities = ("proximity",)
 
     def __post_init__(self) -> None:
         check_positive("grid_resolution", self.grid_resolution)

@@ -64,16 +64,27 @@ class BeaconInfrastructure:
         high-power transmitters, so this can exceed the sensor range).
     compromised:
         Boolean mask of compromised beacons.
+    tx_power_dbm:
+        RSSI reference power: the received signal strength (dBm) measured
+        one metre from a beacon.  Only the RSSI path-loss scheme reads it.
+    path_loss_exponent:
+        Log-distance path-loss exponent ``eta`` (2.0 = free space; indoor
+        and cluttered deployments use larger values).
     """
 
     positions: np.ndarray
     transmit_range: float = 250.0
     declared_positions: Optional[np.ndarray] = None
     compromised: Optional[np.ndarray] = None
+    tx_power_dbm: float = -59.0
+    path_loss_exponent: float = 2.0
 
     def __post_init__(self) -> None:
         self.positions = as_points(self.positions)
         check_positive("transmit_range", self.transmit_range)
+        check_positive("path_loss_exponent", self.path_loss_exponent)
+        if not np.isfinite(self.tx_power_dbm):
+            raise ValueError("tx_power_dbm must be finite")
         if self.declared_positions is None:
             self.declared_positions = self.positions.copy()
         else:
@@ -129,6 +140,72 @@ class BeaconInfrastructure:
         dist = np.hypot(diff[:, 0], diff[:, 1])
         return self.apply_measurement_noise(dist, rng=rng, noise_std=noise_std)
 
+    #: Minimum distance (metres) the log-distance path-loss model
+    #: evaluates at — readings inside the reference distance saturate
+    #: instead of diverging to ``+inf`` dB at ``d = 0``.
+    RSSI_REFERENCE_DISTANCE = 1.0
+
+    def rssi_from_distance(self, distances: np.ndarray) -> np.ndarray:
+        """Noise-free received signal strength (dBm) at *distances* metres.
+
+        The log-distance path-loss model
+        ``rssi(d) = tx_power_dbm - 10 * eta * log10(d)`` with readings
+        saturating at the one-metre reference distance.
+        """
+        d = np.maximum(
+            np.asarray(distances, dtype=np.float64), self.RSSI_REFERENCE_DISTANCE
+        )
+        return self.tx_power_dbm - 10.0 * self.path_loss_exponent * np.log10(d)
+
+    def distance_from_rssi(self, rssi: np.ndarray) -> np.ndarray:
+        """Invert :meth:`rssi_from_distance`: log-distance range estimates.
+
+        Shadowing noise applied in the dB domain therefore turns into
+        log-normally distributed range errors — the "noisy log-distance
+        ranges" the RSSI scheme multilaterates over.
+        """
+        exponent = (self.tx_power_dbm - np.asarray(rssi, dtype=np.float64)) / (
+            10.0 * self.path_loss_exponent
+        )
+        return np.power(10.0, exponent)
+
+    @staticmethod
+    def apply_rssi_noise(
+        rssi: np.ndarray, rng=None, noise_db: float = 0.0
+    ) -> np.ndarray:
+        """The shared RSSI shadowing model: additive Gaussian noise in dB.
+
+        Unlike :meth:`apply_measurement_noise` the readings are *not*
+        clipped — signal strength is a log quantity and may take any value.
+        """
+        if noise_db <= 0.0:
+            return rssi
+        if rng is None:
+            raise ValueError("rng is required when noise_std > 0")
+        return rssi + rng.normal(0.0, noise_db, size=np.shape(rssi))
+
+    @staticmethod
+    def range_differences(
+        distances: np.ndarray, rng=None, noise_std: float = 0.0
+    ) -> np.ndarray:
+        """TDOA range differences relative to the first (reference) entry.
+
+        Models per-receiver arrival-time jitter: each distance gets one
+        additive Gaussian draw (``noise_std`` metres of equivalent range
+        error, exactly one draw per entry so rng ordering is pinnable),
+        then differences are taken against the first entry.  The reference
+        entry is exactly ``0.0`` by construction; differences may be
+        negative, so no clipping is applied.
+        """
+        d = np.asarray(distances, dtype=np.float64)
+        if noise_std > 0.0:
+            if rng is None:
+                raise ValueError("rng is required when noise_std > 0")
+            d = d + rng.normal(0.0, noise_std, size=d.shape)
+        if d.size == 0:
+            return d
+        return d - d[0]
+
     def declare_false_position(self, beacon: int, position) -> None:
         """Make beacon *beacon* announce a false *position* (compromise)."""
         self.declared_positions[int(beacon)] = as_point(position)
@@ -155,6 +232,13 @@ class LocalizationContext:
         beacons.
     measured_distances:
         Estimated distances to the audible beacons (range-based schemes).
+    measured_rssi:
+        Received signal strength (dBm) from the audible beacons (RSSI
+        path-loss schemes); shadowing noise lives in the dB domain.
+    tdoa_differences:
+        Range differences (metres) of the audible beacons relative to the
+        first audible beacon (TDOA schemes); the reference entry is
+        exactly ``0.0`` and other entries may be negative.
     hop_counts:
         Hop counts to every beacon (DV-Hop).
     avg_hop_distance:
@@ -169,6 +253,8 @@ class LocalizationContext:
     beacons: Optional[BeaconInfrastructure] = None
     audible_beacons: Optional[np.ndarray] = None
     measured_distances: Optional[np.ndarray] = None
+    measured_rssi: Optional[np.ndarray] = None
+    tdoa_differences: Optional[np.ndarray] = None
     hop_counts: Optional[np.ndarray] = None
     avg_hop_distance: Optional[float] = None
     true_position: Optional[np.ndarray] = None
@@ -256,10 +342,28 @@ class LocalizationScheme(abc.ABC):
     #: schemes); context builders only draw measurement noise for these.
     uses_ranges: bool = False
 
+    #: Whether the scheme consumes ``measured_rssi`` (RSSI path-loss
+    #: schemes); context builders draw shadowing noise in the dB domain
+    #: for these instead of additive range noise.
+    uses_rssi: bool = False
+
+    #: Whether the scheme consumes ``tdoa_differences`` (time-difference
+    #: schemes); context builders draw per-beacon arrival jitter and take
+    #: differences against the first audible beacon for these.
+    uses_tdoa: bool = False
+
     #: Whether the scheme consumes ``hop_counts``/``avg_hop_distance``
     #: (DV-Hop-style schemes); context builders run the flooding phase
     #: over the network once per deployment for these.
     uses_hops: bool = False
+
+    #: Measurement modalities the scheme's estimate depends on.  Modality-
+    #: aware attacks (:mod:`repro.attacks.modality`) consult this tag to
+    #: decide whether a physical-layer attack can displace the scheme's
+    #: estimate at all — an RSSI amplifier does nothing to a hop-count
+    #: localizer.  Schemes that do not declare any modality are immune to
+    #: every modality-targeted attack.
+    modalities: tuple = ()
 
     @abc.abstractmethod
     def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:

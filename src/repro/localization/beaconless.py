@@ -124,6 +124,7 @@ class BeaconlessLocalizer(LocalizationScheme):
     tier_stride: int = 4
 
     name: str = "beaconless-mle"
+    modalities = ("observation",)
 
     def __post_init__(self) -> None:
         check_positive("search_margin", self.search_margin)

@@ -37,7 +37,7 @@ from repro.localization.base import (
 )
 from repro.localization.dvhop import average_hop_distance, compute_hop_profile
 from repro.types import Region
-from repro.utils.validation import check_int, check_positive
+from repro.utils.validation import check_fraction, check_int, check_positive
 
 __all__ = ["BeaconSpec", "BEACON_LAYOUTS", "beacon_contexts"]
 
@@ -62,24 +62,57 @@ class BeaconSpec:
         high-power transmitters, so this exceeds the sensor range).
     noise_std:
         Standard deviation of the additive Gaussian error on distance
-        measurements (range-based schemes); ``0`` measures exactly.
+        measurements (range-based schemes); ``0`` measures exactly.  The
+        RSSI scheme interprets the same knob in the dB domain (log-normal
+        shadowing) and the TDOA scheme as per-receiver arrival jitter in
+        metres of equivalent range.
     seed:
-        Placement seed.  Only the ``random`` layout consumes randomness,
-        but the seed is part of the fingerprint for every layout so two
-        specs that differ only here never share cached artifacts.
+        Placement seed.  Only the ``random`` layout and the beacon-
+        compromise draw consume randomness, but the seed is part of the
+        fingerprint for every layout so two specs that differ only here
+        never share cached artifacts.  ``None`` normalises to ``0`` so a
+        standalone :meth:`build` stays deterministic (and the fingerprint
+        stable) even when a caller passes no seed explicitly.
+    tx_power_dbm:
+        RSSI reference power (dBm at one metre) announced by every beacon;
+        consumed only by RSSI path-loss schemes.
+    path_loss_exponent:
+        Log-distance path-loss exponent ``eta`` of the RSSI model.
+    compromised:
+        Fraction of beacons compromised at build time: each drawn beacon
+        declares a false position ``compromise_displacement`` metres from
+        its true one (via
+        :meth:`~repro.localization.base.BeaconInfrastructure.declare_false_position`),
+        so beacon-based schemes train and evaluate against lying anchors.
+    compromise_displacement:
+        Distance (metres) between a compromised beacon's true and declared
+        positions.
     """
 
     count: int = 16
     layout: str = "grid"
     transmit_range: float = 250.0
     noise_std: float = 0.0
-    seed: int = 0
+    seed: Optional[int] = 0
+    tx_power_dbm: float = -59.0
+    path_loss_exponent: float = 2.0
+    compromised: float = 0.0
+    compromise_displacement: float = 400.0
 
     def __post_init__(self) -> None:
+        if self.seed is None:
+            # Default rather than fall through to an OS-entropy generator:
+            # placements (and therefore cache fingerprints) must be stable.
+            object.__setattr__(self, "seed", 0)
         check_int("count", self.count, minimum=1)
         check_positive("transmit_range", self.transmit_range)
         check_positive("noise_std", self.noise_std, strict=False)
         check_int("seed", self.seed)
+        check_positive("path_loss_exponent", self.path_loss_exponent)
+        check_fraction("compromised", self.compromised)
+        check_positive("compromise_displacement", self.compromise_displacement)
+        if not np.isfinite(self.tx_power_dbm):
+            raise ValueError("tx_power_dbm must be finite")
         if self.layout not in BEACON_LAYOUTS:
             raise ValueError(
                 f"unknown beacon layout {self.layout!r}; "
@@ -95,7 +128,17 @@ class BeaconSpec:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "BeaconSpec":
         """Rebuild a spec from its :meth:`as_dict` form (typos raise)."""
-        known = {"count", "layout", "transmit_range", "noise_std", "seed"}
+        known = {
+            "count",
+            "layout",
+            "transmit_range",
+            "noise_std",
+            "seed",
+            "tx_power_dbm",
+            "path_loss_exponent",
+            "compromised",
+            "compromise_displacement",
+        }
         unknown = set(data) - known
         if unknown:
             raise ValueError(
@@ -103,6 +146,36 @@ class BeaconSpec:
                 f"expected a subset of {sorted(known)}"
             )
         return cls(**data)
+
+    def fingerprint(
+        self, scheme: Optional[LocalizationScheme] = None
+    ) -> Dict[str, Any]:
+        """Modality-aware cache-fingerprint view of this spec.
+
+        The five placement/measurement fields every beacon-based scheme
+        consumes are always present (keeping pre-existing cache keys for
+        centroid/MMSE/DV-Hop/APIT artifacts valid), while modality-only
+        parameters are folded in exactly when they can change *scheme*'s
+        results: the RSSI reference power and path-loss exponent only for
+        ``uses_rssi`` schemes, the compromise axis only when beacons are
+        actually compromised.  Re-tuning the RSSI radio model therefore
+        never invalidates a DV-Hop artifact, and no two specs that differ
+        in a consumed field can alias.
+        """
+        print_keys = {
+            "count": self.count,
+            "layout": self.layout,
+            "transmit_range": self.transmit_range,
+            "noise_std": self.noise_std,
+            "seed": self.seed,
+        }
+        if scheme is None or scheme.uses_rssi:
+            print_keys["tx_power_dbm"] = self.tx_power_dbm
+            print_keys["path_loss_exponent"] = self.path_loss_exponent
+        if self.compromised > 0.0:
+            print_keys["compromised"] = self.compromised
+            print_keys["compromise_displacement"] = self.compromise_displacement
+        return print_keys
 
     # -- construction ------------------------------------------------------
 
@@ -156,20 +229,41 @@ class BeaconSpec:
     def build(self, region: Region, rng=None) -> BeaconInfrastructure:
         """The concrete infrastructure for *region*.
 
-        *rng* feeds the ``random`` layout; when omitted a generator seeded
-        with :attr:`seed` is used, so a standalone ``build`` is already
-        deterministic.  Sessions pass a name-derived stream instead so a
-        parallel sweep places beacons exactly like the serial one.
+        *rng* feeds the ``random`` layout and the beacon-compromise draw;
+        when omitted a generator seeded with :attr:`seed` is used, so a
+        standalone ``build`` is already deterministic (``seed=None``
+        normalises to ``0`` at construction, never to OS entropy).
+        Sessions pass a name-derived stream instead so a parallel sweep
+        places beacons exactly like the serial one.
         """
-        return BeaconInfrastructure(
+        if rng is None and (self.layout == "random" or self.compromised > 0.0):
+            rng = np.random.default_rng(self.seed)
+        infrastructure = BeaconInfrastructure(
             positions=self.positions(region, rng=rng),
             transmit_range=self.transmit_range,
+            tx_power_dbm=self.tx_power_dbm,
+            path_loss_exponent=self.path_loss_exponent,
         )
+        num_compromised = int(round(self.count * self.compromised))
+        if num_compromised > 0:
+            chosen = np.sort(
+                rng.choice(self.count, size=num_compromised, replace=False)
+            )
+            angles = rng.uniform(0.0, 2.0 * np.pi, size=num_compromised)
+            for beacon, angle in zip(chosen, angles):
+                offset = self.compromise_displacement * np.array(
+                    [np.cos(angle), np.sin(angle)]
+                )
+                infrastructure.declare_false_position(
+                    int(beacon), infrastructure.positions[beacon] + offset
+                )
+        return infrastructure
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = f", compromised={self.compromised:g}" if self.compromised else ""
         return (
             f"BeaconSpec({self.count} x {self.layout}, "
-            f"range={self.transmit_range:g}, noise={self.noise_std:g})"
+            f"range={self.transmit_range:g}, noise={self.noise_std:g}{extra})"
         )
 
 
@@ -183,13 +277,16 @@ def beacon_contexts(
     knowledge=None,
     noise_std: float = 0.0,
     rng=None,
+    nodes: Optional[np.ndarray] = None,
 ) -> List[LocalizationContext]:
     """Localization contexts for nodes at *positions* under *beacons*.
 
     Every context carries the beacon infrastructure, the audible-beacon set
-    derived from the node's true position and — for range-based schemes
-    (``uses_ranges``) — the (optionally noisy) measured distances to the
-    audible beacons.  For hop-based schemes (``uses_hops``, e.g. DV-Hop)
+    derived from the node's true position and the measurements the scheme's
+    modality consumes: (optionally noisy) distances for range-based schemes
+    (``uses_ranges``), dB-domain signal-strength readings for RSSI schemes
+    (``uses_rssi``), arrival-jittered range differences for TDOA schemes
+    (``uses_tdoa``).  For hop-based schemes (``uses_hops``, e.g. DV-Hop)
     the flooding profile is computed once over *network* (required in that
     case) and threaded per node.  *observations*/*knowledge* ride along untouched so
     hybrid schemes can combine both information sources.
@@ -210,14 +307,25 @@ def beacon_contexts(
         Optional observation vectors ``(k, n_groups)`` and deployment
         knowledge, forwarded verbatim.
     noise_std:
-        Distance-measurement noise (range-based schemes); requires *rng*
-        when positive.
+        Measurement noise of the scheme's modality (range metres, RSSI dB,
+        or TDOA jitter metres); requires *rng* when positive.
     rng:
         Generator for the measurement noise.
+    nodes:
+        Node indices of *positions* within *network*, shape ``(k,)``.
+        Hop-based schemes use these to look up per-node flooding rows
+        directly; without them the builder falls back to exact position
+        matching, which only works while *positions* is bit-identical to
+        rows of ``network.positions`` (it breaks after mobility jitter or
+        a dtype round trip).
     """
     positions = np.asarray(positions, dtype=np.float64)
     if positions.ndim != 2 or positions.shape[1] != 2:
         raise ValueError("positions must have shape (k, 2)")
+    if nodes is not None:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.shape != (positions.shape[0],):
+            raise ValueError("nodes must hold one network index per position")
 
     hop_counts = None
     avg_hop = None
@@ -227,7 +335,7 @@ def beacon_contexts(
         node_hops, beacon_hops = compute_hop_profile(network, beacons)
         avg_hop = average_hop_distance(beacons, beacon_hops)
         # Map each requested position onto its node index in the network.
-        hop_counts = _hops_for_positions(network, positions, node_hops)
+        hop_counts = _hops_for_positions(network, positions, node_hops, nodes=nodes)
 
     # Audibility of every beacon from every node in one distance pass.
     diff = positions[:, None, :] - beacons.positions[None, :, :]
@@ -238,8 +346,20 @@ def beacon_contexts(
     for row in range(positions.shape[0]):
         audible = np.flatnonzero(audible_mask[row])
         measured = None
+        measured_rssi = None
+        tdoa = None
         if scheme.uses_ranges:
             measured = beacons.apply_measurement_noise(
+                distances[row, audible], rng=rng, noise_std=noise_std
+            )
+        if scheme.uses_rssi:
+            measured_rssi = beacons.apply_rssi_noise(
+                beacons.rssi_from_distance(distances[row, audible]),
+                rng=rng,
+                noise_db=noise_std,
+            )
+        if scheme.uses_tdoa:
+            tdoa = beacons.range_differences(
                 distances[row, audible], rng=rng, noise_std=noise_std
             )
         contexts.append(
@@ -249,6 +369,8 @@ def beacon_contexts(
                 beacons=beacons,
                 audible_beacons=audible,
                 measured_distances=measured,
+                measured_rssi=measured_rssi,
+                tdoa_differences=tdoa,
                 hop_counts=None if hop_counts is None else hop_counts[row],
                 avg_hop_distance=avg_hop,
                 true_position=positions[row],
@@ -258,18 +380,35 @@ def beacon_contexts(
 
 
 def _hops_for_positions(
-    network, positions: np.ndarray, node_hops: np.ndarray
+    network,
+    positions: np.ndarray,
+    node_hops: np.ndarray,
+    nodes: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Per-position hop-count rows, matched by exact position lookup."""
-    # The training pipeline samples nodes from the network itself, so every
-    # requested position is a network position; match rows exactly.
+    """Per-position hop-count rows.
+
+    When the caller knows which network nodes the positions belong to
+    (*nodes*), rows are gathered by index — robust to positions that have
+    drifted from the network's recorded coordinates (temporal mobility
+    jitter) or been round-tripped through another dtype.  The historical
+    exact-position lookup remains as the fallback for callers that only
+    hold coordinates.
+    """
+    if nodes is not None:
+        return np.asarray(
+            node_hops[np.asarray(nodes, dtype=np.int64)], dtype=np.float64
+        )
+    # Fallback: match rows by exact position.  This only resolves positions
+    # that are bit-identical to ``network.positions`` rows.
     index = {tuple(p): i for i, p in enumerate(network.positions)}
     rows = np.empty((positions.shape[0], node_hops.shape[1]), dtype=np.float64)
     for row, point in enumerate(positions):
         node = index.get(tuple(point))
         if node is None:
             raise ValueError(
-                "DV-Hop contexts require node positions drawn from the network"
+                "DV-Hop contexts require node positions drawn from the network "
+                "(pass nodes= indices for positions that have moved or been "
+                "round-tripped)"
             )
         rows[row] = node_hops[node]
     return rows

@@ -79,6 +79,7 @@ class CentroidLocalizer(LocalizationScheme):
 
     name: str = "centroid"
     requires_beacons = True
+    modalities = ("proximity",)
 
     def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
         beacons = context.beacons

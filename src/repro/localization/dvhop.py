@@ -128,6 +128,7 @@ class DvHopLocalizer(LocalizationScheme):
     name: str = "dv-hop"
     requires_beacons = True
     uses_hops = True
+    modalities = ("hops",)
 
     def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
         beacons = context.beacons

@@ -123,6 +123,7 @@ class MmseMultilaterationLocalizer(LocalizationScheme):
     name: str = "mmse-multilateration"
     requires_beacons = True
     uses_ranges = True
+    modalities = ("range",)
 
     def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
         mask, distances = self._row_inputs(context)

@@ -1,0 +1,74 @@
+"""RSSI path-loss localization.
+
+Received-signal-strength localization converts beacon RSSI readings into
+range estimates through the log-distance path-loss model and then
+multilaterates exactly like the MMSE baseline.  The radio model lives on
+the infrastructure (:class:`~repro.localization.base.BeaconInfrastructure`
+carries ``tx_power_dbm`` and ``path_loss_exponent``); shadowing noise is
+drawn in the dB domain by the context builder, so range errors are
+log-normal — small absolute errors near a beacon, large ones far away —
+rather than the additive Gaussian model of idealised ranging.
+
+The scheme reuses the MMSE normal-equation kernel end to end: only the
+measurement-to-range conversion differs
+(:meth:`RssiPathLossLocalizer._row_inputs`), so the batched path, the
+per-row path and their bit-for-bit agreement are inherited from
+:class:`~repro.localization.multilateration.MmseMultilaterationLocalizer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.localization.base import (
+    LOCALIZERS,
+    LocalizationContext,
+    resolve_audible_beacons,
+)
+from repro.localization.multilateration import MmseMultilaterationLocalizer
+
+__all__ = ["RssiPathLossLocalizer"]
+
+
+@LOCALIZERS.register("rssi_path_loss", "rss", name="rssi")
+@dataclass
+class RssiPathLossLocalizer(MmseMultilaterationLocalizer):
+    """Multilateration over log-distance ranges recovered from RSSI.
+
+    Parameters
+    ----------
+    refine:
+        When ``True`` the linearised solution is refined with a
+        Levenberg–Marquardt minimisation of the squared range residuals
+        (inherited from the MMSE baseline).
+    """
+
+    refine: bool = True
+    name: str = "rssi-path-loss"
+    requires_beacons = True
+    uses_ranges = False
+    uses_rssi = True
+    modalities = ("rssi",)
+
+    @staticmethod
+    def _row_inputs(
+        context: LocalizationContext,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One context's ``(mask, full-axis ranges)`` pair from its RSSI."""
+        beacons = context.beacons
+        if beacons is None:
+            raise ValueError("RSSI localization needs a BeaconInfrastructure")
+        audible = resolve_audible_beacons(beacons, context)
+        rssi = context.measured_rssi
+        if rssi is None:
+            raise ValueError("RSSI localization needs measured_rssi")
+        rssi = np.asarray(rssi, dtype=np.float64)
+        if rssi.shape != (audible.size,):
+            raise ValueError("measured_rssi must have one entry per audible beacon")
+        mask = np.zeros(beacons.num_beacons, dtype=bool)
+        mask[audible] = True
+        full = np.zeros(beacons.num_beacons, dtype=np.float64)
+        full[audible] = beacons.distance_from_rssi(rssi)
+        return mask, full

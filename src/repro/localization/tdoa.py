@@ -1,0 +1,276 @@
+"""TDOA (time-difference-of-arrival) multilateration.
+
+TDOA receivers measure when a beacon's transmission *arrives* rather than
+how strong it is: differencing arrival times against one reference beacon
+cancels the unknown transmit time and leaves range *differences*
+``m_i = d_i - d_ref``.  Each difference constrains the node to a
+hyperbola; the classic linearisation (subtract the reference beacon's
+circle equation from every other audible beacon's) turns the intersection
+into a linear system in the augmented unknown ``(x, y, d_ref)``:
+
+    2 (p_i - p_ref) . [x, y] + 2 m_i d_ref  =  |p_i|^2 - |p_ref|^2 - m_i^2
+
+Three equations determine the three unknowns, so the scheme needs at
+least **four** audible beacons (one more than plain multilateration).
+
+Two solver variants are provided, mirroring the lstsq-vs-closed-form
+split in sound-source TDOA toolkits:
+
+* ``"lstsq"`` — the overdetermined system is solved per row with
+  :func:`numpy.linalg.lstsq` (SVD; rank-deficient rows are routed to the
+  fallback).  The batch path issues the identical per-row call, so batch
+  and loop agree bit for bit by construction.
+* ``"closed_form"`` — the 3x3 normal equations are solved with the
+  explicit adjugate inverse; every operation is elementwise or an
+  exact-zero-padded masked row sum over the pluggable array backend, so
+  row results are independent of the batch size (the same kernel shape
+  as MMSE's 2x2 path, one dimension up) and the batch path vectorises
+  across all rows at once.
+
+Fewer than four audible beacons — or a (near-)singular system, e.g.
+collinear anchors — falls back to the centroid of the audible beacons'
+declared positions with ``converged = False``, like the MMSE baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.localization.base import (
+    LOCALIZERS,
+    BeaconInfrastructure,
+    LocalizationContext,
+    LocalizationResult,
+    LocalizationScheme,
+    resolve_audible_beacons,
+)
+
+__all__ = ["TdoaMultilaterationLocalizer", "TDOA_SOLVERS"]
+
+#: Supported hyperbolic-solve variants.
+TDOA_SOLVERS = ("lstsq", "closed_form")
+
+#: Relative determinant threshold of the closed-form 3x3 solve:
+#: ``det / trace^3`` is a scale-free conditioning proxy (the 3x3 analogue
+#: of the 2x2 kernel's ``det / trace^2``); rows below it would amplify
+#: jitter by ``1/lambda_min`` and are flagged unsolvable instead.
+_CLOSED_FORM_RTOL = 1e-12
+
+
+def _tdoa_rows(
+    mask: np.ndarray, declared: np.ndarray, differences: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The shared linearisation of every mask row at once.
+
+    Returns ``(a01, a2, rhs, mask_ex)`` over the full beacon axis: the
+    position coefficients ``2 (p - p_ref)`` of shape ``(k, b, 2)``, the
+    ``d_ref`` coefficients ``2 m`` of shape ``(k, b)``, the right-hand
+    side, and the audibility mask with the reference beacon (the first
+    audible one, matching
+    :meth:`~repro.localization.base.BeaconInfrastructure.range_differences`)
+    excluded.
+    """
+    k, b = mask.shape
+    ref = np.argmax(mask, axis=1)  # first audible index = TDOA reference
+    p_ref = declared[ref]
+    mask_ex = mask.copy()
+    mask_ex[np.arange(k), ref] = False
+
+    a01 = 2.0 * (declared[None, :, :] - p_ref[:, None, :])  # (k, b, 2)
+    a2 = 2.0 * differences  # (k, b)
+    rhs = (
+        np.sum(declared**2, axis=1)[None, :]
+        - np.sum(p_ref**2, axis=1)[:, None]
+        - differences**2
+    )
+    return a01, a2, rhs, mask_ex
+
+
+def _lstsq_estimates(
+    mask: np.ndarray, declared: np.ndarray, differences: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row SVD solve of the linearised TDOA system.
+
+    The loop body is a pure function of one row's inputs, so calling it
+    for a single row or for every row of a batch yields identical bits.
+    """
+    a01, a2, rhs, mask_ex = _tdoa_rows(mask, declared, differences)
+    estimates = np.zeros((mask.shape[0], 2), dtype=np.float64)
+    solvable = np.zeros(mask.shape[0], dtype=bool)
+    for row in range(mask.shape[0]):
+        cols = np.flatnonzero(mask_ex[row])
+        a = np.column_stack([a01[row, cols], a2[row, cols]])
+        solution, _, rank, _ = np.linalg.lstsq(a, rhs[row, cols], rcond=None)
+        if rank == 3:
+            estimates[row] = solution[:2]
+            solvable[row] = True
+    return estimates, solvable
+
+
+def _closed_form_estimates(
+    mask: np.ndarray,
+    declared: np.ndarray,
+    differences: np.ndarray,
+    backend=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Adjugate solve of the 3x3 normal equations, all rows at once.
+
+    Every term is elementwise or an exact-zero-padded masked sum, so a
+    row's result does not depend on which other rows share the batch.
+    """
+    if backend is None:
+        from repro.backend import default_backend
+
+        backend = default_backend()
+    a01, a2, rhs, mask_ex = _tdoa_rows(mask, declared, differences)
+    a0 = a01[:, :, 0]
+    a1 = a01[:, :, 1]
+    m00 = backend.masked_sum(a0 * a0, mask_ex)
+    m01 = backend.masked_sum(a0 * a1, mask_ex)
+    m02 = backend.masked_sum(a0 * a2, mask_ex)
+    m11 = backend.masked_sum(a1 * a1, mask_ex)
+    m12 = backend.masked_sum(a1 * a2, mask_ex)
+    m22 = backend.masked_sum(a2 * a2, mask_ex)
+    v0 = backend.masked_sum(a0 * rhs, mask_ex)
+    v1 = backend.masked_sum(a1 * rhs, mask_ex)
+    v2 = backend.masked_sum(a2 * rhs, mask_ex)
+
+    adj00 = m11 * m22 - m12 * m12
+    adj01 = m02 * m12 - m01 * m22
+    adj02 = m01 * m12 - m02 * m11
+    adj11 = m00 * m22 - m02 * m02
+    adj12 = m01 * m02 - m00 * m12
+    det = m00 * adj00 + m01 * adj01 + m02 * adj02
+    trace = m00 + m11 + m22
+    solvable = det > _CLOSED_FORM_RTOL * trace**3
+    safe_det = np.where(solvable, det, 1.0)
+    estimates = np.column_stack(
+        [
+            (adj00 * v0 + adj01 * v1 + adj02 * v2) / safe_det,
+            (adj01 * v0 + adj11 * v1 + adj12 * v2) / safe_det,
+        ]
+    )
+    return estimates, solvable
+
+
+@LOCALIZERS.register("tdoa_multilateration", "time_difference", name="tdoa")
+@dataclass
+class TdoaMultilaterationLocalizer(LocalizationScheme):
+    """Hyperbolic multilateration from beacon range differences.
+
+    Parameters
+    ----------
+    solver:
+        ``"lstsq"`` (per-row SVD least squares) or ``"closed_form"``
+        (vectorised adjugate solve of the normal equations).  The two
+        agree to floating-point conditioning, not bit for bit, and
+        therefore carry distinct ``repr`` s (and cache keys).
+    """
+
+    solver: str = "lstsq"
+    name: str = "tdoa-multilateration"
+    requires_beacons = True
+    uses_tdoa = True
+    modalities = ("tdoa",)
+
+    def __post_init__(self) -> None:
+        if self.solver not in TDOA_SOLVERS:
+            raise ValueError(
+                f"unknown TDOA solver {self.solver!r}; "
+                f"choose from {list(TDOA_SOLVERS)}"
+            )
+
+    def localize(self, context: LocalizationContext, rng=None) -> LocalizationResult:
+        mask, differences = self._row_inputs(context)
+        return self._results_from_rows(
+            context.beacons, mask[None, :], differences[None, :]
+        )[0]
+
+    def localize_many(
+        self, contexts: list[LocalizationContext], rng=None
+    ) -> list[LocalizationResult]:
+        """Batch path: one shared-infrastructure kernel over all rows.
+
+        Falls back to the per-row loop when the contexts do not share one
+        beacon infrastructure.
+        """
+        if not contexts:
+            return []
+        beacons = contexts[0].beacons
+        if beacons is None or any(ctx.beacons is not beacons for ctx in contexts):
+            return super().localize_many(contexts, rng=rng)
+        rows = [self._row_inputs(ctx) for ctx in contexts]
+        mask = np.stack([row[0] for row in rows])
+        differences = np.stack([row[1] for row in rows])
+        return self._results_from_rows(beacons, mask, differences)
+
+    # -- shared kernels ------------------------------------------------------
+
+    @staticmethod
+    def _row_inputs(
+        context: LocalizationContext,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One context's ``(mask, full-axis differences)`` pair (validated)."""
+        beacons = context.beacons
+        if beacons is None:
+            raise ValueError("TDOA localization needs a BeaconInfrastructure")
+        audible = resolve_audible_beacons(beacons, context)
+        differences = context.tdoa_differences
+        if differences is None:
+            raise ValueError("TDOA localization needs tdoa_differences")
+        differences = np.asarray(differences, dtype=np.float64)
+        if differences.shape != (audible.size,):
+            raise ValueError(
+                "tdoa_differences must have one entry per audible beacon"
+            )
+        mask = np.zeros(beacons.num_beacons, dtype=bool)
+        mask[audible] = True
+        full = np.zeros(beacons.num_beacons, dtype=np.float64)
+        full[audible] = differences
+        return mask, full
+
+    def _results_from_rows(
+        self,
+        beacons: BeaconInfrastructure,
+        mask: np.ndarray,
+        differences: np.ndarray,
+    ) -> list[LocalizationResult]:
+        """Results for pre-validated mask/difference rows (any batch size)."""
+        declared = beacons.declared_positions
+        counts = mask.sum(axis=1)
+        determined = counts >= 4  # (x, y, d_ref) needs three difference rows
+        estimates = np.zeros((mask.shape[0], 2), dtype=np.float64)
+        solvable = np.zeros(mask.shape[0], dtype=bool)
+        if np.any(determined):
+            if self.solver == "closed_form":
+                solved = _closed_form_estimates(
+                    mask[determined],
+                    declared,
+                    differences[determined],
+                    self.array_backend,
+                )
+            else:
+                solved = _lstsq_estimates(
+                    mask[determined], declared, differences[determined]
+                )
+            estimates[determined], solvable[determined] = solved
+
+        results: list[LocalizationResult] = []
+        for row in range(mask.shape[0]):
+            if not (determined[row] and solvable[row]):
+                # Under-determined (or degenerate geometry): fall back to
+                # the centroid of what is audible.
+                if counts[row] == 0:
+                    fallback = declared.mean(axis=0)
+                else:
+                    fallback = declared[mask[row]].mean(axis=0)
+                results.append(
+                    LocalizationResult(position=fallback, converged=False)
+                )
+                continue
+            results.append(
+                LocalizationResult(position=estimates[row], converged=True)
+            )
+        return results

@@ -1,0 +1,157 @@
+"""Tests for :mod:`repro.attacks.modality` (physical-layer attacks)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackBudget
+from repro.attacks.constraints import ATTACKS, resolve_attack_class
+from repro.attacks.modality import (
+    RssiAmplificationAttack,
+    TdoaTimingSkewAttack,
+)
+from repro.localization import create as create_localizer
+
+ATTACK_CLASSES = [RssiAmplificationAttack, TdoaTimingSkewAttack]
+
+
+class TestRegistry:
+    def test_registered_with_aliases(self):
+        assert "rssi_amp" in ATTACKS.available()
+        assert "tdoa_skew" in ATTACKS.available()
+        assert ATTACKS.canonical("rssi_amplification") == "rssi_amp"
+        assert ATTACKS.canonical("tdoa_timing_skew") == "tdoa_skew"
+
+    def test_resolvable_like_the_paper_classes(self):
+        attack = resolve_attack_class("rssi_amp")
+        assert isinstance(attack, RssiAmplificationAttack)
+        assert not attack.taints_observation
+
+
+class TestPhysicalCaps:
+    def test_rssi_cap_follows_the_path_loss_model(self):
+        # 6 dB of gain at eta=2 stretches ranges by 10^(6/20) ~ 1.995x:
+        # at a 250 m reference distance that is ~248.8 m of error.
+        attack = RssiAmplificationAttack(
+            gain_db=6.0, path_loss_exponent=2.0, reference_range=250.0
+        )
+        expected = 250.0 * (10.0 ** (6.0 / 20.0) - 1.0)
+        assert attack.max_displacement() == pytest.approx(expected)
+
+    def test_tdoa_cap_is_skew_times_speed(self):
+        attack = TdoaTimingSkewAttack(skew_ns=500.0)
+        assert attack.max_displacement() == pytest.approx(149.896229)
+        acoustic = TdoaTimingSkewAttack(skew_ns=500.0, propagation_speed=343.0)
+        assert acoustic.max_displacement() == pytest.approx(500e-9 * 343.0)
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            RssiAmplificationAttack(gain_db=0.0)
+        with pytest.raises(ValueError):
+            RssiAmplificationAttack(path_loss_exponent=-1.0)
+        with pytest.raises(ValueError):
+            TdoaTimingSkewAttack(skew_ns=0.0)
+
+    @pytest.mark.parametrize("cls", ATTACK_CLASSES)
+    def test_repr_is_parameterised(self, cls):
+        # The repr reaches the artifact fingerprints: different knobs must
+        # never share cache keys.
+        assert repr(cls()) != repr(
+            cls(**{next(iter(cls().__dict__)): 9.0})
+        )
+
+
+class TestModalityGating:
+    def test_damage_gated_by_localizer_modality(self):
+        attack = RssiAmplificationAttack()
+        rssi_scheme = create_localizer("rssi")
+        dvhop_scheme = create_localizer("dvhop")
+        assert attack.effective_damage(100.0, rssi_scheme) == 100.0
+        assert attack.effective_damage(100.0, dvhop_scheme) == 0.0
+        # No localizer = the abstract D-attack: only the physical cap.
+        assert attack.effective_damage(100.0, None) == 100.0
+
+    def test_damage_capped_by_channel_physics(self):
+        attack = TdoaTimingSkewAttack(skew_ns=500.0)
+        tdoa_scheme = create_localizer("tdoa")
+        cap = attack.max_displacement()
+        assert attack.effective_damage(1000.0, tdoa_scheme) == pytest.approx(cap)
+        assert attack.effective_damage(10.0, tdoa_scheme) == 10.0
+
+    def test_paper_classes_pass_damage_through(self):
+        # The Dec-* adversaries are modality-agnostic by definition.
+        dec = resolve_attack_class("dec_bounded")
+        assert dec.effective_damage(120.0, create_localizer("dvhop")) == 120.0
+        assert dec.effective_damage(120.0, None) == 120.0
+
+    @pytest.mark.parametrize("cls", ATTACK_CLASSES)
+    def test_only_the_unchanged_observation_is_feasible(self, cls):
+        attack = cls()
+        honest = np.array([3.0, 1.0, 0.0, 2.0])
+        budget = AttackBudget(compromised_nodes=2)
+        assert attack.is_feasible(honest, honest.copy(), budget)
+        assert not attack.is_feasible(honest, honest + 1.0, budget)
+        lower, upper = attack.entry_bounds(honest, budget)
+        np.testing.assert_array_equal(lower, honest)
+        np.testing.assert_array_equal(upper, honest)
+
+
+class TestEvaluationIntegration:
+    @pytest.fixture(scope="class")
+    def victims(self, small_network, small_knowledge):
+        from repro.network.neighbors import NeighborIndex
+
+        rng = np.random.default_rng(8)
+        nodes = rng.choice(small_network.num_nodes, size=12, replace=False)
+        honest = NeighborIndex(small_network).observations_of_nodes(nodes)
+        return honest, small_network.positions[nodes]
+
+    def test_observation_stays_honest(self, small_knowledge, victims):
+        from repro.core.evaluation import attack_observations
+
+        honest, actual = victims
+        tainted, spoofed, _ = attack_observations(
+            small_knowledge,
+            honest,
+            actual,
+            metric="diff",
+            attack_class="rssi_amp",
+            degree_of_damage=120.0,
+            rng=np.random.default_rng(1),
+            localizer=create_localizer("rssi"),
+        )
+        np.testing.assert_array_equal(tainted, honest)
+        displacement = np.hypot(*(spoofed - actual).T)
+        np.testing.assert_allclose(displacement, 120.0)
+
+    def test_futile_attack_displaces_nothing(self, small_knowledge, victims):
+        from repro.core.evaluation import attack_observations
+
+        honest, actual = victims
+        tainted, spoofed, _ = attack_observations(
+            small_knowledge,
+            honest,
+            actual,
+            metric="diff",
+            attack_class="tdoa_skew",
+            degree_of_damage=120.0,
+            rng=np.random.default_rng(1),
+            localizer=create_localizer("dvhop"),
+        )
+        np.testing.assert_array_equal(tainted, honest)
+        np.testing.assert_array_equal(spoofed, actual)
+
+    def test_dec_bounded_still_taints(self, small_knowledge, victims):
+        from repro.core.evaluation import attack_observations
+
+        honest, actual = victims
+        tainted, _, _ = attack_observations(
+            small_knowledge,
+            honest,
+            actual,
+            metric="diff",
+            attack_class="dec_bounded",
+            degree_of_damage=120.0,
+            rng=np.random.default_rng(1),
+            localizer=create_localizer("rssi"),
+        )
+        assert not np.array_equal(tainted, honest)

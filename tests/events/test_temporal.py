@@ -313,6 +313,76 @@ class TestDeterminism:
         assert store.hit_counts["temporal"] == 0
 
 
+class TestHopSchemesUnderMobility:
+    """Regression: a ``[timeline]`` mobility scenario over DV-Hop runs.
+
+    DV-Hop training resolves flooding rows through
+    :func:`repro.localization.beacons.beacon_contexts`; before hop rows
+    were gathered by node index, any position that was not bit-identical
+    to a ``network.positions`` row (mobility jitter, dtype round trips)
+    raised from the exact-tuple lookup.  This pins the whole pipeline —
+    spec with a mobility timeline, DV-Hop localizer, temporal engine —
+    end to end.
+    """
+
+    def test_dvhop_timeline_with_mobility_runs(self, tiny_config):
+        from repro.localization.beacons import BeaconSpec
+
+        config = tiny_config.with_beacons(
+            BeaconSpec(count=9, transmit_range=400.0)
+        )
+        session = LadSession(config, localizer="dvhop")
+        timeline = TimelineSpec(
+            epochs=6,
+            events=(
+                EventSpec(
+                    kind="mobility",
+                    action="jitter",
+                    period=1.0,
+                    start=1.0,
+                    fraction=0.5,
+                    amplitude=10.0,
+                ),
+                EventSpec(kind="attack", action="on", at=(3.0,)),
+            ),
+        )
+        outcome = session.temporal(timeline).run(
+            POINT, false_positive_rate=0.05
+        )
+        assert outcome.scores.shape[0] == 6
+        assert np.isfinite(outcome.scores[outcome.alive]).all()
+        assert outcome.detection_latency is None or outcome.detection_latency >= 0
+
+    def test_dvhop_timeline_is_deterministic(self, tiny_config):
+        from repro.localization.beacons import BeaconSpec
+
+        config = tiny_config.with_beacons(
+            BeaconSpec(count=9, transmit_range=400.0)
+        )
+        timeline = TimelineSpec(
+            epochs=4,
+            events=(
+                EventSpec(
+                    kind="mobility",
+                    action="jitter",
+                    period=1.0,
+                    start=1.0,
+                    fraction=0.5,
+                    amplitude=10.0,
+                ),
+                EventSpec(kind="attack", action="on", at=(2.0,)),
+            ),
+        )
+        a = LadSession(config, localizer="dvhop").temporal(timeline).run(
+            POINT, false_positive_rate=0.05
+        )
+        b = LadSession(config, localizer="dvhop").temporal(timeline).run(
+            POINT, false_positive_rate=0.05
+        )
+        np.testing.assert_array_equal(a.scores, b.scores)
+        np.testing.assert_array_equal(a.alive, b.alive)
+
+
 class TestOutcomeEdgeCases:
     def _outcome(self, scores, attacked, alive, threshold=1.0):
         scores = np.asarray(scores, dtype=np.float64)

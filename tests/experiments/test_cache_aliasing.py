@@ -9,6 +9,8 @@ and a sweep under one scheme never consumes another scheme's cached scores
 from cache, bit-identical to the cold run.
 """
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -47,14 +49,61 @@ def _benign_key(session, metric="diff"):
 
 class TestDisjointKeys:
     def test_sessions_differing_only_in_localizer(self, tiny_config):
+        from repro.localization.base import LOCALIZERS
+
         sessions = {
             name: LadSession(tiny_config, localizer=name)
-            for name in ("beaconless", "centroid", "mmse", "dvhop", "apit")
+            for name in LOCALIZERS.available()
         }
         benign_keys = [_benign_key(s) for s in sessions.values()]
         attacked_keys = [_attacked_key(s) for s in sessions.values()]
         assert len(set(benign_keys)) == len(sessions)
         assert len(set(attacked_keys)) == len(sessions)
+
+    def test_rssi_radio_retune_only_touches_rssi_keys(self, tiny_config):
+        """Modality-aware fingerprints: re-tuning the RSSI radio model
+        changes the rssi scheme's keys and nobody else's."""
+        retuned = tiny_config.with_beacons(
+            BeaconSpec(
+                count=9,
+                transmit_range=450.0,
+                tx_power_dbm=-45.0,
+                path_loss_exponent=3.0,
+            )
+        )
+        for localizer in ("centroid", "mmse", "dvhop", "apit", "tdoa"):
+            a = LadSession(tiny_config, localizer=localizer)
+            b = LadSession(retuned, localizer=localizer)
+            assert _benign_key(a) == _benign_key(b)
+            assert _attacked_key(a) == _attacked_key(b)
+        a = LadSession(tiny_config, localizer="rssi")
+        b = LadSession(retuned, localizer="rssi")
+        assert _benign_key(a) != _benign_key(b)
+        assert _attacked_key(a) != _attacked_key(b)
+
+    def test_beacon_compromise_touches_every_beacon_scheme(self, tiny_config):
+        compromised = tiny_config.with_beacons(
+            BeaconSpec(count=9, transmit_range=450.0, compromised=0.25)
+        )
+        for localizer in ("centroid", "mmse", "dvhop", "rssi", "tdoa"):
+            a = LadSession(tiny_config, localizer=localizer)
+            b = LadSession(compromised, localizer=localizer)
+            assert _benign_key(a) != _benign_key(b)
+
+    def test_tdoa_solver_variants_have_disjoint_keys(self, tiny_config):
+        """The two hyperbolic solvers agree only to conditioning, so their
+        artifacts must never alias (the solver knob reaches the repr)."""
+        from repro.localization.tdoa import TdoaMultilaterationLocalizer
+
+        a = LadSession(
+            tiny_config, localizer=TdoaMultilaterationLocalizer(solver="lstsq")
+        )
+        b = LadSession(
+            tiny_config,
+            localizer=TdoaMultilaterationLocalizer(solver="closed_form"),
+        )
+        assert _benign_key(a) != _benign_key(b)
+        assert _attacked_key(a) != _attacked_key(b)
 
     def test_sessions_differing_only_in_beacon_layout(self, tiny_config):
         variants = [
@@ -150,3 +199,41 @@ class TestWarmEqualsColdForBeaconSweep:
         assert warm_rates == cold_rates
         for point, scores in cold.items():
             np.testing.assert_array_equal(scores, warm[point])
+
+
+class TestModalityMatrixScenario:
+    """Acceptance: the shipped `modality_matrix.toml` sweeps all seven
+    schemes with zero cross-scheme score aliasing, and a warm re-run is
+    served entirely from cache with identical rates."""
+
+    def test_all_seven_schemes_cold_then_warm(self, tmp_path):
+        spec = ScenarioSpec.from_file(
+            Path(__file__).resolve().parents[2]
+            / "examples"
+            / "specs"
+            / "modality_matrix.toml"
+        )
+        localizers = spec.localizer_values()
+        assert len(localizers) == 7
+
+        def run_all(store):
+            rates = {}
+            for localizer in localizers:
+                session = spec.session(localizer=localizer, store=store)
+                rates[localizer] = session.sweep().detection_rates(
+                    spec.points(),
+                    false_positive_rate=spec.false_positive_rate,
+                )
+            return rates
+
+        cold_store = ArtifactStore(tmp_path)
+        cold = run_all(cold_store)
+        # Scored artifacts are never shared between schemes...
+        assert cold_store.hit_counts["benign_scores"] == 0
+        assert cold_store.hit_counts["attacked_scores"] == 0
+
+        warm_store = ArtifactStore(tmp_path)
+        warm = run_all(warm_store)
+        # ...while the same scheme re-run is a pure cache read.
+        assert warm_store.misses == 0
+        assert warm == cold

@@ -43,6 +43,7 @@ class TestRegistry:
             "fig8",
             "fig9",
             "figl",
+            "figm",
             "figt",
         }
 
@@ -229,6 +230,85 @@ class TestFigL:
             for a, b in zip(panel_serial.series, panel_parallel.series):
                 assert a.label == b.label
                 assert a.y == b.y
+
+
+class TestFigM:
+    def test_structure_is_the_attack_by_localizer_matrix(self, tiny_config):
+        from repro.experiments.figures import figm
+
+        result = figm.run(
+            config=tiny_config,
+            localizers=("dvhop", "rssi"),
+            attacks=("dec_bounded", "rssi_amp"),
+            degrees=(120.0,),
+            fractions=(0.1,),
+        )
+        assert result.figure_id == "figm"
+        assert [panel.title for panel in result.panels] == [
+            "attack=dec_bounded",
+            "attack=rssi_amp",
+        ]
+        for panel in result.panels:
+            assert [s.label for s in panel.series] == ["dvhop", "rssi"]
+            for series in panel.series:
+                assert series.x == [120.0]
+                assert all(0.0 <= y <= 1.0 for y in series.y)
+        assert result.parameters["attacks"] == ["dec_bounded", "rssi_amp"]
+        assert result.parameters["beacons"] is not None
+
+    def test_modality_gating_shows_in_the_matrix(self, tiny_config):
+        """The rssi_amp column is zero for every non-RSSI scheme.
+
+        A modality attack against a scheme that never reads the attacked
+        channel displaces nothing, so the claim distribution matches the
+        benign one and the detection rate sits at (or below) the
+        false-positive budget.
+        """
+        from repro.experiments.figures import figm
+
+        result = figm.run(
+            config=tiny_config,
+            localizers=("dvhop", "rssi"),
+            attacks=("rssi_amp",),
+            degrees=(120.0,),
+            fractions=(0.1,),
+        )
+        panel = result.get_panel("attack=rssi_amp")
+        dvhop_rate = panel.get_series("dvhop").y[0]
+        rssi_rate = panel.get_series("rssi").y[0]
+        assert dvhop_rate <= 0.2  # futile attack: benign-level flagging
+        assert rssi_rate > dvhop_rate  # the attacked modality is detectable
+
+    def test_localizer_fan_out_matches_serial(self, tiny_config):
+        from repro.experiments.figures import figm
+
+        kwargs = dict(
+            config=tiny_config,
+            localizers=("dvhop", "rssi"),
+            attacks=("dec_bounded", "rssi_amp"),
+            degrees=(120.0,),
+            fractions=(0.1,),
+        )
+        serial = figm.run(**kwargs)
+        parallel = figm.run(**kwargs, density_workers=2)
+        for panel_serial, panel_parallel in zip(serial.panels, parallel.panels):
+            for a, b in zip(panel_serial.series, panel_parallel.series):
+                assert a.label == b.label
+                assert a.y == b.y
+
+    def test_spec_render_matches_run_driver(self, tiny_config):
+        from repro.experiments.figures import figm, run_figure_spec
+
+        kwargs = dict(
+            localizers=("dvhop", "rssi"),
+            attacks=("dec_bounded", "rssi_amp"),
+            degrees=(120.0,),
+            fractions=(0.1,),
+        )
+        spec = figm.spec(tiny_config, **kwargs)
+        via_spec = run_figure_spec(spec)
+        via_run = figm.run(config=tiny_config, **kwargs)
+        assert via_spec.as_dict() == via_run.as_dict()
 
 
 class TestFigT:

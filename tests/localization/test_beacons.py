@@ -7,7 +7,16 @@ from repro.localization.beacons import BEACON_LAYOUTS, BeaconSpec, beacon_contex
 from repro.localization.centroid import CentroidLocalizer
 from repro.localization.dvhop import DvHopLocalizer
 from repro.localization.multilateration import MmseMultilaterationLocalizer
+from repro.localization.rssi import RssiPathLossLocalizer
+from repro.localization.tdoa import TdoaMultilaterationLocalizer
 from repro.types import Region
+
+#: One scheme per measurement modality that consumes noise draws.
+NOISY_SCHEMES = [
+    MmseMultilaterationLocalizer,
+    RssiPathLossLocalizer,
+    TdoaMultilaterationLocalizer,
+]
 
 REGION = Region(0.0, 0.0, 1000.0, 1000.0)
 
@@ -74,6 +83,104 @@ class TestBeaconSpec:
         with pytest.raises(ValueError, match="unknown beacon field"):
             BeaconSpec.from_dict({"count": 9, "typo": 1})
 
+    def test_rssi_fields_round_trip(self):
+        spec = BeaconSpec(
+            tx_power_dbm=-45.0,
+            path_loss_exponent=3.0,
+            compromised=0.25,
+            compromise_displacement=150.0,
+        )
+        assert BeaconSpec.from_dict(spec.as_dict()) == spec
+        with pytest.raises(ValueError):
+            BeaconSpec(path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            BeaconSpec(tx_power_dbm=float("inf"))
+        with pytest.raises(ValueError):
+            BeaconSpec(compromised=1.5)
+
+    def test_none_seed_normalises_to_zero(self):
+        # A spec built without a seed must stay deterministic (and share
+        # its fingerprint with the explicit seed=0 spec) instead of
+        # falling through to OS entropy.
+        assert BeaconSpec(seed=None) == BeaconSpec(seed=0)
+        assert BeaconSpec(seed=None).seed == 0
+
+    @pytest.mark.parametrize("seed", [None, 0, 3])
+    def test_repeat_builds_are_identical(self, seed):
+        spec = BeaconSpec(
+            count=8, layout="random", seed=seed, compromised=0.25
+        )
+        a = spec.build(REGION)
+        b = spec.build(REGION)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        np.testing.assert_array_equal(a.declared_positions, b.declared_positions)
+        np.testing.assert_array_equal(a.compromised, b.compromised)
+
+    def test_compromised_beacons_declare_false_positions(self):
+        spec = BeaconSpec(count=16, compromised=0.25, compromise_displacement=200.0)
+        beacons = spec.build(REGION)
+        lying = np.flatnonzero(beacons.compromised)
+        assert lying.size == 4  # round(16 * 0.25)
+        offsets = beacons.declared_positions - beacons.positions
+        displacement = np.hypot(offsets[:, 0], offsets[:, 1])
+        np.testing.assert_allclose(displacement[lying], 200.0)
+        honest = np.setdiff1d(np.arange(16), lying)
+        np.testing.assert_array_equal(displacement[honest], 0.0)
+
+    def test_zero_compromised_declares_truthfully(self):
+        beacons = BeaconSpec(count=9).build(REGION)
+        np.testing.assert_array_equal(
+            beacons.declared_positions, beacons.positions
+        )
+        assert not beacons.compromised.any()
+
+
+class TestFingerprint:
+    """Modality-aware cache fingerprints (cross-scheme aliasing rules)."""
+
+    LEGACY_KEYS = {"count", "layout", "transmit_range", "noise_std", "seed"}
+
+    def test_non_rssi_schemes_keep_legacy_keys(self):
+        # Pre-existing artifacts of the range/hop schemes must survive the
+        # new fields: their fingerprints carry exactly the legacy keys.
+        spec = BeaconSpec()
+        for scheme in (
+            MmseMultilaterationLocalizer(),
+            DvHopLocalizer(),
+            CentroidLocalizer(),
+        ):
+            assert set(spec.fingerprint(scheme)) == self.LEGACY_KEYS
+
+    def test_rssi_scheme_sees_the_radio_model(self):
+        spec = BeaconSpec(tx_power_dbm=-45.0, path_loss_exponent=3.0)
+        print_keys = spec.fingerprint(RssiPathLossLocalizer())
+        assert print_keys["tx_power_dbm"] == -45.0
+        assert print_keys["path_loss_exponent"] == 3.0
+
+    def test_radio_retune_never_invalidates_other_schemes(self):
+        a = BeaconSpec(tx_power_dbm=-59.0)
+        b = BeaconSpec(tx_power_dbm=-45.0)
+        scheme = DvHopLocalizer()
+        assert a.fingerprint(scheme) == b.fingerprint(scheme)
+        rssi = RssiPathLossLocalizer()
+        assert a.fingerprint(rssi) != b.fingerprint(rssi)
+
+    def test_compromise_axis_reaches_every_scheme(self):
+        # Lying beacons change every beacon-based scheme's results, so the
+        # compromise fields fold into all fingerprints once non-zero.
+        honest = BeaconSpec()
+        lying = BeaconSpec(compromised=0.25)
+        for scheme in (CentroidLocalizer(), RssiPathLossLocalizer()):
+            assert honest.fingerprint(scheme) != lying.fingerprint(scheme)
+            assert "compromised" in lying.fingerprint(scheme)
+            assert "compromised" not in honest.fingerprint(scheme)
+
+    def test_no_scheme_is_the_conservative_superset(self):
+        print_keys = BeaconSpec(compromised=0.1).fingerprint(None)
+        assert self.LEGACY_KEYS < set(print_keys)
+        assert "tx_power_dbm" in print_keys
+        assert "compromised" in print_keys
+
 
 class TestBeaconContexts:
     @pytest.fixture()
@@ -100,14 +207,84 @@ class TestBeaconContexts:
         )
         assert contexts[0].measured_distances is None
 
-    def test_noise_requires_rng(self, beacons):
-        with pytest.raises(ValueError, match="rng"):
+    @pytest.mark.parametrize("scheme_cls", NOISY_SCHEMES)
+    def test_noise_requires_rng(self, beacons, scheme_cls):
+        with pytest.raises(ValueError, match="rng is required"):
             beacon_contexts(
                 np.array([[500.0, 500.0]]),
                 beacons,
-                MmseMultilaterationLocalizer(),
+                scheme_cls(),
                 noise_std=2.0,
             )
+
+    @pytest.mark.parametrize("scheme_cls", NOISY_SCHEMES)
+    def test_zero_noise_needs_no_rng(self, beacons, scheme_cls):
+        contexts = beacon_contexts(
+            np.array([[500.0, 500.0]]), beacons, scheme_cls(), noise_std=0.0
+        )
+        assert len(contexts) == 1
+
+    def test_rssi_contexts_are_noisy_in_db(self, beacons):
+        positions = np.array([[500.0, 500.0]])
+        clean = beacon_contexts(positions, beacons, RssiPathLossLocalizer())
+        noisy = beacon_contexts(
+            positions,
+            beacons,
+            RssiPathLossLocalizer(),
+            noise_std=2.0,
+            rng=np.random.default_rng(1),
+        )
+        db_error = noisy[0].measured_rssi - clean[0].measured_rssi
+        # Additive in dB (each reading shifted, none clipped)...
+        assert np.all(db_error != 0.0)
+        assert np.abs(db_error).max() < 10.0
+        # ...which means multiplicative (log-normal) in recovered range.
+        ratio = beacons.distance_from_rssi(
+            noisy[0].measured_rssi
+        ) / beacons.distance_from_rssi(clean[0].measured_rssi)
+        np.testing.assert_allclose(
+            ratio,
+            10.0 ** (-db_error / (10.0 * beacons.path_loss_exponent)),
+            rtol=1e-12,
+        )
+
+    @pytest.mark.parametrize("scheme_cls", NOISY_SCHEMES)
+    def test_noise_draw_ordering_is_pinned(self, beacons, scheme_cls):
+        """The per-row noise loop consumes the rng row by row.
+
+        Cached artifacts depend on this exact draw order: contexts built
+        one position at a time from one shared generator must equal the
+        batch build bit for bit.  A refactor that vectorises the noise
+        across rows (or reorders the modality branches) would break warm
+        caches and fail here.
+        """
+        scheme = scheme_cls()
+        positions = np.array([[320.0, 250.0], [540.0, 610.0], [720.0, 420.0]])
+        batch = beacon_contexts(
+            positions,
+            beacons,
+            scheme,
+            noise_std=2.0,
+            rng=np.random.default_rng(42),
+        )
+        shared = np.random.default_rng(42)
+        rows = [
+            beacon_contexts(
+                positions[row : row + 1],
+                beacons,
+                scheme,
+                noise_std=2.0,
+                rng=shared,
+            )[0]
+            for row in range(positions.shape[0])
+        ]
+        for got, expected in zip(batch, rows):
+            for field in ("measured_distances", "measured_rssi", "tdoa_differences"):
+                got_value = getattr(got, field)
+                expected_value = getattr(expected, field)
+                assert (got_value is None) == (expected_value is None)
+                if got_value is not None:
+                    np.testing.assert_array_equal(got_value, expected_value)
 
     def test_dvhop_contexts_need_network(self, beacons):
         with pytest.raises(ValueError, match="network"):
@@ -134,3 +311,84 @@ class TestBeaconContexts:
     def test_bad_positions_shape_rejected(self, beacons):
         with pytest.raises(ValueError, match="shape"):
             beacon_contexts(np.zeros(4), beacons, CentroidLocalizer())
+
+
+class TestHopsForMovedPositions:
+    """Regression: hop rows must resolve by node index, not float equality.
+
+    The historical lookup matched positions against ``network.positions``
+    by exact tuple — correct only while the caller's positions were
+    bit-identical to the deployment's.  Mobility jitter (the temporal
+    engine) or any dtype round trip broke it.  With ``nodes=`` the rows
+    are gathered by index; the exact lookup survives only as the fallback
+    for coordinate-only callers.
+    """
+
+    @pytest.fixture()
+    def beacons(self):
+        return BeaconSpec(count=4, transmit_range=200.0).build(
+            Region(0.0, 0.0, 500.0, 500.0)
+        )
+
+    def test_jittered_positions_resolve_via_nodes(self, small_network, beacons):
+        rng = np.random.default_rng(6)
+        nodes = rng.choice(small_network.num_nodes, size=5, replace=False)
+        exact = beacon_contexts(
+            small_network.positions[nodes],
+            beacons,
+            DvHopLocalizer(),
+            network=small_network,
+            nodes=nodes,
+        )
+        jittered = beacon_contexts(
+            small_network.positions[nodes] + rng.normal(0.0, 3.0, size=(5, 2)),
+            beacons,
+            DvHopLocalizer(),
+            network=small_network,
+            nodes=nodes,
+        )
+        # Hop rows follow the node identity, not the (moved) coordinates.
+        for a, b in zip(exact, jittered):
+            np.testing.assert_array_equal(a.hop_counts, b.hop_counts)
+            assert a.avg_hop_distance == b.avg_hop_distance
+
+    def test_moved_positions_without_nodes_still_raise(
+        self, small_network, beacons
+    ):
+        with pytest.raises(ValueError, match="pass nodes="):
+            beacon_contexts(
+                small_network.positions[:2] + 0.5,
+                beacons,
+                DvHopLocalizer(),
+                network=small_network,
+            )
+
+    def test_nodes_shape_validated(self, small_network, beacons):
+        with pytest.raises(ValueError, match="one network index"):
+            beacon_contexts(
+                small_network.positions[:3],
+                beacons,
+                DvHopLocalizer(),
+                network=small_network,
+                nodes=np.array([0]),
+            )
+
+    def test_nodes_agree_with_exact_lookup(self, small_network, beacons):
+        """On unmoved positions the index path equals the legacy lookup."""
+        rng = np.random.default_rng(9)
+        nodes = rng.choice(small_network.num_nodes, size=4, replace=False)
+        by_index = beacon_contexts(
+            small_network.positions[nodes],
+            beacons,
+            DvHopLocalizer(),
+            network=small_network,
+            nodes=nodes,
+        )
+        by_position = beacon_contexts(
+            small_network.positions[nodes],
+            beacons,
+            DvHopLocalizer(),
+            network=small_network,
+        )
+        for a, b in zip(by_index, by_position):
+            np.testing.assert_array_equal(a.hop_counts, b.hop_counts)

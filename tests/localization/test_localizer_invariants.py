@@ -28,8 +28,15 @@ from repro.types import Region
 #: Nodes localized per scheme (kept small: APIT and DV-Hop loop per row).
 BATCH_SIZE = 16
 
-#: Distance-measurement noise exercised by the determinism invariant.
+#: Measurement noise exercised by the determinism invariant (range metres,
+#: RSSI dB, or TDOA jitter metres depending on the scheme's modality).
 NOISE_STD = 2.0
+
+
+def _measurement_noise(scheme) -> float:
+    """The determinism noise for *scheme* (0 for measurement-free schemes)."""
+    uses_noise = scheme.uses_ranges or scheme.uses_rssi or scheme.uses_tdoa
+    return NOISE_STD if uses_noise else 0.0
 
 TEST_REGION = Region(0.0, 0.0, 500.0, 500.0)
 
@@ -95,7 +102,7 @@ class TestLocalizerInvariants:
 
     def test_deterministic_under_same_seed(self, name, batch):
         scheme = _scheme(name)
-        noise = NOISE_STD if scheme.uses_ranges else 0.0
+        noise = _measurement_noise(scheme)
         a = scheme.localize_many(_contexts(batch, scheme, noise_std=noise, seed=7))
         b = scheme.localize_many(_contexts(batch, scheme, noise_std=noise, seed=7))
         np.testing.assert_array_equal(_positions(a), _positions(b))

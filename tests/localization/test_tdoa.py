@@ -1,0 +1,157 @@
+"""Tests for :mod:`repro.localization.tdoa` (hyperbolic multilateration)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.localization.base import LOCALIZERS
+from repro.localization.beacons import BeaconSpec, beacon_contexts
+from repro.localization.tdoa import TDOA_SOLVERS, TdoaMultilaterationLocalizer
+from repro.types import Region
+
+REGION = Region(0.0, 0.0, 1000.0, 1000.0)
+
+
+@pytest.fixture(scope="module")
+def beacons():
+    return BeaconSpec(count=16, transmit_range=600.0).build(REGION)
+
+
+class TestRangeDifferences:
+    def test_reference_entry_is_exactly_zero(self, beacons):
+        distances = np.array([120.0, 340.0, 75.5])
+        differences = beacons.range_differences(distances)
+        assert differences[0] == 0.0
+        np.testing.assert_allclose(differences, distances - distances[0])
+
+    def test_jitter_deterministic_under_seed(self, beacons):
+        distances = np.array([120.0, 340.0, 75.5, 300.0])
+        a = beacons.range_differences(
+            distances, rng=np.random.default_rng(5), noise_std=2.0
+        )
+        b = beacons.range_differences(
+            distances, rng=np.random.default_rng(5), noise_std=2.0
+        )
+        np.testing.assert_array_equal(a, b)
+        assert not np.array_equal(a, distances - distances[0])
+        # Jitter hits the reference too: its difference stays exactly 0.
+        assert a[0] == 0.0
+
+    def test_noise_requires_rng(self, beacons):
+        with pytest.raises(ValueError, match="rng"):
+            beacons.range_differences(np.array([10.0, 20.0]), noise_std=1.0)
+
+    def test_empty_input(self, beacons):
+        assert beacons.range_differences(np.array([])).shape == (0,)
+
+
+class TestTdoaLocalizer:
+    def test_registered_with_aliases(self):
+        assert "tdoa" in LOCALIZERS.available()
+        assert LOCALIZERS.canonical("tdoa_multilateration") == "tdoa"
+        assert LOCALIZERS.canonical("time_difference") == "tdoa"
+        assert isinstance(
+            LOCALIZERS.create("tdoa"), TdoaMultilaterationLocalizer
+        )
+
+    def test_modality_flags(self):
+        scheme = TdoaMultilaterationLocalizer()
+        assert scheme.requires_beacons
+        assert scheme.uses_tdoa
+        assert not scheme.uses_ranges
+        assert scheme.modalities == ("tdoa",)
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ValueError, match="unknown TDOA solver"):
+            TdoaMultilaterationLocalizer(solver="newton")
+
+    @pytest.mark.parametrize("solver", TDOA_SOLVERS)
+    def test_noise_free_localization_is_near_exact(self, beacons, solver):
+        scheme = TdoaMultilaterationLocalizer(solver=solver)
+        positions = np.array([[300.0, 400.0], [650.0, 200.0], [500.0, 500.0]])
+        contexts = beacon_contexts(positions, beacons, scheme)
+        results = scheme.localize_many(contexts)
+        estimates = np.stack([r.position for r in results])
+        np.testing.assert_allclose(estimates, positions, atol=1e-6)
+        assert all(r.converged for r in results)
+
+    def test_solvers_agree(self, beacons):
+        positions = np.array([[300.0, 400.0], [650.0, 200.0]])
+        rng_contexts = lambda scheme: beacon_contexts(
+            positions,
+            beacons,
+            scheme,
+            noise_std=1.0,
+            rng=np.random.default_rng(11),
+        )
+        estimates = {}
+        for solver in TDOA_SOLVERS:
+            scheme = TdoaMultilaterationLocalizer(solver=solver)
+            estimates[solver] = np.stack(
+                [r.position for r in scheme.localize_many(rng_contexts(scheme))]
+            )
+        np.testing.assert_allclose(
+            estimates["lstsq"], estimates["closed_form"], atol=1e-6
+        )
+
+    @pytest.mark.parametrize("solver", TDOA_SOLVERS)
+    def test_batch_matches_per_row(self, beacons, solver):
+        scheme = TdoaMultilaterationLocalizer(solver=solver)
+        positions = np.array(
+            [[300.0, 400.0], [650.0, 200.0], [120.0, 880.0], [500.0, 500.0]]
+        )
+        contexts = beacon_contexts(
+            positions,
+            beacons,
+            scheme,
+            noise_std=2.0,
+            rng=np.random.default_rng(7),
+        )
+        batched = scheme.localize_many(contexts)
+        looped = [scheme.localize(ctx) for ctx in contexts]
+        np.testing.assert_array_equal(
+            np.stack([r.position for r in batched]),
+            np.stack([r.position for r in looped]),
+        )
+        assert [r.converged for r in batched] == [r.converged for r in looped]
+
+    def test_under_four_beacons_falls_back_to_audible_centroid(self):
+        # 600 m corner-grid: a node in the far corner hears < 4 beacons.
+        sparse = BeaconSpec(count=4, transmit_range=300.0).build(REGION)
+        scheme = TdoaMultilaterationLocalizer()
+        context = beacon_contexts(np.array([[250.0, 250.0]]), sparse, scheme)[0]
+        assert context.audible_beacons.size < 4
+        result = scheme.localize(context)
+        assert not result.converged
+        expected = sparse.declared_positions[context.audible_beacons].mean(axis=0)
+        np.testing.assert_array_equal(result.position, expected)
+
+    def test_zero_audible_falls_back_to_global_centroid(self):
+        sparse = BeaconSpec(count=4, transmit_range=50.0).build(REGION)
+        scheme = TdoaMultilaterationLocalizer()
+        context = beacon_contexts(np.array([[500.0, 500.0]]), sparse, scheme)[0]
+        assert context.audible_beacons.size == 0
+        result = scheme.localize(context)
+        assert not result.converged
+        np.testing.assert_array_equal(
+            result.position, sparse.declared_positions.mean(axis=0)
+        )
+
+    def test_missing_differences_rejected(self, beacons):
+        scheme = TdoaMultilaterationLocalizer()
+        context = beacon_contexts(np.array([[500.0, 500.0]]), beacons, scheme)[0]
+        with pytest.raises(ValueError, match="tdoa_differences"):
+            scheme.localize(replace(context, tdoa_differences=None))
+
+    def test_wrong_difference_shape_rejected(self, beacons):
+        scheme = TdoaMultilaterationLocalizer()
+        context = beacon_contexts(np.array([[500.0, 500.0]]), beacons, scheme)[0]
+        with pytest.raises(ValueError, match="one entry per audible"):
+            scheme.localize(replace(context, tdoa_differences=np.zeros(2)))
+
+    def test_solver_reaches_repr(self):
+        # Distinct solvers produce different floats, so their cache keys
+        # (derived from the repr) must differ.
+        reprs = {repr(TdoaMultilaterationLocalizer(solver=s)) for s in TDOA_SOLVERS}
+        assert len(reprs) == len(TDOA_SOLVERS)

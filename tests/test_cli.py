@@ -571,6 +571,43 @@ class TestSweepFiguresMode:
         out = capsys.readouterr().out
         assert "per localization scheme" in out
 
+    def test_figm_figure_runs_from_cli(self, capsys, tmp_path):
+        json_path = tmp_path / "figm.json"
+        code = main(
+            [
+                "figure",
+                "figm",
+                "--scale",
+                "0.05",
+                "--group-size",
+                "40",
+                "--seed",
+                "11",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        data = json.loads(json_path.read_text())
+        assert data["figure_id"] == "figm"
+        assert [p["title"] for p in data["panels"]] == [
+            "attack=dec_bounded",
+            "attack=rssi_amp",
+            "attack=tdoa_skew",
+        ]
+        labels = [s["label"] for s in data["panels"][0]["series"]]
+        assert labels == [
+            "beaconless",
+            "centroid",
+            "mmse",
+            "dvhop",
+            "apit",
+            "rssi",
+            "tdoa",
+        ]
+        out = capsys.readouterr().out
+        assert "robustness matrix" in out
+
     def test_figures_mode_cache_dir_round_trip(self, capsys, tmp_path):
         cache = tmp_path / "cache"
         args = ["sweep", "--figures", "fig7", *self.ARGS]

@@ -124,7 +124,12 @@ class TestBuiltinRegistries:
         assert repro.metrics.resolve(metric) is metric
 
     def test_attack_registry(self):
-        assert repro.attacks.available() == ["dec_bounded", "dec_only"]
+        assert repro.attacks.available() == [
+            "dec_bounded",
+            "dec_only",
+            "rssi_amp",
+            "tdoa_skew",
+        ]
         attack = repro.attacks.create("Dec-Only")
         assert attack.name == "dec_only"
         assert not attack.allows_increase
@@ -141,6 +146,8 @@ class TestBuiltinRegistries:
             "centroid",
             "dvhop",
             "mmse",
+            "rssi",
+            "tdoa",
         ]
         localizer = repro.localization.create("beaconless", resolution=4.0)
         assert localizer.resolution == 4.0
@@ -175,6 +182,7 @@ class TestBuiltinRegistries:
 
         assert set(FIGURE_SPECS) == {f"fig{i}" for i in range(4, 10)} | {
             "figl",
+            "figm",
             "figt",
         }
         for figure_id, build in FIGURE_SPECS.items():
